@@ -1,0 +1,53 @@
+//! Table-1 companion bench: host cost of producing one consistency row
+//! per rating method, plus a shape assertion that windows tighten with
+//! size (the paper's central Table 1 observation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peak_core::consistency::consistency_rows;
+use peak_sim::MachineSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency");
+    group.sample_size(10);
+    // One representative per method family.
+    group.bench_function("cbr_swim", |b| {
+        b.iter(|| {
+            let w = peak_workloads::swim::SwimCalc3::new();
+            std::hint::black_box(consistency_rows(&w, &MachineSpec::sparc_ii()))
+        })
+    });
+    group.bench_function("mbr_mgrid", |b| {
+        b.iter(|| {
+            let w = peak_workloads::mgrid::MgridResid::new();
+            std::hint::black_box(consistency_rows(&w, &MachineSpec::sparc_ii()))
+        })
+    });
+    group.bench_function("rbr_mcf", |b| {
+        b.iter(|| {
+            let w = peak_workloads::mcf::McfPrimalBeaMpp::new();
+            std::hint::black_box(consistency_rows(&w, &MachineSpec::sparc_ii()))
+        })
+    });
+    group.finish();
+
+    println!("\n=== Table 1 shape check (σ decreases with window size) ===");
+    for w in [
+        Box::new(peak_workloads::swim::SwimCalc3::new()) as Box<dyn peak_workloads::Workload>,
+        Box::new(peak_workloads::mgrid::MgridResid::new()),
+        Box::new(peak_workloads::mcf::McfPrimalBeaMpp::new()),
+    ] {
+        for row in consistency_rows(w.as_ref(), &MachineSpec::sparc_ii()) {
+            let sd_first = row.cells.first().unwrap().2;
+            let sd_last = row.cells.last().unwrap().2;
+            println!(
+                "  {:<8} {:<4} σ(w=10)={sd_first:6.2}  σ(w=160)={sd_last:6.2}",
+                row.benchmark,
+                row.method.name()
+            );
+            assert!(sd_last <= sd_first, "{}: window growth must tighten σ", row.benchmark);
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation A2 (paper §3): rating overhead per method, and the effect of
+//! outlier elimination on window convergence.
+//!
+//! Measures (a) the *simulated* cycles each method spends to produce one
+//! confident rating of a single candidate — the overhead hierarchy
+//! CBR < MBR < RBR ≪ WHL the paper's method-selection order relies on —
+//! and (b) how many samples a window needs to converge with and without
+//! the MAD outlier filter when interrupt-like spikes pollute the stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peak_core::consultant::Method;
+use peak_core::rating::{rate, TuningSetup};
+use peak_core::stats::{summarize, trim_outliers, OUTLIER_K};
+use peak_opt::{Flag, OptConfig};
+use peak_sim::MachineSpec;
+use peak_workloads::{mgrid::MgridResid, Dataset};
+use rand::{Rng, SeedableRng};
+
+fn rating_cycles(method: Method) -> Option<u64> {
+    let w = MgridResid::new();
+    let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+    let base = OptConfig::o3();
+    let cand = [base.without(Flag::PrefetchLoopArrays)];
+    rate(&mut setup, method, base, &cand)?;
+    Some(setup.tuning_cycles)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rating_overhead");
+    group.sample_size(10);
+    for method in [Method::Cbr, Method::Mbr, Method::Rbr, Method::Avg] {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| std::hint::black_box(rating_cycles(method)))
+        });
+    }
+    group.finish();
+
+    println!("\n=== Simulated tuning cycles to rate one candidate (MGRID, SPARC II) ===");
+    let mut cycles: Vec<(Method, u64)> = Vec::new();
+    for method in [Method::Cbr, Method::Mbr, Method::Rbr, Method::Avg, Method::Whl] {
+        if let Some(cy) = rating_cycles(method) {
+            println!("  {:<4} {:>14} cycles", method.name(), cy);
+            cycles.push((method, cy));
+        }
+    }
+    let whl = cycles.iter().find(|(m, _)| *m == Method::Whl).map(|(_, c)| *c);
+    let mbr = cycles.iter().find(|(m, _)| *m == Method::Mbr).map(|(_, c)| *c);
+    if let (Some(whl), Some(mbr)) = (whl, mbr) {
+        println!("  MBR / WHL = {:.3} (paper Fig. 7c/d: well under 1)", mbr as f64 / whl as f64);
+        assert!(mbr < whl, "section rating must be cheaper than whole-program rating");
+    }
+
+    // Outlier-elimination ablation: spiked samples.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let samples: Vec<f64> = (0..400)
+        .map(|_| {
+            let base = 10_000.0 + rng.gen_range(-80.0..80.0);
+            if rng.gen_bool(0.02) {
+                base + rng.gen_range(40_000.0..120_000.0) // interrupt
+            } else {
+                base
+            }
+        })
+        .collect();
+    let raw = summarize(&samples);
+    let clean = summarize(&trim_outliers(&samples, OUTLIER_K));
+    println!("\n=== Outlier elimination (2% interrupt spikes on a 10k-cycle TS) ===");
+    println!("  raw:      mean {:>9.1}  cv {:.4}", raw.mean, raw.cv());
+    println!("  filtered: mean {:>9.1}  cv {:.4}", clean.mean, clean.cv());
+    assert!(clean.cv() < raw.cv() / 3.0, "filter must cut the dispersion");
+    assert!((clean.mean - 10_000.0).abs() < 100.0, "filtered mean unbiased");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Diagnostic: true production-time effect of removing each -O3 flag.
+//! `cargo run --release -p peak-bench --bin flag_effects -- [BENCH] [sparc|p4]`
+use peak_opt::{OptConfig, ALL_FLAGS};
+use peak_sim::MachineSpec;
+use peak_workloads::Dataset;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SWIM".into());
+    let mach = std::env::args().nth(2).unwrap_or_else(|| "p4".into());
+    let spec = if mach == "sparc" { MachineSpec::sparc_ii() } else { MachineSpec::pentium_iv() };
+    let Some(w) = peak_workloads::workload_by_name(&name) else {
+        eprintln!(
+            "error: unknown benchmark `{name}` (try one of: {})",
+            peak_workloads::all_workloads()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    let base = peak_core::production_time(w.as_ref(), &spec, OptConfig::o3(), Dataset::Train);
+    println!("{} on {}: -O3 = {} cycles", w.name(), spec.kind.name(), base);
+    let mut effects: Vec<(f64, &str)> = ALL_FLAGS
+        .iter()
+        .map(|&f| {
+            let t = peak_core::production_time(
+                w.as_ref(), &spec, OptConfig::o3().without(f), Dataset::Train);
+            ((base as f64 / t as f64 - 1.0) * 100.0, f.name())
+        })
+        .collect();
+    effects.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (e, n) in effects {
+        if e.abs() > 0.15 {
+            println!("  -fno-{n:<24} {e:+7.2}%");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerate **Table 1**: consistency of rating approaches for the
+//! fourteen selected tuning sections.
+//!
+//! ```text
+//! cargo run --release -p peak-bench --bin table1 [-- --machine sparc|p4] [--json PATH]
+//! ```
+//!
+//! For every benchmark, the consultant picks the rating approach (CBR →
+//! MBR → RBR); the harness then rates a single `-O3` experimental version
+//! against itself, sampling EVALs across windows w ∈ {10,20,40,80,160}
+//! and reporting `Mean(StdDev)×100` of the rating error — paper Eq. 7-10.
+
+use peak_bench::render_consistency_row;
+use peak_core::consistency::consistency_rows;
+use peak_sim::{MachineKind, MachineSpec};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machine = arg_value(&args, "--machine").unwrap_or_else(|| "sparc".into());
+    let json_path = arg_value(&args, "--json");
+    let only = arg_value(&args, "--bench");
+    let kind = match machine.as_str() {
+        "p4" | "pentium" | "pentium4" => MachineKind::PentiumIV,
+        "sparc" => MachineKind::SparcII,
+        other => {
+            eprintln!("error: unknown machine `{other}` (expected sparc or p4)");
+            std::process::exit(1);
+        }
+    };
+    if let Some(b) = &only {
+        if peak_workloads::workload_by_name(b).is_none() {
+            eprintln!("error: unknown benchmark `{b}`");
+            std::process::exit(1);
+        }
+    }
+    let spec = MachineSpec::of(kind);
+    println!("Table 1 — Consistency of rating approaches ({})", kind.name());
+    println!("Rating error Mean(StdDev)×100 per window size; experimental version = -O3 (self-comparison).");
+    println!();
+    let workloads: Vec<_> = peak_workloads::all_workloads()
+        .into_iter()
+        .filter(|w| only.as_deref().is_none_or(|o| w.name().eq_ignore_ascii_case(o)))
+        .collect();
+    // Parallel across benchmarks: each cell is independent.
+    let mut all_rows: Vec<(usize, Vec<peak_core::ConsistencyRow>)> =
+        std::thread::scope(|scope| {
+            let spec = &spec;
+            let handles: Vec<_> = workloads
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    scope.spawn(move || (i, consistency_rows(w.as_ref(), spec)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+    all_rows.sort_by_key(|(i, _)| *i);
+    let mut flat = Vec::new();
+    for (_, rows) in all_rows {
+        for row in rows {
+            println!("{}", render_consistency_row(&row));
+            flat.push(row);
+        }
+    }
+    println!();
+    println!("paper shape checks:");
+    let shrinking = flat
+        .iter()
+        .filter(|r| r.cells.last().unwrap().2 < r.cells.first().unwrap().2)
+        .count();
+    println!(
+        "  σ shrinks from w=10 to w=160 in {}/{} rows (paper: 'both metrics decrease with increasing window size')",
+        shrinking,
+        flat.len()
+    );
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&flat).expect("serialize");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write json");
+        println!("  wrote {path}");
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,281 @@
+//! The run harness: simulates application runs of a workload with the
+//! PEAK driver swapping tuning-section versions in and out (the ADAPT
+//! mechanism of paper Fig. 6, minus `dlopen`).
+//!
+//! One [`RunHarness`] = one application run: fresh memory and machine
+//! state (a new process), the workload's deterministic invocation stream,
+//! and cycle accounting that includes the rest-of-program cost — the
+//! quantity WHL tuning pays in full and the section-level methods avoid.
+
+use crate::context::ContextKey;
+use peak_ir::{MemoryImage, Value};
+use peak_sim::{AddressMap, ExecOptions, ExecResult, MachineSpec, MachineState, PreparedVersion};
+use peak_workloads::{Dataset, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cycle cost of copying one element during RBR save/restore, on top of
+/// the cache traffic (loop + addressing overhead of the copy code).
+const COPY_OVERHEAD_PER_ELEM: u64 = 1;
+
+/// One application run.
+pub struct RunHarness<'w> {
+    workload: &'w dyn Workload,
+    ds: Dataset,
+    /// Machine state (caches, predictor, timer, cycle counter).
+    pub machine: MachineState,
+    /// Address layout shared by all versions of this program.
+    pub amap: AddressMap,
+    /// Program memory.
+    pub mem: MemoryImage,
+    stream_rng: StdRng,
+    next_inv: usize,
+    limit: usize,
+}
+
+impl<'w> RunHarness<'w> {
+    /// Start a run. `noise_seed` feeds the timer; the workload stream is
+    /// seeded deterministically from the dataset so every run of the same
+    /// input is identical (like re-running a benchmark binary).
+    pub fn new(
+        workload: &'w dyn Workload,
+        ds: Dataset,
+        spec: &MachineSpec,
+        noise_seed: u64,
+    ) -> Self {
+        let mem_lens: Vec<usize> =
+            workload.program().mems.iter().map(|m| m.len).collect();
+        let amap = AddressMap::new(&mem_lens);
+        let mut mem = MemoryImage::new(workload.program());
+        let stream_seed = match ds {
+            Dataset::Train => STREAM_SEED_TRAIN,
+            Dataset::Ref => STREAM_SEED_REF,
+        };
+        let mut stream_rng = StdRng::seed_from_u64(stream_seed);
+        workload.setup(ds, &mut mem, &mut stream_rng);
+        let limit = workload.invocations(ds);
+        RunHarness {
+            workload,
+            ds,
+            machine: MachineState::new(spec.clone(), noise_seed),
+            amap,
+            mem,
+            stream_rng,
+            next_inv: 0,
+            limit,
+        }
+    }
+
+    /// Invocations remaining in this run.
+    pub fn remaining(&self) -> usize {
+        self.limit - self.next_inv
+    }
+
+    /// Produce the next invocation's arguments (mutating memory like the
+    /// surrounding program does) and charge the rest-of-program cycles.
+    /// Returns `None` when the run is over.
+    pub fn next_args(&mut self) -> Option<Vec<Value>> {
+        if self.next_inv >= self.limit {
+            return None;
+        }
+        let args =
+            self.workload
+                .args(self.ds, self.next_inv, &mut self.mem, &mut self.stream_rng);
+        self.next_inv += 1;
+        self.machine.cycles += self.workload.other_cycles(self.ds);
+        Some(args)
+    }
+
+    /// Execute one TS invocation with `version` and return the result
+    /// (true cycles inside; accounting updated).
+    pub fn execute(
+        &mut self,
+        version: &PreparedVersion,
+        args: &[Value],
+        opts: &ExecOptions,
+    ) -> ExecResult {
+        peak_sim::execute(version, args, &mut self.mem, &self.amap, &mut self.machine, opts)
+            .unwrap_or_else(|e|
+
+                panic!("workload {} execution failed: {e}", self.workload.name())
+            )
+    }
+
+    /// Measure an execution: run it and return the *noisy* measured time
+    /// alongside the result.
+    pub fn execute_timed(
+        &mut self,
+        version: &PreparedVersion,
+        args: &[Value],
+        opts: &ExecOptions,
+    ) -> (u64, ExecResult) {
+        let res = self.execute(version, args, opts);
+        let measured = self.machine.timer.measure(res.true_cycles);
+        (measured, res)
+    }
+
+    /// Context key for the upcoming invocation: reads the context sources
+    /// (parameter values / global scalars) like the instrumented prologue
+    /// does.
+    pub fn context_key(
+        &self,
+        sources: &[peak_ir::ContextSource],
+        args: &[Value],
+    ) -> ContextKey {
+        crate::context::key_for(sources, args, &self.mem)
+    }
+
+    /// RBR support: snapshot the given regions, charging copy cost through
+    /// the cache (streaming both source and a stack-side buffer would
+    /// double-charge; we charge one pass).
+    pub fn save_regions(&mut self, regions: &[peak_ir::MemId]) -> Vec<(peak_ir::MemId, peak_ir::Buffer)> {
+        let snap = self.mem.snapshot(regions);
+        self.charge_copy(regions);
+        snap
+    }
+
+    /// RBR support: restore a snapshot with the same cost model.
+    pub fn restore_regions(&mut self, snap: &[(peak_ir::MemId, peak_ir::Buffer)]) {
+        self.mem.restore(snap);
+        let regions: Vec<peak_ir::MemId> = snap.iter().map(|(m, _)| *m).collect();
+        self.charge_copy(&regions);
+    }
+
+    fn charge_copy(&mut self, regions: &[peak_ir::MemId]) {
+        for &m in regions {
+            let len = self.mem.buf(m).len();
+            for i in 0..len {
+                let c = self.machine.caches.access(self.amap.addr(m, i as i64));
+                self.machine.cycles += c + COPY_OVERHEAD_PER_ELEM;
+            }
+        }
+    }
+
+    /// RBR inspector support: save/restore an explicit cell list (paper
+    /// §2.4.2's inspector for irregular writes).
+    pub fn save_cells(&mut self, cells: &[(peak_ir::MemId, i64)]) -> Vec<Value> {
+        let mut vals = Vec::with_capacity(cells.len());
+        for &(m, i) in cells {
+            vals.push(self.mem.load(m, i));
+            let c = self.machine.caches.access(self.amap.addr(m, i));
+            self.machine.cycles += c + COPY_OVERHEAD_PER_ELEM;
+        }
+        vals
+    }
+
+    /// Restore cells saved with [`RunHarness::save_cells`].
+    pub fn restore_cells(&mut self, cells: &[(peak_ir::MemId, i64)], vals: &[Value]) {
+        for (&(m, i), &v) in cells.iter().zip(vals) {
+            self.mem.store(m, i, v);
+            let c = self.machine.caches.access(self.amap.addr(m, i));
+            self.machine.cycles += c + COPY_OVERHEAD_PER_ELEM;
+        }
+    }
+
+    /// Total true cycles this run has consumed so far (TS + rest of
+    /// program + tuning overheads).
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles
+    }
+
+    /// The dataset this run uses.
+    pub fn dataset(&self) -> Dataset {
+        self.ds
+    }
+
+    /// The workload under test.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload
+    }
+}
+
+/// Workload-stream seed for the train dataset (fixed: every train run
+/// sees identical input, like re-running a benchmark binary).
+const STREAM_SEED_TRAIN: u64 = 0x7472_6169_6e00;
+/// Workload-stream seed for the ref dataset.
+const STREAM_SEED_REF: u64 = 0x7265_6600;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_opt::OptConfig;
+    use peak_workloads::swim::SwimCalc3;
+
+    fn prepared(w: &dyn Workload, cfg: OptConfig, spec: &MachineSpec) -> PreparedVersion {
+        let cv = peak_opt::optimize(w.program(), w.ts(), &cfg);
+        PreparedVersion::prepare(cv, spec)
+    }
+
+    #[test]
+    fn run_is_deterministic_in_data() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let pv = prepared(&w, OptConfig::o3(), &spec);
+        let run_once = |seed: u64| -> (Vec<u64>, u64) {
+            let mut h = RunHarness::new(&w, Dataset::Train, &spec, seed);
+            let mut cycles = Vec::new();
+            for _ in 0..5 {
+                let args = h.next_args().unwrap();
+                let r = h.execute(&pv, &args, &ExecOptions::default());
+                cycles.push(r.true_cycles);
+            }
+            (cycles, h.cycles())
+        };
+        let (c1, t1) = run_once(1);
+        let (c2, t2) = run_once(2);
+        // True cycles identical (same data, same machine) regardless of
+        // the noise seed; only measured times differ.
+        assert_eq!(c1, c2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn measured_times_are_noisy_but_close() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let pv = prepared(&w, OptConfig::o3(), &spec);
+        let mut h = RunHarness::new(&w, Dataset::Train, &spec, 42);
+        let args = h.next_args().unwrap();
+        let (measured, res) = h.execute_timed(&pv, &args, &ExecOptions::default());
+        let rel = (measured as f64 - res.true_cycles as f64).abs() / res.true_cycles as f64;
+        assert!(rel < 0.3, "noise within reason: {rel}");
+    }
+
+    #[test]
+    fn other_cycles_charged_per_invocation() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let mut h = RunHarness::new(&w, Dataset::Train, &spec, 1);
+        let before = h.cycles();
+        let _ = h.next_args().unwrap();
+        assert_eq!(h.cycles() - before, w.other_cycles(Dataset::Train));
+    }
+
+    #[test]
+    fn save_restore_regions_roundtrip_and_cost() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let mut h = RunHarness::new(&w, Dataset::Train, &spec, 1);
+        let u = w.program().mem_by_name("u").unwrap();
+        let before_val = h.mem.load(u, 10);
+        let before_cycles = h.cycles();
+        let snap = h.save_regions(&[u]);
+        h.mem.store(u, 10, Value::F64(99.0));
+        h.restore_regions(&snap);
+        assert_eq!(h.mem.load(u, 10), before_val);
+        assert!(h.cycles() > before_cycles, "copies cost cycles");
+    }
+
+    #[test]
+    fn run_ends_after_invocation_budget() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let mut h = RunHarness::new(&w, Dataset::Train, &spec, 1);
+        let n = w.invocations(Dataset::Train);
+        for _ in 0..n {
+            assert!(h.next_args().is_some());
+        }
+        assert!(h.next_args().is_none());
+        assert_eq!(h.remaining(), 0);
+    }
+}

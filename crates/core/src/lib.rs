@@ -1,0 +1,46 @@
+//! # peak-core — the PEAK automatic performance tuning system
+//!
+//! The paper's contribution: three rating methods that compare
+//! compiler-optimized code versions *fairly* (under comparable execution
+//! contexts), deployed in an offline tuning flow.
+//!
+//! * [`consultant`] — the Rating Approach Consultant: per-TS applicability
+//!   analysis (CBR → MBR → RBR order, paper §3);
+//! * [`rating`] — the rating engines (CBR §2.2, MBR §2.3, RBR §2.4, plus
+//!   the WHL/AVG baselines of §5.2);
+//! * [`mbr`] — component discovery and the linear execution-time model;
+//! * [`context`] — context keys and run-time-constant elimination;
+//! * [`search`] — Iterative Elimination over the 38-flag space (plus
+//!   exhaustive and random search for ablations);
+//! * [`tuner`] — offline tuning end-to-end + production measurement
+//!   (Figure 7);
+//! * [`consistency`] — the Table 1 experiment;
+//! * [`adaptive`] — the §6 online/adaptive scenario (per-context winners);
+//! * [`harness`] — simulated application runs with version swapping;
+//! * [`stats`], [`linreg`] — EVAL/VAR windows, outlier elimination, least
+//!   squares;
+//! * [`ts_select`] — profile-driven tuning-section selection (§4.1).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod consistency;
+pub mod consultant;
+pub mod context;
+pub mod harness;
+pub mod linreg;
+pub mod mbr;
+pub mod rating;
+pub mod search;
+pub mod stats;
+pub mod ts_select;
+pub mod tuner;
+
+pub use adaptive::{AdaptiveOutcome, AdaptiveTuner};
+pub use consistency::{consistency_rows, ConsistencyRow, WINDOW_SIZES};
+pub use consultant::{consult, Consultation, Method};
+pub use harness::RunHarness;
+pub use mbr::MbrModel;
+pub use rating::{rate, RateOutcome, TuningSetup};
+pub use search::{exhaustive, iterative_elimination, random_search, SearchResult};
+pub use tuner::{production_time, tune, TuneReport};

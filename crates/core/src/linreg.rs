@@ -1,0 +1,158 @@
+//! Least-squares solver for the MBR execution-time model (paper Eq. 3):
+//! given per-invocation times `Y(j)` and component counts `C(i,j)`, find
+//! the component-time vector `T` minimizing ‖Y − Tᵀ·C‖².
+//!
+//! Component counts are small (a handful of components), so the normal
+//! equations with Gaussian elimination and partial pivoting are exact
+//! enough and dependency-free.
+
+/// Result of a regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Component times `T_i` (paper Fig. 2(c)).
+    pub t: Vec<f64>,
+    /// VAR: residual sum of squares over total sum of squares (paper §3's
+    /// MBR variance measure). 0 = perfect fit.
+    pub var: f64,
+}
+
+/// Solve `Y ≈ T·C` where `counts[j][i]` is component `i`'s count in
+/// invocation `j`. Returns `None` when the system is degenerate (fewer
+/// invocations than components, or singular normal matrix).
+pub fn solve(times: &[f64], counts: &[Vec<f64>]) -> Option<Regression> {
+    let m = times.len();
+    if m == 0 || counts.len() != m {
+        return None;
+    }
+    let k = counts[0].len();
+    if k == 0 || m < k {
+        return None;
+    }
+    debug_assert!(counts.iter().all(|row| row.len() == k));
+    // Normal equations: (CᵀC) T = Cᵀ Y  — here C as rows of counts.
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for j in 0..m {
+        for i1 in 0..k {
+            b[i1] += counts[j][i1] * times[j];
+            for i2 in 0..k {
+                a[i1][i2] += counts[j][i1] * counts[j][i2];
+            }
+        }
+    }
+    let t = gauss_solve(&mut a, &mut b)?;
+    // VAR = SSR / SST.
+    let mean_y = times.iter().sum::<f64>() / m as f64;
+    let mut ssr = 0.0;
+    let mut sst = 0.0;
+    for j in 0..m {
+        let pred: f64 = (0..k).map(|i| t[i] * counts[j][i]).sum();
+        ssr += (times[j] - pred).powi(2);
+        sst += (times[j] - mean_y).powi(2);
+    }
+    let var = if sst > f64::EPSILON {
+        ssr / sst
+    } else if ssr < 1e-9 {
+        0.0
+    } else {
+        // All times identical but model misses them: treat relative to
+        // magnitude.
+        ssr / (mean_y * mean_y * m as f64).max(f64::EPSILON)
+    };
+    Some(Regression { t, var })
+}
+
+/// In-place Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)]
+fn gauss_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
+        if a[pivot][col].abs() < 1e-9 {
+            return None; // singular
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c2 in col..n {
+                a[row][c2] -= f * a[col][c2];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c2 in row + 1..n {
+            acc -= a[row][c2] * x[c2];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure2_example() {
+        // Y = [11015 5508 6626 6044 8793]; C row1 = iteration counts,
+        // row2 = constant 1. Expected T ≈ [110.05, 3.75].
+        let times = [11015.0, 5508.0, 6626.0, 6044.0, 8793.0];
+        let counts: Vec<Vec<f64>> = [100.0, 50.0, 60.0, 55.0, 80.0]
+            .iter()
+            .map(|&c| vec![c, 1.0])
+            .collect();
+        let r = solve(&times, &counts).unwrap();
+        assert!((r.t[0] - 110.05).abs() < 0.2, "T1={}", r.t[0]);
+        assert!((r.t[1] - 3.75).abs() < 12.0, "T2={}", r.t[1]);
+        assert!(r.var < 0.001, "near-perfect fit: {}", r.var);
+    }
+
+    #[test]
+    fn exact_linear_data_recovered() {
+        // y = 7c1 + 3c2 exactly.
+        let counts: Vec<Vec<f64>> =
+            vec![vec![1.0, 2.0], vec![4.0, 1.0], vec![2.0, 2.0], vec![5.0, 9.0]];
+        let times: Vec<f64> = counts.iter().map(|c| 7.0 * c[0] + 3.0 * c[1]).collect();
+        let r = solve(&times, &counts).unwrap();
+        assert!((r.t[0] - 7.0).abs() < 1e-9);
+        assert!((r.t[1] - 3.0).abs() < 1e-9);
+        assert!(r.var < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        assert!(solve(&[5.0], &[vec![1.0, 2.0]]).is_none());
+        assert!(solve(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn singular_system_rejected() {
+        // Two proportional components — no unique split.
+        let counts: Vec<Vec<f64>> =
+            vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0], vec![4.0, 8.0]];
+        let times = vec![10.0, 20.0, 30.0, 40.0];
+        assert!(solve(&times, &counts).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_reports_var() {
+        let counts: Vec<Vec<f64>> = (1..=30).map(|i| vec![i as f64, 1.0]).collect();
+        let times: Vec<f64> = (1..=30)
+            .map(|i| 100.0 * i as f64 + 50.0 + if i % 2 == 0 { 400.0 } else { -400.0 })
+            .collect();
+        let r = solve(&times, &counts).unwrap();
+        assert!((r.t[0] - 100.0).abs() < 5.0);
+        assert!(r.var > 0.001, "noise must show in VAR: {}", r.var);
+        assert!(r.var < 0.5);
+    }
+}

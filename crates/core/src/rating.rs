@@ -1,0 +1,547 @@
+//! The rating engines: produce fair EVALs for a set of candidate
+//! optimization configurations using CBR, MBR, RBR, or the WHL/AVG
+//! baselines (paper §2, §3, §5.2).
+//!
+//! All methods report *relative improvement over the base version*
+//! (`> 1` = candidate faster), so the search can compare candidates
+//! uniformly regardless of how the rating was obtained.
+
+use crate::consultant::{Consultation, Method};
+use crate::harness::RunHarness;
+use crate::stats::Window;
+use peak_opt::OptConfig;
+use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
+use peak_workloads::{Dataset, Workload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared tuning state: version cache, run/cycle accounting.
+pub struct TuningSetup<'w> {
+    /// Workload under tuning.
+    pub workload: &'w dyn Workload,
+    /// Target machine.
+    pub spec: MachineSpec,
+    /// Consultant output for this TS.
+    pub consult: Consultation,
+    /// Dataset used for tuning runs.
+    pub ds: Dataset,
+    versions: HashMap<(u64, bool), Arc<PreparedVersion>>,
+    next_seed: u64,
+    /// True cycles consumed by tuning runs so far.
+    pub tuning_cycles: u64,
+    /// Application runs started so far.
+    pub runs_used: usize,
+    /// TS invocations consumed so far.
+    pub invocations_used: u64,
+}
+
+impl<'w> TuningSetup<'w> {
+    /// Create a tuning setup (runs the consultant).
+    pub fn new(workload: &'w dyn Workload, spec: MachineSpec, ds: Dataset) -> Self {
+        let consult = crate::consultant::consult(workload, &spec);
+        TuningSetup {
+            workload,
+            spec,
+            consult,
+            ds,
+            versions: HashMap::new(),
+            next_seed: 1,
+            tuning_cycles: 0,
+            runs_used: 0,
+            invocations_used: 0,
+        }
+    }
+
+    /// Compile (and cache) a version. `instrumented` selects the
+    /// MBR-instrumented TS as the source.
+    pub fn version(&mut self, cfg: OptConfig, instrumented: bool) -> Arc<PreparedVersion> {
+        let key = (cfg.bits(), instrumented);
+        if let Some(v) = self.versions.get(&key) {
+            return v.clone();
+        }
+        let (prog, ts) = if instrumented {
+            let m = self.consult.mbr.as_ref().expect("instrumented version needs MBR model");
+            (&m.instrumented, m.ts)
+        } else {
+            (self.workload.program(), self.workload.ts())
+        };
+        let cv = peak_opt::optimize(prog, ts, &cfg);
+        let pv = Arc::new(PreparedVersion::prepare(cv, &self.spec));
+        self.versions.insert(key, pv.clone());
+        pv
+    }
+
+    /// Start a fresh application run (a new process).
+    pub fn new_run(&mut self) -> RunHarness<'w> {
+        self.runs_used += 1;
+        self.next_seed += 1;
+        RunHarness::new(self.workload, self.ds, &self.spec, self.next_seed)
+    }
+
+    /// Account a finished (or abandoned) run's cycles.
+    pub fn absorb_run(&mut self, h: &RunHarness<'_>) {
+        self.tuning_cycles += h.cycles();
+    }
+}
+
+/// Result of rating a candidate set.
+#[derive(Debug, Clone)]
+pub struct RateOutcome {
+    /// Per-candidate improvement over base (>1 = candidate faster).
+    pub improvements: Vec<f64>,
+    /// Per-candidate rating variance (CV of the underlying estimate).
+    pub vars: Vec<f64>,
+    /// Candidates whose window never converged.
+    pub unconverged: usize,
+    /// The method that produced these numbers.
+    pub method: Method,
+}
+
+/// Hard cap on runs per rating call.
+const MAX_RUNS_PER_RATING: usize = 60;
+/// Window bounds per method.
+const CBR_WINDOW: (usize, usize, f64) = (12, 160, 0.008);
+const AVG_WINDOW: (usize, usize, f64) = (12, 160, 0.008);
+const RBR_WINDOW: (usize, usize, f64) = (8, 48, 0.008);
+const MBR_MIN_ROWS: usize = 32;
+const MBR_MAX_ROWS: usize = 240;
+const MBR_VAR_OK: f64 = 0.15;
+
+/// Rate `candidates` against `base` using `method`. Returns `None` when
+/// the method is structurally inapplicable (no plan).
+pub fn rate(
+    setup: &mut TuningSetup<'_>,
+    method: Method,
+    base: OptConfig,
+    candidates: &[OptConfig],
+) -> Option<RateOutcome> {
+    match method {
+        Method::Cbr => setup.consult.cbr.is_some().then(|| rate_cbr(setup, base, candidates, true)),
+        Method::Avg => Some(rate_cbr(setup, base, candidates, false)),
+        Method::Mbr => setup.consult.mbr.is_some().then(|| rate_mbr(setup, base, candidates)),
+        Method::Rbr => Some(rate_rbr(setup, base, candidates, true)),
+        Method::Whl => Some(rate_whl(setup, base, candidates)),
+    }
+}
+
+/// CBR (and, with `use_context = false`, the AVG baseline): average the
+/// measured times of invocations — grouped by the most important context
+/// for CBR, indiscriminately for AVG.
+fn rate_cbr(
+    setup: &mut TuningSetup<'_>,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    use_context: bool,
+) -> RateOutcome {
+    let (sources, varying, important) = if use_context {
+        let plan = setup.consult.cbr.as_ref().expect("CBR plan");
+        (plan.sources.clone(), plan.varying.clone(), plan.important_context().clone())
+    } else {
+        (Vec::new(), Vec::new(), crate::context::ContextKey(Vec::new()))
+    };
+    let (wmin, wmax, thr) = if use_context { CBR_WINDOW } else { AVG_WINDOW };
+    // Window per version: index 0 = base.
+    let mut all: Vec<OptConfig> = vec![base];
+    all.extend_from_slice(candidates);
+    let mut windows: Vec<Window> = (0..all.len()).map(|_| Window::with(wmin, wmax, thr)).collect();
+    let versions: Vec<Arc<PreparedVersion>> =
+        all.iter().map(|c| setup.version(*c, false)).collect();
+    let opts = ExecOptions::default();
+    'runs: for _ in 0..MAX_RUNS_PER_RATING {
+        let mut h = setup.new_run();
+        while let Some(args) = h.next_args() {
+            setup.invocations_used += 1;
+            let matches = if use_context {
+                let key = h.context_key(&sources, &args);
+                crate::context::reduce_key(&key, &varying) == important
+            } else {
+                true
+            };
+            if !matches {
+                // Off-context invocation: run the base version to keep the
+                // program advancing; its timing is not comparable.
+                let _ = h.execute(&versions[0], &args, &opts);
+                continue;
+            }
+            // Pick the least-sampled unconverged window.
+            let pick = windows
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.converged() && !w.exhausted())
+                .min_by_key(|(_, w)| w.len())
+                .map(|(i, _)| i);
+            let Some(i) = pick else {
+                setup.absorb_run(&h);
+                break 'runs;
+            };
+            let (measured, _) = h.execute_timed(&versions[i], &args, &opts);
+            windows[i].push(measured as f64);
+        }
+        setup.absorb_run(&h);
+        if windows.iter().all(|w| w.converged() || w.exhausted()) {
+            break;
+        }
+    }
+    let base_eval = windows[0].summary().mean.max(1.0);
+    let improvements = windows[1..]
+        .iter()
+        .map(|w| {
+            let s = w.summary();
+            if s.n == 0 {
+                1.0
+            } else {
+                base_eval / s.mean.max(1.0)
+            }
+        })
+        .collect();
+    let vars = windows[1..].iter().map(|w| w.summary().cv()).collect();
+    let unconverged = windows.iter().filter(|w| !w.converged()).count();
+    RateOutcome {
+        improvements,
+        vars,
+        unconverged,
+        method: if use_context { Method::Cbr } else { Method::Avg },
+    }
+}
+
+/// MBR: regression of time on component counts per version (paper §2.3).
+fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfig]) -> RateOutcome {
+    let model = setup.consult.mbr.as_ref().expect("MBR model").clone();
+    let mut all: Vec<OptConfig> = vec![base];
+    all.extend_from_slice(candidates);
+    let versions: Vec<Arc<PreparedVersion>> =
+        all.iter().map(|c| setup.version(*c, true)).collect();
+    let opts = ExecOptions { record_writes: false, num_counters: model.num_counters };
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); all.len()];
+    let mut counts: Vec<Vec<Vec<f64>>> = vec![Vec::new(); all.len()];
+    let mut evals: Vec<Option<(f64, f64)>> = vec![None; all.len()]; // (eval, var)
+    let min_rows = MBR_MIN_ROWS.max(2 * model.num_components());
+    // Version assignment is randomized, not round-robin: a fixed stride
+    // phase-locks with periodic context streams (MGRID's V-cycle), giving
+    // different versions systematically different context mixes and
+    // biasing the fits against each other.
+    let mut pick_rng: u64 = 0x9E3779B97F4A7C15;
+    'runs: for _ in 0..MAX_RUNS_PER_RATING {
+        let mut h = setup.new_run();
+        while let Some(args) = h.next_args() {
+            setup.invocations_used += 1;
+            pick_rng ^= pick_rng << 13;
+            pick_rng ^= pick_rng >> 7;
+            pick_rng ^= pick_rng << 17;
+            let eligible: Vec<usize> = (0..all.len())
+                .filter(|&i| {
+                    evals[i].is_none_or(|(_, var)| var > MBR_VAR_OK)
+                        && times[i].len() < MBR_MAX_ROWS
+                })
+                .collect();
+            let pick = if eligible.is_empty() {
+                None
+            } else {
+                Some(eligible[(pick_rng % eligible.len() as u64) as usize])
+            };
+            let Some(i) = pick else {
+                setup.absorb_run(&h);
+                break 'runs;
+            };
+            let (measured, res) = h.execute_timed(&versions[i], &args, &opts);
+            times[i].push(measured as f64);
+            counts[i].push(model.count_row(&args, &res.counters));
+            if times[i].len() >= min_rows && times[i].len().is_multiple_of(8) {
+                if let Some((t, c)) = trimmed_rows(&times[i], &counts[i]) {
+                    if let Some(reg) = crate::linreg::solve(&t, &c) {
+                        evals[i] = Some((model.eval_of(&reg), reg.var));
+                    }
+                }
+            }
+        }
+        setup.absorb_run(&h);
+        if (0..all.len())
+            .all(|i| evals[i].is_some_and(|(_, v)| v <= MBR_VAR_OK) || times[i].len() >= MBR_MAX_ROWS)
+        {
+            break;
+        }
+    }
+    // Final fits for stragglers.
+    for i in 0..all.len() {
+        if evals[i].is_none() {
+            if let Some((t, c)) = trimmed_rows(&times[i], &counts[i]) {
+                if let Some(reg) = crate::linreg::solve(&t, &c) {
+                    evals[i] = Some((model.eval_of(&reg), reg.var));
+                }
+            }
+        }
+    }
+    let base_eval = evals[0].map(|(e, _)| e).unwrap_or(1.0).max(1e-9);
+    let improvements = evals[1..]
+        .iter()
+        .map(|e| e.map(|(v, _)| base_eval / v.max(1e-9)).unwrap_or(1.0))
+        .collect();
+    let vars = evals[1..].iter().map(|e| e.map(|(_, v)| v).unwrap_or(f64::INFINITY)).collect();
+    let unconverged = evals.iter().filter(|e| e.is_none_or(|(_, v)| v > MBR_VAR_OK)).count();
+    RateOutcome { improvements, vars, unconverged, method: Method::Mbr }
+}
+
+/// Remove time-outlier rows jointly from (times, counts).
+fn trimmed_rows(times: &[f64], counts: &[Vec<f64>]) -> Option<(Vec<f64>, Vec<Vec<f64>>)> {
+    if times.is_empty() {
+        return None;
+    }
+    let kept = crate::stats::trim_outliers(times, crate::stats::OUTLIER_K);
+    let keep: std::collections::HashSet<u64> = kept.iter().map(|t| t.to_bits()).collect();
+    let mut t = Vec::new();
+    let mut c = Vec::new();
+    for (x, row) in times.iter().zip(counts) {
+        if keep.contains(&x.to_bits()) {
+            t.push(*x);
+            c.push(row.clone());
+        }
+    }
+    Some((t, c))
+}
+
+/// RBR with the improved protocol (paper Fig. 4): per invocation, save
+/// the modified input, warm the cache with a precondition pass, then time
+/// base and candidate back-to-back under the identical context, swapping
+/// their order every invocation.
+fn rate_rbr(
+    setup: &mut TuningSetup<'_>,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    improved: bool,
+) -> RateOutcome {
+    let plan = setup.consult.rbr.clone();
+    let base_v = setup.version(base, false);
+    let cand_vs: Vec<Arc<PreparedVersion>> =
+        candidates.iter().map(|c| setup.version(*c, false)).collect();
+    let (wmin, wmax, thr) = RBR_WINDOW;
+    let mut windows: Vec<Window> =
+        (0..candidates.len()).map(|_| Window::with(wmin, wmax, thr)).collect();
+    let mut flip = false;
+    let opts_plain = ExecOptions::default();
+    let opts_record = ExecOptions { record_writes: true, num_counters: 0 };
+    'runs: for _ in 0..MAX_RUNS_PER_RATING {
+        let mut h = setup.new_run();
+        while let Some(args) = h.next_args() {
+            setup.invocations_used += 1;
+            let pick = windows
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.converged() && !w.exhausted())
+                .min_by_key(|(_, w)| w.len())
+                .map(|(i, _)| i);
+            let Some(i) = pick else {
+                setup.absorb_run(&h);
+                break 'runs;
+            };
+            let r = if improved {
+                rbr_improved_sample(&mut h, &plan, &base_v, &cand_vs[i], &args, flip, &opts_plain, &opts_record)
+            } else {
+                rbr_basic_sample(&mut h, &plan, &base_v, &cand_vs[i], &args, &opts_plain)
+            };
+            flip = !flip;
+            windows[i].push(r);
+        }
+        setup.absorb_run(&h);
+        if windows.iter().all(|w| w.converged() || w.exhausted()) {
+            break;
+        }
+    }
+    let improvements = windows
+        .iter()
+        .map(|w| {
+            let s = w.summary();
+            if s.n == 0 {
+                1.0
+            } else {
+                s.mean
+            }
+        })
+        .collect();
+    let vars = windows.iter().map(|w| w.summary().cv()).collect();
+    let unconverged = windows.iter().filter(|w| !w.converged()).count();
+    RateOutcome { improvements, vars, unconverged, method: Method::Rbr }
+}
+
+/// One improved-RBR sample: returns `R = T_base / T_candidate`.
+#[allow(clippy::too_many_arguments)]
+fn rbr_improved_sample(
+    h: &mut RunHarness<'_>,
+    plan: &crate::consultant::RbrPlan,
+    base: &PreparedVersion,
+    cand: &PreparedVersion,
+    args: &[peak_ir::Value],
+    flip: bool,
+    opts_plain: &ExecOptions,
+    opts_record: &ExecOptions,
+) -> f64 {
+    // 1-4: save the modified input, run the precondition pass (warming the
+    // cache), restore.
+    let undo: UndoState = if plan.inspector {
+        // Inspector: the precondition itself records the undo log.
+        let res = h.execute(base, args, opts_record);
+        let cells: Vec<(peak_ir::MemId, i64)> =
+            res.writes.iter().map(|(m, i, _)| (*m, *i)).collect();
+        let vals: Vec<peak_ir::Value> = res.writes.iter().map(|(_, _, v)| *v).collect();
+        // Charge the log maintenance like a save pass.
+        h.restore_cells(&cells, &vals);
+        UndoState::Cells(cells, vals)
+    } else {
+        let snap = h.save_regions(&plan.modified_regions);
+        let _ = h.execute(base, args, opts_plain); // precondition pass
+        h.restore_regions(&snap);
+        UndoState::Regions(snap)
+    };
+    // 5-7: time the two versions under the same context, order alternating.
+    let (first, second) = if flip { (cand, base) } else { (base, cand) };
+    let (t_first, _) = h.execute_timed(first, args, opts_plain);
+    match &undo {
+        UndoState::Cells(cells, vals) => h.restore_cells(cells, vals),
+        UndoState::Regions(snap) => h.restore_regions(snap),
+    }
+    let (t_second, _) = h.execute_timed(second, args, opts_plain);
+    // Leave the second execution's (correct) results in memory.
+    let (t_base, t_cand) = if flip { (t_second, t_first) } else { (t_first, t_second) };
+    t_base as f64 / t_cand.max(1) as f64
+}
+
+/// One basic-RBR sample (paper Fig. 3): save the full input, time base,
+/// restore, time candidate — no precondition pass, no order swap. Biased
+/// by cache warm-up; kept for the ablation benchmark.
+fn rbr_basic_sample(
+    h: &mut RunHarness<'_>,
+    plan: &crate::consultant::RbrPlan,
+    base: &PreparedVersion,
+    cand: &PreparedVersion,
+    args: &[peak_ir::Value],
+    opts: &ExecOptions,
+) -> f64 {
+    // Basic method saves the whole (written) input set.
+    let mut save: Vec<peak_ir::MemId> = plan.modified_regions.clone();
+    for m in &plan.input_regions {
+        if !save.contains(m) {
+            save.push(*m);
+        }
+    }
+    let snap = h.save_regions(&save);
+    let (t_base, _) = h.execute_timed(base, args, opts);
+    h.restore_regions(&snap);
+    let (t_cand, _) = h.execute_timed(cand, args, opts);
+    t_base as f64 / t_cand.max(1) as f64
+}
+
+enum UndoState {
+    Cells(Vec<(peak_ir::MemId, i64)>, Vec<peak_ir::Value>),
+    Regions(Vec<(peak_ir::MemId, peak_ir::Buffer)>),
+}
+
+/// Expose the basic protocol for the ablation benchmark.
+pub fn rate_rbr_basic(
+    setup: &mut TuningSetup<'_>,
+    base: OptConfig,
+    candidates: &[OptConfig],
+) -> RateOutcome {
+    rate_rbr(setup, base, candidates, false)
+}
+
+/// WHL: one full application run per version; EVAL = whole-program time
+/// (the state-of-the-art baseline whose tuning cost Figure 7(c,d)
+/// normalizes against).
+fn rate_whl(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfig]) -> RateOutcome {
+    let mut all: Vec<OptConfig> = vec![base];
+    all.extend_from_slice(candidates);
+    let opts = ExecOptions::default();
+    let mut totals = Vec::with_capacity(all.len());
+    for cfg in &all {
+        let v = setup.version(*cfg, false);
+        let mut h = setup.new_run();
+        while let Some(args) = h.next_args() {
+            setup.invocations_used += 1;
+            let _ = h.execute(&v, &args, &opts);
+        }
+        let total = h.machine.timer.measure(h.cycles());
+        setup.absorb_run(&h);
+        totals.push(total as f64);
+    }
+    let base_total = totals[0].max(1.0);
+    let improvements = totals[1..].iter().map(|t| base_total / t.max(1.0)).collect();
+    let vars = vec![0.0; candidates.len()];
+    RateOutcome { improvements, vars, unconverged: 0, method: Method::Whl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_sim::MachineSpec;
+    use peak_workloads::{bzip2::Bzip2FullGtU, equake::EquakeSmvp, swim::SwimCalc3};
+
+    /// Self-comparison sanity: rating the base against itself must give
+    /// improvement ≈ 1 for every method that applies.
+    #[test]
+    fn self_rating_is_one_swim() {
+        let w = SwimCalc3::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        let base = OptConfig::o3();
+        for method in [Method::Cbr, Method::Avg, Method::Rbr] {
+            let out = rate(&mut setup, method, base, &[base]).expect("applicable");
+            assert!(
+                (out.improvements[0] - 1.0).abs() < 0.03,
+                "{}: {:?}",
+                method.name(),
+                out.improvements
+            );
+        }
+    }
+
+    #[test]
+    fn self_rating_is_one_rbr_bzip2() {
+        let w = Bzip2FullGtU::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::pentium_iv(), Dataset::Train);
+        let base = OptConfig::o3();
+        let out = rate(&mut setup, Method::Rbr, base, &[base]).unwrap();
+        assert!(
+            (out.improvements[0] - 1.0).abs() < 0.05,
+            "{:?} vars={:?}",
+            out.improvements,
+            out.vars
+        );
+    }
+
+    #[test]
+    fn o0_rated_slower_than_o3() {
+        let w = SwimCalc3::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        let out = rate(&mut setup, Method::Cbr, OptConfig::o3(), &[OptConfig::o0()]).unwrap();
+        assert!(
+            out.improvements[0] < 0.9,
+            "-O0 must rate clearly slower: {:?}",
+            out.improvements
+        );
+    }
+
+    #[test]
+    fn whl_expensive_but_consistent() {
+        let w = EquakeSmvp::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        let runs_before = setup.runs_used;
+        let out = rate(&mut setup, Method::Whl, OptConfig::o3(), &[OptConfig::o0()]).unwrap();
+        assert_eq!(setup.runs_used - runs_before, 2, "one full run per version");
+        assert!(out.improvements[0] < 1.0, "{:?}", out.improvements);
+    }
+
+    #[test]
+    fn section_methods_use_fewer_cycles_than_whl() {
+        let w = EquakeSmvp::new();
+        let base = OptConfig::o3();
+        let cand = [base.without(peak_opt::Flag::LoopUnroll)];
+        let mut s1 = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        rate(&mut s1, Method::Cbr, base, &cand).unwrap();
+        let cbr_cycles = s1.tuning_cycles;
+        let mut s2 = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        rate(&mut s2, Method::Whl, base, &cand).unwrap();
+        let whl_cycles = s2.tuning_cycles;
+        assert!(
+            cbr_cycles < whl_cycles,
+            "CBR {cbr_cycles} should beat WHL {whl_cycles}"
+        );
+    }
+}

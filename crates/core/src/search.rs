@@ -1,0 +1,247 @@
+//! Search over the 2^38 optimization-flag space.
+//!
+//! Primary algorithm: **Iterative Elimination** (paper §5.2, citing the
+//! authors' TR \[11\]): start from -O3, rate each enabled flag's removal
+//! against the current base, remove the most harmful flag, repeat until
+//! no removal helps. O(n²) ratings instead of 2^n. Exhaustive search
+//! (small subspaces) and biased random search (Cooper-style) are provided
+//! for the ablation benchmarks.
+
+use crate::consultant::Method;
+use crate::rating::{rate, RateOutcome, TuningSetup};
+use peak_opt::{Flag, OptConfig};
+use serde::Serialize;
+
+/// Search outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchResult {
+    /// Best configuration found.
+    #[serde(skip)]
+    pub best: OptConfig,
+    /// Flags disabled relative to -O3 (report-friendly).
+    pub disabled_flags: Vec<String>,
+    /// Rating method that produced the final decision.
+    pub method: Method,
+    /// Method switches that occurred (§3's fallback).
+    pub switches: u32,
+    /// Total candidate ratings performed.
+    pub ratings: usize,
+    /// Tuning cycles consumed (true cycles of all tuning runs).
+    pub tuning_cycles: u64,
+    /// Application runs used.
+    pub runs: usize,
+    /// TS invocations consumed.
+    pub invocations: u64,
+}
+
+/// Minimum relative improvement for a flag removal to count (noise guard).
+const MIN_GAIN: f64 = 1.012;
+/// Round cap for Iterative Elimination: each round removes one flag, and
+/// gains below [`MIN_GAIN`] stop the search anyway; the cap bounds tuning
+/// cost when measurement noise keeps producing marginal "wins".
+const MAX_IE_ROUNDS: usize = 10;
+/// Fraction of candidates allowed to stay unconverged before the tuner
+/// switches rating methods.
+const SWITCH_FRACTION: f64 = 0.34;
+
+/// Rate with automatic method switching down the consultant's order
+/// (paper §3: "If the system cannot achieve enough accuracy … it switches
+/// to the next applicable rating method").
+pub fn rate_with_fallback(
+    setup: &mut TuningSetup<'_>,
+    preferred: Method,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    switches: &mut u32,
+) -> (RateOutcome, Method) {
+    // Try the preferred method first even when the consultant left it out
+    // of the order (a *forced* method, e.g. Figure 7's MGRID_CBR cell),
+    // then continue down the order from that point. A forced method that
+    // cannot converge falls through exactly like an in-order one — and its
+    // wasted cycles stay on the bill, which is what the figure shows.
+    let order = setup.consult.order.clone();
+    let mut try_list = vec![preferred];
+    let start = order.iter().position(|&m| m == preferred).map_or(0, |i| i + 1);
+    for &m in &order[start.min(order.len())..] {
+        if !try_list.contains(&m) {
+            try_list.push(m);
+        }
+    }
+    let mut last: Option<RateOutcome> = None;
+    for &m in &try_list {
+        if let Some(out) = rate(setup, m, base, candidates) {
+            let frac_bad = out.unconverged as f64 / (candidates.len().max(1) as f64);
+            if frac_bad <= SWITCH_FRACTION {
+                return (out, m);
+            }
+            last = Some(out);
+            *switches += 1;
+        }
+    }
+    // Everything struggled: use the last (most applicable) method anyway.
+    let m = *order.last().expect("RBR always applicable");
+    match last {
+        Some(out) => (out, m),
+        None => {
+            let out = rate(setup, m, base, candidates).expect("RBR always rates");
+            (out, m)
+        }
+    }
+}
+
+/// Iterative Elimination with the given (initial) rating method.
+pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> SearchResult {
+    let mut base = OptConfig::o3();
+    let mut ratings = 0usize;
+    let mut switches = 0u32;
+    let mut last_method = method;
+    for _round in 0..MAX_IE_ROUNDS {
+        let flags: Vec<Flag> = base.enabled_flags();
+        if flags.is_empty() {
+            break;
+        }
+        let candidates: Vec<OptConfig> = flags.iter().map(|&f| base.without(f)).collect();
+        let (out, used) = if matches!(method, Method::Whl | Method::Avg) {
+            // Baselines rate directly without the consultant fallback.
+            (
+                rate(setup, method, base, &candidates).expect("baseline method rates"),
+                method,
+            )
+        } else {
+            rate_with_fallback(setup, method, base, &candidates, &mut switches)
+        };
+        last_method = used;
+        ratings += candidates.len();
+        // Remove the flag whose removal helps most.
+        let bestidx = (0..candidates.len())
+            .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+        match bestidx {
+            Some(i) if out.improvements[i] >= MIN_GAIN => {
+                base = candidates[i];
+            }
+            _ => break,
+        }
+    }
+    SearchResult {
+        best: base,
+        disabled_flags: base.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
+        method: last_method,
+        switches,
+        ratings,
+        tuning_cycles: setup.tuning_cycles,
+        runs: setup.runs_used,
+        invocations: setup.invocations_used,
+    }
+}
+
+/// Exhaustive search over a small flag subset (all other flags stay on).
+/// 2^k ratings — only for ablation studies on ≤ 12 flags.
+pub fn exhaustive(setup: &mut TuningSetup<'_>, method: Method, flags: &[Flag]) -> SearchResult {
+    assert!(flags.len() <= 12, "exhaustive search is 2^k");
+    let base = OptConfig::o3();
+    let mut candidates = Vec::new();
+    for mask in 1u64..(1 << flags.len()) {
+        let mut cfg = base;
+        for (i, &f) in flags.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                cfg = cfg.without(f);
+            }
+        }
+        candidates.push(cfg);
+    }
+    let mut switches = 0;
+    let (out, used) = rate_with_fallback(setup, method, base, &candidates, &mut switches);
+    let besti = (0..candidates.len())
+        .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+    let best = match besti {
+        Some(i) if out.improvements[i] >= MIN_GAIN => candidates[i],
+        _ => base,
+    };
+    SearchResult {
+        best,
+        disabled_flags: best.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
+        method: used,
+        switches,
+        ratings: candidates.len(),
+        tuning_cycles: setup.tuning_cycles,
+        runs: setup.runs_used,
+        invocations: setup.invocations_used,
+    }
+}
+
+/// Biased random search (Cooper-style): sample configurations with each
+/// flag independently off with probability `p_off`, keep the best.
+pub fn random_search(
+    setup: &mut TuningSetup<'_>,
+    method: Method,
+    samples: usize,
+    p_off: f64,
+    seed: u64,
+) -> SearchResult {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let base = OptConfig::o3();
+    let candidates: Vec<OptConfig> = (0..samples)
+        .map(|_| {
+            let mut cfg = base;
+            for f in peak_opt::ALL_FLAGS {
+                if rng.gen_bool(p_off) {
+                    cfg = cfg.without(f);
+                }
+            }
+            cfg
+        })
+        .collect();
+    let mut switches = 0;
+    let (out, used) = rate_with_fallback(setup, method, base, &candidates, &mut switches);
+    let besti = (0..candidates.len())
+        .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+    let best = match besti {
+        Some(i) if out.improvements[i] >= MIN_GAIN => candidates[i],
+        _ => base,
+    };
+    SearchResult {
+        best,
+        disabled_flags: best.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
+        method: used,
+        switches,
+        ratings: candidates.len(),
+        tuning_cycles: setup.tuning_cycles,
+        runs: setup.runs_used,
+        invocations: setup.invocations_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_sim::MachineSpec;
+    use peak_workloads::{art::ArtMatch, Dataset};
+
+    #[test]
+    fn ie_on_art_p4_disables_strict_aliasing() {
+        // The paper's marquee result: on Pentium IV, tuning ART discovers
+        // that turning off strict aliasing is a large win.
+        let w = ArtMatch::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::pentium_iv(), Dataset::Train);
+        let result = iterative_elimination(&mut setup, Method::Rbr);
+        assert!(
+            result.disabled_flags.iter().any(|f| f == "strict-aliasing"),
+            "IE must turn off strict aliasing on P4: {:?}",
+            result.disabled_flags
+        );
+        assert!(result.ratings >= 38, "at least one IE round");
+    }
+
+    #[test]
+    fn ie_on_art_sparc_keeps_strict_aliasing() {
+        let w = ArtMatch::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        let result = iterative_elimination(&mut setup, Method::Rbr);
+        assert!(
+            !result.disabled_flags.iter().any(|f| f == "strict-aliasing"),
+            "SPARC II tolerates the pressure: {:?}",
+            result.disabled_flags
+        );
+    }
+}

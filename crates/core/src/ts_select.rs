@@ -1,0 +1,114 @@
+//! Tuning-section selection (paper §4.1): "we choose as TS's the most
+//! time-consuming functions and loops, according to the program execution
+//! profiles".
+//!
+//! Our workloads pre-extract their TS, but the selector is implemented
+//! generally: profile a program's functions over a set of entry calls and
+//! rank by inclusive simulated time.
+
+use peak_ir::{FuncId, Interp, MemoryImage, Program, Value};
+
+/// Profile result for one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncProfile {
+    /// Function id.
+    pub func: FuncId,
+    /// Function name.
+    pub name: String,
+    /// Inclusive statement count attributed to calls of this function.
+    pub steps: u64,
+    /// Times the function was invoked as an entry.
+    pub calls: u64,
+}
+
+/// Profile `entries` (a stream of top-level calls) and rank functions by
+/// inclusive cost. Statement counts from the reference interpreter stand
+/// in for profile timer ticks — the ranking is what matters.
+pub fn profile_and_rank(
+    prog: &Program,
+    entries: &[(FuncId, Vec<Value>)],
+    mem: &mut MemoryImage,
+) -> Vec<FuncProfile> {
+    let interp = Interp::default();
+    let mut acc: Vec<FuncProfile> = prog
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FuncProfile {
+            func: FuncId(i as u32),
+            name: f.name.clone(),
+            steps: 0,
+            calls: 0,
+        })
+        .collect();
+    for (func, args) in entries {
+        if let Ok(out) = interp.run(prog, *func, args, mem) {
+            acc[func.index()].steps += out.steps;
+            acc[func.index()].calls += 1;
+        }
+    }
+    acc.retain(|p| p.calls > 0);
+    acc.sort_by_key(|p| std::cmp::Reverse(p.steps));
+    acc
+}
+
+/// Select the hottest function as the tuning section.
+pub fn select_ts(profiles: &[FuncProfile]) -> Option<FuncId> {
+    profiles.first().map(|p| p.func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Type};
+
+    #[test]
+    fn hottest_function_selected() {
+        let mut prog = Program::new();
+        // cheap(x) = x+1
+        let mut cb = FunctionBuilder::new("cheap", Some(Type::I64));
+        let x = cb.param("x", Type::I64);
+        let r = cb.binary(BinOp::Add, x, 1i64);
+        cb.ret(Some(r.into()));
+        let cheap = prog.add_func(cb.finish());
+        // hot(n) = sum 0..n
+        let mut hb = FunctionBuilder::new("hot", Some(Type::I64));
+        let n = hb.param("n", Type::I64);
+        let i = hb.var("i", Type::I64);
+        let acc = hb.var("acc", Type::I64);
+        hb.copy(acc, 0i64);
+        hb.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        hb.ret(Some(acc.into()));
+        let hot = prog.add_func(hb.finish());
+        let mut mem = MemoryImage::new(&prog);
+        let entries: Vec<(FuncId, Vec<Value>)> = (0..10)
+            .flat_map(|_| {
+                vec![
+                    (cheap, vec![Value::I64(1)]),
+                    (hot, vec![Value::I64(500)]),
+                ]
+            })
+            .collect();
+        let ranked = profile_and_rank(&prog, &entries, &mut mem);
+        assert_eq!(select_ts(&ranked), Some(hot));
+        assert_eq!(ranked[0].name, "hot");
+        assert!(ranked[0].steps > ranked[1].steps * 10);
+    }
+
+    #[test]
+    fn uncalled_functions_excluded() {
+        let mut prog = Program::new();
+        let mut fb = FunctionBuilder::new("used", None);
+        fb.ret(None);
+        let used = prog.add_func(fb.finish());
+        let mut gb = FunctionBuilder::new("unused", None);
+        gb.ret(None);
+        let _unused = prog.add_func(gb.finish());
+        let mut mem = MemoryImage::new(&prog);
+        let ranked = profile_and_rank(&prog, &[(used, vec![])], &mut mem);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].name, "used");
+    }
+}

@@ -1,0 +1,144 @@
+//! Top-level offline tuning (the PEAK flow of paper Fig. 5) and the
+//! production measurements behind Figure 7.
+//!
+//! `tune` runs Iterative Elimination with a chosen rating method on the
+//! tuning dataset; `production_time` measures the tuned binary on the
+//! (different) production dataset — the train-bar/ref-bar distinction of
+//! Figure 7.
+
+use crate::consultant::Method;
+use crate::rating::TuningSetup;
+use crate::search::{iterative_elimination, SearchResult};
+use peak_opt::OptConfig;
+use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
+use peak_workloads::{Dataset, Workload};
+use serde::Serialize;
+
+/// One tuned result plus its production-side evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TuneReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Tuning section.
+    pub ts: String,
+    /// Machine name.
+    pub machine: String,
+    /// Rating method requested.
+    pub method: Method,
+    /// Dataset used for tuning.
+    pub tuned_on: String,
+    /// The search result.
+    pub search: SearchResult,
+    /// Whole-program cycles of the -O3 baseline on the ref input.
+    pub baseline_cycles: u64,
+    /// Whole-program cycles of the tuned version on the ref input.
+    pub tuned_cycles: u64,
+    /// Performance improvement over -O3, percent (Figure 7a/b bars).
+    pub improvement_pct: f64,
+}
+
+/// Measure a full production run (no instrumentation, no tuning
+/// overheads): total true cycles of one application run.
+pub fn production_time(
+    workload: &dyn Workload,
+    spec: &MachineSpec,
+    cfg: OptConfig,
+    ds: Dataset,
+) -> u64 {
+    let cv = peak_opt::optimize(workload.program(), workload.ts(), &cfg);
+    let pv = PreparedVersion::prepare(cv, spec);
+    let mut h = crate::harness::RunHarness::new(workload, ds, spec, 0);
+    let opts = ExecOptions::default();
+    while let Some(args) = h.next_args() {
+        let _ = h.execute(&pv, &args, &opts);
+    }
+    h.cycles()
+}
+
+/// Tune a workload with `method` on `tuned_on`, then evaluate on the ref
+/// input. This is one bar of Figure 7(a)/(b) plus the tuning-time number
+/// for 7(c)/(d).
+pub fn tune(
+    workload: &dyn Workload,
+    spec: &MachineSpec,
+    method: Method,
+    tuned_on: Dataset,
+) -> TuneReport {
+    let mut setup = TuningSetup::new(workload, spec.clone(), tuned_on);
+    let search = iterative_elimination(&mut setup, method);
+    let baseline_cycles = production_time(workload, spec, OptConfig::o3(), Dataset::Ref);
+    let tuned_cycles = production_time(workload, spec, search.best, Dataset::Ref);
+    let improvement_pct =
+        (baseline_cycles as f64 / tuned_cycles.max(1) as f64 - 1.0) * 100.0;
+    TuneReport {
+        benchmark: workload.name().to_string(),
+        ts: workload.ts_name().to_string(),
+        machine: spec.kind.name().to_string(),
+        method,
+        tuned_on: match tuned_on {
+            Dataset::Train => "train".into(),
+            Dataset::Ref => "ref".into(),
+        },
+        search,
+        baseline_cycles,
+        tuned_cycles,
+        improvement_pct,
+    }
+}
+
+/// The methods evaluated for one benchmark in Figure 7: every applicable
+/// rating method plus the AVG and WHL baselines.
+pub fn figure7_methods(workload: &dyn Workload, spec: &MachineSpec) -> Vec<Method> {
+    let consult = crate::consultant::consult(workload, spec);
+    let mut ms = consult.order.clone();
+    ms.push(Method::Avg);
+    ms.push(Method::Whl);
+    ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_workloads::swim::SwimCalc3;
+
+    #[test]
+    fn production_time_scales_with_dataset() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let train = production_time(&w, &spec, OptConfig::o3(), Dataset::Train);
+        let reft = production_time(&w, &spec, OptConfig::o3(), Dataset::Ref);
+        assert!(reft > train, "ref {reft} > train {train}");
+    }
+
+    #[test]
+    fn o3_production_beats_o0() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let o3 = production_time(&w, &spec, OptConfig::o3(), Dataset::Train);
+        let o0 = production_time(&w, &spec, OptConfig::o0(), Dataset::Train);
+        assert!(o3 < o0);
+    }
+
+    #[test]
+    fn tuned_swim_not_slower_than_o3() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let report = tune(&w, &spec, Method::Cbr, Dataset::Train);
+        assert!(
+            report.improvement_pct > -2.0,
+            "tuning must not noticeably hurt: {:+.1}% (flags off: {:?})",
+            report.improvement_pct,
+            report.search.disabled_flags
+        );
+    }
+
+    #[test]
+    fn figure7_method_lists() {
+        let w = SwimCalc3::new();
+        let ms = figure7_methods(&w, &MachineSpec::sparc_ii());
+        assert_eq!(ms.first(), Some(&Method::Cbr));
+        assert!(ms.contains(&Method::Avg));
+        assert!(ms.contains(&Method::Whl));
+        assert_eq!(ms.last(), Some(&Method::Whl));
+    }
+}

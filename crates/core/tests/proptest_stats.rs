@@ -1,0 +1,85 @@
+//! Property tests on the rating statistics and the MBR regression solver.
+
+use peak_core::linreg;
+use peak_core::stats::{robust_summary, summarize, trim_outliers, OUTLIER_K};
+use proptest::prelude::*;
+
+proptest! {
+    /// Outlier trimming never removes the majority of the data and always
+    /// returns a subset.
+    #[test]
+    fn trimming_is_a_conservative_subset(xs in prop::collection::vec(50.0f64..150.0, 8..100)) {
+        let kept = trim_outliers(&xs, OUTLIER_K);
+        prop_assert!(kept.len() * 2 >= xs.len(), "majority survives");
+        for k in &kept {
+            prop_assert!(xs.contains(k));
+        }
+    }
+
+    /// Adding a huge spike to clean data does not move the robust mean by
+    /// more than the clean spread.
+    #[test]
+    fn robust_mean_resists_spikes(
+        xs in prop::collection::vec(990.0f64..1010.0, 10..60),
+        spike in 1.0e5f64..1.0e7,
+    ) {
+        let clean = summarize(&xs);
+        let mut polluted = xs.clone();
+        polluted.push(spike);
+        let robust = robust_summary(&polluted);
+        prop_assert!((robust.mean - clean.mean).abs() < 25.0,
+            "robust {} vs clean {}", robust.mean, clean.mean);
+    }
+
+    /// Mean/variance match a direct computation.
+    #[test]
+    fn summary_matches_reference(xs in prop::collection::vec(-1.0e6f64..1.0e6, 2..50)) {
+        let s = summarize(&xs);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((s.mean - mean).abs() <= mean.abs() * 1e-12 + 1e-9);
+        prop_assert!((s.variance - var).abs() <= var.abs() * 1e-9 + 1e-6);
+    }
+
+    /// The regression solver recovers exact linear models, with any
+    /// number of components up to 4 and arbitrary positive counts.
+    #[test]
+    fn linreg_recovers_exact_models(
+        t_true in prop::collection::vec(0.5f64..500.0, 1..5),
+        rows in 6usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let k = t_true.len();
+        // Random counts with an intercept-ish last column.
+        let counts: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..k).map(|i| if i == k - 1 { 1.0 } else { rng.gen_range(1.0..100.0) }).collect())
+            .collect();
+        let times: Vec<f64> = counts
+            .iter()
+            .map(|c| c.iter().zip(&t_true).map(|(x, t)| x * t).sum())
+            .collect();
+        if let Some(reg) = linreg::solve(&times, &counts) {
+            prop_assert!(reg.var < 1e-9, "exact data fits exactly: {}", reg.var);
+            for (est, truth) in reg.t.iter().zip(&t_true) {
+                prop_assert!((est - truth).abs() < 1e-5 * truth.max(1.0),
+                    "{est} vs {truth}");
+            }
+        }
+        // (Singular count matrices may return None — that is correct.)
+    }
+
+    /// Regression residual VAR is scale-invariant in time units.
+    #[test]
+    fn linreg_var_scale_invariant(scale in 1.0f64..1000.0) {
+        let counts: Vec<Vec<f64>> = (1..=20).map(|i| vec![i as f64, 1.0]).collect();
+        let times: Vec<f64> = (1..=20)
+            .map(|i| 10.0 * i as f64 + 3.0 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let r1 = linreg::solve(&times, &counts).unwrap();
+        let scaled: Vec<f64> = times.iter().map(|t| t * scale).collect();
+        let r2 = linreg::solve(&scaled, &counts).unwrap();
+        prop_assert!((r1.var - r2.var).abs() < 1e-9);
+    }
+}

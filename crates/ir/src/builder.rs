@@ -1,0 +1,336 @@
+//! Ergonomic construction of IR functions.
+//!
+//! [`FunctionBuilder`] keeps a *current block* cursor and offers structured
+//! control-flow helpers (`for_loop`, `while_loop`, `if_then`, `if_then_else`)
+//! so workload kernels read like the Fortran/C loops they model.
+
+use crate::func::Function;
+use crate::stmt::{MemRef, Rvalue, Stmt, Terminator};
+use crate::types::{BinOp, BlockId, FuncId, MemId, Operand, Type, UnOp, VarId};
+
+/// Builder over a [`Function`] under construction.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start a new function. The entry block is current.
+    pub fn new(name: impl Into<String>, ret: Option<Type>) -> Self {
+        let func = Function::new(name, ret);
+        let cur = func.entry;
+        FunctionBuilder { func, cur }
+    }
+
+    /// Declare a parameter (must precede non-parameter variables).
+    pub fn param(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        assert_eq!(
+            self.func.params.len(),
+            self.func.vars.len(),
+            "declare all params before other variables"
+        );
+        let v = self.func.add_var(name, ty);
+        self.func.params.push(v);
+        v
+    }
+
+    /// Declare a local variable.
+    pub fn var(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        self.func.add_var(name, ty)
+    }
+
+    /// Fresh temporary.
+    pub fn temp(&mut self, ty: Type) -> VarId {
+        self.func.add_temp(ty)
+    }
+
+    /// The block currently receiving statements.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Redirect emission to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Create a new (unreachable until linked) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Append a raw statement to the current block.
+    pub fn emit(&mut self, s: Stmt) {
+        self.func.block_mut(self.cur).stmts.push(s);
+    }
+
+    /// `dst = rv`.
+    pub fn assign(&mut self, dst: VarId, rv: Rvalue) {
+        self.emit(Stmt::Assign { dst, rv });
+    }
+
+    /// `dst = op`.
+    pub fn copy(&mut self, dst: VarId, op: impl Into<Operand>) {
+        self.assign(dst, Rvalue::Use(op.into()));
+    }
+
+    /// Fresh temp = `a <op> b`; returns the temp.
+    pub fn binary(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VarId {
+        let a = a.into();
+        let b = b.into();
+        let ty = if op.is_comparison() {
+            Type::I64
+        } else if op == BinOp::PtrAdd {
+            Type::Ptr
+        } else if op == BinOp::PtrDiff {
+            Type::I64
+        } else if op.is_float() {
+            Type::F64
+        } else {
+            Type::I64
+        };
+        let t = self.temp(ty);
+        self.assign(t, Rvalue::Binary(op, a, b));
+        t
+    }
+
+    /// `dst = a <op> b` into an existing variable.
+    pub fn binary_into(
+        &mut self,
+        dst: VarId,
+        op: BinOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.assign(dst, Rvalue::Binary(op, a.into(), b.into()));
+    }
+
+    /// Fresh temp = `op a`.
+    pub fn unary(&mut self, op: UnOp, a: impl Into<Operand>) -> VarId {
+        let ty = match op {
+            UnOp::IntToF | UnOp::FNeg | UnOp::FAbs | UnOp::FSqrt => Type::F64,
+            UnOp::FToInt | UnOp::Neg | UnOp::Not => Type::I64,
+        };
+        let t = self.temp(ty);
+        self.assign(t, Rvalue::Unary(op, a.into()));
+        t
+    }
+
+    /// Fresh temp = `load mem[idx]` with the region's element type.
+    pub fn load(&mut self, elem_ty: Type, mr: MemRef) -> VarId {
+        let t = self.temp(elem_ty);
+        self.assign(t, Rvalue::Load(mr));
+        t
+    }
+
+    /// `load mem[idx]` into an existing variable.
+    pub fn load_into(&mut self, dst: VarId, mr: MemRef) {
+        self.assign(dst, Rvalue::Load(mr));
+    }
+
+    /// `store mem[idx] = src`.
+    pub fn store(&mut self, mr: MemRef, src: impl Into<Operand>) {
+        self.emit(Stmt::Store { dst: mr, src: src.into() });
+    }
+
+    /// Fresh pointer temp = `&mem[idx]`.
+    pub fn addr_of(&mut self, mem: MemId, idx: impl Into<Operand>) -> VarId {
+        let t = self.temp(Type::Ptr);
+        self.assign(t, Rvalue::AddrOf(mem, idx.into()));
+        t
+    }
+
+    /// Fresh temp = `call f(args)` with result type `ty`.
+    pub fn call(&mut self, ty: Type, func: FuncId, args: Vec<Operand>) -> VarId {
+        let t = self.temp(ty);
+        self.assign(t, Rvalue::Call { func, args });
+        t
+    }
+
+    /// Void call.
+    pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
+        self.emit(Stmt::CallVoid { func, args });
+    }
+
+    /// Terminate the current block with an unconditional jump and move to
+    /// the target.
+    pub fn jump(&mut self, target: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Jump(target);
+        self.cur = target;
+    }
+
+    /// Terminate with a conditional branch (does not move the cursor).
+    pub fn branch(&mut self, cond: impl Into<Operand>, on_true: BlockId, on_false: BlockId) {
+        self.func.block_mut(self.cur).term =
+            Terminator::Branch { cond: cond.into(), on_true, on_false };
+    }
+
+    /// Terminate with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.func.block_mut(self.cur).term = Terminator::Return(val);
+    }
+
+    /// Structured counted loop: `for iv = start; iv < end; iv += step`.
+    ///
+    /// `iv` must be a previously declared `I64` variable. The body closure
+    /// emits into the loop body; afterwards the cursor sits in the exit
+    /// block. The generated shape (preheader → header(test) → body… → latch
+    /// → header; header → exit) is what [`crate::trip_count`] recognizes as
+    /// a counted loop.
+    pub fn for_loop(
+        &mut self,
+        iv: VarId,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        step: i64,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let end = end.into();
+        self.copy(iv, start);
+        let header = self.new_block();
+        let body_bb = self.new_block();
+        let latch = self.new_block();
+        let exit = self.new_block();
+        self.jump(header);
+        let cond = self.binary(BinOp::Lt, iv, end);
+        self.branch(cond, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self);
+        self.jump(latch);
+        // Cursor may have moved inside `body`; `jump(latch)` linked the last
+        // body block to the latch and left the cursor there.
+        self.binary_into(iv, BinOp::Add, iv, step);
+        self.jump(header);
+        self.switch_to(exit);
+    }
+
+    /// Structured while loop. `cond` emits the condition computation into
+    /// the header and returns the condition operand; `body` emits the body.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let header = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jump(header);
+        let c = cond(self);
+        self.branch(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self);
+        self.jump(header);
+        self.switch_to(exit);
+    }
+
+    /// Structured `if (cond) { then }`.
+    pub fn if_then(&mut self, cond: impl Into<Operand>, then_b: impl FnOnce(&mut Self)) {
+        let t = self.new_block();
+        let join = self.new_block();
+        self.branch(cond, t, join);
+        self.switch_to(t);
+        then_b(self);
+        self.jump(join);
+        self.switch_to(join);
+    }
+
+    /// Structured `if (cond) { then } else { else }`.
+    pub fn if_then_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_b: impl FnOnce(&mut Self),
+        else_b: impl FnOnce(&mut Self),
+    ) {
+        let t = self.new_block();
+        let e = self.new_block();
+        let join = self.new_block();
+        self.branch(cond, t, e);
+        self.switch_to(t);
+        then_b(self);
+        self.jump(join);
+        self.switch_to(e);
+        else_b(self);
+        self.jump(join);
+        self.switch_to(join);
+    }
+
+    /// `break`-like early exit helper: branch to `target` if `cond`,
+    /// otherwise continue in a fresh fallthrough block.
+    pub fn branch_out_if(&mut self, cond: impl Into<Operand>, target: BlockId) {
+        let cont = self.new_block();
+        self.branch(cond, target, cont);
+        self.switch_to(cont);
+    }
+
+    /// Finish, returning the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Peek at the function mid-construction (tests).
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    #[test]
+    fn param_ordering_enforced() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param("n", Type::I64);
+        assert_eq!(p, VarId(0));
+        let _local = b.var("x", Type::I64);
+        // Declaring a param after a local would panic; checked separately.
+    }
+
+    #[test]
+    #[should_panic(expected = "declare all params")]
+    fn late_param_panics() {
+        let mut b = FunctionBuilder::new("f", None);
+        let _local = b.var("x", Type::I64);
+        let _p = b.param("n", Type::I64);
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        b.ret(Some(Operand::Var(acc)));
+        let f = b.finish();
+        // entry + header + body + latch + exit = 5 blocks.
+        assert_eq!(f.num_blocks(), 5);
+        // Exit block holds the return.
+        let exit = &f.blocks[4];
+        assert_eq!(exit.term, Terminator::Return(Some(Operand::Var(acc))));
+        // Header has the comparison and a branch.
+        let header = &f.blocks[1];
+        assert!(matches!(header.term, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn if_then_else_joins() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        let c = b.binary(BinOp::Gt, x, 0i64);
+        b.if_then_else(
+            c,
+            |b| b.copy(r, 1i64),
+            |b| b.copy(r, Operand::Const(Value::I64(-1))),
+        );
+        b.ret(Some(Operand::Var(r)));
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 4); // entry, then, else, join
+    }
+}

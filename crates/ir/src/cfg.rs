@@ -1,0 +1,212 @@
+//! Control-flow graph utilities: predecessor/successor maps, reverse
+//! postorder, reachability, and dominators.
+
+use crate::func::Function;
+use crate::types::BlockId;
+
+/// Predecessor/successor maps plus traversal orders for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// absent).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] = position of b in rpo`, or `usize::MAX` if
+    /// unreachable.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG for `f`.
+    pub fn build(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        // Iterative DFS postorder.
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+        state[f.entry.index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let nxt = succs[b.index()][*i];
+                *i += 1;
+                if state[nxt.index()] == 0 {
+                    state[nxt.index()] = 1;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { succs, preds, rpo, rpo_index }
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+/// Immediate-dominator tree, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm over reverse postorder.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; `idom[entry] = entry`;
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators for `f` given its CFG.
+    pub fn build(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.num_blocks();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.index()] = Some(f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{BinOp, Operand, Type};
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        let c = b.binary(BinOp::Gt, x, 0i64);
+        b.if_then_else(c, |b| b.copy(r, 1i64), |b| b.copy(r, 2i64));
+        b.ret(Some(Operand::Var(r)));
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        // entry(0) -> then(1), else(2); both -> join(3)
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::build(&f, &cfg);
+        assert_eq!(dom.idom[1], Some(BlockId(0)));
+        assert_eq!(dom.idom[2], Some(BlockId(0)));
+        assert_eq!(dom.idom[3], Some(BlockId(0)), "join dominated by entry, not branches");
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_cfg_rpo_places_header_before_body() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        // header (1) precedes body (2) and latch (3) in RPO.
+        let hi = cfg.rpo_index[1];
+        let bi = cfg.rpo_index[2];
+        let li = cfg.rpo_index[3];
+        assert!(hi < bi && bi < li);
+        // Back edge latch -> header present.
+        assert!(cfg.succs[3].contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut f = Function::new("f", None);
+        let dead = f.add_block();
+        let cfg = Cfg::build(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dense bitsets and small shared pieces of the dataflow analyses.
+
+/// A fixed-universe dense bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`; returns true if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    /// Remove `i`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old & (1 << b) != 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Copy contents from `other`.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to fit the max element; mostly a test convenience.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is a no-op");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_change_detection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.insert(3);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "idempotent union reports no change");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 99]);
+    }
+
+    #[test]
+    fn subtract_and_intersect() {
+        let mut a: BitSet = [1, 2, 3, 64, 65].into_iter().collect();
+        let b: BitSet = [2, 64, 65, 65].into_iter().collect();
+        let mut c = a.clone();
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+        c.intersect_with(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 64, 65]);
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let s: BitSet = [77, 3, 5, 120].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 5, 77, 120]);
+    }
+}

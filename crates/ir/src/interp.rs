@@ -1,0 +1,446 @@
+//! Reference interpreter.
+//!
+//! Executes IR directly, with no performance model. It defines the
+//! *semantics* that every optimizer pass must preserve: the property tests
+//! in `peak-opt` check `interp(original) == interp(optimized)` over random
+//! inputs. It also counts basic-block entries, the ground truth for
+//! model-based rating's component counts.
+
+use crate::program::{MemoryImage, Program};
+use crate::stmt::{MemBase, MemRef, Rvalue, Stmt, Terminator};
+use crate::types::{BinOp, FuncId, Operand, PtrVal, UnOp, Value};
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Per-call step budget exhausted (guards optimizer bugs that break
+    /// loop exits).
+    StepLimit,
+    /// Memory access outside a region.
+    OutOfBounds {
+        /// Offending region.
+        mem: u32,
+        /// Offending element index.
+        index: i64,
+        /// Region length.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Call stack exceeded the recursion limit.
+    RecursionLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::StepLimit => write!(f, "step limit exhausted"),
+            ExecError::OutOfBounds { mem, index, len } => {
+                write!(f, "out-of-bounds access m{mem}[{index}] (len {len})")
+            }
+            ExecError::DivByZero => write!(f, "integer division by zero"),
+            ExecError::RecursionLimit => write!(f, "recursion limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of one interpreted call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Return value of the called function, if any.
+    pub ret: Option<Value>,
+    /// Statements executed (across callees).
+    pub steps: u64,
+    /// Per-block entry counts of the *outermost* called function, indexed
+    /// by block. This is `C_b` of paper Eq. (1).
+    pub block_entries: Vec<u64>,
+    /// Instrumentation counters (CounterInc statements), across callees.
+    pub counters: Vec<u64>,
+}
+
+/// The interpreter. Holds per-run configuration; memory lives in the
+/// caller-provided [`MemoryImage`].
+#[derive(Debug, Clone)]
+pub struct Interp {
+    /// Maximum statements per outermost call.
+    pub step_limit: u64,
+    /// Maximum call depth.
+    pub recursion_limit: usize,
+    /// Number of instrumentation counters to track.
+    pub num_counters: usize,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Interp { step_limit: 200_000_000, recursion_limit: 64, num_counters: 0 }
+    }
+}
+
+struct Frame {
+    regs: Vec<Value>,
+}
+
+impl Interp {
+    /// Execute `func(args)` against `mem`, returning the outcome.
+    pub fn run(
+        &self,
+        prog: &Program,
+        func: FuncId,
+        args: &[Value],
+        mem: &mut MemoryImage,
+    ) -> Result<ExecOutcome, ExecError> {
+        let mut steps = 0u64;
+        let mut counters = vec![0u64; self.num_counters];
+        let mut block_entries = vec![0u64; prog.func(func).num_blocks()];
+        let ret = self.call(
+            prog,
+            func,
+            args,
+            mem,
+            &mut steps,
+            &mut counters,
+            Some(&mut block_entries),
+            0,
+        )?;
+        Ok(ExecOutcome { ret, steps, block_entries, counters })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call(
+        &self,
+        prog: &Program,
+        func: FuncId,
+        args: &[Value],
+        mem: &mut MemoryImage,
+        steps: &mut u64,
+        counters: &mut Vec<u64>,
+        mut top_entries: Option<&mut Vec<u64>>,
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        if depth > self.recursion_limit {
+            return Err(ExecError::RecursionLimit);
+        }
+        let f = prog.func(func);
+        debug_assert_eq!(args.len(), f.params.len(), "arity mismatch calling {}", f.name);
+        let mut frame = Frame { regs: vec![Value::I64(0); f.num_vars()] };
+        for (p, a) in f.params.iter().zip(args) {
+            frame.regs[p.index()] = *a;
+        }
+        let mut bb = f.entry;
+        loop {
+            if let Some(entries) = top_entries.as_deref_mut() {
+                entries[bb.index()] += 1;
+            }
+            let block = f.block(bb);
+            for s in &block.stmts {
+                *steps += 1;
+                if *steps > self.step_limit {
+                    return Err(ExecError::StepLimit);
+                }
+                match s {
+                    Stmt::Assign { dst, rv } => {
+                        let v = self.eval_rvalue(
+                            prog, rv, &frame, mem, steps, counters, depth,
+                        )?;
+                        frame.regs[dst.index()] = v;
+                    }
+                    Stmt::Store { dst, src } => {
+                        let (m, idx) = self.resolve(prog, dst, &frame, mem)?;
+                        let v = self.operand(src, &frame);
+                        mem.store(m, idx, v);
+                    }
+                    Stmt::CallVoid { func: callee, args } => {
+                        let vals: Vec<Value> =
+                            args.iter().map(|a| self.operand(a, &frame)).collect();
+                        self.call(prog, *callee, &vals, mem, steps, counters, None, depth + 1)?;
+                    }
+                    Stmt::Prefetch { .. } => {
+                        // Semantically a no-op; only the simulator models it.
+                    }
+                    Stmt::CounterInc { counter } => {
+                        if counter.index() >= counters.len() {
+                            counters.resize(counter.index() + 1, 0);
+                        }
+                        counters[counter.index()] += 1;
+                    }
+                }
+            }
+            *steps += 1;
+            if *steps > self.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            match &block.term {
+                Terminator::Jump(t) => bb = *t,
+                Terminator::Branch { cond, on_true, on_false } => {
+                    bb = if self.operand(cond, &frame).is_true() { *on_true } else { *on_false };
+                }
+                Terminator::Return(v) => {
+                    return Ok(v.as_ref().map(|op| self.operand(op, &frame)));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn operand(&self, op: &Operand, frame: &Frame) -> Value {
+        match op {
+            Operand::Var(v) => frame.regs[v.index()],
+            Operand::Const(c) => *c,
+        }
+    }
+
+    fn resolve(
+        &self,
+        prog: &Program,
+        mr: &MemRef,
+        frame: &Frame,
+        mem: &MemoryImage,
+    ) -> Result<(crate::types::MemId, i64), ExecError> {
+        let idx = self.operand(&mr.index, frame).as_i64();
+        let (m, off) = match mr.base {
+            MemBase::Global(m) => (m, 0),
+            MemBase::Ptr(p) => {
+                let pv = frame.regs[p.index()].as_ptr();
+                (pv.mem, pv.offset)
+            }
+        };
+        let i = off + idx;
+        let len = mem.buf(m).len();
+        if i < 0 || i as usize >= len {
+            return Err(ExecError::OutOfBounds { mem: m.0, index: i, len });
+        }
+        let _ = prog;
+        Ok((m, i))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rvalue(
+        &self,
+        prog: &Program,
+        rv: &Rvalue,
+        frame: &Frame,
+        mem: &mut MemoryImage,
+        steps: &mut u64,
+        counters: &mut Vec<u64>,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        Ok(match rv {
+            Rvalue::Use(a) => self.operand(a, frame),
+            Rvalue::Unary(op, a) => eval_unop(*op, self.operand(a, frame)),
+            Rvalue::Binary(op, a, b) => {
+                eval_binop(*op, self.operand(a, frame), self.operand(b, frame))?
+            }
+            Rvalue::Load(mr) => {
+                let (m, idx) = self.resolve(prog, mr, frame, mem)?;
+                mem.load(m, idx)
+            }
+            Rvalue::AddrOf(m, idx) => {
+                let off = self.operand(idx, frame).as_i64();
+                Value::Ptr(PtrVal { mem: *m, offset: off })
+            }
+            Rvalue::Select { cond, on_true, on_false } => {
+                if self.operand(cond, frame).is_true() {
+                    self.operand(on_true, frame)
+                } else {
+                    self.operand(on_false, frame)
+                }
+            }
+            Rvalue::Call { func, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.operand(a, frame)).collect();
+                self.call(prog, *func, &vals, mem, steps, counters, None, depth + 1)?
+                    .expect("value call of void function")
+            }
+        })
+    }
+}
+
+/// Evaluate a unary operation.
+pub fn eval_unop(op: UnOp, a: Value) -> Value {
+    match op {
+        UnOp::Neg => Value::I64(a.as_i64().wrapping_neg()),
+        UnOp::Not => Value::I64(!a.as_i64()),
+        UnOp::FNeg => Value::F64(-a.as_f64()),
+        UnOp::IntToF => Value::F64(a.as_i64() as f64),
+        UnOp::FToInt => Value::I64(a.as_f64() as i64),
+        UnOp::FAbs => Value::F64(a.as_f64().abs()),
+        UnOp::FSqrt => Value::F64(a.as_f64().sqrt()),
+    }
+}
+
+/// Evaluate a binary operation. Integer arithmetic wraps (like the
+/// two's-complement machines the paper targets); division by zero errors.
+pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    let bi = |x: bool| Value::I64(x as i64);
+    Ok(match op {
+        BinOp::Add => Value::I64(a.as_i64().wrapping_add(b.as_i64())),
+        BinOp::Sub => Value::I64(a.as_i64().wrapping_sub(b.as_i64())),
+        BinOp::Mul => Value::I64(a.as_i64().wrapping_mul(b.as_i64())),
+        BinOp::Div => {
+            let d = b.as_i64();
+            if d == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            Value::I64(a.as_i64().wrapping_div(d))
+        }
+        BinOp::Rem => {
+            let d = b.as_i64();
+            if d == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            Value::I64(a.as_i64().wrapping_rem(d))
+        }
+        BinOp::And => Value::I64(a.as_i64() & b.as_i64()),
+        BinOp::Or => Value::I64(a.as_i64() | b.as_i64()),
+        BinOp::Xor => Value::I64(a.as_i64() ^ b.as_i64()),
+        BinOp::Shl => Value::I64(a.as_i64().wrapping_shl(b.as_i64() as u32 & 63)),
+        BinOp::Shr => Value::I64(a.as_i64().wrapping_shr(b.as_i64() as u32 & 63)),
+        BinOp::Min => Value::I64(a.as_i64().min(b.as_i64())),
+        BinOp::Max => Value::I64(a.as_i64().max(b.as_i64())),
+        BinOp::FAdd => Value::F64(a.as_f64() + b.as_f64()),
+        BinOp::FSub => Value::F64(a.as_f64() - b.as_f64()),
+        BinOp::FMul => Value::F64(a.as_f64() * b.as_f64()),
+        BinOp::FDiv => Value::F64(a.as_f64() / b.as_f64()),
+        BinOp::Eq => bi(a.as_i64() == b.as_i64()),
+        BinOp::Ne => bi(a.as_i64() != b.as_i64()),
+        BinOp::Lt => bi(a.as_i64() < b.as_i64()),
+        BinOp::Le => bi(a.as_i64() <= b.as_i64()),
+        BinOp::Gt => bi(a.as_i64() > b.as_i64()),
+        BinOp::Ge => bi(a.as_i64() >= b.as_i64()),
+        BinOp::FEq => bi(a.as_f64() == b.as_f64()),
+        BinOp::FNe => bi(a.as_f64() != b.as_f64()),
+        BinOp::FLt => bi(a.as_f64() < b.as_f64()),
+        BinOp::FLe => bi(a.as_f64() <= b.as_f64()),
+        BinOp::FGt => bi(a.as_f64() > b.as_f64()),
+        BinOp::FGe => bi(a.as_f64() >= b.as_f64()),
+        BinOp::PtrAdd => {
+            let p = a.as_ptr();
+            Value::Ptr(PtrVal { mem: p.mem, offset: p.offset + b.as_i64() })
+        }
+        BinOp::PtrEq => bi(a.as_ptr() == b.as_ptr()),
+        BinOp::PtrDiff => {
+            let (p, q) = (a.as_ptr(), b.as_ptr());
+            debug_assert_eq!(p.mem, q.mem, "PtrDiff across regions");
+            Value::I64(p.offset - q.offset)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::stmt::MemRef;
+    use crate::types::Type;
+
+    fn sum_program() -> (Program, FuncId, crate::types::MemId) {
+        // fn sum(n) { acc = 0; for i in 0..n { acc += a[i] } ; return acc }
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 16);
+        let mut b = FunctionBuilder::new("sum", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let x = b.load(Type::I64, MemRef::global(a, i));
+            b.binary_into(acc, BinOp::Add, acc, x);
+        });
+        b.ret(Some(Operand::Var(acc)));
+        let f = prog.add_func(b.finish());
+        (prog, f, a)
+    }
+
+    #[test]
+    fn sums_array() {
+        let (prog, f, a) = sum_program();
+        let mut mem = MemoryImage::new(&prog);
+        for i in 0..8 {
+            mem.store(a, i, Value::I64(i + 1));
+        }
+        let out = Interp::default().run(&prog, f, &[Value::I64(8)], &mut mem).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(36)));
+        // Body (block 2) entered 8 times; header (block 1) 9 times.
+        assert_eq!(out.block_entries[2], 8);
+        assert_eq!(out.block_entries[1], 9);
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let (prog, f, _) = sum_program();
+        let mut mem = MemoryImage::new(&prog);
+        let out = Interp::default().run(&prog, f, &[Value::I64(0)], &mut mem).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(0)));
+        assert_eq!(out.block_entries[2], 0);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let (prog, f, _) = sum_program();
+        let mut mem = MemoryImage::new(&prog);
+        let err = Interp::default().run(&prog, f, &[Value::I64(100)], &mut mem).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn div_by_zero_detected() {
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::I64(5), Value::I64(0)),
+            Err(ExecError::DivByZero)
+        );
+        assert_eq!(eval_binop(BinOp::Div, Value::I64(7), Value::I64(2)).unwrap(), Value::I64(3));
+    }
+
+    #[test]
+    fn step_limit_halts_runaway_loop() {
+        // while(1) {}
+        let mut b = FunctionBuilder::new("spin", None);
+        b.while_loop(|_| Operand::const_i64(1), |_| {});
+        b.ret(None);
+        let mut prog = Program::new();
+        let f = prog.add_func(b.finish());
+        let mut mem = MemoryImage::new(&prog);
+        let interp = Interp { step_limit: 1000, ..Default::default() };
+        assert_eq!(interp.run(&prog, f, &[], &mut mem).unwrap_err(), ExecError::StepLimit);
+    }
+
+    #[test]
+    fn call_and_counter() {
+        use crate::types::CounterId;
+        let mut prog = Program::new();
+        // callee: double(x) = x + x
+        let mut cb = FunctionBuilder::new("double", Some(Type::I64));
+        let x = cb.param("x", Type::I64);
+        let t = cb.binary(BinOp::Add, x, x);
+        cb.ret(Some(Operand::Var(t)));
+        let callee = prog.add_func(cb.finish());
+        // caller: r = double(21), counter bump
+        let mut b = FunctionBuilder::new("main", Some(Type::I64));
+        b.emit(Stmt::CounterInc { counter: CounterId(0) });
+        let r = b.call(Type::I64, callee, vec![Operand::const_i64(21)]);
+        b.ret(Some(Operand::Var(r)));
+        let f = prog.add_func(b.finish());
+        let mut mem = MemoryImage::new(&prog);
+        let interp = Interp { num_counters: 1, ..Default::default() };
+        let out = interp.run(&prog, f, &[], &mut mem).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(42)));
+        assert_eq!(out.counters, vec![1]);
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 8);
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.addr_of(a, 2i64);
+        let q = b.binary(BinOp::PtrAdd, p, 3i64);
+        let v = b.load(Type::I64, MemRef::ptr(q, 0i64));
+        b.ret(Some(Operand::Var(v)));
+        let f = prog.add_func(b.finish());
+        let mut mem = MemoryImage::new(&prog);
+        mem.store(a, 5, Value::I64(77));
+        let out = Interp::default().run(&prog, f, &[], &mut mem).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(77)));
+    }
+}

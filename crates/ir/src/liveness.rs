@@ -1,0 +1,261 @@
+//! Live-variable analysis and function-level input/def summaries.
+//!
+//! Re-execution-based rating needs `Input(TS) = LiveIn(b1)` (paper §2.4.1)
+//! and `Modified_Input(TS) = Input(TS) ∩ Def(TS)` (Eq. 6). With the TS
+//! extracted as a function, the scalar part of `Input` is the parameter
+//! list, and the memory part is the set of regions the TS may read;
+//! `Def(TS)` is the set of regions it may write. Both are computed here,
+//! together with classic backward live-variable analysis used by the
+//! register allocator and dead-code elimination.
+
+use crate::cfg::Cfg;
+use crate::dataflow::BitSet;
+use crate::func::Function;
+use crate::program::Program;
+use crate::stmt::{MemBase, Rvalue, Stmt};
+use crate::types::{BlockId, FuncId, MemId, VarId};
+
+/// Per-block live-in/live-out variable sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Variables live at block entry.
+    pub live_in: Vec<BitSet>,
+    /// Variables live at block exit.
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f`.
+    pub fn build(f: &Function, cfg: &Cfg) -> Self {
+        let nb = f.num_blocks();
+        let nv = f.num_vars();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![BitSet::new(nv); nb];
+        let mut kill = vec![BitSet::new(nv); nb];
+        let mut uses = Vec::new();
+        for b in f.block_ids() {
+            let bi = b.index();
+            for s in &f.block(b).stmts {
+                uses.clear();
+                s.uses(&mut uses);
+                for &u in &uses {
+                    if !kill[bi].contains(u.index()) {
+                        gen[bi].insert(u.index());
+                    }
+                }
+                if let Some(d) = s.def() {
+                    kill[bi].insert(d.index());
+                }
+            }
+            uses.clear();
+            f.block(b).term.uses(&mut uses);
+            for &u in &uses {
+                if !kill[bi].contains(u.index()) {
+                    gen[bi].insert(u.index());
+                }
+            }
+        }
+        let mut live_in = vec![BitSet::new(nv); nb];
+        let mut live_out = vec![BitSet::new(nv); nb];
+        // Iterate to fixpoint in postorder (reverse RPO) for fast
+        // convergence of the backward problem.
+        let order: Vec<BlockId> = cfg.rpo.iter().rev().copied().collect();
+        let mut changed = true;
+        let mut tmp = BitSet::new(nv);
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                tmp.clear();
+                for &s in &cfg.succs[bi] {
+                    tmp.union_with(&live_in[s.index()]);
+                }
+                if live_out[bi] != tmp {
+                    live_out[bi].copy_from(&tmp);
+                    changed = true;
+                }
+                // in = gen ∪ (out − kill)
+                tmp.subtract(&kill[bi]);
+                tmp.union_with(&gen[bi]);
+                if live_in[bi] != tmp {
+                    live_in[bi].copy_from(&tmp);
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Variables live at entry of the function (paper's `Input(TS)` scalar
+    /// part; for extracted TSs this is a subset of the parameters).
+    pub fn entry_live_in(&self, f: &Function) -> Vec<VarId> {
+        self.live_in[f.entry.index()]
+            .iter()
+            .map(|i| VarId(i as u32))
+            .collect()
+    }
+}
+
+/// Memory-region read/write summary of a function, transitively including
+/// callees. Region-granular: a function "reads m" if any path may load from
+/// it. This is the conservative `Input`/`Def` memory analysis used by RBR.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemEffects {
+    /// Regions possibly read.
+    pub reads: Vec<MemId>,
+    /// Regions possibly written.
+    pub writes: Vec<MemId>,
+}
+
+impl MemEffects {
+    /// `Modified_Input` memory part: regions both read and written
+    /// (paper Eq. 6 at region granularity).
+    pub fn modified_input(&self) -> Vec<MemId> {
+        self.writes
+            .iter()
+            .copied()
+            .filter(|m| self.reads.contains(m))
+            .collect()
+    }
+}
+
+/// Compute [`MemEffects`] for `func`, following calls transitively.
+///
+/// Pointers may alias any region whose address is taken somewhere in the
+/// program unless the simple points-to analysis (see
+/// [`crate::points_to`]) can narrow them; here we use the narrow results
+/// when available and fall back to "all regions pointed-to-able".
+pub fn mem_effects(prog: &Program, func: FuncId) -> MemEffects {
+    let mut reads = BitSet::new(prog.mems.len());
+    let mut writes = BitSet::new(prog.mems.len());
+    let mut visited = vec![false; prog.funcs.len()];
+    collect(prog, func, &mut reads, &mut writes, &mut visited);
+    MemEffects {
+        reads: reads.iter().map(|i| MemId(i as u32)).collect(),
+        writes: writes.iter().map(|i| MemId(i as u32)).collect(),
+    }
+}
+
+fn collect(
+    prog: &Program,
+    func: FuncId,
+    reads: &mut BitSet,
+    writes: &mut BitSet,
+    visited: &mut Vec<bool>,
+) {
+    if visited[func.index()] {
+        return;
+    }
+    visited[func.index()] = true;
+    let f = prog.func(func);
+    let pts = crate::points_to::PointsTo::build(f);
+    let record = |base: &MemBase, set: &mut BitSet| match base {
+        MemBase::Global(m) => {
+            set.insert(m.index());
+        }
+        MemBase::Ptr(p) => {
+            for m in pts.may_point_to(*p, prog.mems.len()) {
+                set.insert(m.index());
+            }
+        }
+    };
+    for b in f.block_ids() {
+        for s in &f.block(b).stmts {
+            match s {
+                Stmt::Assign { rv, .. } => {
+                    if let Rvalue::Load(mr) = rv {
+                        record(&mr.base, reads);
+                    }
+                    if let Rvalue::Call { func: callee, .. } = rv {
+                        collect(prog, *callee, reads, writes, visited);
+                    }
+                }
+                Stmt::Store { dst, .. } => record(&dst.base, writes),
+                Stmt::CallVoid { func: callee, .. } => {
+                    collect(prog, *callee, reads, writes, visited);
+                }
+                Stmt::Prefetch { .. } | Stmt::CounterInc { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::stmt::MemRef;
+    use crate::types::{BinOp, Operand, Type};
+
+    #[test]
+    fn straightline_liveness() {
+        // x = p + 1; return x  — p live at entry, x not.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let x = b.binary(BinOp::Add, p, 1i64);
+        b.ret(Some(Operand::Var(x)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::build(&f, &cfg);
+        assert_eq!(lv.entry_live_in(&f), vec![p]);
+    }
+
+    #[test]
+    fn loop_carried_variable_is_live_around_loop() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        b.ret(Some(Operand::Var(acc)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::build(&f, &cfg);
+        // acc live into the loop header (block 1).
+        assert!(lv.live_in[1].contains(acc.index()));
+        // Only n is live at function entry (acc defined before use).
+        assert_eq!(lv.entry_live_in(&f), vec![n]);
+    }
+
+    #[test]
+    fn dead_def_not_live() {
+        let mut b = FunctionBuilder::new("f", None);
+        let x = b.var("x", Type::I64);
+        b.copy(x, 1i64);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::build(&f, &cfg);
+        assert!(lv.live_out[0].is_empty());
+        assert!(lv.live_in[0].is_empty());
+    }
+
+    #[test]
+    fn mem_effects_direct_and_via_call() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let bm = prog.add_mem("b", Type::I64, 4);
+        let c = prog.add_mem("c", Type::I64, 4);
+        // callee writes c
+        let mut cb = FunctionBuilder::new("w", None);
+        cb.store(MemRef::global(c, 0i64), 1i64);
+        cb.ret(None);
+        let callee = prog.add_func(cb.finish());
+        // caller reads a, reads+writes b, calls callee
+        let mut fb = FunctionBuilder::new("f", None);
+        let x = fb.load(Type::I64, MemRef::global(a, 0i64));
+        let y = fb.load(Type::I64, MemRef::global(bm, 0i64));
+        let s = fb.binary(BinOp::Add, x, y);
+        fb.store(MemRef::global(bm, 0i64), s);
+        fb.call_void(callee, vec![]);
+        fb.ret(None);
+        let f = prog.add_func(fb.finish());
+        let eff = mem_effects(&prog, f);
+        assert_eq!(eff.reads, vec![a, bm]);
+        assert_eq!(eff.writes, vec![bm, c]);
+        assert_eq!(eff.modified_input(), vec![bm], "only b is read AND written");
+    }
+}

@@ -1,0 +1,222 @@
+//! Natural-loop detection.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::func::Function;
+use crate::types::BlockId;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// Sources of back edges into the header (usually one latch).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body, header included, sorted.
+    pub body: Vec<BlockId>,
+    /// Loop nesting depth (1 = outermost).
+    pub depth: u32,
+    /// Index of the parent loop in [`LoopForest::loops`], if nested.
+    pub parent: Option<usize>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+
+    /// Blocks outside the loop that the loop can exit to.
+    pub fn exit_targets(&self, f: &Function) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &b in &self.body {
+            for s in f.block(b).term.successors() {
+                if !self.contains(s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// All natural loops of a function, with nesting info.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops, outermost-first within each nest.
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    pub innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Find natural loops via back edges (`latch → header` where `header`
+    /// dominates `latch`). Back edges sharing a header are merged into one
+    /// loop, matching the usual definition.
+    pub fn build(f: &Function, cfg: &Cfg, dom: &Dominators) -> Self {
+        let nb = f.num_blocks();
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<Vec<BlockId>> = vec![Vec::new(); nb];
+        for b in f.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for s in f.block(b).term.successors() {
+                if dom.dominates(s, b) {
+                    by_header[s.index()].push(b);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for h in f.block_ids() {
+            let latches = std::mem::take(&mut by_header[h.index()]);
+            if latches.is_empty() {
+                continue;
+            }
+            // Body = header + all blocks that reach a latch without passing
+            // through the header (standard worklist walking predecessors).
+            let mut in_body = vec![false; nb];
+            in_body[h.index()] = true;
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if in_body[b.index()] {
+                    continue;
+                }
+                in_body[b.index()] = true;
+                for &p in &cfg.preds[b.index()] {
+                    if !in_body[p.index()] {
+                        work.push(p);
+                    }
+                }
+            }
+            let body: Vec<BlockId> = (0..nb as u32)
+                .map(BlockId)
+                .filter(|b| in_body[b.index()])
+                .collect();
+            loops.push(Loop { header: h, latches, body, depth: 0, parent: None });
+        }
+        // Sort loops by body size descending so parents precede children,
+        // then assign nesting.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.body.len()));
+        let n = loops.len();
+        for i in 0..n {
+            // Parent = smallest enclosing loop among earlier (larger) ones.
+            let mut parent: Option<usize> = None;
+            for j in 0..i {
+                if loops[j].contains(loops[i].header) && loops[j].header != loops[i].header {
+                    parent = match parent {
+                        Some(p) if loops[p].body.len() <= loops[j].body.len() => Some(p),
+                        _ => Some(j),
+                    };
+                }
+            }
+            loops[i].parent = parent;
+            loops[i].depth = match parent {
+                Some(p) => loops[p].depth + 1,
+                None => 1,
+            };
+        }
+        let mut innermost: Vec<Option<usize>> = vec![None; nb];
+        for (li, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                innermost[b.index()] = match innermost[b.index()] {
+                    Some(prev) if loops[prev].body.len() <= l.body.len() => Some(prev),
+                    _ => Some(li),
+                };
+            }
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// Loop nesting depth of a block (0 = not in any loop). Used by spill
+    /// heuristics and LICM profitability.
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.innermost[b.index()].map_or(0, |i| self.loops[i].depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::cfg::{Cfg, Dominators};
+    use crate::types::{BinOp, Type};
+
+    fn forest(f: &Function) -> LoopForest {
+        let cfg = Cfg::build(f);
+        let dom = Dominators::build(f, &cfg);
+        LoopForest::build(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn single_counted_loop() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let lf = forest(&f);
+        assert_eq!(lf.loops.len(), 1);
+        let l = &lf.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(3)]);
+        assert_eq!(l.body, vec![BlockId(1), BlockId(2), BlockId(3)]);
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.exit_targets(&f), vec![BlockId(4)]);
+        assert_eq!(lf.depth_of(BlockId(2)), 1);
+        assert_eq!(lf.depth_of(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let j = b.var("j", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.for_loop(j, 0i64, n, 1, |b| {
+                b.binary_into(acc, BinOp::Add, acc, j);
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let lf = forest(&f);
+        assert_eq!(lf.loops.len(), 2);
+        let outer = lf.loops.iter().find(|l| l.depth == 1).unwrap();
+        let inner = lf.loops.iter().find(|l| l.depth == 2).unwrap();
+        assert!(outer.body.len() > inner.body.len());
+        assert!(inner.body.iter().all(|b| outer.contains(*b)));
+        assert_eq!(
+            inner.parent.map(|p| lf.loops[p].header),
+            Some(outer.header)
+        );
+    }
+
+    #[test]
+    fn while_loop_detected() {
+        let mut b = FunctionBuilder::new("f", None);
+        let x = b.param("x", Type::I64);
+        b.while_loop(
+            |b| b.binary(BinOp::Gt, x, 0i64).into(),
+            |b| {
+                b.binary_into(x, BinOp::Sub, x, 1i64);
+            },
+        );
+        b.ret(None);
+        let f = b.finish();
+        let lf = forest(&f);
+        assert_eq!(lf.loops.len(), 1);
+    }
+
+    #[test]
+    fn no_loops_in_diamond() {
+        let mut b = FunctionBuilder::new("f", None);
+        let x = b.param("x", Type::I64);
+        b.if_then_else(x, |_| {}, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        assert!(forest(&f).loops.is_empty());
+    }
+}

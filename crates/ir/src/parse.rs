@@ -1,0 +1,612 @@
+//! Textual IR parser — the inverse of the `Display` implementations.
+//!
+//! Lets kernels be written (and dumped/reloaded) as text:
+//!
+//! ```text
+//! mem a: f64[128]
+//!
+//! fn saxpy(v0: i64, v1: f64) -> f64 {
+//!   locals v2: i64, v3: f64, v4: f64
+//! b0: (entry)
+//!   v3 = 0.0
+//!   v2 = 0
+//!   jump b1
+//! b1:
+//!   v4 = lt v2, v0
+//!   br v4 ? b2 : b3
+//! b2:
+//!   v4 = load a[v2]
+//!   v3 = fadd v3, v4
+//!   v2 = add v2, 1
+//!   jump b1
+//! b3:
+//!   ret v3
+//! }
+//! ```
+//!
+//! Memory regions may be referenced by name (`a[v2]`) or positionally
+//! (`m0[v2]`); functions by name or `f0`. `parse_program(display_output)`
+//! round-trips every program the crate can print.
+
+use crate::func::Function;
+use crate::program::Program;
+use crate::stmt::{MemBase, MemRef, Rvalue, Stmt, Terminator};
+use crate::types::{BinOp, BlockId, CounterId, FuncId, MemId, Operand, PtrVal, Type, UnOp, Value, VarId};
+
+/// Parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> PResult<T> {
+    Err(ParseError { line, msg: msg.into() })
+}
+
+/// Parse a whole program (mem declarations + functions).
+pub fn parse_program(src: &str) -> PResult<Program> {
+    let mut prog = Program::new();
+    let lines: Vec<&str> = src.lines().collect();
+    // First pass: collect function names in order so forward calls resolve.
+    let mut fn_names = Vec::new();
+    for l in &lines {
+        let t = l.trim();
+        if let Some(rest) = t.strip_prefix("fn ") {
+            let name = rest.split('(').next().unwrap_or("").trim();
+            fn_names.push(name.to_string());
+        }
+    }
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line_no = i + 1;
+        let t = lines[i].trim();
+        if t.is_empty() || t.starts_with("//") || t.starts_with('#') {
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("mem ") {
+            // mem name: ty[len]
+            let (name, rest) = rest
+                .split_once(':')
+                .ok_or(ParseError { line: line_no, msg: "expected `mem name: ty[len]`".into() })?;
+            let rest = rest.trim();
+            let (ty_s, len_s) = rest
+                .split_once('[')
+                .ok_or(ParseError { line: line_no, msg: "expected `ty[len]`".into() })?;
+            let ty = parse_type(ty_s.trim(), line_no)?;
+            let len: usize = len_s
+                .trim_end_matches(']')
+                .trim()
+                .parse()
+                .map_err(|_| ParseError { line: line_no, msg: "bad region length".into() })?;
+            prog.add_mem(name.trim(), ty, len);
+            i += 1;
+        } else if t.starts_with("fn ") {
+            let consumed = parse_function(&lines, i, &mut prog, &fn_names)?;
+            i = consumed;
+        } else {
+            return err(line_no, format!("unexpected top-level line: {t}"));
+        }
+    }
+    Ok(prog)
+}
+
+fn parse_type(s: &str, line: usize) -> PResult<Type> {
+    match s {
+        "i64" => Ok(Type::I64),
+        "f64" => Ok(Type::F64),
+        "ptr" => Ok(Type::Ptr),
+        other => err(line, format!("unknown type `{other}`")),
+    }
+}
+
+/// Parses one `fn … { … }`; returns the index after the closing brace.
+fn parse_function(
+    lines: &[&str],
+    start: usize,
+    prog: &mut Program,
+    fn_names: &[String],
+) -> PResult<usize> {
+    let line_no = start + 1;
+    let header = lines[start].trim();
+    let rest = header.strip_prefix("fn ").expect("caller checked");
+    let open = rest
+        .find('(')
+        .ok_or(ParseError { line: line_no, msg: "missing `(` in fn header".into() })?;
+    let name = rest[..open].trim().to_string();
+    let close = rest
+        .rfind(')')
+        .ok_or(ParseError { line: line_no, msg: "missing `)` in fn header".into() })?;
+    let params_s = &rest[open + 1..close];
+    let tail = rest[close + 1..].trim();
+    let ret = if let Some(r) = tail.strip_prefix("->") {
+        Some(parse_type(r.trim_end_matches('{').trim(), line_no)?)
+    } else {
+        None
+    };
+    let mut f = Function::new(name, ret);
+    f.blocks.clear();
+    // Parameters: `v0: i64, v1: f64`.
+    for (pi, p) in params_s
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .enumerate()
+    {
+        let (v, ty_s) = p
+            .split_once(':')
+            .ok_or(ParseError { line: line_no, msg: "expected `vN: ty` parameter".into() })?;
+        let vid = parse_var(v.trim(), line_no)?;
+        if vid.index() != pi {
+            return err(line_no, format!("parameter {p} out of order"));
+        }
+        let ty = parse_type(ty_s.trim(), line_no)?;
+        let got = f.add_var(format!("v{}", vid.0), ty);
+        f.params.push(got);
+    }
+    let mut i = start + 1;
+    let mut entry: Option<BlockId> = None;
+    let mut current: Option<BlockId> = None;
+    // Blocks may be labelled out of order; remember the max id referenced.
+    while i < lines.len() {
+        let line_no = i + 1;
+        let t = lines[i].trim();
+        i += 1;
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        if t == "}" {
+            let entry = entry.unwrap_or(BlockId(0));
+            f.entry = entry;
+            if f.blocks.is_empty() {
+                f.add_block();
+            }
+            prog.add_func(f);
+            return Ok(i);
+        }
+        if let Some(rest) = t.strip_prefix("locals ") {
+            for decl in rest.split(',').map(str::trim).filter(|d| !d.is_empty()) {
+                let (v, ty_s) = decl.split_once(':').ok_or(ParseError {
+                    line: line_no,
+                    msg: "expected `vN: ty` local".into(),
+                })?;
+                let vid = parse_var(v.trim(), line_no)?;
+                if vid.index() != f.vars.len() {
+                    return err(line_no, format!("local {decl} out of order"));
+                }
+                let ty = parse_type(ty_s.trim(), line_no)?;
+                f.add_var(format!("v{}", vid.0), ty);
+            }
+            continue;
+        }
+        // Block label: `bN:` optionally followed by `(entry[, aligned])`.
+        if t.starts_with('b') && t.contains(':') && !t.contains('=') {
+            let (label, marks) = t.split_once(':').expect("checked contains");
+            if let Ok(idx) = label[1..].parse::<u32>() {
+                while f.blocks.len() <= idx as usize {
+                    f.add_block();
+                }
+                let b = BlockId(idx);
+                if marks.contains("entry") {
+                    entry = Some(b);
+                }
+                if marks.contains("aligned") {
+                    f.block_mut(b).aligned = true;
+                }
+                current = Some(b);
+                continue;
+            }
+        }
+        // Statement or terminator inside the current block.
+        let Some(cur) = current else {
+            return err(line_no, "statement outside a block");
+        };
+        let ctx = Ctx { prog, fn_names, line: line_no };
+        if let Some(term) = parse_terminator(t, &ctx)? {
+            f.block_mut(cur).term = term;
+        } else {
+            let s = parse_stmt(t, &ctx)?;
+            f.block_mut(cur).stmts.push(s);
+        }
+    }
+    err(lines.len(), "missing closing `}`")
+}
+
+struct Ctx<'a> {
+    prog: &'a Program,
+    fn_names: &'a [String],
+    line: usize,
+}
+
+impl Ctx<'_> {
+    fn mem(&self, token: &str) -> PResult<MemId> {
+        if let Some(num) = token.strip_prefix('m') {
+            if let Ok(i) = num.parse::<u32>() {
+                return Ok(MemId(i));
+            }
+        }
+        self.prog
+            .mem_by_name(token)
+            .ok_or(ParseError { line: self.line, msg: format!("unknown region `{token}`") })
+    }
+
+    fn func(&self, token: &str) -> PResult<FuncId> {
+        if let Some(num) = token.strip_prefix('f') {
+            if let Ok(i) = num.parse::<u32>() {
+                return Ok(FuncId(i));
+            }
+        }
+        self.fn_names
+            .iter()
+            .position(|n| n == token)
+            .map(|i| FuncId(i as u32))
+            .ok_or(ParseError { line: self.line, msg: format!("unknown function `{token}`") })
+    }
+}
+
+fn parse_var(s: &str, line: usize) -> PResult<VarId> {
+    s.strip_prefix('v')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(VarId)
+        .ok_or(ParseError { line, msg: format!("expected variable, found `{s}`") })
+}
+
+fn parse_block_ref(s: &str, line: usize) -> PResult<BlockId> {
+    s.strip_prefix('b')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or(ParseError { line, msg: format!("expected block, found `{s}`") })
+}
+
+fn parse_operand(s: &str, ctx: &Ctx<'_>) -> PResult<Operand> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('v') {
+        if let Ok(i) = n.parse::<u32>() {
+            return Ok(Operand::Var(VarId(i)));
+        }
+    }
+    if let Some(rest) = s.strip_prefix("&") {
+        // &m1[4] — pointer constant.
+        let (m, idx) = rest
+            .trim_start_matches('m')
+            .split_once('[')
+            .ok_or(ParseError { line: ctx.line, msg: format!("bad pointer constant `{s}`") })?;
+        let mem = MemId(m.parse().map_err(|_| ParseError {
+            line: ctx.line,
+            msg: format!("bad pointer region in `{s}`"),
+        })?);
+        let offset = idx.trim_end_matches(']').parse().map_err(|_| ParseError {
+            line: ctx.line,
+            msg: format!("bad pointer offset in `{s}`"),
+        })?;
+        return Ok(Operand::Const(Value::Ptr(PtrVal { mem, offset })));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Operand::Const(Value::I64(i)));
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        return Ok(Operand::Const(Value::F64(x)));
+    }
+    err(ctx.line, format!("cannot parse operand `{s}`"))
+}
+
+/// `m0[v3]` / `name[7]` / `v5[v2]` (pointer base).
+fn parse_memref(s: &str, ctx: &Ctx<'_>) -> PResult<MemRef> {
+    let s = s.trim();
+    let (base_s, idx_s) = s
+        .split_once('[')
+        .ok_or(ParseError { line: ctx.line, msg: format!("expected memref, found `{s}`") })?;
+    let index = parse_operand(idx_s.trim_end_matches(']'), ctx)?;
+    let base_s = base_s.trim();
+    // Pointer base `vN` wins over names; then `mN`/named regions.
+    if let Some(n) = base_s.strip_prefix('v') {
+        if let Ok(i) = n.parse::<u32>() {
+            return Ok(MemRef { base: MemBase::Ptr(VarId(i)), index });
+        }
+    }
+    Ok(MemRef { base: MemBase::Global(ctx.mem(base_s)?), index })
+}
+
+fn parse_unop(s: &str) -> Option<UnOp> {
+    Some(match s {
+        "neg" => UnOp::Neg,
+        "not" => UnOp::Not,
+        "fneg" => UnOp::FNeg,
+        "i2f" => UnOp::IntToF,
+        "f2i" => UnOp::FToInt,
+        "fabs" => UnOp::FAbs,
+        "fsqrt" => UnOp::FSqrt,
+        _ => return None,
+    })
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match s {
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "div" => Div,
+        "rem" => Rem,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "shr" => Shr,
+        "min" => Min,
+        "max" => Max,
+        "fadd" => FAdd,
+        "fsub" => FSub,
+        "fmul" => FMul,
+        "fdiv" => FDiv,
+        "eq" => Eq,
+        "ne" => Ne,
+        "lt" => Lt,
+        "le" => Le,
+        "gt" => Gt,
+        "ge" => Ge,
+        "feq" => FEq,
+        "fne" => FNe,
+        "flt" => FLt,
+        "fle" => FLe,
+        "fgt" => FGt,
+        "fge" => FGe,
+        "padd" => PtrAdd,
+        "peq" => PtrEq,
+        "pdiff" => PtrDiff,
+        _ => return None,
+    })
+}
+
+fn parse_call(rest: &str, ctx: &Ctx<'_>) -> PResult<(FuncId, Vec<Operand>)> {
+    // `f1(v0, 2)` or `name(v0)`.
+    let (fname, args_s) = rest
+        .split_once('(')
+        .ok_or(ParseError { line: ctx.line, msg: format!("bad call `{rest}`") })?;
+    let func = ctx.func(fname.trim())?;
+    let args_s = args_s.trim_end_matches(')');
+    let mut args = Vec::new();
+    for a in args_s.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        args.push(parse_operand(a, ctx)?);
+    }
+    Ok((func, args))
+}
+
+fn parse_rvalue(s: &str, ctx: &Ctx<'_>) -> PResult<Rvalue> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("load ") {
+        return Ok(Rvalue::Load(parse_memref(rest, ctx)?));
+    }
+    if let Some(rest) = s.strip_prefix("addr ") {
+        let mr = parse_memref(rest, ctx)?;
+        let MemBase::Global(m) = mr.base else {
+            return err(ctx.line, "addr of pointer base");
+        };
+        return Ok(Rvalue::AddrOf(m, mr.index));
+    }
+    if let Some(rest) = s.strip_prefix("select ") {
+        // `select c ? a : b`
+        let (c, arms) = rest
+            .split_once('?')
+            .ok_or(ParseError { line: ctx.line, msg: "select needs `?`".into() })?;
+        let (a, b) = arms
+            .split_once(':')
+            .ok_or(ParseError { line: ctx.line, msg: "select needs `:`".into() })?;
+        return Ok(Rvalue::Select {
+            cond: parse_operand(c, ctx)?,
+            on_true: parse_operand(a, ctx)?,
+            on_false: parse_operand(b, ctx)?,
+        });
+    }
+    if let Some(rest) = s.strip_prefix("call ") {
+        let (func, args) = parse_call(rest, ctx)?;
+        return Ok(Rvalue::Call { func, args });
+    }
+    // `op a` / `op a, b` / bare operand.
+    let mut parts = s.splitn(2, ' ');
+    let head = parts.next().unwrap_or("");
+    if let Some(op) = parse_binop(head) {
+        let rest = parts.next().unwrap_or("");
+        let (a, b) = rest
+            .split_once(',')
+            .ok_or(ParseError { line: ctx.line, msg: format!("binary `{head}` needs two operands") })?;
+        return Ok(Rvalue::Binary(op, parse_operand(a, ctx)?, parse_operand(b, ctx)?));
+    }
+    if let Some(op) = parse_unop(head) {
+        let rest = parts.next().unwrap_or("");
+        return Ok(Rvalue::Unary(op, parse_operand(rest, ctx)?));
+    }
+    Ok(Rvalue::Use(parse_operand(s, ctx)?))
+}
+
+fn parse_stmt(t: &str, ctx: &Ctx<'_>) -> PResult<Stmt> {
+    if let Some(rest) = t.strip_prefix("store ") {
+        let (dst, src) = rest
+            .split_once('=')
+            .ok_or(ParseError { line: ctx.line, msg: "store needs `=`".into() })?;
+        return Ok(Stmt::Store {
+            dst: parse_memref(dst, ctx)?,
+            src: parse_operand(src, ctx)?,
+        });
+    }
+    if let Some(rest) = t.strip_prefix("call ") {
+        let (func, args) = parse_call(rest, ctx)?;
+        return Ok(Stmt::CallVoid { func, args });
+    }
+    if let Some(rest) = t.strip_prefix("prefetch ") {
+        return Ok(Stmt::Prefetch { addr: parse_memref(rest, ctx)? });
+    }
+    if let Some(rest) = t.strip_prefix("ctr ") {
+        // `ctr c3 += 1`
+        let c = rest
+            .split_whitespace()
+            .next()
+            .and_then(|c| c.strip_prefix('c'))
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or(ParseError { line: ctx.line, msg: format!("bad counter `{rest}`") })?;
+        return Ok(Stmt::CounterInc { counter: CounterId(c) });
+    }
+    // `vN = rvalue`.
+    let (dst, rv) = t
+        .split_once('=')
+        .ok_or(ParseError { line: ctx.line, msg: format!("cannot parse statement `{t}`") })?;
+    Ok(Stmt::Assign {
+        dst: parse_var(dst.trim(), ctx.line)?,
+        rv: parse_rvalue(rv, ctx)?,
+    })
+}
+
+fn parse_terminator(t: &str, ctx: &Ctx<'_>) -> PResult<Option<Terminator>> {
+    if let Some(rest) = t.strip_prefix("jump ") {
+        return Ok(Some(Terminator::Jump(parse_block_ref(rest.trim(), ctx.line)?)));
+    }
+    if let Some(rest) = t.strip_prefix("br ") {
+        let (c, arms) = rest
+            .split_once('?')
+            .ok_or(ParseError { line: ctx.line, msg: "br needs `?`".into() })?;
+        let (a, b) = arms
+            .split_once(':')
+            .ok_or(ParseError { line: ctx.line, msg: "br needs `:`".into() })?;
+        return Ok(Some(Terminator::Branch {
+            cond: parse_operand(c, ctx)?,
+            on_true: parse_block_ref(a.trim(), ctx.line)?,
+            on_false: parse_block_ref(b.trim(), ctx.line)?,
+        }));
+    }
+    if t == "ret" {
+        return Ok(Some(Terminator::Return(None)));
+    }
+    if let Some(rest) = t.strip_prefix("ret ") {
+        return Ok(Some(Terminator::Return(Some(parse_operand(rest, ctx)?))));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interp, MemoryImage};
+
+    const SAXPY: &str = r#"
+mem a: f64[16]
+
+fn saxpy(v0: i64, v1: f64) -> f64 {
+  locals v2: i64, v3: f64, v4: f64
+b0: (entry)
+  v3 = 0.0
+  v2 = 0
+  jump b1
+b1:
+  v2 = add v2, 0
+  jump b2
+b2:
+  ret v3
+}
+"#;
+
+    #[test]
+    fn parses_and_validates() {
+        let prog = parse_program(SAXPY).unwrap();
+        assert_eq!(prog.mems.len(), 1);
+        assert_eq!(prog.funcs.len(), 1);
+        crate::validate_program(&prog).unwrap();
+        let f = &prog.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.num_blocks(), 3);
+    }
+
+    #[test]
+    fn executes_parsed_function() {
+        let src = r#"
+mem a: i64[8]
+
+fn sum(v0: i64) -> i64 {
+  locals v1: i64, v2: i64, v3: i64, v4: i64
+b0: (entry)
+  v2 = 0
+  v1 = 0
+  jump b1
+b1:
+  v3 = lt v1, v0
+  br v3 ? b2 : b3
+b2:
+  v4 = load a[v1]
+  v2 = add v2, v4
+  v1 = add v1, 1
+  jump b1
+b3:
+  ret v2
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        crate::validate_program(&prog).unwrap();
+        let mut mem = MemoryImage::new(&prog);
+        for i in 0..8 {
+            mem.store(MemId(0), i, Value::I64(i + 1));
+        }
+        let out = Interp::default()
+            .run(&prog, FuncId(0), &[Value::I64(8)], &mut mem)
+            .unwrap();
+        assert_eq!(out.ret, Some(Value::I64(36)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "mem a: i64[8]\n\nfn f() {\nb0: (entry)\n  v0 = frobnicate v1\n  ret\n}\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.msg.contains("frobnicate") || e.msg.contains("operand"), "{e}");
+    }
+
+    #[test]
+    fn display_roundtrip_simple() {
+        let prog = parse_program(SAXPY).unwrap();
+        // Re-render and re-parse: identical structure.
+        let mut text = String::new();
+        for (mi, m) in prog.mems.iter().enumerate() {
+            text.push_str(&format!("mem m{mi}: {}[{}]\n", m.elem, m.len));
+        }
+        for f in &prog.funcs {
+            text.push_str(&format!("{f}\n"));
+        }
+        let prog2 = parse_program(&text).unwrap();
+        assert_eq!(prog.funcs[0].blocks, prog2.funcs[0].blocks);
+        assert_eq!(prog.funcs[0].params, prog2.funcs[0].params);
+    }
+
+    #[test]
+    fn named_function_calls_resolve() {
+        let src = r#"
+fn helper(v0: i64) -> i64 {
+b0: (entry)
+  ret v0
+}
+
+fn main() -> i64 {
+  locals v0: i64
+b0: (entry)
+  v0 = call helper(41)
+  v0 = add v0, 1
+  ret v0
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        crate::validate_program(&prog).unwrap();
+        let mut mem = MemoryImage::new(&prog);
+        let out = Interp::default().run(&prog, FuncId(1), &[], &mut mem).unwrap();
+        assert_eq!(out.ret, Some(Value::I64(42)));
+    }
+}

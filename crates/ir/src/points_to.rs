@@ -1,0 +1,248 @@
+//! Simple flow-insensitive points-to analysis for pointer variables.
+//!
+//! The paper (§2.2) notes that "simple points-to analysis is sufficient"
+//! to classify pointer-based references as scalar context variables: a
+//! memory reference through a pointer that is not changed within the tuning
+//! section behaves like a named scalar. We implement an
+//! Andersen-style-but-tiny analysis: pointer facts are `AddrOf` statements
+//! and copies; everything else makes a pointer ⊤ (may point anywhere).
+
+use crate::dataflow::BitSet;
+use crate::func::Function;
+use crate::stmt::{Rvalue, Stmt};
+use crate::types::{MemId, Operand, VarId};
+
+/// Points-to facts for one function.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    /// For each variable: `None` = ⊤ (unknown / any region), `Some(set)` =
+    /// may point only into these regions. Non-pointer variables have empty
+    /// sets.
+    sets: Vec<Option<BitSet>>,
+    /// Whether the variable is ever reassigned after its first definition
+    /// (used by context-variable analysis: "pointers that are not changed
+    /// within the tuning section").
+    pub def_count: Vec<u32>,
+    num_mems_hint: usize,
+}
+
+impl PointsTo {
+    /// Run the analysis on `f`. Region universe is discovered from
+    /// `AddrOf` sites; `may_point_to` widens ⊤ to the caller-supplied
+    /// region count.
+    pub fn build(f: &Function) -> Self {
+        // Find universe: max MemId mentioned in AddrOf.
+        let mut max_mem = 0usize;
+        for b in f.block_ids() {
+            for s in &f.block(b).stmts {
+                if let Stmt::Assign { rv: Rvalue::AddrOf(m, _), .. } = s {
+                    max_mem = max_mem.max(m.index() + 1);
+                }
+            }
+        }
+        let nv = f.num_vars();
+        let mut sets: Vec<Option<BitSet>> = vec![Some(BitSet::new(max_mem)); nv];
+        let mut def_count = vec![0u32; nv];
+        // Parameters of pointer type are ⊤: the caller decides.
+        for &p in &f.params {
+            if f.var_ty(p) == crate::types::Type::Ptr {
+                sets[p.index()] = None;
+            }
+        }
+        // Flow-insensitive fixpoint over copy/addr-of edges.
+        let mut changed = true;
+        let mut first_pass = true;
+        while changed {
+            changed = false;
+            for b in f.block_ids() {
+                for s in &f.block(b).stmts {
+                    let Stmt::Assign { dst, rv } = s else { continue };
+                    if first_pass {
+                        def_count[dst.index()] += 1;
+                    }
+                    match rv {
+                        Rvalue::AddrOf(m, _) => {
+                            changed |= add_region(&mut sets, *dst, *m);
+                        }
+                        Rvalue::Use(Operand::Var(src))
+                        | Rvalue::Binary(crate::types::BinOp::PtrAdd, Operand::Var(src), _)
+                        | Rvalue::Select {
+                            on_true: Operand::Var(src),
+                            ..
+                        } => {
+                            changed |= merge(&mut sets, *dst, *src);
+                            // Select's false arm handled below.
+                            if let Rvalue::Select { on_false: Operand::Var(src2), .. } = rv {
+                                changed |= merge(&mut sets, *dst, *src2);
+                            }
+                        }
+                        Rvalue::Load(_) | Rvalue::Call { .. }
+                            // Pointer loaded from memory or returned from a
+                            // call: unknown.
+                            if f.var_ty(*dst) == crate::types::Type::Ptr
+                                && sets[dst.index()].is_some()
+                            => {
+                                sets[dst.index()] = None;
+                                changed = true;
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            first_pass = false;
+        }
+        PointsTo { sets, def_count, num_mems_hint: max_mem }
+    }
+
+    /// Regions `v` may point into; `num_mems` bounds the answer for ⊤.
+    pub fn may_point_to(&self, v: VarId, num_mems: usize) -> Vec<MemId> {
+        match &self.sets[v.index()] {
+            Some(s) => s.iter().map(|i| MemId(i as u32)).collect(),
+            None => (0..num_mems as u32).map(MemId).collect(),
+        }
+    }
+
+    /// Whether the analysis has an exact (non-⊤) answer for `v`.
+    pub fn is_precise(&self, v: VarId) -> bool {
+        self.sets[v.index()].is_some()
+    }
+
+    /// Whether `v` is assigned at most once in the function body (the
+    /// "pointer not changed within the TS" condition of paper §2.2).
+    pub fn is_single_def(&self, v: VarId) -> bool {
+        self.def_count[v.index()] <= 1
+    }
+
+    /// Whether two pointer variables can be proven to never alias
+    /// (disjoint points-to sets, both precise). Used by the
+    /// `strict-aliasing` flag's register-promotion legality check: under
+    /// strict aliasing the optimizer *assumes* no alias when regions have
+    /// distinct declared types, even without this proof — that assumption
+    /// is exactly what hurts ART (paper §5.2).
+    pub fn provably_no_alias(&self, a: VarId, b: VarId) -> bool {
+        match (&self.sets[a.index()], &self.sets[b.index()]) {
+            (Some(sa), Some(sb)) => {
+                let mut inter = sa.clone();
+                // Widen to common universe if needed.
+                if sa.universe() == sb.universe() {
+                    inter.intersect_with(sb);
+                    inter.is_empty()
+                } else {
+                    let sa_v: Vec<_> = sa.iter().collect();
+                    !sa_v.iter().any(|i| *i < sb.universe() && sb.contains(*i))
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Universe size discovered from the function body.
+    pub fn discovered_regions(&self) -> usize {
+        self.num_mems_hint
+    }
+}
+
+fn add_region(sets: &mut [Option<BitSet>], dst: VarId, m: MemId) -> bool {
+    match &mut sets[dst.index()] {
+        Some(s) => {
+            if m.index() >= s.universe() {
+                // Shouldn't happen: universe covers all AddrOf regions.
+                return false;
+            }
+            s.insert(m.index())
+        }
+        None => false,
+    }
+}
+
+fn merge(sets: &mut [Option<BitSet>], dst: VarId, src: VarId) -> bool {
+    if dst == src {
+        return false;
+    }
+    let src_set = sets[src.index()].clone();
+    match (&mut sets[dst.index()], src_set) {
+        (Some(d), Some(s)) => d.union_with(&s),
+        (Some(_), None) => {
+            sets[dst.index()] = None;
+            true
+        }
+        (None, _) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::stmt::MemRef;
+    use crate::types::{BinOp, MemId, Type};
+
+    #[test]
+    fn addr_of_gives_precise_set() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.addr_of(MemId(2), 0i64);
+        let q = b.binary(BinOp::PtrAdd, p, 4i64);
+        b.ret(None);
+        let f = b.finish();
+        let pts = PointsTo::build(&f);
+        assert!(pts.is_precise(p));
+        assert_eq!(pts.may_point_to(q, 8), vec![MemId(2)]);
+        assert!(pts.is_single_def(p));
+    }
+
+    #[test]
+    fn pointer_param_is_top() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param("p", Type::Ptr);
+        b.ret(None);
+        let f = b.finish();
+        let pts = PointsTo::build(&f);
+        assert!(!pts.is_precise(p));
+        assert_eq!(pts.may_point_to(p, 3).len(), 3, "⊤ widens to all regions");
+    }
+
+    #[test]
+    fn loaded_pointer_is_top() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.load(Type::Ptr, MemRef::global(MemId(0), 0i64));
+        b.ret(None);
+        let f = b.finish();
+        let pts = PointsTo::build(&f);
+        assert!(!pts.is_precise(p));
+    }
+
+    #[test]
+    fn merge_through_select() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.addr_of(MemId(0), 0i64);
+        let q = b.addr_of(MemId(1), 0i64);
+        let r = b.temp(Type::Ptr);
+        b.assign(
+            r,
+            crate::stmt::Rvalue::Select {
+                cond: 1i64.into(),
+                on_true: p.into(),
+                on_false: q.into(),
+            },
+        );
+        b.ret(None);
+        let f = b.finish();
+        let pts = PointsTo::build(&f);
+        assert_eq!(pts.may_point_to(r, 4), vec![MemId(0), MemId(1)]);
+        assert!(pts.provably_no_alias(p, q));
+        assert!(!pts.provably_no_alias(p, r));
+    }
+
+    #[test]
+    fn reassigned_pointer_not_single_def() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.temp(Type::Ptr);
+        b.assign(p, crate::stmt::Rvalue::AddrOf(MemId(0), 0i64.into()));
+        b.assign(p, crate::stmt::Rvalue::AddrOf(MemId(1), 0i64.into()));
+        b.ret(None);
+        let f = b.finish();
+        let pts = PointsTo::build(&f);
+        assert!(!pts.is_single_def(p));
+        assert_eq!(pts.may_point_to(p, 4), vec![MemId(0), MemId(1)]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Reaching definitions and use-def chains.
+//!
+//! The context-variable analysis of the paper (Figure 1) is phrased in
+//! terms of `Find_UD_Chain(v, s)`: the definitions of `v` that may reach
+//! statement `s`. We provide exactly that query. Every variable has a
+//! synthetic *entry definition* representing its value at function entry;
+//! a UD chain that reaches the entry definition corresponds to the paper's
+//! "`m` is the entry statement", i.e. `v ∈ Input(TS)`.
+
+use crate::cfg::Cfg;
+use crate::dataflow::BitSet;
+use crate::func::Function;
+use crate::types::{BlockId, VarId};
+
+/// Identifies one definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefSite {
+    /// The variable's value at function entry (parameter or default-zero).
+    Entry(VarId),
+    /// A `Stmt::Assign` at `block.stmts[stmt]`.
+    Stmt {
+        /// Defining block.
+        block: BlockId,
+        /// Statement index within the block.
+        stmt: usize,
+    },
+}
+
+/// A location where a variable is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UseSite {
+    /// Use inside `block.stmts[stmt]`.
+    Stmt {
+        /// Block containing the use.
+        block: BlockId,
+        /// Statement index.
+        stmt: usize,
+    },
+    /// Use in the block terminator.
+    Term {
+        /// Block whose terminator uses the variable.
+        block: BlockId,
+    },
+}
+
+/// Reaching-definitions solution for one function.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// All definition sites; index = def id. The first `num_vars` entries
+    /// are the entry definitions, in variable order.
+    pub defs: Vec<DefSite>,
+    /// Defined variable per def id.
+    pub def_var: Vec<VarId>,
+    /// Def ids reaching each block entry.
+    pub reach_in: Vec<BitSet>,
+    num_vars: usize,
+}
+
+impl ReachingDefs {
+    /// Solve reaching definitions for `f`.
+    pub fn build(f: &Function, cfg: &Cfg) -> Self {
+        let nv = f.num_vars();
+        let mut defs: Vec<DefSite> = (0..nv).map(|i| DefSite::Entry(VarId(i as u32))).collect();
+        let mut def_var: Vec<VarId> = (0..nv).map(|i| VarId(i as u32)).collect();
+        // Enumerate statement defs.
+        for b in f.block_ids() {
+            for (si, s) in f.block(b).stmts.iter().enumerate() {
+                if let Some(d) = s.def() {
+                    defs.push(DefSite::Stmt { block: b, stmt: si });
+                    def_var.push(d);
+                }
+            }
+        }
+        let nd = defs.len();
+        // defs-of-var index for kill sets.
+        let mut defs_of_var: Vec<Vec<usize>> = vec![Vec::new(); nv];
+        for (id, &v) in def_var.iter().enumerate() {
+            defs_of_var[v.index()].push(id);
+        }
+        // Per-block gen/kill.
+        let nb = f.num_blocks();
+        let mut gen = vec![BitSet::new(nd); nb];
+        let mut kill = vec![BitSet::new(nd); nb];
+        {
+            // Map (block, stmt) -> def id for quick lookup.
+            let mut next_id = nv;
+            for b in f.block_ids() {
+                let bi = b.index();
+                for s in &f.block(b).stmts {
+                    if let Some(d) = s.def() {
+                        let id = next_id;
+                        next_id += 1;
+                        // This def kills all other defs of d and gens itself.
+                        for &other in &defs_of_var[d.index()] {
+                            if other != id {
+                                kill[bi].insert(other);
+                            }
+                        }
+                        // Later defs in the same block overwrite: remove
+                        // previous gens of d.
+                        for &other in &defs_of_var[d.index()] {
+                            if other != id {
+                                gen[bi].remove(other);
+                            }
+                        }
+                        gen[bi].insert(id);
+                        kill[bi].remove(id);
+                    }
+                }
+            }
+        }
+        // Forward union dataflow; entry block starts with entry defs.
+        let mut reach_in = vec![BitSet::new(nd); nb];
+        let mut reach_out = vec![BitSet::new(nd); nb];
+        for i in 0..nv {
+            reach_in[f.entry.index()].insert(i);
+        }
+        let mut changed = true;
+        let mut tmp = BitSet::new(nd);
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                let bi = b.index();
+                tmp.copy_from(&reach_in[bi]);
+                for &p in &cfg.preds[bi] {
+                    tmp.union_with(&reach_out[p.index()]);
+                }
+                if b == f.entry {
+                    for i in 0..nv {
+                        tmp.insert(i);
+                    }
+                }
+                if reach_in[bi] != tmp {
+                    reach_in[bi].copy_from(&tmp);
+                    changed = true;
+                }
+                // out = gen ∪ (in − kill)
+                tmp.subtract(&kill[bi]);
+                tmp.union_with(&gen[bi]);
+                if reach_out[bi] != tmp {
+                    reach_out[bi].copy_from(&tmp);
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs { defs, def_var, reach_in, num_vars: nv }
+    }
+
+    /// The paper's `Find_UD_Chain(v, s)`: definition sites of `v` that may
+    /// reach the use site `site`.
+    pub fn ud_chain(&self, f: &Function, v: VarId, site: UseSite) -> Vec<DefSite> {
+        let (block, before_stmt) = match site {
+            UseSite::Stmt { block, stmt } => (block, stmt),
+            UseSite::Term { block } => (block, f.block(block).stmts.len()),
+        };
+        // Walk the block from the top, tracking the last local def of v.
+        let mut local: Option<DefSite> = None;
+        for (si, s) in f.block(block).stmts.iter().take(before_stmt).enumerate() {
+            if s.def() == Some(v) {
+                local = Some(DefSite::Stmt { block, stmt: si });
+            }
+        }
+        if let Some(d) = local {
+            return vec![d];
+        }
+        // Otherwise all reaching defs of v at block entry.
+        self.reach_in[block.index()]
+            .iter()
+            .filter(|&id| self.def_var[id] == v)
+            .map(|id| self.defs[id])
+            .collect()
+    }
+
+    /// Number of variables (entry-def prefix length).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{BinOp, Operand, Type};
+
+    #[test]
+    fn single_def_reaches_use() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.var("x", Type::I64);
+        b.copy(x, 1i64); // def at (b0, s0)
+        let y = b.binary(BinOp::Add, x, 2i64); // use at (b0, s1)
+        b.ret(Some(Operand::Var(y)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let rd = ReachingDefs::build(&f, &cfg);
+        let chain = rd.ud_chain(&f, x, UseSite::Stmt { block: BlockId(0), stmt: 1 });
+        assert_eq!(chain, vec![DefSite::Stmt { block: BlockId(0), stmt: 0 }]);
+    }
+
+    #[test]
+    fn param_use_reaches_entry() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let y = b.binary(BinOp::Add, p, 1i64);
+        b.ret(Some(Operand::Var(y)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let rd = ReachingDefs::build(&f, &cfg);
+        let chain = rd.ud_chain(&f, p, UseSite::Stmt { block: BlockId(0), stmt: 0 });
+        assert_eq!(chain, vec![DefSite::Entry(p)]);
+    }
+
+    #[test]
+    fn merge_of_two_defs_at_join() {
+        // if (p) x = 1 else x = 2; use x at join terminator.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let x = b.var("x", Type::I64);
+        b.if_then_else(p, |b| b.copy(x, 1i64), |b| b.copy(x, 2i64));
+        b.ret(Some(Operand::Var(x)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let rd = ReachingDefs::build(&f, &cfg);
+        let join = BlockId(3);
+        let chain = rd.ud_chain(&f, x, UseSite::Term { block: join });
+        assert_eq!(chain.len(), 2, "both branch defs reach the join: {chain:?}");
+        assert!(chain.iter().all(|d| matches!(d, DefSite::Stmt { .. })));
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_header() {
+        // acc defined before loop and in body; both reach the header use.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        b.ret(Some(Operand::Var(acc)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let rd = ReachingDefs::build(&f, &cfg);
+        // In the body block (2), the use of acc in `acc = acc + i` sees two
+        // defs: the init in entry and the body def itself (loop carried).
+        let chain = rd.ud_chain(&f, acc, UseSite::Stmt { block: BlockId(2), stmt: 0 });
+        assert_eq!(chain.len(), 2, "{chain:?}");
+    }
+
+    #[test]
+    fn local_redefinition_shadows() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.var("x", Type::I64);
+        b.copy(x, 1i64);
+        b.copy(x, 2i64);
+        let y = b.binary(BinOp::Add, x, 0i64);
+        b.ret(Some(Operand::Var(y)));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let rd = ReachingDefs::build(&f, &cfg);
+        let chain = rd.ud_chain(&f, x, UseSite::Stmt { block: BlockId(0), stmt: 2 });
+        assert_eq!(chain, vec![DefSite::Stmt { block: BlockId(0), stmt: 1 }]);
+    }
+}

@@ -1,0 +1,451 @@
+//! Counted-loop recognition and symbolic trip-count expressions.
+//!
+//! MBR (paper §2.3) obtains block-entry expressions "by compile-time
+//! analysis … if the code structure is regular, such as the loop body of a
+//! perfectly nested loop. Otherwise, it instruments the relevant blocks
+//! with counters." This module provides the compile-time side: for loops of
+//! the canonical shape `for (iv = start; iv < end; iv += step)` it derives
+//! a symbolic count `max(0, ceil((end − start)/step))` over values known at
+//! TS entry, letting the instrumenter skip those blocks.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::loops::{Loop, LoopForest};
+use crate::stmt::{Rvalue, Stmt, Terminator};
+use crate::types::{BinOp, BlockId, Operand, Value, VarId};
+
+/// A symbolic count expression over TS-entry variable values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CountExpr {
+    /// Constant.
+    Const(i64),
+    /// Value of a variable at TS entry (parameters for extracted TSs).
+    EntryVar(VarId),
+    /// Sum.
+    Add(Box<CountExpr>, Box<CountExpr>),
+    /// Difference.
+    Sub(Box<CountExpr>, Box<CountExpr>),
+    /// Product (nested-loop trip counts multiply).
+    Mul(Box<CountExpr>, Box<CountExpr>),
+    /// `ceil(e / k)` with positive constant `k`.
+    DivCeil(Box<CountExpr>, i64),
+    /// `max(0, e)` — zero-trip loops execute their body zero times.
+    Max0(Box<CountExpr>),
+}
+
+impl CountExpr {
+    /// Evaluate given the TS-entry value of each variable. Returns `None`
+    /// if a referenced variable has a non-integer entry value.
+    pub fn eval(&self, entry: &dyn Fn(VarId) -> Option<Value>) -> Option<i64> {
+        Some(match self {
+            CountExpr::Const(c) => *c,
+            CountExpr::EntryVar(v) => match entry(*v)? {
+                Value::I64(x) => x,
+                _ => return None,
+            },
+            CountExpr::Add(a, b) => a.eval(entry)?.checked_add(b.eval(entry)?)?,
+            CountExpr::Sub(a, b) => a.eval(entry)?.checked_sub(b.eval(entry)?)?,
+            CountExpr::Mul(a, b) => a.eval(entry)?.checked_mul(b.eval(entry)?)?,
+            CountExpr::DivCeil(a, k) => {
+                let x = a.eval(entry)?;
+                debug_assert!(*k > 0);
+                x.div_euclid(*k) + i64::from(x.rem_euclid(*k) != 0)
+            }
+            CountExpr::Max0(a) => a.eval(entry)?.max(0),
+        })
+    }
+
+    /// Variables this expression reads.
+    pub fn entry_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            CountExpr::Const(_) => {}
+            CountExpr::EntryVar(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            CountExpr::Add(a, b) | CountExpr::Sub(a, b) | CountExpr::Mul(a, b) => {
+                a.entry_vars(out);
+                b.entry_vars(out);
+            }
+            CountExpr::DivCeil(a, _) | CountExpr::Max0(a) => a.entry_vars(out),
+        }
+    }
+}
+
+/// A recognized counted loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountedLoop {
+    /// Loop header block.
+    pub header: BlockId,
+    /// Induction variable.
+    pub iv: VarId,
+    /// Entry-symbolic trip count of the loop *relative to one entry of its
+    /// preheader* (not multiplied by outer-loop trips).
+    pub trips: CountExpr,
+    /// Constant step.
+    pub step: i64,
+    /// Start operand (constant or entry variable).
+    pub start: Operand,
+    /// Bound operand.
+    pub end: Operand,
+}
+
+/// Try to recognize `l` as a canonical counted loop within `f`.
+///
+/// Requirements (the shape [`crate::builder::FunctionBuilder::for_loop`]
+/// emits, before optimization):
+/// * single latch whose last assignment is `iv = iv + step` (const step > 0)
+/// * header terminator `br (iv < end) ? body : exit`, with the comparison
+///   defined in the header from `iv` and a loop-invariant `end`
+/// * `start` from the preheader's last assignment to `iv`, which must be a
+///   constant or a variable unmodified anywhere in the function body
+///   (so its entry value is the start value)
+pub fn recognize_counted(f: &Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
+    if l.latches.len() != 1 {
+        return None;
+    }
+    let header = f.block(l.header);
+    // Header: `c = lt iv, end` as last stmt; `br c ? body : exit`.
+    let Terminator::Branch { cond: Operand::Var(c), on_true, on_false } = header.term else {
+        return None;
+    };
+    if l.contains(on_false) || !l.contains(on_true) {
+        // `for_loop` exits on false edge.
+        return None;
+    }
+    let last = header.stmts.last()?;
+    let Stmt::Assign { dst, rv: Rvalue::Binary(BinOp::Lt, Operand::Var(iv), end) } = last else {
+        return None;
+    };
+    if *dst != c {
+        return None;
+    }
+    let iv = *iv;
+    let end = *end;
+    // Latch: last assign to iv is `iv = iv + k`.
+    let latch = f.block(l.latches[0]);
+    let step = latch.stmts.iter().rev().find_map(|s| match s {
+        Stmt::Assign { dst, rv: Rvalue::Binary(BinOp::Add, Operand::Var(a), Operand::Const(Value::I64(k))) }
+            if *dst == iv && *a == iv =>
+        {
+            Some(*k)
+        }
+        _ => None,
+    })?;
+    if step <= 0 {
+        return None;
+    }
+    // iv must not be defined elsewhere in the loop (other than the latch).
+    for &b in &l.body {
+        if b == l.latches[0] {
+            continue;
+        }
+        for s in &f.block(b).stmts {
+            if s.def() == Some(iv) {
+                return None;
+            }
+        }
+    }
+    // `end` must be loop-invariant.
+    if let Operand::Var(e) = end {
+        for &b in &l.body {
+            for s in &f.block(b).stmts {
+                if s.def() == Some(e) {
+                    return None;
+                }
+            }
+        }
+    }
+    // Preheader: the unique out-of-loop predecessor of the header.
+    let mut pre: Option<BlockId> = None;
+    for &p in &cfg.preds[l.header.index()] {
+        if !l.contains(p) {
+            if pre.is_some() {
+                return None;
+            }
+            pre = Some(p);
+        }
+    }
+    let pre = pre?;
+    // Start value: last assignment to iv in the preheader, walking up a
+    // chain of straight-line predecessors if needed (register promotion
+    // and similar passes insert guard/landing blocks between the iv
+    // initialization and the header).
+    let mut search = pre;
+    let mut start = None;
+    for _ in 0..6 {
+        start = f.block(search).stmts.iter().rev().find_map(|s| match s {
+            Stmt::Assign { dst, rv: Rvalue::Use(op) } if *dst == iv => Some(*op),
+            Stmt::Assign { dst, .. } if *dst == iv => Some(Operand::Var(iv)), // opaque
+            _ => None,
+        });
+        if start.is_some() {
+            break;
+        }
+        // Move to a unique predecessor.
+        let mut preds = f.block_ids().filter(|&b| {
+            f.block(b).term.successors().any(|s| s == search)
+        });
+        let (Some(p), None) = (preds.next(), preds.next()) else { break };
+        search = p;
+    }
+    let start = start?;
+    let dom = crate::cfg::Dominators::build(f, cfg);
+    let start_e = entry_expr(f, &dom, l.header, start, 5)?;
+    let end_e = entry_expr(f, &dom, l.header, end, 5)?;
+    let trips = CountExpr::Max0(Box::new(CountExpr::DivCeil(
+        Box::new(CountExpr::Sub(Box::new(end_e), Box::new(start_e))),
+        step,
+    )));
+    Some(CountedLoop { header: l.header, iv, trips, step, start, end })
+}
+
+/// Express an operand's value at entry of `anchor` as a [`CountExpr`]
+/// over TS-entry variables: constants, never-assigned variables (params),
+/// and single-def chains of ±/× whose definitions dominate `anchor`
+/// (e.g. `bound = n - 1` computed before the loop).
+fn entry_expr(
+    f: &Function,
+    dom: &crate::cfg::Dominators,
+    anchor: BlockId,
+    op: Operand,
+    depth: u32,
+) -> Option<CountExpr> {
+    if depth == 0 {
+        return None;
+    }
+    match op {
+        Operand::Const(Value::I64(k)) => Some(CountExpr::Const(k)),
+        Operand::Var(v) => {
+            // Find defs of v.
+            let mut def: Option<(BlockId, usize)> = None;
+            for b in f.block_ids() {
+                for (si, s) in f.block(b).stmts.iter().enumerate() {
+                    if s.def() == Some(v) {
+                        if def.is_some() {
+                            return None; // multi-def
+                        }
+                        def = Some((b, si));
+                    }
+                }
+            }
+            let Some((db, dsi)) = def else {
+                // Never assigned: value is the TS-entry value.
+                return Some(CountExpr::EntryVar(v));
+            };
+            // The single def must dominate the anchor so its value is
+            // fixed before the loop runs.
+            if db == anchor || !dom.dominates(db, anchor) {
+                return None;
+            }
+            let Stmt::Assign { rv, .. } = &f.block(db).stmts[dsi] else { return None };
+            match rv {
+                Rvalue::Use(inner) => entry_expr(f, dom, anchor, *inner, depth - 1),
+                Rvalue::Binary(BinOp::Add, a, b) => Some(CountExpr::Add(
+                    Box::new(entry_expr(f, dom, anchor, *a, depth - 1)?),
+                    Box::new(entry_expr(f, dom, anchor, *b, depth - 1)?),
+                )),
+                Rvalue::Binary(BinOp::Sub, a, b) => Some(CountExpr::Sub(
+                    Box::new(entry_expr(f, dom, anchor, *a, depth - 1)?),
+                    Box::new(entry_expr(f, dom, anchor, *b, depth - 1)?),
+                )),
+                Rvalue::Binary(BinOp::Mul, a, b) => Some(CountExpr::Mul(
+                    Box::new(entry_expr(f, dom, anchor, *a, depth - 1)?),
+                    Box::new(entry_expr(f, dom, anchor, *b, depth - 1)?),
+                )),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Recognize every counted loop in the function. For a block, the total
+/// entry count per TS invocation is the product of the trip counts of all
+/// enclosing counted loops — callers combine via [`LoopForest`] nesting.
+pub fn recognize_all(f: &Function, cfg: &Cfg, forest: &LoopForest) -> Vec<Option<CountedLoop>> {
+    forest
+        .loops
+        .iter()
+        .map(|l| recognize_counted(f, cfg, l))
+        .collect()
+}
+
+/// Per-invocation entry-count expression for `block`, if all enclosing
+/// loops are counted with entry-symbolic trips *and* the block executes
+/// exactly once per iteration of its innermost loop (it dominates the
+/// latch — conditionally guarded blocks do not qualify). Blocks outside
+/// loops get `Const(1)`. Returns `None` when the structure is irregular —
+/// the MBR instrumenter then falls back to a counter (paper §2.3).
+pub fn block_count_expr(
+    f: &Function,
+    dom: &crate::cfg::Dominators,
+    forest: &LoopForest,
+    counted: &[Option<CountedLoop>],
+    block: BlockId,
+) -> Option<CountExpr> {
+    let mut expr = CountExpr::Const(1);
+    let mut cur = forest.innermost[block.index()];
+    let mut innermost_handled = false;
+    while let Some(li) = cur {
+        let cl = counted[li].as_ref()?;
+        let l = &forest.loops[li];
+        // Early exits (breaks) make the trip count an upper bound only:
+        // every non-header block must stay inside the loop.
+        for &b in &l.body {
+            if b == l.header {
+                continue;
+            }
+            if f.block(b).term.successors().any(|s| !l.contains(s)) {
+                return None;
+            }
+        }
+        if !innermost_handled {
+            innermost_handled = true;
+            if block == l.header {
+                // The header runs trips+1 times per preheader entry; the +1
+                // is multiplied by all outer trips as the walk continues.
+                expr = CountExpr::Add(
+                    Box::new(expr_mul(expr, cl.trips.clone())),
+                    Box::new(CountExpr::Const(1)),
+                );
+                cur = l.parent;
+                continue;
+            }
+            // Once-per-iteration check: every iteration passes through the
+            // latch, so a block dominating the latch runs exactly once per
+            // iteration (given no early exits bypassing it, which the
+            // canonical `for_loop` shape guarantees).
+            if !(dom.dominates(block, l.latches[0]) || block == l.latches[0]) {
+                return None;
+            }
+        }
+        expr = expr_mul(expr, cl.trips.clone());
+        cur = l.parent;
+    }
+    Some(expr)
+}
+
+fn expr_mul(a: CountExpr, b: CountExpr) -> CountExpr {
+    match (&a, &b) {
+        (CountExpr::Const(1), _) => b,
+        (_, CountExpr::Const(1)) => a,
+        _ => CountExpr::Mul(Box::new(a), Box::new(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::cfg::Dominators;
+    use crate::types::Type;
+
+    fn analyze(f: &Function) -> (Cfg, LoopForest) {
+        let cfg = Cfg::build(f);
+        let dom = Dominators::build(f, &cfg);
+        let forest = LoopForest::build(f, &cfg, &dom);
+        (cfg, forest)
+    }
+
+    #[test]
+    fn simple_counted_loop_recognized() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let (cfg, forest) = analyze(&f);
+        let cl = recognize_counted(&f, &cfg, &forest.loops[0]).expect("recognized");
+        assert_eq!(cl.iv, i);
+        assert_eq!(cl.step, 1);
+        let trips = cl.trips.eval(&|v| (v == n).then_some(Value::I64(17)));
+        assert_eq!(trips, Some(17));
+        let zero = cl.trips.eval(&|v| (v == n).then_some(Value::I64(-3)));
+        assert_eq!(zero, Some(0), "negative bound → zero trips");
+    }
+
+    #[test]
+    fn strided_loop_ceil_division() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 3, |_| {});
+        b.ret(None);
+        let f = b.finish();
+        let (cfg, forest) = analyze(&f);
+        let cl = recognize_counted(&f, &cfg, &forest.loops[0]).unwrap();
+        assert_eq!(cl.trips.eval(&|_| Some(Value::I64(10))), Some(4)); // ceil(10/3)
+        assert_eq!(cl.trips.eval(&|_| Some(Value::I64(9))), Some(3));
+    }
+
+    #[test]
+    fn data_dependent_while_not_counted() {
+        let mut b = FunctionBuilder::new("f", None);
+        let x = b.param("x", Type::I64);
+        b.while_loop(
+            |b| b.binary(BinOp::Gt, x, 0i64).into(),
+            |b| {
+                b.binary_into(x, BinOp::Shr, x, 1i64);
+            },
+        );
+        b.ret(None);
+        let f = b.finish();
+        let (cfg, forest) = analyze(&f);
+        assert!(recognize_counted(&f, &cfg, &forest.loops[0]).is_none());
+    }
+
+    #[test]
+    fn nested_loop_body_count_is_product() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let m = b.param("m", Type::I64);
+        let i = b.var("i", Type::I64);
+        let j = b.var("j", Type::I64);
+        let mut inner_body = BlockId(0);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.for_loop(j, 0i64, m, 1, |b| {
+                inner_body = b.current_block();
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let (cfg, forest) = analyze(&f);
+        let dom = Dominators::build(&f, &cfg);
+        let counted = recognize_all(&f, &cfg, &forest);
+        assert!(counted.iter().all(|c| c.is_some()));
+        let expr =
+            block_count_expr(&f, &dom, &forest, &counted, inner_body).expect("regular nest");
+        let val = expr.eval(&|v| {
+            Some(Value::I64(if v == n { 4 } else if v == m { 5 } else { 0 }))
+        });
+        assert_eq!(val, Some(20));
+    }
+
+    #[test]
+    fn trip_count_of_inner_loop_unaffected_by_outer_redefinition_of_iv() {
+        // Inner loop bound defined by outer loop's body -> not
+        // entry-symbolic -> block_count_expr returns None.
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let j = b.var("j", Type::I64);
+        let mut inner_body = BlockId(0);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            // bound = i (varies per outer iteration)
+            b.for_loop(j, 0i64, i, 1, |b| {
+                inner_body = b.current_block();
+            });
+        });
+        b.ret(None);
+        let f = b.finish();
+        let (cfg, forest) = analyze(&f);
+        let dom = Dominators::build(&f, &cfg);
+        let counted = recognize_all(&f, &cfg, &forest);
+        // Inner loop bound `i` is redefined (it's the outer iv) → inner not
+        // entry-symbolic.
+        assert!(block_count_expr(&f, &dom, &forest, &counted, inner_body).is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! IR well-formedness validation.
+//!
+//! Run after construction and after every optimizer pass (in debug builds)
+//! to catch malformed IR early: dangling ids, type mismatches, uses of
+//! never-assigned locals, malformed terminators.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::program::Program;
+use crate::stmt::{MemBase, MemRef, Rvalue, Stmt, Terminator};
+use crate::types::{BinOp, FuncId, Operand, Type, UnOp, VarId};
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function where the failure occurred.
+    pub func: String,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "in {}: {}", self.func, self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a whole program.
+pub fn validate_program(prog: &Program) -> Result<(), ValidateError> {
+    for (i, _) in prog.funcs.iter().enumerate() {
+        validate_function(prog, FuncId(i as u32))?;
+    }
+    Ok(())
+}
+
+/// Validate one function.
+pub fn validate_function(prog: &Program, func: FuncId) -> Result<(), ValidateError> {
+    let f = prog.func(func);
+    let err = |msg: String| ValidateError { func: f.name.clone(), msg };
+    let nv = f.num_vars();
+    let nb = f.num_blocks();
+    if f.entry.index() >= nb {
+        return Err(err("entry block out of range".into()));
+    }
+    for (pi, p) in f.params.iter().enumerate() {
+        if p.index() != pi {
+            return Err(err("params must be a prefix of the variable table".into()));
+        }
+    }
+    let check_var = |v: VarId| -> Result<Type, ValidateError> {
+        if v.index() >= nv {
+            return Err(err(format!("variable v{} out of range", v.0)));
+        }
+        Ok(f.var_ty(v))
+    };
+    let check_op = |op: &Operand| -> Result<Type, ValidateError> {
+        match op {
+            Operand::Var(v) => check_var(*v),
+            Operand::Const(c) => Ok(c.ty()),
+        }
+    };
+    let check_memref = |mr: &MemRef| -> Result<Type, ValidateError> {
+        if check_op(&mr.index)? != Type::I64 {
+            return Err(err(format!("non-integer subscript in {mr}")));
+        }
+        match mr.base {
+            MemBase::Global(m) => {
+                if m.index() >= prog.mems.len() {
+                    return Err(err(format!("region m{} out of range", m.0)));
+                }
+                Ok(prog.mems[m.index()].elem)
+            }
+            MemBase::Ptr(p) => {
+                if check_var(p)? != Type::Ptr {
+                    return Err(err(format!("indirect base v{} is not a pointer", p.0)));
+                }
+                // Element type through a pointer is checked dynamically by
+                // the buffer; statically we accept any.
+                Ok(Type::I64) // placeholder; callers use rvalue_ty instead
+            }
+        }
+    };
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        for s in &blk.stmts {
+            match s {
+                Stmt::Assign { dst, rv } => {
+                    let dt = check_var(*dst)?;
+                    if let Some(rt) = rvalue_ty(prog, f, rv, &check_op)? {
+                        // Loads via pointer have unknown static type.
+                        if rt != dt && !matches!(rv, Rvalue::Load(MemRef { base: MemBase::Ptr(_), .. })) {
+                            return Err(err(format!(
+                                "type mismatch: v{}:{dt} = {rv} of type {rt}",
+                                dst.0
+                            )));
+                        }
+                    }
+                    if let Rvalue::Load(mr) = rv {
+                        check_memref(mr)?;
+                        if let MemBase::Global(m) = mr.base {
+                            if prog.mems[m.index()].elem != dt {
+                                return Err(err(format!(
+                                    "load type mismatch: v{}:{dt} = load {mr}",
+                                    dst.0
+                                )));
+                            }
+                        }
+                    }
+                    if let Rvalue::Call { func: callee, args } = rv {
+                        check_call(prog, f, *callee, args, true).map_err(err)?;
+                        for a in args {
+                            check_op(a)?;
+                        }
+                    }
+                }
+                Stmt::Store { dst, src } => {
+                    check_memref(dst)?;
+                    let st = check_op(src)?;
+                    if let MemBase::Global(m) = dst.base {
+                        if prog.mems[m.index()].elem != st {
+                            return Err(err(format!("store type mismatch into {dst}")));
+                        }
+                    }
+                }
+                Stmt::CallVoid { func: callee, args } => {
+                    check_call(prog, f, *callee, args, false).map_err(err)?;
+                    for a in args {
+                        check_op(a)?;
+                    }
+                }
+                Stmt::Prefetch { addr } => {
+                    check_memref(addr)?;
+                }
+                Stmt::CounterInc { .. } => {}
+            }
+        }
+        match &blk.term {
+            Terminator::Jump(t) => {
+                if t.index() >= nb {
+                    return Err(err(format!("jump target b{} out of range", t.0)));
+                }
+            }
+            Terminator::Branch { cond, on_true, on_false } => {
+                check_op(cond)?;
+                if on_true.index() >= nb || on_false.index() >= nb {
+                    return Err(err("branch target out of range".into()));
+                }
+            }
+            Terminator::Return(v) => {
+                match (v, f.ret) {
+                    (Some(op), Some(rt)) => {
+                        let t = check_op(op)?;
+                        if t != rt {
+                            return Err(err(format!(
+                                "return type mismatch: {t} vs declared {rt}"
+                            )));
+                        }
+                    }
+                    (None, Some(_)) => {
+                        // Unsealed builder blocks default to bare `ret`;
+                        // only reachable ones are a problem.
+                        let cfg = Cfg::build(f);
+                        if cfg.is_reachable(b) {
+                            return Err(err(format!(
+                                "reachable bare return in value function at b{}",
+                                b.0
+                            )));
+                        }
+                    }
+                    (Some(_), None) => {
+                        return Err(err("value return in void function".into()))
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_call(
+    prog: &Program,
+    _f: &Function,
+    callee: FuncId,
+    args: &[Operand],
+    needs_value: bool,
+) -> Result<(), String> {
+    if callee.index() >= prog.funcs.len() {
+        return Err(format!("callee f{} out of range", callee.0));
+    }
+    let cf = prog.func(callee);
+    if cf.params.len() != args.len() {
+        return Err(format!(
+            "arity mismatch calling {}: {} args vs {} params",
+            cf.name,
+            args.len(),
+            cf.params.len()
+        ));
+    }
+    if needs_value && cf.ret.is_none() {
+        return Err(format!("value call of void function {}", cf.name));
+    }
+    Ok(())
+}
+
+/// Static result type of an rvalue, `None` when unknowable (pointer loads).
+fn rvalue_ty(
+    prog: &Program,
+    f: &Function,
+    rv: &Rvalue,
+    check_op: &dyn Fn(&Operand) -> Result<Type, ValidateError>,
+) -> Result<Option<Type>, ValidateError> {
+    Ok(match rv {
+        Rvalue::Use(a) => Some(check_op(a)?),
+        Rvalue::Unary(op, a) => {
+            check_op(a)?;
+            Some(match op {
+                UnOp::Neg | UnOp::Not | UnOp::FToInt => Type::I64,
+                UnOp::FNeg | UnOp::IntToF | UnOp::FAbs | UnOp::FSqrt => Type::F64,
+            })
+        }
+        Rvalue::Binary(op, a, b) => {
+            check_op(a)?;
+            check_op(b)?;
+            Some(if op.is_comparison() {
+                Type::I64
+            } else if *op == BinOp::PtrAdd {
+                Type::Ptr
+            } else if *op == BinOp::PtrDiff {
+                Type::I64
+            } else if op.is_float() {
+                Type::F64
+            } else {
+                Type::I64
+            })
+        }
+        Rvalue::Load(MemRef { base: MemBase::Global(m), .. }) => {
+            if m.index() >= prog.mems.len() {
+                return Err(ValidateError {
+                    func: f.name.clone(),
+                    msg: format!("region m{} out of range", m.0),
+                });
+            }
+            Some(prog.mems[m.index()].elem)
+        }
+        Rvalue::Load(_) => None,
+        Rvalue::AddrOf(..) => Some(Type::Ptr),
+        Rvalue::Select { cond, on_true, on_false } => {
+            check_op(cond)?;
+            let t = check_op(on_true)?;
+            let e = check_op(on_false)?;
+            if t != e {
+                return Err(ValidateError {
+                    func: f.name.clone(),
+                    msg: "select arm types differ".into(),
+                });
+            }
+            Some(t)
+        }
+        Rvalue::Call { func: callee, .. } => prog.func(*callee).ret,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::stmt::MemRef;
+    use crate::types::{MemId, Value};
+
+    #[test]
+    fn valid_function_passes() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::F64, 8);
+        let mut b = FunctionBuilder::new("f", Some(Type::F64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::F64);
+        b.copy(acc, 0.0f64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let x = b.load(Type::F64, MemRef::global(a, i));
+            b.binary_into(acc, BinOp::FAdd, acc, x);
+        });
+        b.ret(Some(acc.into()));
+        prog.add_func(b.finish());
+        assert_eq!(validate_program(&prog), Ok(()));
+    }
+
+    #[test]
+    fn type_mismatch_caught() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", None);
+        let x = b.var("x", Type::I64);
+        // x:i64 = fadd 1.0, 2.0 — mismatch.
+        b.assign(
+            x,
+            Rvalue::Binary(BinOp::FAdd, Operand::Const(Value::F64(1.0)), Operand::Const(Value::F64(2.0))),
+        );
+        b.ret(None);
+        prog.add_func(b.finish());
+        let e = validate_program(&prog).unwrap_err();
+        assert!(e.msg.contains("type mismatch"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_region_caught() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", None);
+        let _x = b.load(Type::I64, MemRef::global(MemId(5), 0i64));
+        b.ret(None);
+        prog.add_func(b.finish());
+        let e = validate_program(&prog).unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn arity_mismatch_caught() {
+        let mut prog = Program::new();
+        let mut cb = FunctionBuilder::new("callee", None);
+        let _p = cb.param("p", Type::I64);
+        cb.ret(None);
+        let callee = prog.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("f", None);
+        b.call_void(callee, vec![]);
+        b.ret(None);
+        prog.add_func(b.finish());
+        let e = validate_program(&prog).unwrap_err();
+        assert!(e.msg.contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn store_type_mismatch_caught() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::F64, 4);
+        let mut b = FunctionBuilder::new("f", None);
+        b.store(MemRef::global(a, 0i64), 1i64);
+        b.ret(None);
+        prog.add_func(b.finish());
+        let e = validate_program(&prog).unwrap_err();
+        assert!(e.msg.contains("store type mismatch"), "{e}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on core IR data structures and analyses.
+
+use peak_ir::dataflow::BitSet;
+use peak_ir::{BinOp, Cfg, Dominators, FunctionBuilder, LoopForest, Type};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// BitSet behaves like a reference set implementation.
+    #[test]
+    fn bitset_matches_btreeset(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..300)) {
+        let mut bs = BitSet::new(200);
+        let mut reference = BTreeSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), reference.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.count(), reference.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Union is commutative and idempotent at the set level.
+    #[test]
+    fn bitset_union_laws(a in prop::collection::btree_set(0usize..128, 0..40),
+                         b in prop::collection::btree_set(0usize..128, 0..40)) {
+        let mk = |s: &BTreeSet<usize>| {
+            let mut bs = BitSet::new(128);
+            for &v in s { bs.insert(v); }
+            bs
+        };
+        let mut ab = mk(&a);
+        ab.union_with(&mk(&b));
+        let mut ba = mk(&b);
+        ba.union_with(&mk(&a));
+        prop_assert_eq!(ab.iter().collect::<Vec<_>>(), ba.iter().collect::<Vec<_>>());
+        let mut aa = mk(&a);
+        prop_assert!(!aa.union_with(&mk(&a)), "self-union changes nothing");
+    }
+
+    /// Interpreter arithmetic matches native Rust semantics.
+    #[test]
+    fn binop_eval_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+        use peak_ir::interp::eval_binop;
+        use peak_ir::Value::I64;
+        prop_assert_eq!(eval_binop(BinOp::Add, I64(a), I64(b)).unwrap(), I64(a.wrapping_add(b)));
+        prop_assert_eq!(eval_binop(BinOp::Mul, I64(a), I64(b)).unwrap(), I64(a.wrapping_mul(b)));
+        prop_assert_eq!(eval_binop(BinOp::Xor, I64(a), I64(b)).unwrap(), I64(a ^ b));
+        prop_assert_eq!(eval_binop(BinOp::Min, I64(a), I64(b)).unwrap(), I64(a.min(b)));
+        prop_assert_eq!(
+            eval_binop(BinOp::Lt, I64(a), I64(b)).unwrap(),
+            I64(i64::from(a < b))
+        );
+    }
+
+    /// Loop nests of arbitrary depth are recognized with correct depths,
+    /// and trip counts evaluate to the product structure.
+    #[test]
+    fn nested_loops_analyzed(depth in 1usize..4, trips in 1i64..5) {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        fn nest(b: &mut FunctionBuilder, acc: peak_ir::VarId, d: usize, trips: i64) {
+            let iv = b.temp(Type::I64);
+            b.for_loop(iv, 0i64, trips, 1, |b| {
+                if d > 1 {
+                    nest(b, acc, d - 1, trips);
+                } else {
+                    b.binary_into(acc, BinOp::Add, acc, 1i64);
+                }
+            });
+        }
+        nest(&mut b, acc, depth, trips);
+        b.ret(None);
+        let f = b.finish();
+        let _ = n;
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::build(&f, &cfg);
+        let forest = LoopForest::build(&f, &cfg, &dom);
+        prop_assert_eq!(forest.loops.len(), depth);
+        let max_depth = forest.loops.iter().map(|l| l.depth).max().unwrap();
+        prop_assert_eq!(max_depth as usize, depth);
+        // The innermost body executes trips^depth times.
+        let mut prog = peak_ir::Program::new();
+        let fid = prog.add_func(f);
+        let mut mem = peak_ir::MemoryImage::new(&prog);
+        let out = peak_ir::Interp::default()
+            .run(&prog, fid, &[peak_ir::Value::I64(0)], &mut mem)
+            .unwrap();
+        let innermost_body = *out.block_entries.iter().max().unwrap();
+        prop_assert!(innermost_body >= trips.pow(depth as u32) as u64);
+    }
+
+    /// Dominator property: the entry dominates every reachable block, and
+    /// idom is itself a dominator.
+    #[test]
+    fn dominators_sound(branches in prop::collection::vec(any::<bool>(), 1..6)) {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param("p", Type::I64);
+        for &two_sided in &branches {
+            if two_sided {
+                b.if_then_else(p, |_| {}, |_| {});
+            } else {
+                b.if_then(p, |_| {});
+            }
+        }
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::build(&f, &cfg);
+        for &blk in &cfg.rpo {
+            prop_assert!(dom.dominates(f.entry, blk));
+            if blk != f.entry {
+                let idom = dom.idom[blk.index()].unwrap();
+                prop_assert!(dom.dominates(idom, blk));
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Algebraic simplification: identity and absorbing elements, power-of-two
+//! strength tricks. Only exact rewrites — float identities are restricted
+//! to those valid under IEEE semantics for all inputs we generate.
+
+use peak_ir::{BinOp, Function, Operand, Rvalue, Stmt, Value};
+
+fn as_i64(op: &Operand) -> Option<i64> {
+    match op {
+        Operand::Const(Value::I64(k)) => Some(*k),
+        _ => None,
+    }
+}
+
+fn simplify(rv: &Rvalue) -> Option<Rvalue> {
+    let Rvalue::Binary(op, a, b) = rv else { return None };
+    let (ka, kb) = (as_i64(a), as_i64(b));
+    Some(match op {
+        BinOp::Add => match (ka, kb) {
+            (Some(0), _) => Rvalue::Use(*b),
+            (_, Some(0)) => Rvalue::Use(*a),
+            _ => return None,
+        },
+        BinOp::Sub => match kb {
+            Some(0) => Rvalue::Use(*a),
+            _ if a == b && matches!(a, Operand::Var(_)) => {
+                Rvalue::Use(Operand::const_i64(0))
+            }
+            _ => return None,
+        },
+        BinOp::Mul => match (ka, kb) {
+            (Some(1), _) => Rvalue::Use(*b),
+            (_, Some(1)) => Rvalue::Use(*a),
+            (Some(0), _) | (_, Some(0)) => Rvalue::Use(Operand::const_i64(0)),
+            // x * 2^k → x << k (and commuted).
+            (_, Some(k)) if k > 1 && (k as u64).is_power_of_two() => {
+                Rvalue::Binary(BinOp::Shl, *a, Operand::const_i64(k.trailing_zeros() as i64))
+            }
+            (Some(k), _) if k > 1 && (k as u64).is_power_of_two() => {
+                Rvalue::Binary(BinOp::Shl, *b, Operand::const_i64(k.trailing_zeros() as i64))
+            }
+            _ => return None,
+        },
+        BinOp::Div => match kb {
+            Some(1) => Rvalue::Use(*a),
+            _ => return None,
+        },
+        BinOp::And => match (ka, kb) {
+            (Some(0), _) | (_, Some(0)) => Rvalue::Use(Operand::const_i64(0)),
+            (Some(-1), _) => Rvalue::Use(*b),
+            (_, Some(-1)) => Rvalue::Use(*a),
+            _ if a == b && matches!(a, Operand::Var(_)) => Rvalue::Use(*a),
+            _ => return None,
+        },
+        BinOp::Or => match (ka, kb) {
+            (Some(0), _) => Rvalue::Use(*b),
+            (_, Some(0)) => Rvalue::Use(*a),
+            _ if a == b && matches!(a, Operand::Var(_)) => Rvalue::Use(*a),
+            _ => return None,
+        },
+        BinOp::Xor => match (ka, kb) {
+            (Some(0), _) => Rvalue::Use(*b),
+            (_, Some(0)) => Rvalue::Use(*a),
+            _ if a == b && matches!(a, Operand::Var(_)) => {
+                Rvalue::Use(Operand::const_i64(0))
+            }
+            _ => return None,
+        },
+        BinOp::Shl | BinOp::Shr => match kb {
+            Some(0) => Rvalue::Use(*a),
+            _ => return None,
+        },
+        // x*1.0 and x/1.0 are exact for every IEEE double (sign of zero,
+        // NaN payloads propagate identically).
+        BinOp::FMul => match b {
+            Operand::Const(Value::F64(k)) if *k == 1.0 => Rvalue::Use(*a),
+            _ => match a {
+                Operand::Const(Value::F64(k)) if *k == 1.0 => Rvalue::Use(*b),
+                _ => return None,
+            },
+        },
+        BinOp::FDiv => match b {
+            Operand::Const(Value::F64(k)) if *k == 1.0 => Rvalue::Use(*a),
+            _ => return None,
+        },
+        _ => return None,
+    })
+}
+
+/// Run algebraic simplification. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for s in &mut f.block_mut(b).stmts {
+            if let Stmt::Assign { rv, .. } = s {
+                if let Some(nrv) = simplify(rv) {
+                    *rv = nrv;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{FunctionBuilder, Type, VarId};
+
+    fn first_rv(f: &Function) -> &Rvalue {
+        match &f.blocks[0].stmts[1] {
+            Stmt::Assign { rv, .. } => rv,
+            s => panic!("{s:?}"),
+        }
+    }
+
+    fn check(op: BinOp, a: Operand, b: Operand, expect: Rvalue) {
+        let mut fb = FunctionBuilder::new("f", None);
+        let p = fb.param("p", Type::I64);
+        let t = fb.temp(Type::I64);
+        fb.copy(t, p); // stmt 0: anchors VarId for tests using vars
+        let u = fb.temp(Type::I64);
+        fb.assign(u, Rvalue::Binary(op, a, b));
+        fb.ret(None);
+        let mut f = fb.finish();
+        // Statement of interest is at index 1.
+        assert!(run(&mut f), "{op:?} {a:?} {b:?} should simplify");
+        assert_eq!(first_rv(&f), &expect);
+    }
+
+    #[test]
+    fn additive_identities() {
+        let v = Operand::Var(VarId(0));
+        check(BinOp::Add, v, 0i64.into(), Rvalue::Use(v));
+        check(BinOp::Add, 0i64.into(), v, Rvalue::Use(v));
+        check(BinOp::Sub, v, 0i64.into(), Rvalue::Use(v));
+        check(BinOp::Sub, v, v, Rvalue::Use(Operand::const_i64(0)));
+    }
+
+    #[test]
+    fn multiplicative_identities_and_shift() {
+        let v = Operand::Var(VarId(0));
+        check(BinOp::Mul, v, 1i64.into(), Rvalue::Use(v));
+        check(BinOp::Mul, v, 0i64.into(), Rvalue::Use(Operand::const_i64(0)));
+        check(
+            BinOp::Mul,
+            v,
+            8i64.into(),
+            Rvalue::Binary(BinOp::Shl, v, Operand::const_i64(3)),
+        );
+        check(BinOp::Div, v, 1i64.into(), Rvalue::Use(v));
+    }
+
+    #[test]
+    fn bitwise_identities() {
+        let v = Operand::Var(VarId(0));
+        check(BinOp::Xor, v, v, Rvalue::Use(Operand::const_i64(0)));
+        check(BinOp::And, v, v, Rvalue::Use(v));
+        check(BinOp::Or, v, 0i64.into(), Rvalue::Use(v));
+        check(BinOp::Shl, v, 0i64.into(), Rvalue::Use(v));
+    }
+
+    #[test]
+    fn float_exact_identities_only() {
+        let v = Operand::Var(VarId(0));
+        check(BinOp::FMul, v, 1.0f64.into(), Rvalue::Use(v));
+        check(BinOp::FDiv, v, 1.0f64.into(), Rvalue::Use(v));
+        // x + 0.0 is NOT simplified: (-0.0) + 0.0 == +0.0 ≠ -0.0.
+        let mut fb = FunctionBuilder::new("f", None);
+        let p = fb.param("p", Type::F64);
+        let _x = fb.binary(BinOp::FAdd, p, 0.0f64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn mul_nonpower_untouched() {
+        let mut fb = FunctionBuilder::new("f", None);
+        let p = fb.param("p", Type::I64);
+        let _x = fb.binary(BinOp::Mul, p, 6i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(!run(&mut f));
+    }
+}

@@ -1,0 +1,75 @@
+//! Block alignment flags: `align-loops` marks loop headers, `align-jumps`
+//! marks branch-join targets. The machine simulator charges a reduced
+//! front-end redirect penalty when a taken branch lands on an aligned
+//! block; alignment also contributes padding to the code-size footprint.
+
+use peak_ir::{Cfg, Dominators, Function, LoopForest};
+
+/// Mark loop headers aligned. Returns true if anything changed.
+pub fn run_align_loops(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    let mut changed = false;
+    for l in &forest.loops {
+        if !f.block(l.header).aligned {
+            f.block_mut(l.header).aligned = true;
+            changed = true;
+        }
+        // The body entry also benefits: it is the taken target of the
+        // header branch on every iteration under the default layout.
+        if let peak_ir::Terminator::Branch { on_true, .. } = f.block(l.header).term {
+            if l.contains(on_true) && !f.block(on_true).aligned {
+                f.block_mut(on_true).aligned = true;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Mark join targets (blocks with ≥ 2 predecessors) aligned.
+pub fn run_align_jumps(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let mut changed = false;
+    for b in f.block_ids() {
+        if cfg.preds[b.index()].len() >= 2 && !f.block(b).aligned {
+            f.block_mut(b).aligned = true;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn loop_header_and_body_aligned() {
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |_| {});
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run_align_loops(&mut f));
+        assert!(f.blocks[1].aligned, "header aligned");
+        assert!(f.blocks[2].aligned, "body aligned");
+        assert!(!f.blocks[0].aligned, "entry untouched");
+        assert!(!run_align_loops(&mut f), "idempotent");
+    }
+
+    #[test]
+    fn join_targets_aligned() {
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param("p", Type::I64);
+        b.if_then_else(p, |_| {}, |_| {});
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run_align_jumps(&mut f));
+        assert!(f.blocks[3].aligned, "join block aligned");
+        assert!(!f.blocks[1].aligned);
+    }
+}

@@ -1,0 +1,184 @@
+//! Static branch layout (GCC `-freorder-blocks`).
+//!
+//! The machine models charge a taken-branch fetch penalty for branching to
+//! the `on_true` arm (the fall-through arm is `on_false`; see
+//! `peak-sim::exec`). This pass swaps branch arms — negating the condition
+//! when that is exact — so the statically likelier arm falls through:
+//! loop-internal targets beat loop exits, and forward joins beat returns.
+
+use crate::util::single_def_sites;
+use peak_ir::{Cfg, Dominators, Function, LoopForest, Operand, Rvalue, Stmt, Terminator};
+
+/// Run branch reordering. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    let sites = single_def_sites(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Terminator::Branch { cond, on_true, on_false } = f.block(b).term.clone() else {
+            continue;
+        };
+        // Heuristic frequency: deeper loop nesting = hotter; a back edge
+        // (target dominates source) is hottest of all.
+        let score = |t: peak_ir::BlockId| -> i64 {
+            let mut s = forest.depth_of(t) as i64 * 10;
+            if dom.dominates(t, b) {
+                s += 100; // back edge: loop continues
+            }
+            if matches!(f.block(t).term, Terminator::Return(_)) {
+                s -= 5; // returns are cold-ish
+            }
+            s
+        };
+        if score(on_true) <= score(on_false) {
+            continue; // likely arm already falls through
+        }
+        // Swap arms; requires negating the condition. Only exact for
+        // integer comparisons produced by a single-def var we can rewrite,
+        // or by wrapping in an Eq-0 test otherwise (costs one statement —
+        // only profitable when the cond is a rewritable comparison, so we
+        // restrict to that case).
+        let Operand::Var(cv) = cond else { continue };
+        let Some(&(db, dsi)) = sites.get(&cv) else { continue };
+        // The comparison must feed only this branch (conservatively: the
+        // var is used exactly once, as this branch's condition).
+        if count_uses(f, cv) != 1 {
+            continue;
+        }
+        let Stmt::Assign { rv: Rvalue::Binary(op, a, bb), .. } = &f.block(db).stmts[dsi] else {
+            continue;
+        };
+        let Some(neg) = op.negated() else { continue };
+        let (a, bb) = (*a, *bb);
+        let Stmt::Assign { rv, .. } = &mut f.block_mut(db).stmts[dsi] else { unreachable!() };
+        *rv = Rvalue::Binary(neg, a, bb);
+        f.block_mut(b).term =
+            Terminator::Branch { cond, on_true: on_false, on_false: on_true };
+        changed = true;
+    }
+    changed
+}
+
+fn count_uses(f: &Function, v: peak_ir::VarId) -> usize {
+    let mut n = 0;
+    let mut uses = Vec::new();
+    for b in f.block_ids() {
+        for s in &f.block(b).stmts {
+            uses.clear();
+            s.uses(&mut uses);
+            n += uses.iter().filter(|&&u| u == v).count();
+        }
+        uses.clear();
+        f.block(b).term.uses(&mut uses);
+        n += uses.iter().filter(|&&u| u == v).count();
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemoryImage, Program, Type, Value};
+
+    #[test]
+    fn loop_header_branch_flipped_so_body_falls_through() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        // Builder emits: br (i<n) ? body : exit — body on the taken arm.
+        assert!(run(&mut f));
+        match &f.blocks[1].term {
+            Terminator::Branch { on_true, on_false, .. } => {
+                assert_eq!(on_true.index(), 4, "exit now on taken arm");
+                assert_eq!(on_false.index(), 2, "body now falls through");
+            }
+            t => panic!("{t:?}"),
+        }
+        // Condition negated to i >= n.
+        assert!(matches!(
+            &f.blocks[1].stmts[0],
+            Stmt::Assign { rv: Rvalue::Binary(BinOp::Ge, ..), .. }
+        ));
+    }
+
+    #[test]
+    fn semantics_preserved_after_flip() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        b.ret(Some(acc.into()));
+        let fid = prog.add_func(b.finish());
+        let mut optimized = prog.clone();
+        run(optimized.func_mut(fid));
+        for input in [0i64, 1, 7] {
+            let mut m1 = MemoryImage::new(&prog);
+            let mut m2 = MemoryImage::new(&optimized);
+            let r1 = Interp::default().run(&prog, fid, &[Value::I64(input)], &mut m1).unwrap();
+            let r2 = Interp::default()
+                .run(&optimized, fid, &[Value::I64(input)], &mut m2)
+                .unwrap();
+            assert_eq!(r1.ret, r2.ret, "n={input}");
+        }
+    }
+
+    #[test]
+    fn multi_use_condition_untouched() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.copy(i, 0i64);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        let c = b.binary(BinOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        // Second use of c: now flipping would require more care — skipped.
+        let r = b.binary(BinOp::Add, c, 1i64);
+        b.binary_into(i, BinOp::Add, i, r);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn float_comparison_not_negated() {
+        // fle negation is not NaN-safe; the pass must leave it alone.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::F64);
+        let i = b.var("i", Type::I64);
+        b.copy(i, 0i64);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        let lim = b.unary(peak_ir::UnOp::IntToF, i);
+        let c = b.binary(BinOp::FLt, lim, x);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary_into(i, BinOp::Add, i, 1i64);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(i.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+}

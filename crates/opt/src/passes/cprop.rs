@@ -1,0 +1,199 @@
+//! Constant and copy propagation.
+//!
+//! Both passes use the same dominance-based skeleton: a variable with a
+//! single definition can have that definition's right-hand side propagated
+//! to any use the definition dominates. For constants the RHS is a
+//! constant; for copies it is another variable, which additionally must be
+//! single-def itself (so its value cannot change between the copy and the
+//! use).
+
+use crate::util::{map_stmt_operands, map_term_operands, single_def_sites};
+use peak_ir::{Cfg, Dominators, Function, Operand, Rvalue, Stmt, VarId};
+use std::collections::HashMap;
+
+/// What a single-def variable is known to be.
+#[derive(Clone, Copy)]
+enum Known {
+    Const(Operand),
+    Copy(VarId),
+}
+
+fn propagate(f: &mut Function, do_consts: bool, do_copies: bool) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let sites = single_def_sites(f);
+    // Gather facts.
+    let mut facts: HashMap<VarId, (Known, peak_ir::BlockId, usize)> = HashMap::new();
+    for (&v, &(b, si)) in &sites {
+        let Stmt::Assign { rv, .. } = &f.block(b).stmts[si] else { continue };
+        match rv {
+            Rvalue::Use(c @ Operand::Const(_)) if do_consts => {
+                facts.insert(v, (Known::Const(*c), b, si));
+            }
+            Rvalue::Use(Operand::Var(src)) if do_copies => {
+                // src must be single-def or a parameter that is never
+                // reassigned (params have an entry def; reassignment would
+                // appear in def counts).
+                let src_ok = sites.contains_key(src)
+                    || (f.params.contains(src) && !any_def(f, *src));
+                if src_ok && *src != v {
+                    facts.insert(v, (Known::Copy(*src), b, si));
+                }
+            }
+            _ => {}
+        }
+    }
+    if facts.is_empty() {
+        return false;
+    }
+    // For a Copy(src) fact defined at (b, si), uses must also be dominated
+    // by src's own def — true automatically since src's def dominates the
+    // copy (the copy reads it) and dominance is transitive.
+    let mut changed = false;
+    for blk in f.block_ids().collect::<Vec<_>>() {
+        if !cfg.is_reachable(blk) {
+            continue;
+        }
+        let nstmts = f.block(blk).stmts.len();
+        for si in 0..=nstmts {
+            let mut subst = |op: &mut Operand| {
+                let Operand::Var(v) = op else { return };
+                let Some(&(known, db, dsi)) = facts.get(v) else { return };
+                let dominated = if db == blk {
+                    dsi < si
+                } else {
+                    dom.dominates(db, blk)
+                };
+                if !dominated {
+                    return;
+                }
+                *op = match known {
+                    Known::Const(c) => c,
+                    Known::Copy(src) => Operand::Var(src),
+                };
+                changed = true;
+            };
+            if si < nstmts {
+                map_stmt_operands(&mut f.block_mut(blk).stmts[si], &mut subst);
+            } else {
+                map_term_operands(&mut f.block_mut(blk).term, &mut subst);
+            }
+        }
+    }
+    changed
+}
+
+fn any_def(f: &Function, v: VarId) -> bool {
+    f.block_ids()
+        .any(|b| f.block(b).stmts.iter().any(|s| s.def() == Some(v)))
+}
+
+/// Constant propagation.
+pub fn run_const(f: &mut Function) -> bool {
+    propagate(f, true, false)
+}
+
+/// Copy propagation.
+pub fn run_copy(f: &mut Function) -> bool {
+    propagate(f, false, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Type, Value};
+
+    #[test]
+    fn const_propagates_across_blocks() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let c = b.var("c", Type::I64);
+        b.copy(c, 42i64);
+        let r = b.var("r", Type::I64);
+        b.if_then_else(
+            p,
+            |b| b.binary_into(r, BinOp::Add, c, 1i64),
+            |b| b.binary_into(r, BinOp::Add, c, 2i64),
+        );
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(run_const(&mut f));
+        // Both arms now add 42 directly.
+        for blk in [1usize, 2] {
+            match &f.blocks[blk].stmts[0] {
+                Stmt::Assign { rv: Rvalue::Binary(BinOp::Add, Operand::Const(Value::I64(42)), _), .. } => {}
+                s => panic!("arm {blk} not propagated: {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_def_not_propagated() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let c = b.var("c", Type::I64);
+        b.copy(c, 1i64);
+        b.if_then(p, |b| b.copy(c, 2i64));
+        let r = b.binary(BinOp::Add, c, 0i64);
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(!run_const(&mut f), "c has two defs; must not propagate");
+    }
+
+    #[test]
+    fn use_before_def_in_loop_not_propagated() {
+        // Loop where x is used in the header before its (single) def in the
+        // body — the def does not dominate the use.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let x = b.var("x", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, x); // use of x (initially 0)
+            b.copy(x, 5i64); // single def, but does not dominate the use
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        run_const(&mut f);
+        // The use in the body's first stmt must still read the variable.
+        match &f.blocks[2].stmts[0] {
+            Stmt::Assign { rv: Rvalue::Binary(BinOp::Add, _, Operand::Var(v)), .. } => {
+                assert_eq!(*v, x)
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_propagates_param_alias() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let a = b.var("a", Type::I64);
+        b.copy(a, p);
+        let r = b.binary(BinOp::Add, a, a);
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(run_copy(&mut f));
+        match &f.blocks[0].stmts[1] {
+            Stmt::Assign { rv: Rvalue::Binary(BinOp::Add, Operand::Var(x), Operand::Var(y)), .. } => {
+                assert_eq!((*x, *y), (p, p));
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_of_reassigned_param_not_propagated() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let a = b.var("a", Type::I64);
+        b.copy(a, p);
+        b.binary_into(p, BinOp::Add, p, 1i64); // p changes after the copy
+        let r = b.binary(BinOp::Add, a, 0i64);
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(!run_copy(&mut f), "a's source p is multi-def");
+    }
+}

@@ -1,0 +1,267 @@
+//! Local (in-block) common-subexpression elimination, including redundant
+//! load elimination with conservative memory invalidation.
+
+use crate::util::{op_key, pure_expr_key, OpKey};
+use peak_ir::{Function, MemBase, Operand, PointsTo, Program, Rvalue, Stmt, VarId};
+use std::collections::HashMap;
+
+/// Key for an available expression: the structural key plus the generation
+/// of every variable operand at record time.
+type ExprKey = ((u32, OpKey, OpKey, OpKey), Vec<u32>);
+
+/// Key for an available load: base (region id or pointer var+gen), index
+/// operand key + gen.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LoadKey {
+    base: LoadBase,
+    index: OpKey,
+    index_gen: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum LoadBase {
+    Global(u32),
+    Ptr(u32, u32), // var, gen
+}
+
+/// Run local CSE on every block. Returns true if anything changed.
+pub fn run(f: &mut Function, prog: &Program) -> bool {
+    let pts = PointsTo::build(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        changed |= run_block(f, prog, &pts, b);
+    }
+    changed
+}
+
+fn operand_gens(rv: &Rvalue, gens: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut uses = Vec::new();
+    rv.uses(&mut uses);
+    for u in uses {
+        out.push(gens[u.index()]);
+    }
+    out
+}
+
+fn run_block(f: &mut Function, prog: &Program, pts: &PointsTo, b: peak_ir::BlockId) -> bool {
+    let mut gens = vec![0u32; f.num_vars()];
+    // value → (holding var, var gen when recorded)
+    let mut exprs: HashMap<ExprKey, (VarId, u32)> = HashMap::new();
+    let mut loads: HashMap<LoadKey, (VarId, u32, Option<peak_ir::MemId>)> = HashMap::new();
+    let mut changed = false;
+    let nstmts = f.block(b).stmts.len();
+    for si in 0..nstmts {
+        // Possibly rewrite this statement first.
+        let replacement: Option<Rvalue> = if let Stmt::Assign { rv, .. } = &f.block(b).stmts[si]
+        {
+            if let Some(k) = pure_expr_key(rv) {
+                let key = (k, operand_gens(rv, &gens));
+                exprs.get(&key).and_then(|&(v, g)| {
+                    (gens[v.index()] == g).then_some(Rvalue::Use(Operand::Var(v)))
+                })
+            } else if let Rvalue::Load(mr) = rv {
+                load_key(mr, &gens).and_then(|k| {
+                    loads.get(&k).and_then(|&(v, g, _)| {
+                        (gens[v.index()] == g).then_some(Rvalue::Use(Operand::Var(v)))
+                    })
+                })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(nrv) = replacement {
+            let Stmt::Assign { rv, .. } = &mut f.block_mut(b).stmts[si] else { unreachable!() };
+            *rv = nrv;
+            changed = true;
+        }
+        // Now update state from the (possibly rewritten) statement.
+        let s = &f.block(b).stmts[si];
+        match s {
+            Stmt::Assign { dst, rv } => {
+                let record_expr = pure_expr_key(rv).map(|k| (k, operand_gens(rv, &gens)));
+                let record_load = if let Rvalue::Load(mr) = rv {
+                    load_key(mr, &gens).map(|k| (k, load_region(mr, pts, prog)))
+                } else {
+                    None
+                };
+                if matches!(rv, Rvalue::Call { .. }) {
+                    loads.clear();
+                }
+                gens[dst.index()] += 1;
+                let g = gens[dst.index()];
+                if let Some(key) = record_expr {
+                    exprs.insert(key, (*dst, g));
+                }
+                if let Some((key, region)) = record_load {
+                    loads.insert(key, (*dst, g, region));
+                }
+            }
+            Stmt::Store { dst, .. } => {
+                invalidate_loads(&mut loads, load_region(dst, pts, prog));
+            }
+            Stmt::CallVoid { .. } => loads.clear(),
+            Stmt::Prefetch { .. } | Stmt::CounterInc { .. } => {}
+        }
+    }
+    changed
+}
+
+fn load_key(mr: &peak_ir::MemRef, gens: &[u32]) -> Option<LoadKey> {
+    let base = match mr.base {
+        MemBase::Global(m) => LoadBase::Global(m.0),
+        MemBase::Ptr(p) => LoadBase::Ptr(p.0, gens[p.index()]),
+    };
+    let index_gen = match mr.index {
+        Operand::Var(v) => gens[v.index()],
+        Operand::Const(_) => 0,
+    };
+    Some(LoadKey { base, index: op_key(&mr.index), index_gen })
+}
+
+/// Region a memref certainly refers to, `None` when unknown (⊤ pointer).
+fn load_region(
+    mr: &peak_ir::MemRef,
+    pts: &PointsTo,
+    prog: &Program,
+) -> Option<peak_ir::MemId> {
+    match mr.base {
+        MemBase::Global(m) => Some(m),
+        MemBase::Ptr(p) => {
+            if pts.is_precise(p) {
+                let regions = pts.may_point_to(p, prog.mems.len());
+                if regions.len() == 1 {
+                    return Some(regions[0]);
+                }
+            }
+            None
+        }
+    }
+}
+
+fn invalidate_loads(
+    loads: &mut HashMap<LoadKey, (VarId, u32, Option<peak_ir::MemId>)>,
+    store_region: Option<peak_ir::MemId>,
+) {
+    match store_region {
+        // Store to a known region: drop loads of that region and loads
+        // whose region is unknown.
+        Some(m) => loads.retain(|_, (_, _, r)| matches!(r, Some(lr) if *lr != m)),
+        // Store through an unknown pointer: drop everything.
+        None => loads.clear(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, MemRef, Type};
+
+    fn prog1() -> Program {
+        let mut p = Program::new();
+        p.add_mem("a", Type::I64, 16);
+        p.add_mem("b", Type::I64, 16);
+        p
+    }
+
+    #[test]
+    fn redundant_pure_expr_reused() {
+        let prog = prog1();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let x = b.binary(BinOp::Mul, p, p);
+        let y = b.binary(BinOp::Mul, p, p);
+        let r = b.binary(BinOp::Add, x, y);
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f, &prog));
+        assert!(matches!(
+            &f.blocks[0].stmts[1],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == x
+        ));
+        let _ = y;
+    }
+
+    #[test]
+    fn operand_redefinition_blocks_reuse() {
+        let prog = prog1();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let _x = b.binary(BinOp::Mul, p, p);
+        b.binary_into(p, BinOp::Add, p, 1i64);
+        let _y = b.binary(BinOp::Mul, p, p); // different value now
+        b.ret(Some(p.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &prog));
+    }
+
+    #[test]
+    fn redundant_load_eliminated() {
+        let prog = prog1();
+        let a = prog.mem_by_name("a").unwrap();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let i = b.param("i", Type::I64);
+        let x = b.load(Type::I64, MemRef::global(a, i));
+        let y = b.load(Type::I64, MemRef::global(a, i));
+        let r = b.binary(BinOp::Add, x, y);
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f, &prog));
+        assert!(matches!(
+            &f.blocks[0].stmts[1],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == x
+        ));
+    }
+
+    #[test]
+    fn store_to_same_region_invalidates() {
+        let prog = prog1();
+        let a = prog.mem_by_name("a").unwrap();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let i = b.param("i", Type::I64);
+        let _x = b.load(Type::I64, MemRef::global(a, i));
+        b.store(MemRef::global(a, 0i64), 9i64);
+        let _y = b.load(Type::I64, MemRef::global(a, i)); // may be the stored slot
+        b.ret(Some(i.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &prog));
+    }
+
+    #[test]
+    fn store_to_other_region_preserves_load() {
+        let prog = prog1();
+        let a = prog.mem_by_name("a").unwrap();
+        let bm = prog.mem_by_name("b").unwrap();
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let i = fb.param("i", Type::I64);
+        let x = fb.load(Type::I64, MemRef::global(a, i));
+        fb.store(MemRef::global(bm, 0i64), 9i64);
+        let _y = fb.load(Type::I64, MemRef::global(a, i));
+        fb.ret(Some(i.into()));
+        let mut f = fb.finish();
+        assert!(run(&mut f, &prog), "disjoint regions: load still available");
+        assert!(matches!(
+            &f.blocks[0].stmts[2],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == x
+        ));
+    }
+
+    #[test]
+    fn call_invalidates_loads() {
+        let mut prog = prog1();
+        let mut cb = FunctionBuilder::new("g", None);
+        cb.ret(None);
+        let callee = prog.add_func(cb.finish());
+        let a = prog.mem_by_name("a").unwrap();
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let i = fb.param("i", Type::I64);
+        let _x = fb.load(Type::I64, MemRef::global(a, i));
+        fb.call_void(callee, vec![]);
+        let _y = fb.load(Type::I64, MemRef::global(a, i));
+        fb.ret(Some(i.into()));
+        let mut f = fb.finish();
+        assert!(!run(&mut f, &prog));
+    }
+}

@@ -1,0 +1,148 @@
+//! Dead-code elimination: remove assignments whose results are never used.
+//!
+//! Liveness here is demand-driven: roots are values read by side-effecting
+//! statements and terminators; an assignment is live only if its destination
+//! feeds a root transitively. Loads may be removed when dead (removing a
+//! potential out-of-bounds trap is a refinement the workloads never rely
+//! on); calls are always kept.
+
+use peak_ir::{Cfg, Function, Rvalue, Stmt};
+
+/// Run DCE. Returns true if anything was removed.
+pub fn run(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let nv = f.num_vars();
+    let mut needed = vec![false; nv];
+    let mut uses = Vec::new();
+    // Roots.
+    for &b in &cfg.rpo {
+        for s in &f.block(b).stmts {
+            if s.has_side_effect() {
+                uses.clear();
+                s.uses(&mut uses);
+                for u in &uses {
+                    needed[u.index()] = true;
+                }
+            }
+        }
+        uses.clear();
+        f.block(b).term.uses(&mut uses);
+        for u in &uses {
+            needed[u.index()] = true;
+        }
+    }
+    // Transitive closure: a def of a needed var makes its operands needed.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            for s in &f.block(b).stmts {
+                if let Stmt::Assign { dst, rv } = s {
+                    if needed[dst.index()] {
+                        uses.clear();
+                        rv.uses(&mut uses);
+                        for u in &uses {
+                            if !needed[u.index()] {
+                                needed[u.index()] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Remove dead assignments (keep calls for their side effects).
+    let mut removed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let before = f.block(b).stmts.len();
+        f.block_mut(b).stmts.retain(|s| match s {
+            Stmt::Assign { dst, rv } => {
+                needed[dst.index()] || matches!(rv, Rvalue::Call { .. })
+            }
+            _ => true,
+        });
+        removed |= f.block(b).stmts.len() != before;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, MemRef, Type};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let d1 = b.binary(BinOp::Add, p, 1i64); // dead
+        let _d2 = b.binary(BinOp::Mul, d1, 2i64); // dead (feeds nothing)
+        let live = b.binary(BinOp::Add, p, 3i64);
+        b.ret(Some(live.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].stmts.len(), 1);
+    }
+
+    #[test]
+    fn keeps_store_feeding_values() {
+        let mut prog = peak_ir::Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param("p", Type::I64);
+        let v = b.binary(BinOp::Add, p, 1i64); // live via the store
+        b.store(MemRef::global(a, 0i64), v);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+        assert_eq!(f.blocks[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn dead_load_removed() {
+        let mut prog = peak_ir::Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut b = FunctionBuilder::new("f", None);
+        let _x = b.load(Type::I64, MemRef::global(a, 0i64));
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(f.blocks[0].stmts.is_empty());
+    }
+
+    #[test]
+    fn dead_call_result_kept_for_side_effects() {
+        let mut prog = peak_ir::Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut cb = FunctionBuilder::new("g", Some(Type::I64));
+        cb.store(MemRef::global(a, 0i64), 1i64);
+        let t = cb.temp(Type::I64);
+        cb.copy(t, 0i64);
+        cb.ret(Some(t.into()));
+        let callee = prog.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("f", None);
+        let _r = b.call(Type::I64, callee, vec![]); // result dead, call isn't
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+        assert_eq!(f.blocks[0].stmts.len(), 1);
+    }
+
+    #[test]
+    fn loop_variables_kept() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        let before = f.num_stmts();
+        assert!(!run(&mut f));
+        assert_eq!(f.num_stmts(), before);
+    }
+}

@@ -1,0 +1,156 @@
+//! Dead-store elimination (block-local).
+//!
+//! A store to a statically known address that is overwritten by a later
+//! store to the same address in the same block — with no intervening read
+//! that could observe it — is removed. Conservative about pointers: any
+//! pointer access or call in between blocks the elimination.
+
+use crate::util::static_address;
+use peak_ir::{Function, MemBase, Rvalue, Stmt};
+
+/// Run DSE. Returns true if anything was removed.
+pub fn run(f: &mut Function) -> bool {
+    let mut removed_any = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let stmts = &f.block(b).stmts;
+        let n = stmts.len();
+        let mut dead = vec![false; n];
+        for i in 0..n {
+            let Stmt::Store { dst, .. } = &stmts[i] else { continue };
+            let Some((m, idx)) = static_address(f, dst) else { continue };
+            // Scan forward for an overwrite before any potential read.
+            for later in &stmts[i + 1..] {
+                match later {
+                    Stmt::Store { dst: d2, .. } => {
+                        match static_address(f, d2) {
+                            Some((m2, idx2)) if (m2, idx2) == (m, idx) => {
+                                dead[i] = true;
+                                break;
+                            }
+                            Some(_) => continue, // definitely different slot
+                            None => break,       // unknown address may read? no —
+                                                  // a store doesn't read, but an
+                                                  // unknown store aliasing the slot
+                                                  // makes the later "overwrite"
+                                                  // analysis unreliable; stop.
+                        }
+                    }
+                    Stmt::Assign { rv, .. } => match rv {
+                        Rvalue::Load(mr) => {
+                            let aliases = match mr.base {
+                                MemBase::Global(m2) => m2 == m,
+                                MemBase::Ptr(_) => true,
+                            };
+                            if aliases {
+                                break;
+                            }
+                        }
+                        Rvalue::Call { .. } => break,
+                        _ => {}
+                    },
+                    Stmt::CallVoid { .. } => break,
+                    Stmt::Prefetch { .. } | Stmt::CounterInc { .. } => {}
+                }
+            }
+        }
+        if dead.iter().any(|&d| d) {
+            removed_any = true;
+            let mut keep = dead.iter().map(|d| !d);
+            f.block_mut(b).stmts.retain(|_| keep.next().unwrap());
+        }
+    }
+    removed_any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{FunctionBuilder, MemRef, Program, Type};
+
+    fn setup() -> (Program, peak_ir::MemId, peak_ir::MemId) {
+        let mut p = Program::new();
+        let a = p.add_mem("a", Type::I64, 8);
+        let b = p.add_mem("b", Type::I64, 8);
+        (p, a, b)
+    }
+
+    #[test]
+    fn overwritten_store_removed() {
+        let (_p, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", None);
+        fb.store(MemRef::global(a, 3i64), 1i64);
+        fb.store(MemRef::global(a, 3i64), 2i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].stmts.len(), 1);
+        assert!(matches!(
+            &f.blocks[0].stmts[0],
+            Stmt::Store { src, .. } if src.as_const() == Some(peak_ir::Value::I64(2))
+        ));
+    }
+
+    #[test]
+    fn intervening_read_keeps_store() {
+        let (_p, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", None);
+        fb.store(MemRef::global(a, 3i64), 1i64);
+        let _x = fb.load(Type::I64, MemRef::global(a, 3i64));
+        fb.store(MemRef::global(a, 3i64), 2i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn read_of_other_region_ignored() {
+        let (_p, a, b) = setup();
+        let mut fb = FunctionBuilder::new("f", None);
+        fb.store(MemRef::global(a, 3i64), 1i64);
+        let _x = fb.load(Type::I64, MemRef::global(b, 0i64));
+        fb.store(MemRef::global(a, 3i64), 2i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(run(&mut f));
+    }
+
+    #[test]
+    fn different_slot_keeps_both() {
+        let (_p, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", None);
+        fb.store(MemRef::global(a, 3i64), 1i64);
+        fb.store(MemRef::global(a, 4i64), 2i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(!run(&mut f));
+        assert_eq!(f.blocks[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn variable_index_store_not_touched() {
+        let (_p, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", None);
+        let i = fb.param("i", Type::I64);
+        fb.store(MemRef::global(a, i), 1i64);
+        fb.store(MemRef::global(a, i), 2i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        // Indexes equal but not static; this simple DSE leaves them.
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn call_blocks_elimination() {
+        let (mut p, a, _) = setup();
+        let mut cb = FunctionBuilder::new("g", None);
+        cb.ret(None);
+        let callee = p.add_func(cb.finish());
+        let mut fb = FunctionBuilder::new("f", None);
+        fb.store(MemRef::global(a, 3i64), 1i64);
+        fb.call_void(callee, vec![]);
+        fb.store(MemRef::global(a, 3i64), 2i64);
+        fb.ret(None);
+        let mut f = fb.finish();
+        assert!(!run(&mut f));
+    }
+}

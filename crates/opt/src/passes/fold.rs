@@ -1,0 +1,104 @@
+//! Constant folding: evaluate operations over constant operands at compile
+//! time. Branch-condition folding lives in jump threading.
+
+use peak_ir::interp::{eval_binop, eval_unop};
+use peak_ir::{Function, Operand, Rvalue};
+
+/// Run constant folding. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for s in &mut f.block_mut(b).stmts {
+            let peak_ir::Stmt::Assign { rv, .. } = s else { continue };
+            let folded = match rv {
+                Rvalue::Unary(op, Operand::Const(a)) => Some(eval_unop(*op, *a)),
+                Rvalue::Binary(op, Operand::Const(a), Operand::Const(b)) => {
+                    // Division by zero folds to nothing — keep the trap.
+                    eval_binop(*op, *a, *b).ok()
+                }
+                Rvalue::Select { cond: Operand::Const(c), on_true, on_false } => {
+                    let arm = if c.is_true() { *on_true } else { *on_false };
+                    *rv = Rvalue::Use(arm);
+                    changed = true;
+                    None
+                }
+                _ => None,
+            };
+            if let Some(v) = folded {
+                *rv = Rvalue::Use(Operand::Const(v));
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Type, UnOp, Value};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.binary(BinOp::Add, 2i64, 3i64);
+        let y = b.binary(BinOp::Mul, x, 0i64); // not const yet (x is a var)
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        match &f.blocks[0].stmts[0] {
+            peak_ir::Stmt::Assign { rv: Rvalue::Use(Operand::Const(Value::I64(5))), .. } => {}
+            s => panic!("expected folded 5, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_unary_and_select() {
+        let mut b = FunctionBuilder::new("f", None);
+        let _n = b.unary(UnOp::Neg, 7i64);
+        let t = b.temp(Type::I64);
+        b.assign(
+            t,
+            Rvalue::Select { cond: 1i64.into(), on_true: 10i64.into(), on_false: 20i64.into() },
+        );
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        match &f.blocks[0].stmts[0] {
+            peak_ir::Stmt::Assign { rv: Rvalue::Use(Operand::Const(Value::I64(-7))), .. } => {}
+            s => panic!("{s:?}"),
+        }
+        match &f.blocks[0].stmts[1] {
+            peak_ir::Stmt::Assign { rv: Rvalue::Use(Operand::Const(Value::I64(10))), .. } => {}
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn keeps_division_by_zero() {
+        let mut b = FunctionBuilder::new("f", None);
+        let _d = b.binary(BinOp::Div, 1i64, 0i64);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!run(&mut f), "div-by-zero must not fold");
+        assert!(matches!(
+            &f.blocks[0].stmts[0],
+            peak_ir::Stmt::Assign { rv: Rvalue::Binary(BinOp::Div, ..), .. }
+        ));
+    }
+
+    #[test]
+    fn float_folding() {
+        let mut b = FunctionBuilder::new("f", None);
+        let _x = b.binary(BinOp::FMul, 2.0f64, 4.0f64);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        match &f.blocks[0].stmts[0] {
+            peak_ir::Stmt::Assign { rv: Rvalue::Use(Operand::Const(Value::F64(v))), .. } => {
+                assert_eq!(*v, 8.0)
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+}

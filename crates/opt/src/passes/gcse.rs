@@ -1,0 +1,188 @@
+//! Global common-subexpression elimination (dominator-based value reuse),
+//! GCC's `-fgcse`.
+//!
+//! Restricted to *pure* expressions whose operands are constants or
+//! single-def variables: if the same expression is computed at a site that
+//! dominates another, the second computation is replaced by a copy. Loads
+//! are handled by local CSE and register promotion instead.
+
+use crate::util::{pure_expr_key, single_def_sites, OpKey};
+use peak_ir::{Cfg, Dominators, Function, Operand, Rvalue, Stmt, VarId};
+use std::collections::HashMap;
+
+/// Run GCSE. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let sites = single_def_sites(f);
+    let is_stable = |op: &Operand| -> bool {
+        match op {
+            Operand::Const(_) => true,
+            Operand::Var(v) => {
+                sites.contains_key(v)
+                    || (f.params.contains(v)
+                        && !f
+                            .block_ids()
+                            .any(|b| f.block(b).stmts.iter().any(|s| s.def() == Some(*v))))
+            }
+        }
+    };
+    // First computation of each key, in RPO order: (block, rpo idx, var).
+    let mut avail: HashMap<(u32, OpKey, OpKey, OpKey), (peak_ir::BlockId, VarId)> = HashMap::new();
+    let mut rewrites: Vec<(peak_ir::BlockId, usize, VarId)> = Vec::new();
+    for &b in &cfg.rpo {
+        for (si, s) in f.block(b).stmts.iter().enumerate() {
+            let Stmt::Assign { dst, rv } = s else { continue };
+            let Some(key) = pure_expr_key(rv) else { continue };
+            if matches!(rv, Rvalue::Use(_)) {
+                continue; // copies are copy-propagation's business
+            }
+            // All operands must be stable (value never changes) AND their
+            // defining sites must dominate this computation — otherwise an
+            // operand could still hold its entry value here but be defined
+            // by the time a dominated reuse site runs.
+            let mut uses = Vec::new();
+            rv.uses(&mut uses);
+            let ok = uses.iter().all(|v| {
+                if !is_stable(&Operand::Var(*v)) {
+                    return false;
+                }
+                match sites.get(v) {
+                    Some(&(db, dsi)) => {
+                        if db == b {
+                            dsi < si
+                        } else {
+                            dom.dominates(db, b)
+                        }
+                    }
+                    None => true, // unmodified parameter
+                }
+            });
+            if !ok {
+                continue;
+            }
+            match avail.get(&key) {
+                Some(&(db, dv)) if sites.contains_key(&dv)
+                    // Reuse only if the earlier def strictly dominates this
+                    // site (same-block handled by local CSE; require
+                    // different block to keep the check simple and sound).
+                    && db != b && dom.dominates(db, b) => {
+                        rewrites.push((b, si, dv));
+                        continue;
+                    }
+                _ => {}
+            }
+            // Record as available if dst is single-def (its value is this
+            // expression forever after).
+            if sites.contains_key(dst) {
+                avail.entry(key).or_insert((b, *dst));
+            }
+        }
+    }
+    let changed = !rewrites.is_empty();
+    for (b, si, src) in rewrites {
+        let Stmt::Assign { rv, .. } = &mut f.block_mut(b).stmts[si] else { unreachable!() };
+        *rv = Rvalue::Use(Operand::Var(src));
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Type};
+
+    #[test]
+    fn expression_reused_across_dominated_blocks() {
+        // entry computes p*p; both branch arms recompute it.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let x = b.binary(BinOp::Mul, p, p);
+        let r = b.var("r", Type::I64);
+        b.if_then_else(
+            x,
+            |b| {
+                let y = b.binary(BinOp::Mul, p, p);
+                b.binary_into(r, BinOp::Add, y, 1i64);
+            },
+            |b| {
+                let z = b.binary(BinOp::Mul, p, p);
+                b.binary_into(r, BinOp::Add, z, 2i64);
+            },
+        );
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        for arm in [1usize, 2] {
+            assert!(
+                matches!(
+                    &f.blocks[arm].stmts[0],
+                    Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == x
+                ),
+                "arm {arm}: {:?}",
+                f.blocks[arm].stmts[0]
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_share() {
+        // The two arms of a diamond compute the same expr; neither
+        // dominates the other, so no reuse.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.if_then_else(
+            p,
+            |b| {
+                let y = b.binary(BinOp::Mul, p, p);
+                b.copy(r, y);
+            },
+            |b| {
+                let z = b.binary(BinOp::Mul, p, p);
+                b.copy(r, z);
+            },
+        );
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn unstable_operand_not_reused() {
+        // x redefined in the loop; i*i inside must not reuse the preheader
+        // computation.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        let pre = b.binary(BinOp::Mul, i, i); // i = 0 here
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let sq = b.binary(BinOp::Mul, i, i); // varies per iteration
+            b.binary_into(acc, BinOp::Add, acc, sq);
+        });
+        let _ = pre;
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f), "i is multi-def: no reuse allowed");
+    }
+
+    #[test]
+    fn loads_not_gcsed() {
+        let mut prog = peak_ir::Program::new();
+        let a = prog.add_mem("a", Type::I64, 8);
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let x = b.load(Type::I64, peak_ir::MemRef::global(a, 0i64));
+        let r = b.var("r", Type::I64);
+        b.if_then(p, |b| {
+            let y = b.load(Type::I64, peak_ir::MemRef::global(a, 0i64));
+            b.copy(r, y);
+        });
+        let _ = x;
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f), "loads are out of scope for GCSE");
+    }
+}

@@ -1,0 +1,258 @@
+//! If-conversion: turn small branch diamonds into straight-line `Select`
+//! code (cmov on Pentium IV, movr on SPARC).
+//!
+//! Handled shapes, with every arm statement a *speculatable* pure assign
+//! (see [`crate::util::is_speculatable`] — no loads, no trapping division):
+//!
+//! * full diamond `if c { v… = … } else { v… = … }` → both arm computations
+//!   into fresh temps, then one `Select` per assigned variable;
+//! * one-sided `if c { v… = … }` → select between new and old value.
+//!
+//! Removes the branch (and its misprediction cost) at the price of
+//! executing both arms — exactly the trade the tuner should discover per
+//! workload and machine.
+
+use crate::util::map_rvalue_operands;
+use peak_ir::{
+    BlockId, Function, Operand, Rvalue, Stmt, Terminator, VarId,
+};
+use std::collections::HashMap;
+
+/// Maximum statements per arm.
+const MAX_ARM_STMTS: usize = 4;
+
+/// Run if-conversion. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        changed |= try_convert(f, b);
+    }
+    changed
+}
+
+/// An arm is convertible when it is a single block of speculatable assigns
+/// ending in a jump, and each variable is assigned at most once within it.
+fn arm_ok(f: &Function, arm: BlockId) -> Option<(Vec<(VarId, Rvalue)>, BlockId)> {
+    let blk = f.block(arm);
+    let Terminator::Jump(join) = blk.term else { return None };
+    if blk.stmts.len() > MAX_ARM_STMTS {
+        return None;
+    }
+    let mut assigns = Vec::new();
+    let mut seen = Vec::new();
+    for s in &blk.stmts {
+        let Stmt::Assign { dst, rv } = s else { return None };
+        if !crate::util::is_speculatable(rv) {
+            return None;
+        }
+        if seen.contains(dst) {
+            return None; // keep the renaming logic simple
+        }
+        seen.push(*dst);
+        assigns.push((*dst, rv.clone()));
+    }
+    Some((assigns, join))
+}
+
+fn try_convert(f: &mut Function, b: BlockId) -> bool {
+    let Terminator::Branch { cond, on_true, on_false } = f.block(b).term.clone() else {
+        return false;
+    };
+    if on_true == b || on_false == b || on_true == on_false {
+        return false;
+    }
+    // Arms must be exclusive to this diamond (single predecessor each) —
+    // checked by counting predecessors.
+    let cfg = peak_ir::Cfg::build(f);
+    let single_pred =
+        |t: BlockId| cfg.preds[t.index()].len() == 1 && cfg.preds[t.index()][0] == b;
+    // One-sided: on_false IS the join.
+    let (t_assigns, e_assigns, join) = if single_pred(on_true) {
+        match arm_ok(f, on_true) {
+            Some((ta, tj)) if tj == on_false => (ta, Vec::new(), on_false),
+            Some((ta, tj)) => {
+                // Full diamond?
+                if !single_pred(on_false) {
+                    return false;
+                }
+                match arm_ok(f, on_false) {
+                    Some((ea, ej)) if ej == tj && tj != b => (ta, ea, tj),
+                    _ => return false,
+                }
+            }
+            None => return false,
+        }
+    } else {
+        return false;
+    };
+    if t_assigns.is_empty() && e_assigns.is_empty() {
+        return false; // jump threading's job
+    }
+    // The join must not be one of the arms and must not loop back into b.
+    if join == on_true || join == b {
+        return false;
+    }
+    // Build the converted code in block b. Within an arm, later statements
+    // may use earlier arm results; we compute arm values into fresh temps
+    // (renaming arm-internal uses), then select.
+    let mut new_stmts: Vec<Stmt> = Vec::new();
+    let rename_arm = |f: &mut Function,
+                          assigns: &[(VarId, Rvalue)],
+                          new_stmts: &mut Vec<Stmt>|
+     -> HashMap<VarId, VarId> {
+        let mut map: HashMap<VarId, VarId> = HashMap::new();
+        for (dst, rv) in assigns {
+            let mut rv = rv.clone();
+            map_rvalue_operands(&mut rv, &mut |op| {
+                if let Operand::Var(v) = op {
+                    if let Some(&nv) = map.get(v) {
+                        *op = Operand::Var(nv);
+                    }
+                }
+            });
+            let tmp = f.add_temp(f.var_ty(*dst));
+            new_stmts.push(Stmt::Assign { dst: tmp, rv });
+            map.insert(*dst, tmp);
+        }
+        map
+    };
+    let t_map = rename_arm(f, &t_assigns, &mut new_stmts);
+    let e_map = rename_arm(f, &e_assigns, &mut new_stmts);
+    // Selects: for each var assigned in either arm, in deterministic order.
+    let mut vars: Vec<VarId> = t_map.keys().chain(e_map.keys()).copied().collect();
+    vars.sort();
+    vars.dedup();
+    for v in vars {
+        let tv = t_map.get(&v).map(|&t| Operand::Var(t)).unwrap_or(Operand::Var(v));
+        let ev = e_map.get(&v).map(|&t| Operand::Var(t)).unwrap_or(Operand::Var(v));
+        new_stmts.push(Stmt::Assign {
+            dst: v,
+            rv: Rvalue::Select { cond, on_true: tv, on_false: ev },
+        });
+    }
+    let blk = f.block_mut(b);
+    blk.stmts.extend(new_stmts);
+    blk.term = Terminator::Jump(join);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemoryImage, Program, Type, Value};
+
+    fn exec(prog: &Program, fid: peak_ir::FuncId, x: i64) -> Option<Value> {
+        let mut mem = MemoryImage::new(prog);
+        Interp::default().run(prog, fid, &[Value::I64(x)], &mut mem).unwrap().ret
+    }
+
+    #[test]
+    fn full_diamond_converted() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        let c = b.binary(BinOp::Gt, x, 0i64);
+        b.if_then_else(
+            c,
+            |b| {
+                let t = b.binary(BinOp::Mul, x, 2i64);
+                b.copy(r, t);
+            },
+            |b| {
+                let t = b.binary(BinOp::Sub, 0i64, x);
+                b.copy(r, t);
+            },
+        );
+        b.ret(Some(r.into()));
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        assert!(run(opt.func_mut(fid)));
+        // Entry block now ends in a jump (branch is gone).
+        assert!(matches!(opt.func(fid).blocks[0].term, Terminator::Jump(_)));
+        for v in [-3i64, 0, 5] {
+            assert_eq!(exec(&prog, fid, v), exec(&opt, fid, v), "x={v}");
+        }
+    }
+
+    #[test]
+    fn one_sided_if_converted() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.copy(r, 100i64);
+        let c = b.binary(BinOp::Lt, x, 10i64);
+        b.if_then(c, |b| {
+            b.copy(r, 1i64);
+        });
+        b.ret(Some(r.into()));
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        assert!(run(opt.func_mut(fid)));
+        for v in [5i64, 50] {
+            assert_eq!(exec(&prog, fid, v), exec(&opt, fid, v), "x={v}");
+        }
+    }
+
+    #[test]
+    fn arm_with_load_not_converted() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.copy(r, 0i64);
+        b.if_then(x, |b| {
+            // Speculating this load could trap when x indexes out of
+            // bounds on the not-taken path.
+            let v = b.load(Type::I64, peak_ir::MemRef::global(a, x));
+            b.copy(r, v);
+        });
+        b.ret(Some(r.into()));
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        assert!(!run(opt.func_mut(fid)));
+    }
+
+    #[test]
+    fn arm_with_store_not_converted() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut b = FunctionBuilder::new("f", None);
+        let x = b.param("x", Type::I64);
+        b.if_then(x, |b| {
+            b.store(peak_ir::MemRef::global(a, 0i64), 1i64);
+        });
+        b.ret(None);
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        assert!(!run(opt.func_mut(fid)));
+    }
+
+    #[test]
+    fn arm_internal_dependence_renamed() {
+        // then-arm: t = x+1; r = t*t — t must be renamed, not clobbered.
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        let t = b.var("t", Type::I64);
+        b.copy(r, 7i64);
+        b.copy(t, 1000i64);
+        let c = b.binary(BinOp::Gt, x, 0i64);
+        b.if_then(c, |b| {
+            b.binary_into(t, BinOp::Add, x, 1i64);
+            b.binary_into(r, BinOp::Mul, t, t);
+        });
+        // t's original value must survive on the not-taken path.
+        let out = b.binary(BinOp::Add, r, t);
+        b.ret(Some(out.into()));
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        assert!(run(opt.func_mut(fid)));
+        for v in [-1i64, 3] {
+            assert_eq!(exec(&prog, fid, v), exec(&opt, fid, v), "x={v}");
+        }
+    }
+}

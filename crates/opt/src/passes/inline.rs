@@ -1,0 +1,299 @@
+//! Function inlining: splice small callees into their callers.
+//!
+//! Two thresholds mirror GCC's split between always-profitable tiny
+//! callees (`inline-small`) and the `-finline-functions` heuristic enabled
+//! at -O3 (`inline-aggressive`).
+
+use peak_ir::{
+    Operand, Program, Rvalue, Stmt, Terminator, VarId,
+};
+use std::collections::HashMap;
+
+/// Statement budget for `inline-small`.
+pub const SMALL_THRESHOLD: usize = 8;
+/// Statement budget for `inline-functions`.
+pub const AGGRESSIVE_THRESHOLD: usize = 40;
+/// Caller growth cap: stop inlining once the caller exceeds this size.
+pub const CALLER_SIZE_CAP: usize = 400;
+
+/// Inline eligible calls in `func`. `threshold` selects the callee-size
+/// budget. Returns true if anything was inlined.
+pub fn run(prog: &mut Program, func: peak_ir::FuncId, threshold: usize) -> bool {
+    let mut changed = false;
+    // Repeat until no more call sites qualify (inlined bodies may contain
+    // further calls).
+    loop {
+        if prog.func(func).num_stmts() > CALLER_SIZE_CAP {
+            return changed;
+        }
+        let Some((block, si, callee, args, ret_dst)) = find_call_site(prog, func, threshold)
+        else {
+            return changed;
+        };
+        inline_site(prog, func, block, si, callee, args, ret_dst);
+        changed = true;
+    }
+}
+
+type CallSite = (peak_ir::BlockId, usize, peak_ir::FuncId, Vec<Operand>, Option<VarId>);
+
+fn find_call_site(
+    prog: &Program,
+    func: peak_ir::FuncId,
+    threshold: usize,
+) -> Option<CallSite> {
+    let f = prog.func(func);
+    for b in f.block_ids() {
+        for (si, s) in f.block(b).stmts.iter().enumerate() {
+            let (callee, args, ret_dst) = match s {
+                Stmt::Assign { dst, rv: Rvalue::Call { func: c, args } } => {
+                    (*c, args.clone(), Some(*dst))
+                }
+                Stmt::CallVoid { func: c, args } => (*c, args.clone(), None),
+                _ => continue,
+            };
+            if callee == func {
+                continue; // no self-inlining
+            }
+            let cf = prog.func(callee);
+            if cf.num_stmts() > threshold {
+                continue;
+            }
+            // Callee must not itself call the caller (cheap recursion guard:
+            // reject callees containing any call — nested inlining happens
+            // naturally when this pass re-runs bottom-up in the pipeline).
+            let has_call = cf.block_ids().any(|cb| {
+                cf.block(cb).stmts.iter().any(|s| {
+                    matches!(
+                        s,
+                        Stmt::CallVoid { .. } | Stmt::Assign { rv: Rvalue::Call { .. }, .. }
+                    )
+                })
+            });
+            if has_call {
+                continue;
+            }
+            return Some((b, si, callee, args, ret_dst));
+        }
+    }
+    None
+}
+
+fn inline_site(
+    prog: &mut Program,
+    func: peak_ir::FuncId,
+    block: peak_ir::BlockId,
+    si: usize,
+    callee: peak_ir::FuncId,
+    args: Vec<Operand>,
+    ret_dst: Option<VarId>,
+) {
+    let callee_fn = prog.func(callee).clone();
+    let f = prog.func_mut(func);
+    // 1. Split the calling block: statements after the call move to `cont`.
+    let cont = f.add_block();
+    let tail: Vec<Stmt> = f.block_mut(block).stmts.split_off(si + 1);
+    f.block_mut(block).stmts.pop(); // remove the call itself
+    let old_term = std::mem::replace(&mut f.block_mut(block).term, Terminator::Jump(cont));
+    f.block_mut(cont).stmts = tail;
+    f.block_mut(cont).term = old_term;
+    // 2. Import callee variables.
+    let mut var_map: HashMap<VarId, VarId> = HashMap::new();
+    for (vi, v) in callee_fn.vars.iter().enumerate() {
+        let nv = f.add_var(format!("inl_{}_{}", callee_fn.name, v.name), v.ty);
+        var_map.insert(VarId(vi as u32), nv);
+    }
+    // 3. Parameter binding: copies at the call block's end.
+    for (p, a) in callee_fn.params.iter().zip(&args) {
+        f.block_mut(block).stmts.push(Stmt::Assign {
+            dst: var_map[p],
+            rv: Rvalue::Use(*a),
+        });
+    }
+    // 4. Import callee blocks, remapping vars and block ids; returns become
+    // (optional) result copy + jump to cont.
+    let mut block_map: HashMap<peak_ir::BlockId, peak_ir::BlockId> = HashMap::new();
+    for cb in callee_fn.block_ids() {
+        block_map.insert(cb, f.add_block());
+    }
+    for cb in callee_fn.block_ids() {
+        let nb = block_map[&cb];
+        let mut stmts = callee_fn.block(cb).stmts.clone();
+        for s in &mut stmts {
+            // Remap defined var.
+            if let Stmt::Assign { dst, .. } = s {
+                *dst = var_map[dst];
+            }
+            crate::util::map_stmt_operands(s, &mut |op| {
+                if let Operand::Var(v) = op {
+                    *op = Operand::Var(var_map[v]);
+                }
+            });
+        }
+        let term = match callee_fn.block(cb).term.clone() {
+            Terminator::Jump(t) => Terminator::Jump(block_map[&t]),
+            Terminator::Branch { mut cond, on_true, on_false } => {
+                if let Operand::Var(v) = &mut cond {
+                    *v = var_map[v];
+                }
+                Terminator::Branch {
+                    cond,
+                    on_true: block_map[&on_true],
+                    on_false: block_map[&on_false],
+                }
+            }
+            Terminator::Return(val) => {
+                if let (Some(dst), Some(mut v)) = (ret_dst, val) {
+                    if let Operand::Var(rv) = &mut v {
+                        *rv = var_map[rv];
+                    }
+                    f.block_mut(nb).stmts.push(Stmt::Assign { dst, rv: Rvalue::Use(v) });
+                }
+                Terminator::Jump(cont)
+            }
+        };
+        let nbm = f.block_mut(nb);
+        let mut imported = std::mem::take(&mut nbm.stmts);
+        nbm.stmts = stmts;
+        nbm.stmts.append(&mut imported);
+        nbm.term = term;
+    }
+    // 5. Call block now jumps into the inlined entry.
+    f.block_mut(block).term = Terminator::Jump(block_map[&callee_fn.entry]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemRef, MemoryImage, Type, Value};
+
+    fn make_prog() -> (Program, peak_ir::FuncId, peak_ir::FuncId) {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 8);
+        // callee: clamp(x, lo) = max(x, lo) with a store side effect
+        let mut cb = FunctionBuilder::new("clamp", Some(Type::I64));
+        let x = cb.param("x", Type::I64);
+        let lo = cb.param("lo", Type::I64);
+        let r = cb.binary(BinOp::Max, x, lo);
+        cb.store(MemRef::global(a, 0i64), r);
+        cb.ret(Some(r.into()));
+        let callee = prog.add_func(cb.finish());
+        // caller: sum of clamp(i, 3) for i in 0..n
+        let mut b = FunctionBuilder::new("main", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let c = b.call(Type::I64, callee, vec![i.into(), 3i64.into()]);
+            b.binary_into(acc, BinOp::Add, acc, c);
+        });
+        b.ret(Some(acc.into()));
+        let main = prog.add_func(b.finish());
+        (prog, main, callee)
+    }
+
+    fn eval(prog: &Program, fid: peak_ir::FuncId, n: i64) -> (Option<Value>, Value) {
+        let mut mem = MemoryImage::new(prog);
+        let out = Interp::default().run(prog, fid, &[Value::I64(n)], &mut mem).unwrap();
+        let a = prog.mem_by_name("a").unwrap();
+        (out.ret, mem.load(a, 0))
+    }
+
+    #[test]
+    fn inlined_call_preserves_value_and_side_effects() {
+        let (mut prog, main, _callee) = make_prog();
+        let orig = prog.clone();
+        assert!(run(&mut prog, main, SMALL_THRESHOLD));
+        // No calls remain in main.
+        let f = prog.func(main);
+        let calls = f
+            .block_ids()
+            .flat_map(|b| f.block(b).stmts.iter())
+            .filter(|s| {
+                matches!(s, Stmt::CallVoid { .. } | Stmt::Assign { rv: Rvalue::Call { .. }, .. })
+            })
+            .count();
+        assert_eq!(calls, 0);
+        for n in [0i64, 1, 5] {
+            assert_eq!(eval(&orig, main, n), eval(&prog, main, n), "n={n}");
+        }
+        peak_ir::validate_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn large_callee_needs_aggressive_threshold() {
+        let mut prog = Program::new();
+        let mut cb = FunctionBuilder::new("big", Some(Type::I64));
+        let x = cb.param("x", Type::I64);
+        let mut cur = x;
+        for _ in 0..(SMALL_THRESHOLD + 2) {
+            cur = cb.binary(BinOp::Add, cur, 1i64);
+        }
+        cb.ret(Some(cur.into()));
+        let callee = prog.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("main", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let r = b.call(Type::I64, callee, vec![n.into()]);
+        b.ret(Some(r.into()));
+        let main = prog.add_func(b.finish());
+        let mut p1 = prog.clone();
+        assert!(!run(&mut p1, main, SMALL_THRESHOLD));
+        let mut p2 = prog.clone();
+        assert!(run(&mut p2, main, AGGRESSIVE_THRESHOLD));
+        let mut m1 = MemoryImage::new(&prog);
+        let mut m2 = MemoryImage::new(&p2);
+        assert_eq!(
+            Interp::default().run(&prog, main, &[Value::I64(7)], &mut m1).unwrap().ret,
+            Interp::default().run(&p2, main, &[Value::I64(7)], &mut m2).unwrap().ret,
+        );
+    }
+
+    #[test]
+    fn void_call_inlined() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut cb = FunctionBuilder::new("bump", None);
+        let k = cb.param("k", Type::I64);
+        let old = cb.load(Type::I64, MemRef::global(a, 0i64));
+        let newv = cb.binary(BinOp::Add, old, k);
+        cb.store(MemRef::global(a, 0i64), newv);
+        cb.ret(None);
+        let callee = prog.add_func(cb.finish());
+        let mut b = FunctionBuilder::new("main", None);
+        b.call_void(callee, vec![5i64.into()]);
+        b.call_void(callee, vec![7i64.into()]);
+        b.ret(None);
+        let main = prog.add_func(b.finish());
+        let orig = prog.clone();
+        assert!(run(&mut prog, main, SMALL_THRESHOLD));
+        let am = prog.mem_by_name("a").unwrap();
+        let mut m1 = MemoryImage::new(&orig);
+        let mut m2 = MemoryImage::new(&prog);
+        Interp::default().run(&orig, main, &[], &mut m1).unwrap();
+        Interp::default().run(&prog, main, &[], &mut m2).unwrap();
+        assert_eq!(m1.load(am, 0), m2.load(am, 0));
+        assert_eq!(m2.load(am, 0), Value::I64(12));
+        peak_ir::validate_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn recursive_callee_not_inlined() {
+        let mut prog = Program::new();
+        // f calls g; g calls f — has_call guard rejects g as a callee.
+        let mut gb = FunctionBuilder::new("g", None);
+        gb.ret(None);
+        let g_placeholder = prog.add_func(gb.finish());
+        let mut fb = FunctionBuilder::new("f", None);
+        fb.call_void(g_placeholder, vec![]);
+        fb.ret(None);
+        let f_id = prog.add_func(fb.finish());
+        // Rebuild g to call f (mutual recursion).
+        let mut gb2 = FunctionBuilder::new("g", None);
+        gb2.call_void(f_id, vec![]);
+        gb2.ret(None);
+        *prog.func_mut(g_placeholder) = gb2.finish();
+        // Inlining f: callee g has a call → skipped.
+        assert!(!run(&mut prog, f_id, AGGRESSIVE_THRESHOLD));
+    }
+}

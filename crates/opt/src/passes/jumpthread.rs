@@ -1,0 +1,164 @@
+//! Jump threading: fold constant-condition branches, skip empty forwarding
+//! blocks, and collapse branches whose arms coincide.
+
+use peak_ir::{BlockId, Function, Operand, Terminator};
+
+/// Run jump threading until fixpoint. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed_any = false;
+    loop {
+        let mut changed = false;
+        // 1. Fold constant branches and identical-arm branches.
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let new_term = match &f.block(b).term {
+                Terminator::Branch { cond: Operand::Const(c), on_true, on_false } => {
+                    Some(Terminator::Jump(if c.is_true() { *on_true } else { *on_false }))
+                }
+                Terminator::Branch { on_true, on_false, .. } if on_true == on_false => {
+                    Some(Terminator::Jump(*on_true))
+                }
+                _ => None,
+            };
+            if let Some(t) = new_term {
+                f.block_mut(b).term = t;
+                changed = true;
+            }
+        }
+        // 2. Thread edges through empty jump-only blocks.
+        let forward: Vec<Option<BlockId>> = f
+            .block_ids()
+            .map(|b| {
+                let blk = f.block(b);
+                match (&blk.term, blk.stmts.is_empty()) {
+                    (Terminator::Jump(t), true) if *t != b => Some(*t),
+                    _ => None,
+                }
+            })
+            .collect();
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let mut term = f.block(b).term.clone();
+            let mut local = false;
+            let thread = |t: &mut BlockId, local: &mut bool| {
+                // Follow chains with a bound to avoid cycles of empty blocks.
+                let mut hops = 0;
+                while let Some(n) = forward[t.index()] {
+                    if n == *t || hops > 16 {
+                        break;
+                    }
+                    *t = n;
+                    *local = true;
+                    hops += 1;
+                }
+            };
+            match &mut term {
+                Terminator::Jump(t) => thread(t, &mut local),
+                Terminator::Branch { on_true, on_false, .. } => {
+                    thread(on_true, &mut local);
+                    thread(on_false, &mut local);
+                }
+                Terminator::Return(_) => {}
+            }
+            if local {
+                f.block_mut(b).term = term;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        changed_any = true;
+    }
+    changed_any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{FunctionBuilder, Interp, MemoryImage, Program, Stmt, Type, Value};
+
+    #[test]
+    fn constant_branch_folds() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let r = b.var("r", Type::I64);
+        b.if_then_else(Operand::const_i64(1), |b| b.copy(r, 10i64), |b| b.copy(r, 20i64));
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(f.blocks[0].term, Terminator::Jump(t) if t == BlockId(1)));
+    }
+
+    #[test]
+    fn empty_block_threaded_through() {
+        // if_then with empty body: entry -> (empty then -> join | join).
+        let mut b = FunctionBuilder::new("f", None);
+        let p = b.param("p", Type::I64);
+        b.if_then(p, |_| {});
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        match &f.blocks[0].term {
+            Terminator::Branch { on_true, on_false, .. } => {
+                assert_eq!(on_true, on_false, "both arms reach the join directly");
+            }
+            Terminator::Jump(_) => {} // identical arms then collapse
+            t => panic!("{t:?}"),
+        }
+        // A second run collapses the identical-arm branch fully.
+        run(&mut f);
+        assert!(matches!(f.blocks[0].term, Terminator::Jump(_)));
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.copy(r, 0i64);
+        b.if_then(p, |b| b.copy(r, 1i64));
+        b.if_then_else(Operand::const_i64(0), |b| b.copy(r, 99i64), |_| {});
+        b.ret(Some(r.into()));
+        let fid = prog.add_func(b.finish());
+        let mut optimized = prog.clone();
+        assert!(run(optimized.func_mut(fid)));
+        for input in [0i64, 5] {
+            let mut m1 = MemoryImage::new(&prog);
+            let mut m2 = MemoryImage::new(&optimized);
+            let r1 = Interp::default().run(&prog, fid, &[Value::I64(input)], &mut m1).unwrap();
+            let r2 = Interp::default()
+                .run(&optimized, fid, &[Value::I64(input)], &mut m2)
+                .unwrap();
+            assert_eq!(r1.ret, r2.ret);
+        }
+    }
+
+    #[test]
+    fn self_loop_not_threaded_forever() {
+        // Block jumping to itself must not hang the pass.
+        let mut f = peak_ir::Function::new("f", None);
+        let b1 = f.add_block();
+        f.block_mut(f.entry).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Jump(b1);
+        run(&mut f); // must terminate
+    }
+
+    #[test]
+    fn nonempty_block_not_skipped() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.copy(r, 0i64);
+        b.if_then(p, |b| b.copy(r, 1i64)); // then-block has a statement
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        let then_has_stmt = f.blocks[1].stmts.len() == 1;
+        assert!(then_has_stmt);
+        run(&mut f);
+        // Entry still branches through the non-empty then block.
+        match &f.blocks[0].term {
+            Terminator::Branch { on_true, .. } => assert_eq!(*on_true, BlockId(1)),
+            t => panic!("{t:?}"),
+        }
+        let _ = Stmt::CounterInc { counter: peak_ir::CounterId(0) }; // silence import
+    }
+}

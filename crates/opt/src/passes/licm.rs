@@ -1,0 +1,297 @@
+//! Loop-invariant code motion.
+//!
+//! Pure, non-trapping computations whose operands are loop-invariant move
+//! to the preheader. Loads move only when provably safe to execute
+//! speculatively (statically in-bounds address) and no statement in the
+//! loop may write the region; everything riskier is register promotion's
+//! job, which installs a loop guard first.
+
+use crate::util::{is_speculatable, single_def_sites, static_address};
+use peak_ir::{
+    Cfg, Dominators, Function, LoopForest, MemBase, Program, Rvalue, Stmt, Terminator, VarId,
+};
+use std::collections::HashSet;
+
+/// Run LICM. Returns true if anything was hoisted.
+pub fn run(f: &mut Function, prog: &Program) -> bool {
+    let mut changed = false;
+    // Re-analyze after each round: hoisting changes block contents.
+    loop {
+        let cfg = Cfg::build(f);
+        let dom = Dominators::build(f, &cfg);
+        let forest = LoopForest::build(f, &cfg, &dom);
+        let sites = single_def_sites(f);
+        let mut moved = false;
+        for l in &forest.loops {
+            // Preheader: unique out-of-loop predecessor ending in Jump.
+            let mut pre = None;
+            for &p in &cfg.preds[l.header.index()] {
+                if !l.contains(p) {
+                    if pre.is_some() {
+                        pre = None;
+                        break;
+                    }
+                    pre = Some(p);
+                }
+            }
+            let Some(pre) = pre else { continue };
+            if !matches!(f.block(pre).term, Terminator::Jump(t) if t == l.header) {
+                continue;
+            }
+            // Variables defined anywhere in the loop.
+            let mut defined_in_loop: HashSet<VarId> = HashSet::new();
+            let mut loop_writes_mem = false;
+            let mut loop_has_call = false;
+            let mut written_regions: HashSet<u32> = HashSet::new();
+            for &b in &l.body {
+                for s in &f.block(b).stmts {
+                    if let Some(d) = s.def() {
+                        defined_in_loop.insert(d);
+                    }
+                    match s {
+                        Stmt::Store { dst, .. } => match dst.base {
+                            MemBase::Global(m) => {
+                                written_regions.insert(m.0);
+                            }
+                            MemBase::Ptr(_) => loop_writes_mem = true,
+                        },
+                        Stmt::CallVoid { .. } => loop_has_call = true,
+                        Stmt::Assign { rv: Rvalue::Call { .. }, .. } => loop_has_call = true,
+                        _ => {}
+                    }
+                }
+            }
+            // Hoist in body order so invariant chains move together.
+            let mut hoisted: HashSet<VarId> = HashSet::new();
+            for &b in &l.body {
+                let mut si = 0;
+                while si < f.block(b).stmts.len() {
+                    let s = &f.block(b).stmts[si];
+                    let Stmt::Assign { dst, rv } = s else {
+                        si += 1;
+                        continue;
+                    };
+                    let dst = *dst;
+                    // Single-def AND the def dominates every use: otherwise
+                    // a use reached without executing the def (reading the
+                    // entry value) would observe the hoisted value instead.
+                    if !sites.contains_key(&dst) || !def_dominates_uses(f, &dom, b, si, dst) {
+                        si += 1;
+                        continue;
+                    }
+                    let mut uses = Vec::new();
+                    rv.uses(&mut uses);
+                    let invariant = uses
+                        .iter()
+                        .all(|u| !defined_in_loop.contains(u) || hoisted.contains(u));
+                    if !invariant {
+                        si += 1;
+                        continue;
+                    }
+                    let safe = if is_speculatable(rv) {
+                        true
+                    } else if let Rvalue::Load(mr) = rv {
+                        // Safe speculative load: static in-bounds address,
+                        // region never written in the loop, no calls.
+                        match static_address(f, mr) {
+                            Some((m, idx)) => {
+                                !loop_has_call
+                                    && !loop_writes_mem
+                                    && !written_regions.contains(&m.0)
+                                    && idx >= 0
+                                    && (idx as usize) < prog.mems[m.index()].len
+                            }
+                            None => false,
+                        }
+                    } else {
+                        false
+                    };
+                    if !safe {
+                        si += 1;
+                        continue;
+                    }
+                    // Move to preheader.
+                    let stmt = f.block_mut(b).stmts.remove(si);
+                    f.block_mut(pre).stmts.push(stmt);
+                    hoisted.insert(dst);
+                    defined_in_loop.remove(&dst);
+                    moved = true;
+                }
+            }
+        }
+        changed |= moved;
+        if !moved {
+            return changed;
+        }
+    }
+}
+
+/// Whether the definition of `v` at `(db, dsi)` dominates every use of `v`.
+fn def_dominates_uses(
+    f: &Function,
+    dom: &Dominators,
+    db: peak_ir::BlockId,
+    dsi: usize,
+    v: VarId,
+) -> bool {
+    let mut uses = Vec::new();
+    for b in f.block_ids() {
+        for (si, s) in f.block(b).stmts.iter().enumerate() {
+            uses.clear();
+            s.uses(&mut uses);
+            if uses.contains(&v) {
+                let ok = if b == db { dsi < si } else { dom.dominates(db, b) };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        uses.clear();
+        f.block(b).term.uses(&mut uses);
+        if uses.contains(&v) {
+            let ok = if b == db { true } else { dom.dominates(db, b) };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemRef, MemoryImage, Program, Type, Value};
+
+    #[test]
+    fn invariant_chain_hoisted() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let k = b.param("k", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let t1 = b.binary(BinOp::Mul, k, k); // invariant
+            let t2 = b.binary(BinOp::Add, t1, 5i64); // invariant chain
+            let t3 = b.binary(BinOp::Add, t2, i); // NOT invariant
+            b.binary_into(acc, BinOp::Add, acc, t3);
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Program::new()));
+        // Entry (preheader) gained the two invariant statements.
+        let body_muls = f.blocks[2]
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { rv: Rvalue::Binary(BinOp::Mul, ..), .. }))
+            .count();
+        assert_eq!(body_muls, 0, "k*k hoisted out of body");
+        assert!(f.blocks[0].stmts.len() >= 3); // acc init + 2 hoisted + iv init
+    }
+
+    #[test]
+    fn semantics_preserved_including_zero_trip() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let k = b.param("k", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let t = b.binary(BinOp::Mul, k, 3i64);
+            b.binary_into(acc, BinOp::Add, acc, t);
+        });
+        b.ret(Some(acc.into()));
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        let snapshot = opt.clone();
+        run(opt.func_mut(fid), &snapshot);
+        for (n, k) in [(0i64, 5i64), (3, 2), (7, -1)] {
+            let mut m1 = MemoryImage::new(&prog);
+            let mut m2 = MemoryImage::new(&opt);
+            let r1 = Interp::default()
+                .run(&prog, fid, &[Value::I64(n), Value::I64(k)], &mut m1)
+                .unwrap();
+            let r2 = Interp::default()
+                .run(&opt, fid, &[Value::I64(n), Value::I64(k)], &mut m2)
+                .unwrap();
+            assert_eq!(r1.ret, r2.ret, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn variant_division_not_hoisted() {
+        // k may be zero at runtime: div is not speculatable.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let k = b.param("k", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let t = b.binary(BinOp::Div, 100i64, k);
+            b.binary_into(acc, BinOp::Add, acc, t);
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f, &Program::new()), "div by param must stay guarded by the loop");
+    }
+
+    #[test]
+    fn safe_static_load_hoisted_unsafe_not() {
+        let mut prog = Program::new();
+        let g = prog.add_mem("g", Type::I64, 4);
+        let h = prog.add_mem("h", Type::I64, 4);
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let safe = b.load(Type::I64, MemRef::global(g, 2i64)); // invariant, in-bounds, g unwritten
+            let unsafe_ld = b.load(Type::I64, MemRef::global(h, 1i64)); // h written below
+            let t = b.binary(BinOp::Add, safe, unsafe_ld);
+            b.binary_into(acc, BinOp::Add, acc, t);
+            b.store(MemRef::global(h, 1i64), acc);
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f, &prog));
+        let body_loads = f.blocks[2]
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { rv: Rvalue::Load(_), .. }))
+            .count();
+        assert_eq!(body_loads, 1, "only the h load remains in the body");
+    }
+
+    #[test]
+    fn nested_loop_invariants_hoist_stepwise() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let k = b.param("k", Type::I64);
+        let i = b.var("i", Type::I64);
+        let j = b.var("j", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.for_loop(j, 0i64, n, 1, |b| {
+                let t = b.binary(BinOp::Mul, k, 7i64); // invariant to both
+                b.binary_into(acc, BinOp::Add, acc, t);
+            });
+        });
+        b.ret(Some(acc.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f, &Program::new()));
+        // The multiply should end up in the outermost preheader (entry).
+        assert!(
+            f.blocks[0]
+                .stmts
+                .iter()
+                .any(|s| matches!(s, Stmt::Assign { rv: Rvalue::Binary(BinOp::Mul, ..), .. })),
+            "k*7 hoisted to function entry"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Optimization passes, one module per transformation. Each pass exposes a
+//! `run(…) -> bool` returning whether it changed the IR; the pipeline in
+//! [`crate::pipeline`] sequences them according to the enabled flags.
+
+pub mod algebraic;
+pub mod align;
+pub mod branch_reorder;
+pub mod cprop;
+pub mod cse;
+pub mod dce;
+pub mod dse;
+pub mod fold;
+pub mod fusion;
+pub mod gcse;
+pub mod ifconv;
+pub mod inline;
+pub mod jumpthread;
+pub mod licm;
+pub mod peephole;
+pub mod prefetch;
+pub mod reassoc;
+pub mod reciprocal;
+pub mod regpromote;
+pub mod schedule;
+pub mod store_forward;
+pub mod strength;
+pub mod taildup;
+pub mod unroll;
+pub mod unswitch;

@@ -1,0 +1,172 @@
+//! Peephole cleanups: local patterns that other passes expose.
+//!
+//! * `select c ? x : x` → `x`
+//! * `neg (neg x)` / `not (not x)` → `x` (through single-def chains)
+//! * comparison with constant on the left → swapped to the right
+//!   (canonical form helps CSE hit more often)
+//! * `select c ? 1 : 0` where `c` is a comparison result → `c`
+
+use crate::util::single_def_sites;
+use peak_ir::{Function, Operand, Rvalue, Stmt, UnOp, Value};
+
+/// Run peephole simplification. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let sites = single_def_sites(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for si in 0..f.block(b).stmts.len() {
+            let Stmt::Assign { rv, .. } = &f.block(b).stmts[si] else { continue };
+            let new_rv: Option<Rvalue> = match rv {
+                Rvalue::Select { cond: _, on_true, on_false } if on_true == on_false => {
+                    Some(Rvalue::Use(*on_true))
+                }
+                Rvalue::Select {
+                    cond: c @ Operand::Var(_),
+                    on_true: Operand::Const(Value::I64(1)),
+                    on_false: Operand::Const(Value::I64(0)),
+                } => {
+                    // Only when c is known to be 0/1 (a comparison result).
+                    if operand_is_bool(f, &sites, c) {
+                        Some(Rvalue::Use(*c))
+                    } else {
+                        None
+                    }
+                }
+                Rvalue::Unary(op @ (UnOp::Neg | UnOp::Not), Operand::Var(v)) => {
+                    // Double negation through a single-def chain in the
+                    // same block, source unchanged in between.
+                    match sites.get(v) {
+                        Some(&(db, dsi)) if db == b && dsi < si => {
+                            match &f.block(db).stmts[dsi] {
+                                Stmt::Assign { rv: Rvalue::Unary(iop, inner), .. }
+                                    if iop == op =>
+                                {
+                                    let stable = match inner {
+                                        Operand::Var(iv) => !f.block(b).stmts[dsi + 1..si]
+                                            .iter()
+                                            .any(|s| s.def() == Some(*iv)),
+                                        Operand::Const(_) => true,
+                                    };
+                                    stable.then_some(Rvalue::Use(*inner))
+                                }
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+                Rvalue::Binary(op, a @ Operand::Const(_), bop @ Operand::Var(_)) => {
+                    // Canonicalize: constant to the right when possible.
+                    if let Some(sw) = op.swapped() {
+                        Some(Rvalue::Binary(sw, *bop, *a))
+                    } else if op.is_commutative() {
+                        Some(Rvalue::Binary(*op, *bop, *a))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(nrv) = new_rv {
+                let Stmt::Assign { rv, .. } = &mut f.block_mut(b).stmts[si] else {
+                    unreachable!()
+                };
+                *rv = nrv;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn operand_is_bool(
+    f: &Function,
+    sites: &std::collections::HashMap<peak_ir::VarId, (peak_ir::BlockId, usize)>,
+    op: &Operand,
+) -> bool {
+    let Operand::Var(v) = op else { return false };
+    let Some(&(b, si)) = sites.get(v) else { return false };
+    matches!(
+        &f.block(b).stmts[si],
+        Stmt::Assign { rv: Rvalue::Binary(bop, ..), .. } if bop.is_comparison()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Type};
+
+    #[test]
+    fn select_same_arms_collapses() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let c = b.param("c", Type::I64);
+        let t = b.temp(Type::I64);
+        b.assign(t, Rvalue::Select { cond: c.into(), on_true: p.into(), on_false: p.into() });
+        b.ret(Some(t.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(
+            &f.blocks[0].stmts[0],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == p
+        ));
+    }
+
+    #[test]
+    fn select_bool_of_comparison_collapses() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let c = b.binary(BinOp::Lt, p, 5i64);
+        let t = b.temp(Type::I64);
+        b.assign(t, Rvalue::Select { cond: c.into(), on_true: 1i64.into(), on_false: 0i64.into() });
+        b.ret(Some(t.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(
+            &f.blocks[0].stmts[1],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == c
+        ));
+    }
+
+    #[test]
+    fn select_bool_of_unknown_not_collapsed() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64); // p may be any integer, not 0/1
+        let t = b.temp(Type::I64);
+        b.assign(t, Rvalue::Select { cond: p.into(), on_true: 1i64.into(), on_false: 0i64.into() });
+        b.ret(Some(t.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn double_negation_removed() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let n1 = b.unary(UnOp::Neg, p);
+        let n2 = b.unary(UnOp::Neg, n1);
+        b.ret(Some(n2.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(
+            &f.blocks[0].stmts[1],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == p
+        ));
+    }
+
+    #[test]
+    fn comparison_canonicalized() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let t = b.temp(Type::I64);
+        b.assign(t, Rvalue::Binary(BinOp::Lt, 5i64.into(), p.into()));
+        b.ret(Some(t.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        assert!(matches!(
+            &f.blocks[0].stmts[0],
+            Stmt::Assign { rv: Rvalue::Binary(BinOp::Gt, Operand::Var(_), Operand::Const(_)), .. }
+        ));
+    }
+}

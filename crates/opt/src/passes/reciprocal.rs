@@ -1,0 +1,111 @@
+//! Reciprocal math: replace float division by a power-of-two constant with
+//! multiplication by its exact reciprocal. Restricted to powers of two so
+//! the rewrite is bit-exact under IEEE-754 (both operations are exact
+//! scalings of the exponent), unlike the general `-ffast-math` rewrite.
+
+use peak_ir::{BinOp, Function, Operand, Rvalue, Stmt, Value};
+
+fn exact_reciprocal(k: f64) -> Option<f64> {
+    if !k.is_finite() || k == 0.0 {
+        return None;
+    }
+    // A power of two has zero mantissa bits and a non-subnormal reciprocal.
+    let bits = k.abs().to_bits();
+    let mantissa = bits & ((1u64 << 52) - 1);
+    let exp = (bits >> 52) & 0x7ff;
+    if mantissa != 0 || exp == 0 {
+        return None;
+    }
+    let r = 1.0 / k;
+    // The reciprocal must itself be normal for exactness.
+    if !r.is_normal() {
+        return None;
+    }
+    Some(r)
+}
+
+/// Run the reciprocal rewrite. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for s in &mut f.block_mut(b).stmts {
+            let Stmt::Assign { rv, .. } = s else { continue };
+            let Rvalue::Binary(BinOp::FDiv, a, Operand::Const(Value::F64(k))) = rv else {
+                continue;
+            };
+            if let Some(r) = exact_reciprocal(*k) {
+                *rv = Rvalue::Binary(BinOp::FMul, *a, Operand::Const(Value::F64(r)));
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn power_of_two_division_becomes_multiply() {
+        let mut b = FunctionBuilder::new("f", Some(Type::F64));
+        let x = b.param("x", Type::F64);
+        let y = b.binary(BinOp::FDiv, x, 8.0f64);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+        match &f.blocks[0].stmts[0] {
+            Stmt::Assign { rv: Rvalue::Binary(BinOp::FMul, _, Operand::Const(Value::F64(r))), .. } => {
+                assert_eq!(*r, 0.125)
+            }
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_power_of_two_ok() {
+        let mut b = FunctionBuilder::new("f", Some(Type::F64));
+        let x = b.param("x", Type::F64);
+        let y = b.binary(BinOp::FDiv, x, -4.0f64);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(run(&mut f));
+    }
+
+    #[test]
+    fn non_power_untouched() {
+        let mut b = FunctionBuilder::new("f", Some(Type::F64));
+        let x = b.param("x", Type::F64);
+        let y = b.binary(BinOp::FDiv, x, 3.0f64);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f), "1/3 is inexact");
+    }
+
+    #[test]
+    fn variable_divisor_untouched() {
+        let mut b = FunctionBuilder::new("f", Some(Type::F64));
+        let x = b.param("x", Type::F64);
+        let d = b.param("d", Type::F64);
+        let y = b.binary(BinOp::FDiv, x, d);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn exactness_for_all_doubles() {
+        // Spot-check bit-exactness across magnitudes.
+        for k in [2.0f64, 8.0, 1024.0, 0.5, -16.0] {
+            let r = exact_reciprocal(k).unwrap();
+            for x in [1.5f64, -3.75, 1e100, 1e-100, 0.1] {
+                assert_eq!((x / k).to_bits(), (x * r).to_bits(), "x={x} k={k}");
+            }
+        }
+        assert_eq!(exact_reciprocal(3.0), None);
+        assert_eq!(exact_reciprocal(0.0), None);
+        // 2^-1074 (subnormal): reciprocal is inf — rejected.
+        assert_eq!(exact_reciprocal(f64::from_bits(1)), None);
+    }
+}

@@ -1,0 +1,521 @@
+//! Register promotion (scalar replacement): keep a repeatedly accessed,
+//! loop-invariant memory location in a register for the duration of a
+//! counted loop.
+//!
+//! The transformation is guarded so it never executes a speculative load:
+//!
+//! ```text
+//! pre:    …                     pre:    … ; c0 = iv < end
+//!         jump header                   br c0 ? landing : exit
+//!                               landing: v = load A ; jump header
+//! header: c = iv < end          header: c = iv < end
+//!         br c ? body : exit            br c ? body : flush   (if stores)
+//! body:   … load/store A …      body:   … v … v = src …
+//!                               flush:  store A = v ; jump exit
+//! ```
+//!
+//! Legality: every other memory access in the loop must provably not alias
+//! `A`. Distinct global regions and distinct constant subscripts of one
+//! region are disjoint; accesses through unknown (⊤) pointers alias
+//! everything — *unless* `strict-aliasing` is on and the pointer's
+//! inferred element type differs from `A`'s region type. That assumption
+//! is what lets promotion fire aggressively, lengthening live ranges and
+//! producing the ART register-pressure anecdote of paper §5.2.
+
+use peak_ir::{
+    Cfg, Dominators, Function, LoopForest, MemBase, MemRef, Operand, PointsTo, Program,
+    Rvalue, Stmt, Terminator, Type, Value, VarId,
+};
+use std::collections::HashMap;
+
+/// Run register promotion (one location per call; the pipeline iterates).
+/// Returns true if a location was promoted.
+pub fn run(f: &mut Function, prog: &Program, strict_aliasing: bool) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    let pts = PointsTo::build(f);
+    let ptr_elem = infer_ptr_elem_types(f);
+    for li in 0..forest.loops.len() {
+        let l = &forest.loops[li];
+        let Some(_cl) = peak_ir::recognize_counted(f, &cfg, l) else { continue };
+        // Header must be the single-compare canonical shape; its structure
+        // is cloned into the guard.
+        if f.block(l.header).stmts.len() != 1 {
+            continue;
+        }
+        let Terminator::Branch { on_false: exit, .. } = f.block(l.header).term else { continue };
+        if l.contains(exit) {
+            continue;
+        }
+        // No calls anywhere in the loop.
+        let has_call = l.body.iter().any(|&b| {
+            f.block(b).stmts.iter().any(|s| {
+                matches!(s, Stmt::CallVoid { .. } | Stmt::Assign { rv: Rvalue::Call { .. }, .. })
+            })
+        });
+        if has_call {
+            continue;
+        }
+        // Vars defined in the loop (for address invariance).
+        let defined: Vec<VarId> = l
+            .body
+            .iter()
+            .flat_map(|&b| f.block(b).stmts.iter().filter_map(|s| s.def()))
+            .collect();
+        let invariant_op = |op: &Operand| match op {
+            Operand::Const(_) => true,
+            Operand::Var(v) => !defined.contains(v),
+        };
+        let invariant_addr = |mr: &MemRef| {
+            let base_ok = match mr.base {
+                MemBase::Global(_) => true,
+                MemBase::Ptr(p) => !defined.contains(&p),
+            };
+            base_ok && invariant_op(&mr.index)
+        };
+        // Candidate addresses: syntactic (base, index) of invariant
+        // accesses, with counts and store flags.
+        #[derive(Default)]
+        struct Cand {
+            count: usize,
+            stores: usize,
+            mr: Option<MemRef>,
+        }
+        let mut cands: HashMap<String, Cand> = HashMap::new();
+        let addr_sig = |mr: &MemRef| format!("{mr:?}");
+        for &b in &l.body {
+            for s in &f.block(b).stmts {
+                match s {
+                    Stmt::Assign { rv: Rvalue::Load(mr), .. } if invariant_addr(mr) => {
+                        let c = cands.entry(addr_sig(mr)).or_default();
+                        c.count += 1;
+                        c.mr = Some(*mr);
+                    }
+                    Stmt::Store { dst, .. } if invariant_addr(dst) => {
+                        let c = cands.entry(addr_sig(dst)).or_default();
+                        c.count += 1;
+                        c.stores += 1;
+                        c.mr = Some(*dst);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut ordered: Vec<&Cand> = cands.values().filter(|c| c.count >= 2).collect();
+        ordered.sort_by_key(|c| std::cmp::Reverse(c.count));
+        let passing: Vec<(MemRef, bool)> = ordered
+            .iter()
+            .filter(|c| {
+                let a = c.mr.expect("candidate has a memref");
+                alias_check(f, prog, &pts, &ptr_elem, strict_aliasing, l, &a)
+            })
+            .map(|c| (c.mr.unwrap(), c.stores > 0))
+            .take(6)
+            .collect();
+        if passing.is_empty() {
+            continue;
+        }
+        promote(f, &cfg, l, exit, &passing);
+        return true;
+    }
+    false
+}
+
+/// Element type accessed through each pointer variable, inferred from use.
+fn infer_ptr_elem_types(f: &Function) -> HashMap<VarId, Type> {
+    let mut map = HashMap::new();
+    for b in f.block_ids() {
+        for s in &f.block(b).stmts {
+            match s {
+                Stmt::Assign { dst, rv: Rvalue::Load(mr) } => {
+                    if let MemBase::Ptr(p) = mr.base {
+                        map.entry(p).or_insert(f.var_ty(*dst));
+                    }
+                }
+                Stmt::Store { dst, src } => {
+                    if let MemBase::Ptr(p) = dst.base {
+                        let ty = match src {
+                            Operand::Var(v) => f.var_ty(*v),
+                            Operand::Const(c) => c.ty(),
+                        };
+                        map.entry(p).or_insert(ty);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}
+
+/// Does every other access in the loop provably not alias `a`?
+fn alias_check(
+    f: &Function,
+    prog: &Program,
+    pts: &PointsTo,
+    ptr_elem: &HashMap<VarId, Type>,
+    strict: bool,
+    l: &peak_ir::Loop,
+    a: &MemRef,
+) -> bool {
+    let a_ty = memref_elem_ty(f, prog, ptr_elem, a);
+    for &b in &l.body {
+        for s in &f.block(b).stmts {
+            let other: Option<&MemRef> = match s {
+                Stmt::Assign { rv: Rvalue::Load(mr), .. } => Some(mr),
+                Stmt::Store { dst, .. } => Some(dst),
+                _ => None,
+            };
+            let Some(other) = other else { continue };
+            if format!("{other:?}") == format!("{a:?}") {
+                continue; // the promoted location itself
+            }
+            if may_alias(prog, pts, ptr_elem, strict, a, a_ty, other) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn memref_elem_ty(
+    f: &Function,
+    prog: &Program,
+    ptr_elem: &HashMap<VarId, Type>,
+    mr: &MemRef,
+) -> Option<Type> {
+    let _ = f;
+    match mr.base {
+        MemBase::Global(m) => Some(prog.mems[m.index()].elem),
+        MemBase::Ptr(p) => ptr_elem.get(&p).copied(),
+    }
+}
+
+fn may_alias(
+    prog: &Program,
+    pts: &PointsTo,
+    ptr_elem: &HashMap<VarId, Type>,
+    strict: bool,
+    a: &MemRef,
+    a_ty: Option<Type>,
+    other: &MemRef,
+) -> bool {
+    // Region sets.
+    let regions = |mr: &MemRef| -> Option<Vec<peak_ir::MemId>> {
+        match mr.base {
+            MemBase::Global(m) => Some(vec![m]),
+            MemBase::Ptr(p) => {
+                if pts.is_precise(p) {
+                    Some(pts.may_point_to(p, prog.mems.len()))
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    match (regions(a), regions(other)) {
+        (Some(ra), Some(ro)) => {
+            if ra.iter().all(|m| !ro.contains(m)) {
+                return false; // disjoint regions
+            }
+            // Same region: distinct constant subscripts are disjoint
+            // (only when both bases are direct globals, where the
+            // subscript is the full address).
+            if let (
+                MemBase::Global(_),
+                MemBase::Global(_),
+                Operand::Const(Value::I64(x)),
+                Operand::Const(Value::I64(y)),
+            ) = (a.base, other.base, a.index, other.index)
+            {
+                if x != y {
+                    return false;
+                }
+            }
+            true
+        }
+        _ => {
+            // Unknown pointer on one side: strict aliasing may still
+            // disambiguate by element type.
+            if strict {
+                let o_ty = match other.base {
+                    MemBase::Global(m) => Some(prog.mems[m.index()].elem),
+                    MemBase::Ptr(p) => ptr_elem.get(&p).copied(),
+                };
+                if let (Some(t1), Some(t2)) = (a_ty, o_ty) {
+                    if t1 != t2 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Apply the promotion of every `(address, has_stores)` candidate in loop
+/// `l`, sharing one guard, one landing block, and one flush block.
+fn promote(
+    f: &mut Function,
+    cfg: &Cfg,
+    l: &peak_ir::Loop,
+    exit: peak_ir::BlockId,
+    candidates: &[(MemRef, bool)],
+) {
+    let header = l.header;
+    let pre = cfg.preds[header.index()]
+        .iter()
+        .copied()
+        .find(|p| !l.contains(*p))
+        .expect("counted loop has preheader");
+    // Element type of each promoted location: look at any access of it.
+    let elem_ty_of = |f: &Function, a: &MemRef| -> Type {
+        for &b in &l.body {
+            for s in &f.block(b).stmts {
+                match s {
+                    Stmt::Assign { dst, rv: Rvalue::Load(mr) }
+                        if format!("{mr:?}") == format!("{a:?}") =>
+                    {
+                        return f.var_ty(*dst);
+                    }
+                    Stmt::Store { dst, src } if format!("{dst:?}") == format!("{a:?}") => {
+                        return match src {
+                            Operand::Var(v) => f.var_ty(*v),
+                            Operand::Const(c) => c.ty(),
+                        };
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Type::I64
+    };
+    let vars: Vec<VarId> = candidates
+        .iter()
+        .map(|(a, _)| {
+            let ty = elem_ty_of(f, a);
+            f.add_var(format!("prom{}", f.num_vars()), ty)
+        })
+        .collect();
+    // Guard in the preheader: clone the header compare with a fresh temp.
+    let Stmt::Assign { rv: cmp_rv, .. } = f.block(header).stmts[0].clone() else {
+        unreachable!("canonical header has a compare assign")
+    };
+    let c0 = f.add_temp(Type::I64);
+    // Landing block: initial loads, then enter the loop.
+    let landing = f.add_block();
+    for ((a, _), &v) in candidates.iter().zip(&vars) {
+        f.block_mut(landing).stmts.push(Stmt::Assign { dst: v, rv: Rvalue::Load(*a) });
+    }
+    f.block_mut(landing).term = Terminator::Jump(header);
+    f.block_mut(pre).stmts.push(Stmt::Assign { dst: c0, rv: cmp_rv });
+    f.block_mut(pre).term =
+        Terminator::Branch { cond: Operand::Var(c0), on_true: landing, on_false: exit };
+    // Flush block on the loop's exit edge when any stores were promoted.
+    if candidates.iter().any(|(_, st)| *st) {
+        let flush = f.add_block();
+        for ((a, st), &v) in candidates.iter().zip(&vars) {
+            if *st {
+                f.block_mut(flush).stmts.push(Stmt::Store { dst: *a, src: Operand::Var(v) });
+            }
+        }
+        f.block_mut(flush).term = Terminator::Jump(exit);
+        f.block_mut(header).term.replace_successor(exit, flush);
+    }
+    // Rewrite in-loop accesses.
+    for ((a, _), &v) in candidates.iter().zip(&vars) {
+        for &b in &l.body {
+            for s in &mut f.block_mut(b).stmts {
+                match s {
+                    Stmt::Assign { rv, .. } => {
+                        if let Rvalue::Load(mr) = rv {
+                            if format!("{mr:?}") == format!("{a:?}") {
+                                *rv = Rvalue::Use(Operand::Var(v));
+                            }
+                        }
+                    }
+                    Stmt::Store { dst, src }
+                        if format!("{dst:?}") == format!("{a:?}") => {
+                            *s = Stmt::Assign { dst: v, rv: Rvalue::Use(*src) };
+                        }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemoryImage};
+
+    /// acc in g[0] updated every iteration — classic promotion target.
+    fn build_accumulator(prog: &mut Program) -> peak_ir::FuncId {
+        let g = prog.mem_by_name("g").unwrap();
+        let a = prog.mem_by_name("a").unwrap();
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let x = b.load(Type::I64, MemRef::global(a, i));
+            let acc = b.load(Type::I64, MemRef::global(g, 0i64));
+            let s = b.binary(BinOp::Add, acc, x);
+            b.store(MemRef::global(g, 0i64), s);
+        });
+        b.ret(None);
+        prog.add_func(b.finish())
+    }
+
+    fn run_and_read(prog: &Program, fid: peak_ir::FuncId, n: i64) -> Value {
+        let mut mem = MemoryImage::new(prog);
+        let a = prog.mem_by_name("a").unwrap();
+        let g = prog.mem_by_name("g").unwrap();
+        for i in 0..16 {
+            mem.store(a, i, Value::I64(i + 1));
+        }
+        mem.store(g, 0, Value::I64(1000));
+        Interp::default().run(prog, fid, &[Value::I64(n)], &mut mem).unwrap();
+        mem.load(g, 0)
+    }
+
+    #[test]
+    fn accumulator_promoted_and_correct() {
+        let mut prog = Program::new();
+        prog.add_mem("g", Type::I64, 4);
+        prog.add_mem("a", Type::I64, 16);
+        let fid = build_accumulator(&mut prog);
+        let orig = prog.clone();
+        assert!(run(prog.func_mut(fid), &orig, false));
+        // Body no longer loads g.
+        let f = prog.func(fid);
+        let body_g_loads = f.blocks[2]
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { rv: Rvalue::Load(MemRef { base: MemBase::Global(m), .. }), .. } if m.0 == 0))
+            .count();
+        assert_eq!(body_g_loads, 0, "g[0] load promoted out of the body");
+        for n in [0i64, 1, 7, 16] {
+            assert_eq!(run_and_read(&orig, fid, n), run_and_read(&prog, fid, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_trip_loop_leaves_memory_untouched() {
+        let mut prog = Program::new();
+        prog.add_mem("g", Type::I64, 4);
+        prog.add_mem("a", Type::I64, 16);
+        let fid = build_accumulator(&mut prog);
+        let orig = prog.clone();
+        run(prog.func_mut(fid), &orig, false);
+        // n = 0: guard must prevent both the initial load and the flush.
+        assert_eq!(run_and_read(&prog, fid, 0), Value::I64(1000));
+    }
+
+    #[test]
+    fn aliasing_variable_store_blocks_promotion() {
+        // Same region, variable subscript store: may hit g[0].
+        let mut prog = Program::new();
+        let g = prog.add_mem("g", Type::I64, 8);
+        let mut b = FunctionBuilder::new("f", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let acc = b.load(Type::I64, MemRef::global(g, 0i64));
+            let s = b.binary(BinOp::Add, acc, 1i64);
+            b.store(MemRef::global(g, 0i64), s);
+            b.store(MemRef::global(g, i), 7i64); // aliases when i == 0
+        });
+        b.ret(None);
+        let fid = prog.add_func(b.finish());
+        let orig = prog.clone();
+        assert!(!run(prog.func_mut(fid), &orig, false));
+    }
+
+    #[test]
+    fn strict_aliasing_enables_promotion_across_typed_pointer() {
+        // An f64 store through a ⊤ pointer; the promoted location is i64.
+        let build = |prog: &mut Program| -> peak_ir::FuncId {
+            let g = prog.mem_by_name("g").unwrap();
+            let mut b = FunctionBuilder::new("f", None);
+            let n = b.param("n", Type::I64);
+            let q = b.param("q", Type::Ptr); // unknown target, stores f64
+            let fv = b.param("fv", Type::F64);
+            let i = b.var("i", Type::I64);
+            b.for_loop(i, 0i64, n, 1, |b| {
+                let acc = b.load(Type::I64, MemRef::global(g, 0i64));
+                let s = b.binary(BinOp::Add, acc, 1i64);
+                b.store(MemRef::global(g, 0i64), s);
+                b.store(MemRef::ptr(q, i), fv); // ⊤ pointer, f64
+            });
+            b.ret(None);
+            prog.add_func(b.finish())
+        };
+        let mut p1 = Program::new();
+        p1.add_mem("g", Type::I64, 4);
+        let f1 = build(&mut p1);
+        let orig1 = p1.clone();
+        assert!(
+            !run(p1.func_mut(f1), &orig1, false),
+            "without strict aliasing the ⊤ store blocks promotion"
+        );
+        let mut p2 = Program::new();
+        p2.add_mem("g", Type::I64, 4);
+        let f2 = build(&mut p2);
+        let orig2 = p2.clone();
+        assert!(
+            run(p2.func_mut(f2), &orig2, true),
+            "strict aliasing assumes i64/f64 do not alias"
+        );
+    }
+
+    #[test]
+    fn read_only_promotion_has_no_flush() {
+        let mut prog = Program::new();
+        let g = prog.add_mem("g", Type::I64, 4);
+        let a = prog.add_mem("a", Type::I64, 16);
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let k = b.load(Type::I64, MemRef::global(g, 0i64)); // invariant load
+            let x = b.load(Type::I64, MemRef::global(a, i));
+            let t = b.binary(BinOp::Mul, x, k);
+            b.binary_into(acc, BinOp::Add, acc, t);
+            let k2 = b.load(Type::I64, MemRef::global(g, 0i64)); // second access
+            b.binary_into(acc, BinOp::Add, acc, k2);
+        });
+        b.ret(Some(acc.into()));
+        let fid = prog.add_func(b.finish());
+        let orig = prog.clone();
+        assert!(run(prog.func_mut(fid), &orig, false));
+        // No flush block: store count unchanged.
+        let f = prog.func(fid);
+        let stores = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).stmts.iter())
+            .filter(|s| matches!(s, Stmt::Store { .. }))
+            .count();
+        assert_eq!(stores, 0);
+        // Equivalence.
+        for n in [0i64, 3] {
+            let mut m1 = MemoryImage::new(&orig);
+            let mut m2 = MemoryImage::new(&prog);
+            let am = orig.mem_by_name("a").unwrap();
+            let gm = orig.mem_by_name("g").unwrap();
+            for i in 0..16 {
+                m1.store(am, i, Value::I64(i));
+                m2.store(am, i, Value::I64(i));
+            }
+            m1.store(gm, 0, Value::I64(3));
+            m2.store(gm, 0, Value::I64(3));
+            let r1 = Interp::default().run(&orig, fid, &[Value::I64(n)], &mut m1).unwrap();
+            let r2 = Interp::default().run(&prog, fid, &[Value::I64(n)], &mut m2).unwrap();
+            assert_eq!(r1.ret, r2.ret, "n={n}");
+        }
+        let _ = (g, a);
+    }
+}

@@ -1,0 +1,256 @@
+//! Pre-register-allocation instruction scheduling (`-fschedule-insns`).
+//!
+//! Block-local list scheduling over the statement dependence DAG. The
+//! machine simulator charges a stall whenever an instruction consumes the
+//! result of the *immediately preceding* multi-cycle instruction (an
+//! in-order pipeline bypass model), so separating producer-consumer pairs
+//! is a genuine win — and the reordering can lengthen live ranges, which
+//! is the classic scheduling/allocation tension the tuner explores.
+
+use peak_ir::{Function, MemBase, Rvalue, Stmt};
+
+/// Nominal producer latencies used for priority (must stay in sync with
+/// the simulator's cost model for scheduling to help).
+pub fn stmt_latency(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Assign { rv, .. } => match rv {
+            Rvalue::Load(_) => 3,
+            Rvalue::Binary(op, ..) => match op {
+                peak_ir::BinOp::Mul => 3,
+                peak_ir::BinOp::Div | peak_ir::BinOp::Rem => 20,
+                peak_ir::BinOp::FAdd | peak_ir::BinOp::FSub => 3,
+                peak_ir::BinOp::FMul => 4,
+                peak_ir::BinOp::FDiv => 18,
+                _ => 1,
+            },
+            Rvalue::Unary(op, _) => match op {
+                peak_ir::UnOp::FSqrt => 20,
+                peak_ir::UnOp::IntToF | peak_ir::UnOp::FToInt => 3,
+                _ => 1,
+            },
+            Rvalue::Call { .. } => 10,
+            _ => 1,
+        },
+        _ => 1,
+    }
+}
+
+/// Dependence edges between two statements (i before j in original order):
+/// does j depend on i (order must be preserved)?
+fn depends(f: &Function, i: &Stmt, j: &Stmt) -> bool {
+    let _ = f;
+    // Register dependences.
+    let mut i_uses = Vec::new();
+    let mut j_uses = Vec::new();
+    i.uses(&mut i_uses);
+    j.uses(&mut j_uses);
+    if let Some(d) = i.def() {
+        if j_uses.contains(&d) || j.def() == Some(d) {
+            return true; // RAW / WAW
+        }
+    }
+    if let Some(d) = j.def() {
+        if i_uses.contains(&d) {
+            return true; // WAR
+        }
+    }
+    // Memory dependences, region-granular and conservative on pointers.
+    let mem_class = |s: &Stmt| -> Option<(bool, Option<u32>)> {
+        // (is_write, region or None=unknown)
+        match s {
+            Stmt::Assign { rv: Rvalue::Load(mr), .. } => Some((
+                false,
+                match mr.base {
+                    MemBase::Global(m) => Some(m.0),
+                    MemBase::Ptr(_) => None,
+                },
+            )),
+            Stmt::Assign { rv: Rvalue::Call { .. }, .. } | Stmt::CallVoid { .. } => {
+                Some((true, None))
+            }
+            Stmt::Store { dst, .. } => Some((
+                true,
+                match dst.base {
+                    MemBase::Global(m) => Some(m.0),
+                    MemBase::Ptr(_) => None,
+                },
+            )),
+            _ => None,
+        }
+    };
+    if let (Some((wi, ri)), Some((wj, rj))) = (mem_class(i), mem_class(j)) {
+        if wi || wj {
+            let alias = match (ri, rj) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            };
+            if alias {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// List-schedule every block. Returns true if any statement moved.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let stmts = f.block(b).stmts.clone();
+        let n = stmts.len();
+        if n < 3 {
+            continue;
+        }
+        // Build DAG (i -> j means j must come after i).
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds_left: Vec<usize> = vec![0; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if depends(f, &stmts[i], &stmts[j]) {
+                    succs[i].push(j);
+                    preds_left[j] += 1;
+                }
+            }
+        }
+        // Heights: longest latency-weighted path to a sink.
+        let mut height = vec![0u32; n];
+        for i in (0..n).rev() {
+            let follow = succs[i].iter().map(|&j| height[j]).max().unwrap_or(0);
+            height[i] = stmt_latency(&stmts[i]) + follow;
+        }
+        // Greedy: among ready statements, highest height first; ties by
+        // original order. Prefer not to pick the consumer of the
+        // just-scheduled multi-cycle producer.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| preds_left[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut last: Option<usize> = None;
+        while !ready.is_empty() {
+            ready.sort_by_key(|&i| (std::cmp::Reverse(height[i]), i));
+            // Avoid immediate dependence on `last` if an alternative exists.
+            let pick_pos = ready
+                .iter()
+                .position(|&i| match last {
+                    Some(l) => !succs[l].contains(&i) || stmt_latency(&stmts[l]) <= 1,
+                    None => true,
+                })
+                .unwrap_or(0);
+            let i = ready.remove(pick_pos);
+            order.push(i);
+            last = Some(i);
+            for &j in &succs[i] {
+                preds_left[j] -= 1;
+                if preds_left[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        if order.iter().enumerate().any(|(pos, &i)| pos != i) {
+            f.block_mut(b).stmts = order.iter().map(|&i| stmts[i].clone()).collect();
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemRef, MemoryImage, Program, Type, Value};
+
+    #[test]
+    fn producer_consumer_pairs_separated() {
+        // a = x*x (3 cy); b = a+1 (consumer); c = y*y; d = c+1
+        // Original order has two adjacent dependent pairs; scheduling
+        // interleaves them.
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        let y = fb.param("y", Type::I64);
+        let a = fb.binary(BinOp::Mul, x, x);
+        let b = fb.binary(BinOp::Add, a, 1i64);
+        let c = fb.binary(BinOp::Mul, y, y);
+        let d = fb.binary(BinOp::Add, c, 1i64);
+        let r = fb.binary(BinOp::Add, b, d);
+        fb.ret(Some(r.into()));
+        let mut f = fb.finish();
+        let orig = f.clone();
+        assert!(run(&mut f));
+        // No statement may consume the value produced immediately before it
+        // by a multi-cycle op.
+        let stmts = &f.blocks[0].stmts;
+        let mut adjacent_stalls = 0;
+        for w in stmts.windows(2) {
+            if stmt_latency(&w[0]) > 1 {
+                if let Some(dv) = w[0].def() {
+                    let mut uses = Vec::new();
+                    w[1].uses(&mut uses);
+                    if uses.contains(&dv) {
+                        adjacent_stalls += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(adjacent_stalls, 0, "{stmts:#?}");
+        // Semantics preserved.
+        let mut prog = Program::new();
+        let fid = prog.add_func(orig);
+        let mut prog2 = Program::new();
+        let fid2 = prog2.add_func(f);
+        let mut m1 = MemoryImage::new(&prog);
+        let mut m2 = MemoryImage::new(&prog2);
+        let args = [Value::I64(3), Value::I64(4)];
+        assert_eq!(
+            Interp::default().run(&prog, fid, &args, &mut m1).unwrap().ret,
+            Interp::default().run(&prog2, fid2, &args, &mut m2).unwrap().ret,
+        );
+    }
+
+    #[test]
+    fn store_load_order_preserved() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        fb.store(MemRef::global(a, 0i64), x);
+        let y = fb.load(Type::I64, MemRef::global(a, 0i64));
+        let z = fb.binary(BinOp::Add, y, 1i64);
+        fb.store(MemRef::global(a, 0i64), z);
+        let w = fb.load(Type::I64, MemRef::global(a, 0i64));
+        fb.ret(Some(w.into()));
+        let fid = prog.add_func(fb.finish());
+        let orig = prog.clone();
+        run(prog.func_mut(fid));
+        let mut m1 = MemoryImage::new(&orig);
+        let mut m2 = MemoryImage::new(&prog);
+        assert_eq!(
+            Interp::default().run(&orig, fid, &[Value::I64(5)], &mut m1).unwrap().ret,
+            Interp::default().run(&prog, fid, &[Value::I64(5)], &mut m2).unwrap().ret,
+        );
+    }
+
+    #[test]
+    fn disjoint_region_accesses_may_reorder() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 4);
+        let b = prog.add_mem("b", Type::I64, 4);
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        // slow producer, then dependent consumer, then an independent
+        // store/load pair on another region that can fill the gap.
+        let p = fb.binary(BinOp::Mul, x, x);
+        let q = fb.binary(BinOp::Add, p, 1i64);
+        fb.store(MemRef::global(b, 0i64), x);
+        let r = fb.load(Type::I64, MemRef::global(a, 0i64));
+        let s = fb.binary(BinOp::Add, q, r);
+        fb.ret(Some(s.into()));
+        let fid = prog.add_func(fb.finish());
+        let orig = prog.clone();
+        assert!(run(prog.func_mut(fid)));
+        let mut m1 = MemoryImage::new(&orig);
+        let mut m2 = MemoryImage::new(&prog);
+        assert_eq!(
+            Interp::default().run(&orig, fid, &[Value::I64(5)], &mut m1).unwrap().ret,
+            Interp::default().run(&prog, fid, &[Value::I64(5)], &mut m2).unwrap().ret,
+        );
+    }
+}

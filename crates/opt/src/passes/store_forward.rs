@@ -1,0 +1,311 @@
+//! Store-to-load forwarding (block-local).
+//!
+//! `store m[k] = x; … ; y = load m[k]` → `y = x` when no intervening
+//! statement may write the slot and `x` still holds the stored value.
+//! Under `strict-aliasing`, stores through pointers whose inferred element
+//! type differs from the loaded region's element type are assumed not to
+//! alias — the paper's §5.2 aliasing assumption, applied to forwarding.
+
+use crate::util::op_key;
+use peak_ir::{Function, MemBase, Operand, PointsTo, Program, Rvalue, Stmt, Type};
+use std::collections::HashMap;
+
+/// Address key: (base kind, index key + generation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AddrKey {
+    base: Base,
+    index: crate::util::OpKey,
+    index_gen: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Base {
+    Global(u32),
+    Ptr(u32, u32),
+}
+
+/// Run store forwarding. `strict_aliasing` widens the no-alias assumption.
+pub fn run(f: &mut Function, prog: &Program, strict_aliasing: bool) -> bool {
+    let pts = PointsTo::build(f);
+    let ptr_elem = infer_pointer_elem_types(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        changed |= run_block(f, prog, &pts, &ptr_elem, strict_aliasing, b);
+    }
+    changed
+}
+
+/// Infer the element type accessed through each pointer variable from its
+/// loads/stores (types are consistent in well-formed workloads; this is
+/// the "declared type" strict aliasing reasons about).
+fn infer_pointer_elem_types(f: &Function) -> HashMap<peak_ir::VarId, Type> {
+    let mut map = HashMap::new();
+    for b in f.block_ids() {
+        for s in &f.block(b).stmts {
+            match s {
+                Stmt::Assign { dst, rv: Rvalue::Load(mr) } => {
+                    if let MemBase::Ptr(p) = mr.base {
+                        map.entry(p).or_insert(f.var_ty(*dst));
+                    }
+                }
+                Stmt::Store { dst, src } => {
+                    if let MemBase::Ptr(p) = dst.base {
+                        let ty = match src {
+                            Operand::Var(v) => f.var_ty(*v),
+                            Operand::Const(c) => c.ty(),
+                        };
+                        map.entry(p).or_insert(ty);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    map
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    f: &mut Function,
+    prog: &Program,
+    pts: &PointsTo,
+    ptr_elem: &HashMap<peak_ir::VarId, Type>,
+    strict: bool,
+    b: peak_ir::BlockId,
+) -> bool {
+    let mut gens = vec![0u32; f.num_vars()];
+    // Known slot contents: addr → (operand, gens of its vars at store time).
+    let mut slots: HashMap<AddrKey, (Operand, u32, Type)> = HashMap::new();
+    let mut changed = false;
+    for si in 0..f.block(b).stmts.len() {
+        // Try to forward into a load.
+        let fwd: Option<Operand> = match &f.block(b).stmts[si] {
+            Stmt::Assign { rv: Rvalue::Load(mr), .. } => addr_key(mr, &gens).and_then(|k| {
+                slots.get(&k).and_then(|(val, g, _)| {
+                    let stable = match val {
+                        Operand::Var(v) => gens[v.index()] == *g,
+                        Operand::Const(_) => true,
+                    };
+                    stable.then_some(*val)
+                })
+            }),
+            _ => None,
+        };
+        if let Some(val) = fwd {
+            let Stmt::Assign { rv, .. } = &mut f.block_mut(b).stmts[si] else { unreachable!() };
+            *rv = Rvalue::Use(val);
+            changed = true;
+        }
+        // Update state.
+        let s = &f.block(b).stmts[si];
+        match s {
+            Stmt::Assign { dst, rv } => {
+                if matches!(rv, Rvalue::Call { .. }) {
+                    slots.clear();
+                }
+                gens[dst.index()] += 1;
+            }
+            Stmt::Store { dst, src } => {
+                let stored_ty = match src {
+                    Operand::Var(v) => f.var_ty(*v),
+                    Operand::Const(c) => c.ty(),
+                };
+                invalidate(&mut slots, f, prog, pts, ptr_elem, strict, dst);
+                if let Some(k) = addr_key(dst, &gens) {
+                    let g = match src {
+                        Operand::Var(v) => gens[v.index()],
+                        Operand::Const(_) => 0,
+                    };
+                    slots.insert(k, (*src, g, stored_ty));
+                }
+            }
+            Stmt::CallVoid { .. } => slots.clear(),
+            Stmt::Prefetch { .. } | Stmt::CounterInc { .. } => {}
+        }
+    }
+    changed
+}
+
+fn addr_key(mr: &peak_ir::MemRef, gens: &[u32]) -> Option<AddrKey> {
+    let base = match mr.base {
+        MemBase::Global(m) => Base::Global(m.0),
+        MemBase::Ptr(p) => Base::Ptr(p.0, gens[p.index()]),
+    };
+    let index_gen = match mr.index {
+        Operand::Var(v) => gens[v.index()],
+        Operand::Const(_) => 0,
+    };
+    Some(AddrKey { base, index: op_key(&mr.index), index_gen })
+}
+
+/// Drop slot knowledge this store may clobber.
+fn invalidate(
+    slots: &mut HashMap<AddrKey, (Operand, u32, Type)>,
+    f: &Function,
+    prog: &Program,
+    pts: &PointsTo,
+    ptr_elem: &HashMap<peak_ir::VarId, Type>,
+    strict: bool,
+    dst: &peak_ir::MemRef,
+) {
+    // Regions the store may touch, None = anywhere.
+    let store_regions: Option<Vec<peak_ir::MemId>> = match dst.base {
+        MemBase::Global(m) => Some(vec![m]),
+        MemBase::Ptr(p) => {
+            if pts.is_precise(p) {
+                Some(pts.may_point_to(p, prog.mems.len()))
+            } else {
+                None
+            }
+        }
+    };
+    let store_ty: Option<Type> = match dst.base {
+        MemBase::Global(m) => Some(prog.mems[m.index()].elem),
+        MemBase::Ptr(p) => ptr_elem.get(&p).copied(),
+    };
+    slots.retain(|k, (_, _, slot_ty)| {
+        // Determine the slot's region if known.
+        let slot_region: Option<u32> = match &k.base {
+            Base::Global(m) => Some(*m),
+            Base::Ptr(pv, _) => {
+                let p = peak_ir::VarId(*pv);
+                if pts.is_precise(p) {
+                    let r = pts.may_point_to(p, prog.mems.len());
+                    (r.len() == 1).then(|| r[0].0)
+                } else {
+                    None
+                }
+            }
+        };
+        match (&store_regions, slot_region) {
+            (Some(srs), Some(sr)) => {
+                if !srs.iter().any(|m| m.0 == sr) {
+                    return true; // provably disjoint regions
+                }
+                // Same region: exact same address key means overwritten —
+                // drop (it will be re-inserted with the new value); a
+                // different *constant* index in the same region is disjoint.
+                if let (crate::util::OpKey::Const(_, a), Some(crate::util::OpKey::Const(_, b2))) =
+                    (k.index, store_const_index(dst))
+                {
+                    if a != b2 && matches!(k.base, Base::Global(_)) && matches!(dst.base, MemBase::Global(_)) {
+                        return true;
+                    }
+                }
+                false
+            }
+            _ => {
+                // Unknown on either side: under strict aliasing, different
+                // element types are assumed not to alias.
+                if strict {
+                    if let Some(sty) = store_ty {
+                        if *slot_ty != sty {
+                            return true;
+                        }
+                    }
+                }
+                let _ = f;
+                false
+            }
+        }
+    });
+}
+
+fn store_const_index(mr: &peak_ir::MemRef) -> Option<crate::util::OpKey> {
+    matches!(mr.index, Operand::Const(_)).then(|| op_key(&mr.index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, MemRef, Program};
+
+    fn setup() -> (Program, peak_ir::MemId, peak_ir::MemId) {
+        let mut p = Program::new();
+        let a = p.add_mem("a", Type::I64, 8);
+        let fm = p.add_mem("fvals", Type::F64, 8);
+        (p, a, fm)
+    }
+
+    #[test]
+    fn forwards_stored_value() {
+        let (prog, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        fb.store(MemRef::global(a, 2i64), x);
+        let y = fb.load(Type::I64, MemRef::global(a, 2i64));
+        b_ret(&mut fb, y);
+        let mut f = fb.finish();
+        assert!(run(&mut f, &prog, false));
+        assert!(matches!(
+            &f.blocks[0].stmts[1],
+            Stmt::Assign { rv: Rvalue::Use(Operand::Var(v)), .. } if *v == x
+        ));
+    }
+
+    fn b_ret(fb: &mut FunctionBuilder, v: peak_ir::VarId) {
+        fb.ret(Some(v.into()));
+    }
+
+    #[test]
+    fn source_mutation_blocks_forwarding() {
+        let (prog, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        fb.store(MemRef::global(a, 2i64), x);
+        fb.binary_into(x, BinOp::Add, x, 1i64);
+        let y = fb.load(Type::I64, MemRef::global(a, 2i64));
+        b_ret(&mut fb, y);
+        let mut f = fb.finish();
+        assert!(!run(&mut f, &prog, false), "x changed; cannot forward");
+    }
+
+    #[test]
+    fn aliasing_store_blocks_forwarding() {
+        let (prog, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        let i = fb.param("i", Type::I64);
+        fb.store(MemRef::global(a, 2i64), x);
+        fb.store(MemRef::global(a, i), 0i64); // may hit slot 2
+        let y = fb.load(Type::I64, MemRef::global(a, 2i64));
+        b_ret(&mut fb, y);
+        let mut f = fb.finish();
+        assert!(!run(&mut f, &prog, false));
+    }
+
+    #[test]
+    fn strict_aliasing_ignores_differently_typed_pointer_store() {
+        let (prog, a, _) = setup();
+        // ptr param q stores f64; the i64 slot survives under strict
+        // aliasing, not otherwise.
+        let build = || {
+            let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+            let x = fb.param("x", Type::I64);
+            let q = fb.param("q", Type::Ptr);
+            let fv = fb.param("fv", Type::F64);
+            fb.store(MemRef::global(a, 2i64), x);
+            fb.store(MemRef::ptr(q, 0i64), fv); // unknown region, f64 type
+            let y = fb.load(Type::I64, MemRef::global(a, 2i64));
+            fb.ret(Some(y.into()));
+            fb.finish()
+        };
+        let mut without = build();
+        assert!(!run(&mut without, &prog, false), "without strict aliasing: blocked");
+        let mut with = build();
+        assert!(run(&mut with, &prog, true), "strict aliasing: forwards across f64 store");
+    }
+
+    #[test]
+    fn same_region_distinct_const_slots_survive() {
+        let (prog, a, _) = setup();
+        let mut fb = FunctionBuilder::new("f", Some(Type::I64));
+        let x = fb.param("x", Type::I64);
+        fb.store(MemRef::global(a, 2i64), x);
+        fb.store(MemRef::global(a, 3i64), 7i64);
+        let y = fb.load(Type::I64, MemRef::global(a, 2i64));
+        b_ret(&mut fb, y);
+        let mut f = fb.finish();
+        assert!(run(&mut f, &prog, false), "slot 3 store cannot clobber slot 2");
+    }
+}

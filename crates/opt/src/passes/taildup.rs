@@ -1,0 +1,121 @@
+//! Tail duplication: copy small join blocks into their jump-predecessors,
+//! removing a jump per execution and enabling cross-block local cleanups.
+
+use peak_ir::{Cfg, Function, Stmt, Terminator};
+
+/// Maximum statements in a duplicated tail.
+const MAX_TAIL_STMTS: usize = 4;
+
+/// Run tail duplication. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Terminator::Jump(tail) = f.block(b).term else { continue };
+        if tail == b {
+            continue;
+        }
+        // Duplicate only real joins (≥2 predecessors) so we shrink jump
+        // counts rather than just move code.
+        if cfg.preds[tail.index()].len() < 2 {
+            continue;
+        }
+        let tail_blk = f.block(tail);
+        if tail_blk.stmts.len() > MAX_TAIL_STMTS {
+            continue;
+        }
+        // Never duplicate instrumentation counters: the duplicate would
+        // double-count (MBR correctness, paper §2.3).
+        if tail_blk.stmts.iter().any(|s| matches!(s, Stmt::CounterInc { .. })) {
+            continue;
+        }
+        // Avoid duplicating loop headers (their terminator jumps back into
+        // a cycle that includes `b`, which would grow code without bound
+        // across fixpoint reruns). Cheap check: the tail must not reach `b`
+        // directly.
+        if f.block(tail).term.successors().any(|s| s == b || s == tail) {
+            continue;
+        }
+        let stmts = tail_blk.stmts.clone();
+        let term = tail_blk.term.clone();
+        let blk = f.block_mut(b);
+        blk.stmts.extend(stmts);
+        blk.term = term;
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Interp, MemoryImage, Program, Type, Value};
+
+    #[test]
+    fn join_block_duplicated_into_both_arms() {
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.if_then_else(x, |b| b.copy(r, 1i64), |b| b.copy(r, 2i64));
+        // join block: r = r * 10; return r
+        b.binary_into(r, BinOp::Mul, r, 10i64);
+        b.ret(Some(r.into()));
+        let fid = prog.add_func(b.finish());
+        let mut opt = prog.clone();
+        assert!(run(opt.func_mut(fid)));
+        // Both arms now end with the multiplied return.
+        let f = opt.func(fid);
+        for arm in [1usize, 2] {
+            assert!(
+                matches!(f.blocks[arm].term, Terminator::Return(_)),
+                "arm {arm} should return directly"
+            );
+            assert_eq!(f.blocks[arm].stmts.len(), 2);
+        }
+        for v in [0i64, 1] {
+            let mut m1 = MemoryImage::new(&prog);
+            let mut m2 = MemoryImage::new(&opt);
+            let r1 = Interp::default().run(&prog, fid, &[Value::I64(v)], &mut m1).unwrap();
+            let r2 = Interp::default().run(&opt, fid, &[Value::I64(v)], &mut m2).unwrap();
+            assert_eq!(r1.ret, r2.ret);
+        }
+    }
+
+    #[test]
+    fn large_tail_not_duplicated() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.if_then_else(x, |b| b.copy(r, 1i64), |b| b.copy(r, 2i64));
+        for _ in 0..(MAX_TAIL_STMTS + 1) {
+            b.binary_into(r, BinOp::Add, r, 1i64);
+        }
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn counter_block_not_duplicated() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let r = b.var("r", Type::I64);
+        b.if_then_else(x, |b| b.copy(r, 1i64), |b| b.copy(r, 2i64));
+        b.emit(Stmt::CounterInc { counter: peak_ir::CounterId(0) });
+        b.ret(Some(r.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f), "duplicating a counter would double-count");
+    }
+
+    #[test]
+    fn single_pred_tail_untouched() {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let x = b.param("x", Type::I64);
+        let t = b.new_block();
+        b.jump(t);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        assert!(!run(&mut f));
+    }
+}

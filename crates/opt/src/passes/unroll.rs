@@ -1,0 +1,358 @@
+//! Loop unrolling: partial unrolling with a remainder loop, full unrolling
+//! of short constant-trip loops, and first-iteration peeling.
+//!
+//! All three operate on canonical counted loops (see
+//! [`peak_ir::recognize_counted`]) whose *iteration unit* — every loop
+//! block except the header — has no exits out of the loop other than
+//! through the header. The unit is cloned with
+//! [`crate::util::clone_subgraph`]; loop-carried variables stay correct
+//! because copies execute strictly in iteration order.
+
+use crate::util::clone_subgraph;
+use peak_ir::{
+    BinOp, BlockId, Cfg, Dominators, Function, LoopForest, Operand, Rvalue, Stmt, Terminator,
+    Type, Value,
+};
+use std::collections::HashMap;
+
+/// Partial unroll factor.
+pub const UNROLL_FACTOR: i64 = 4;
+/// Maximum statements in the iteration unit for partial unrolling.
+pub const UNROLL_MAX_UNIT: usize = 24;
+/// Maximum trips for full unrolling.
+pub const FULL_UNROLL_MAX_TRIPS: i64 = 8;
+/// Maximum statements in the unit for full unrolling.
+pub const FULL_UNROLL_MAX_UNIT: usize = 16;
+/// Maximum statements in the unit for peeling.
+pub const PEEL_MAX_UNIT: usize = 12;
+
+/// The iteration unit of a canonical loop: all blocks except the header,
+/// verified to exit only via the header. Returns (unit blocks, body entry).
+fn iteration_unit(f: &Function, l: &peak_ir::Loop) -> Option<(Vec<BlockId>, BlockId)> {
+    let header = f.block(l.header);
+    let Terminator::Branch { on_true, .. } = header.term else { return None };
+    let unit: Vec<BlockId> = l.body.iter().copied().filter(|&b| b != l.header).collect();
+    for &b in &unit {
+        for s in f.block(b).term.successors() {
+            if !l.contains(s) {
+                return None; // early exit (break) — bail
+            }
+        }
+    }
+    Some((unit, on_true))
+}
+
+fn unit_size(f: &Function, unit: &[BlockId]) -> usize {
+    unit.iter().map(|&b| f.block(b).stmts.len() + 1).sum()
+}
+
+/// Partial unrolling by [`UNROLL_FACTOR`] with a remainder loop. Applies to
+/// at most one loop per call (the pipeline loops passes to fixpoint);
+/// nested loops are handled innermost-first by loop-forest order.
+pub fn run(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    // Innermost loops first (deepest depth).
+    let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+    for li in order {
+        let l = &forest.loops[li];
+        let Some(cl) = peak_ir::recognize_counted(f, &cfg, l) else { continue };
+        let Some((unit, body_entry)) = iteration_unit(f, l) else { continue };
+        if unit_size(f, &unit) > UNROLL_MAX_UNIT {
+            continue;
+        }
+        // Skip already-unrolled loops (marker: header compare against a
+        // shifted bound). Recognize by a dedicated variable name.
+        if f.vars.iter().any(|v| v.name == format!("ur_guard_{}", l.header.0)) {
+            continue;
+        }
+        let header = l.header;
+        let u = UNROLL_FACTOR;
+        // New unrolled-guard header:
+        //   t = iv + (U-1)*step ; c = t < end ; br c ? unit1 : header
+        let uheader = f.add_block();
+        let t = f.add_var(format!("ur_guard_{}", header.0), Type::I64);
+        let c = f.add_temp(Type::I64);
+        f.block_mut(uheader).stmts.push(Stmt::Assign {
+            dst: t,
+            rv: Rvalue::Binary(
+                BinOp::Add,
+                Operand::Var(cl.iv),
+                Operand::const_i64((u - 1) * cl.step),
+            ),
+        });
+        f.block_mut(uheader).stmts.push(Stmt::Assign {
+            dst: c,
+            rv: Rvalue::Binary(BinOp::Lt, Operand::Var(t), cl.end),
+        });
+        // Clone U units, chained; the last one jumps back to uheader.
+        let mut entries: Vec<BlockId> = Vec::new();
+        let mut maps: Vec<HashMap<BlockId, BlockId>> = Vec::new();
+        for _ in 0..u {
+            let map = clone_subgraph(f, &unit, &HashMap::new());
+            entries.push(map[&body_entry]);
+            maps.push(map);
+        }
+        for (i, map) in maps.iter().enumerate() {
+            let next = if i + 1 < u as usize { entries[i + 1] } else { uheader };
+            // Rewrite each cloned block's header edges to `next`.
+            for (&_old, &new) in map {
+                f.block_mut(new).term.replace_successor(header, next);
+            }
+        }
+        f.block_mut(uheader).term =
+            Terminator::Branch { cond: Operand::Var(c), on_true: entries[0], on_false: header };
+        // Retarget the preheader to the unrolled guard; the original loop
+        // remains as the remainder loop.
+        let pre = cfg.preds[header.index()]
+            .iter()
+            .copied()
+            .find(|p| !l.contains(*p))
+            .expect("counted loop has preheader");
+        f.block_mut(pre).term.replace_successor(header, uheader);
+        return true;
+    }
+    false
+}
+
+/// Full unrolling of constant-trip loops with `trips ≤` the threshold.
+pub fn run_full(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+    for li in order {
+        let l = &forest.loops[li];
+        let Some(cl) = peak_ir::recognize_counted(f, &cfg, l) else { continue };
+        let (Operand::Const(Value::I64(start)), Operand::Const(Value::I64(end))) =
+            (cl.start, cl.end)
+        else {
+            continue;
+        };
+        let trips = ((end - start).max(0) + cl.step - 1) / cl.step;
+        if trips > FULL_UNROLL_MAX_TRIPS {
+            continue;
+        }
+        let Some((unit, body_entry)) = iteration_unit(f, l) else { continue };
+        if unit_size(f, &unit) > FULL_UNROLL_MAX_UNIT {
+            continue;
+        }
+        // Exit target: header's on_false arm.
+        let Terminator::Branch { on_false: exit, .. } = f.block(l.header).term else {
+            continue;
+        };
+        let header = l.header;
+        let pre = cfg.preds[header.index()]
+            .iter()
+            .copied()
+            .find(|p| !l.contains(*p))
+            .expect("counted loop has preheader");
+        if trips == 0 {
+            f.block_mut(pre).term.replace_successor(header, exit);
+            return true;
+        }
+        let mut entries = Vec::new();
+        let mut maps = Vec::new();
+        for _ in 0..trips {
+            let map = clone_subgraph(f, &unit, &HashMap::new());
+            entries.push(map[&body_entry]);
+            maps.push(map);
+        }
+        for (i, map) in maps.iter().enumerate() {
+            let next = if i + 1 < trips as usize { entries[i + 1] } else { exit };
+            for (&_old, &new) in map {
+                f.block_mut(new).term.replace_successor(header, next);
+            }
+        }
+        f.block_mut(pre).term.replace_successor(header, entries[0]);
+        return true;
+    }
+    false
+}
+
+/// Peel the first iteration of a counted loop: a guarded copy of the unit
+/// runs before the (unchanged) loop.
+pub fn run_peel(f: &mut Function) -> bool {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    for li in 0..forest.loops.len() {
+        let l = &forest.loops[li];
+        let Some(_cl) = peak_ir::recognize_counted(f, &cfg, l) else { continue };
+        let Some((unit, body_entry)) = iteration_unit(f, l) else { continue };
+        if unit_size(f, &unit) > PEEL_MAX_UNIT {
+            continue;
+        }
+        // Don't re-peel (marker var).
+        if f.vars.iter().any(|v| v.name == format!("peel_{}", l.header.0)) {
+            continue;
+        }
+        let header = l.header;
+        let pre = cfg.preds[header.index()]
+            .iter()
+            .copied()
+            .find(|p| !l.contains(*p))
+            .expect("counted loop has preheader");
+        // Clone the header (its test guards the peeled copy) and the unit.
+        let pheader = f.add_block();
+        let hstmts = f.block(header).stmts.clone();
+        let Terminator::Branch { cond, on_false: exit, .. } = f.block(header).term.clone()
+        else {
+            continue;
+        };
+        let unit_map = clone_subgraph(f, &unit, &HashMap::new());
+        // Peeled unit's back edge goes to the real header.
+        for (&_old, &new) in &unit_map {
+            f.block_mut(new).term.replace_successor(header, header);
+        }
+        let pb = f.block_mut(pheader);
+        pb.stmts = hstmts;
+        pb.term = Terminator::Branch { cond, on_true: unit_map[&body_entry], on_false: exit };
+        f.block_mut(pre).term.replace_successor(header, pheader);
+        // Marker so the fixpoint driver doesn't peel forever.
+        let _marker = f.add_var(format!("peel_{}", header.0), Type::I64);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{FunctionBuilder, Interp, MemRef, MemoryImage, Program, Type, Value};
+
+    fn sum_loop(prog: &mut Program, bound: Option<i64>) -> peak_ir::FuncId {
+        let a = prog.mem_by_name("a").unwrap();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        let end: Operand = match bound {
+            Some(c) => c.into(),
+            None => n.into(),
+        };
+        b.for_loop(i, 0i64, end, 1, |b| {
+            let x = b.load(Type::I64, MemRef::global(a, i));
+            b.binary_into(acc, BinOp::Add, acc, x);
+            b.if_then(x, |b| {
+                b.binary_into(acc, BinOp::Add, acc, 1i64);
+            });
+        });
+        b.ret(Some(acc.into()));
+        prog.add_func(b.finish())
+    }
+
+    fn eval(prog: &Program, fid: peak_ir::FuncId, n: i64) -> (Option<Value>, u64) {
+        let mut mem = MemoryImage::new(prog);
+        let a = prog.mem_by_name("a").unwrap();
+        for i in 0..32 {
+            mem.store(a, i, Value::I64(if i % 3 == 0 { 0 } else { i }));
+        }
+        let out = Interp::default().run(prog, fid, &[Value::I64(n)], &mut mem).unwrap();
+        (out.ret, out.steps)
+    }
+
+    #[test]
+    fn partial_unroll_preserves_semantics() {
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let fid = sum_loop(&mut prog, None);
+        let orig = prog.clone();
+        assert!(run(prog.func_mut(fid)));
+        for n in [0i64, 1, 3, 4, 5, 8, 17, 31] {
+            assert_eq!(eval(&orig, fid, n).0, eval(&prog, fid, n).0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn partial_unroll_reduces_branch_steps() {
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let fid = sum_loop(&mut prog, None);
+        let orig = prog.clone();
+        run(prog.func_mut(fid));
+        // Fewer terminator steps: unrolled version executes fewer header
+        // compares. Steps include statements too, so compare totals.
+        let (_, s_orig) = eval(&orig, fid, 28);
+        let (_, s_unrolled) = eval(&prog, fid, 28);
+        assert!(
+            s_unrolled < s_orig,
+            "unrolled {s_unrolled} should beat original {s_orig}"
+        );
+    }
+
+    #[test]
+    fn unroll_is_idempotent_per_loop() {
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let fid = sum_loop(&mut prog, None);
+        assert!(run(prog.func_mut(fid)));
+        assert!(!run(prog.func_mut(fid)), "same loop not unrolled twice");
+    }
+
+    #[test]
+    fn full_unroll_of_constant_loop() {
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let fid = sum_loop(&mut prog, Some(6));
+        let orig = prog.clone();
+        assert!(run_full(prog.func_mut(fid)));
+        let (r1, _) = eval(&orig, fid, 0);
+        let (r2, s2) = eval(&prog, fid, 0);
+        assert_eq!(r1, r2);
+        // No loop left: no back edges; step count strictly smaller than
+        // original (header tests gone).
+        let (_, s1) = eval(&orig, fid, 0);
+        assert!(s2 < s1);
+    }
+
+    #[test]
+    fn long_constant_loop_not_fully_unrolled() {
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let fid = sum_loop(&mut prog, Some(30));
+        assert!(!run_full(prog.func_mut(fid)));
+    }
+
+    #[test]
+    fn peel_preserves_semantics() {
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let fid = sum_loop(&mut prog, None);
+        let orig = prog.clone();
+        assert!(run_peel(prog.func_mut(fid)));
+        assert!(!run_peel(prog.func_mut(fid)), "peel once only");
+        for n in [0i64, 1, 2, 9] {
+            assert_eq!(eval(&orig, fid, n).0, eval(&prog, fid, n).0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn loop_with_break_not_unrolled() {
+        // while-style search loop: exits from the body.
+        let mut prog = Program::new();
+        prog.add_mem("a", Type::I64, 32);
+        let a = prog.mem_by_name("a").unwrap();
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let found = b.var("found", Type::I64);
+        b.copy(found, -1i64);
+        let exit_all = b.new_block();
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let x = b.load(Type::I64, MemRef::global(a, i));
+            let hit = b.binary(BinOp::Eq, x, 7i64);
+            b.branch_out_if(hit, exit_all);
+        });
+        b.jump(exit_all);
+        b.ret(Some(found.into()));
+        let fid = prog.add_func(b.finish());
+        assert!(!run(prog.func_mut(fid)));
+        assert!(!run_full(prog.func_mut(fid)));
+        assert!(!run_peel(prog.func_mut(fid)));
+    }
+}

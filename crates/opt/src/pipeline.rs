@@ -1,0 +1,330 @@
+//! The optimization pipeline: runs the passes enabled by an [`OptConfig`]
+//! in a GCC-3.3-like order and produces a [`CompiledVersion`].
+
+use crate::config::{Flag, OptConfig};
+use crate::passes;
+use crate::util::reachable_size;
+use peak_ir::{FuncId, Program};
+
+/// One compiled version of a tuning section: the transformed program, the
+/// configuration that produced it, and code-size stats consumed by the
+/// machine model (I-cache footprint, alignment padding).
+#[derive(Debug, Clone)]
+pub struct CompiledVersion {
+    /// Program with the target function optimized.
+    pub program: Program,
+    /// The optimized function.
+    pub func: FuncId,
+    /// Flags used.
+    pub config: OptConfig,
+    /// Reachable statement count of the optimized function (code size
+    /// proxy; alignment padding included).
+    pub code_size: usize,
+}
+
+/// Bound on fixpoint iterations for self-limiting passes.
+const FIXPOINT_LIMIT: usize = 12;
+
+/// Compile `func` under `config`, returning the compiled version.
+/// The input program is cloned; callees are left as-is (each TS is
+/// compiled separately, like the paper's per-TS compilation).
+pub fn optimize(prog: &Program, func: FuncId, config: &OptConfig) -> CompiledVersion {
+    let mut p = prog.clone();
+    run_pipeline(&mut p, func, config);
+    debug_assert_eq!(
+        peak_ir::validate_program(&p).map_err(|e| e.to_string()),
+        Ok(()),
+        "pipeline produced invalid IR under {config}"
+    );
+    let mut code_size = reachable_size(p.func(func));
+    // Alignment padding: aligned blocks cost a few padding slots.
+    let aligned = p
+        .func(func)
+        .block_ids()
+        .filter(|&b| p.func(func).block(b).aligned)
+        .count();
+    code_size += aligned * 2;
+    CompiledVersion { program: p, func, config: *config, code_size }
+}
+
+fn scalar_cleanup_round(p: &mut Program, func: FuncId, config: &OptConfig) -> bool {
+    let mut changed = false;
+    let strict = config.enabled(Flag::StrictAliasing);
+    if config.enabled(Flag::ConstantFolding) {
+        changed |= passes::fold::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::ConstantPropagation) {
+        changed |= passes::cprop::run_const(p.func_mut(func));
+    }
+    if config.enabled(Flag::CopyPropagation) {
+        changed |= passes::cprop::run_copy(p.func_mut(func));
+    }
+    if config.enabled(Flag::AlgebraicSimplification) {
+        changed |= passes::algebraic::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::Reassociation) {
+        changed |= passes::reassoc::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::Peephole) {
+        changed |= passes::peephole::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::CseLocal) {
+        let snapshot = p.clone();
+        changed |= passes::cse::run(p.func_mut(func), &snapshot);
+    }
+    if config.enabled(Flag::Gcse) {
+        changed |= passes::gcse::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::StoreForwarding) {
+        let snapshot = p.clone();
+        changed |= passes::store_forward::run(p.func_mut(func), &snapshot, strict);
+    }
+    if config.enabled(Flag::JumpThreading) {
+        changed |= passes::jumpthread::run(p.func_mut(func));
+    }
+    changed
+}
+
+fn run_pipeline(p: &mut Program, func: FuncId, config: &OptConfig) {
+    let strict = config.enabled(Flag::StrictAliasing);
+    // 1. Inlining first: exposes everything downstream.
+    if config.enabled(Flag::InlineSmall) {
+        passes::inline::run(p, func, passes::inline::SMALL_THRESHOLD);
+    }
+    if config.enabled(Flag::InlineAggressive) {
+        passes::inline::run(p, func, passes::inline::AGGRESSIVE_THRESHOLD);
+    }
+    // 2. Scalar cleanup to fixpoint.
+    for _ in 0..3 {
+        if !scalar_cleanup_round(p, func, config) {
+            break;
+        }
+    }
+    if config.enabled(Flag::ReciprocalMath) {
+        passes::reciprocal::run(p.func_mut(func));
+    }
+    // 3. Loop optimizations.
+    if config.enabled(Flag::LoopInvariantCodeMotion) {
+        let snapshot = p.clone();
+        passes::licm::run(p.func_mut(func), &snapshot);
+    }
+    if config.enabled(Flag::RegisterPromotion) {
+        for _ in 0..FIXPOINT_LIMIT {
+            let snapshot = p.clone();
+            if !passes::regpromote::run(p.func_mut(func), &snapshot, strict) {
+                break;
+            }
+        }
+    }
+    if config.enabled(Flag::LoopUnswitch) {
+        for _ in 0..FIXPOINT_LIMIT {
+            if !passes::unswitch::run(p.func_mut(func)) {
+                break;
+            }
+        }
+    }
+    if config.enabled(Flag::LoopFusion) {
+        for _ in 0..FIXPOINT_LIMIT {
+            if !passes::fusion::run(p.func_mut(func)) {
+                break;
+            }
+        }
+    }
+    // Prefetch insertion must precede the unrolling family: those passes
+    // destroy the canonical counted-loop shape it recognizes (the cloned
+    // units carry the inserted prefetches along).
+    if config.enabled(Flag::PrefetchLoopArrays) {
+        passes::prefetch::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::LoopPeel) {
+        for _ in 0..FIXPOINT_LIMIT {
+            if !passes::unroll::run_peel(p.func_mut(func)) {
+                break;
+            }
+        }
+    }
+    if config.enabled(Flag::LoopUnrollSmall) {
+        for _ in 0..FIXPOINT_LIMIT {
+            if !passes::unroll::run_full(p.func_mut(func)) {
+                break;
+            }
+        }
+    }
+    if config.enabled(Flag::LoopUnroll) {
+        for _ in 0..FIXPOINT_LIMIT {
+            if !passes::unroll::run(p.func_mut(func)) {
+                break;
+            }
+        }
+    }
+    if config.enabled(Flag::StrengthReduction) {
+        passes::strength::run(p.func_mut(func));
+        if config.enabled(Flag::InductionVariableElimination) {
+            passes::strength::run_ive(p.func_mut(func));
+        }
+    }
+    // 4. Second scalar cleanup (loop passes expose new redundancy).
+    for _ in 0..2 {
+        if !scalar_cleanup_round(p, func, config) {
+            break;
+        }
+    }
+    // 5. Control-flow shaping.
+    if config.enabled(Flag::IfConversion) {
+        passes::ifconv::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::TailDuplication) {
+        passes::taildup::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::BranchReorder) {
+        passes::branch_reorder::run(p.func_mut(func));
+    }
+    // 6. Cleanups.
+    if config.enabled(Flag::DeadStoreElimination) {
+        passes::dse::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::DeadCodeElimination) {
+        passes::dce::run(p.func_mut(func));
+    }
+    // 7. Scheduling and layout.
+    if config.enabled(Flag::ScheduleInsns) {
+        passes::schedule::run(p.func_mut(func));
+    }
+    if config.enabled(Flag::AlignLoops) {
+        passes::align::run_align_loops(p.func_mut(func));
+    }
+    if config.enabled(Flag::AlignJumps) {
+        passes::align::run_align_jumps(p.func_mut(func));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{
+        BinOp, FunctionBuilder, Interp, MemRef, MemoryImage, Type, Value,
+    };
+
+    /// A kernel exercising many passes at once.
+    fn kernel() -> (Program, FuncId) {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::F64, 128);
+        let g = prog.add_mem("g", Type::F64, 4);
+        let mut b = FunctionBuilder::new("kernel", Some(Type::F64));
+        let n = b.param("n", Type::I64);
+        let scale = b.param("scale", Type::F64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::F64);
+        b.copy(acc, 0.0f64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let x = b.load(Type::F64, MemRef::global(a, i));
+            let inv = b.binary(BinOp::FMul, scale, scale); // invariant
+            let t = b.binary(BinOp::FMul, x, inv);
+            let t2 = b.binary(BinOp::FDiv, t, 2.0f64); // reciprocal target
+            let s = b.load(Type::F64, MemRef::global(g, 0i64)); // promotable
+            let s2 = b.binary(BinOp::FAdd, s, t2);
+            b.store(MemRef::global(g, 0i64), s2);
+            b.binary_into(acc, BinOp::FAdd, acc, t2);
+        });
+        b.ret(Some(acc.into()));
+        let f = prog.add_func(b.finish());
+        (prog, f)
+    }
+
+    fn run_kernel(prog: &Program, f: FuncId, n: i64) -> (Option<Value>, Value) {
+        let mut mem = MemoryImage::new(prog);
+        let a = prog.mem_by_name("a").unwrap();
+        let g = prog.mem_by_name("g").unwrap();
+        for i in 0..128 {
+            mem.store(a, i, Value::F64(i as f64 * 0.5));
+        }
+        mem.store(g, 0, Value::F64(10.0));
+        let out = Interp::default()
+            .run(prog, f, &[Value::I64(n), Value::F64(1.5)], &mut mem)
+            .unwrap();
+        (out.ret, mem.load(g, 0))
+    }
+
+    #[test]
+    fn o3_preserves_semantics() {
+        let (prog, f) = kernel();
+        let v = optimize(&prog, f, &OptConfig::o3());
+        peak_ir::validate_program(&v.program).unwrap();
+        for n in [0i64, 1, 4, 17, 128] {
+            assert_eq!(run_kernel(&prog, f, n), run_kernel(&v.program, v.func, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn o0_is_identity_modulo_nothing() {
+        let (prog, f) = kernel();
+        let v = optimize(&prog, f, &OptConfig::o0());
+        assert_eq!(v.program.func(f), prog.func(f), "-O0 must not touch the IR");
+    }
+
+    #[test]
+    fn every_single_flag_off_preserves_semantics() {
+        let (prog, f) = kernel();
+        for flag in crate::config::ALL_FLAGS {
+            let cfg = OptConfig::o3().without(flag);
+            let v = optimize(&prog, f, &cfg);
+            for n in [0i64, 3, 31] {
+                assert_eq!(
+                    run_kernel(&prog, f, n),
+                    run_kernel(&v.program, v.func, n),
+                    "flag off: {flag}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_flag_alone_preserves_semantics() {
+        let (prog, f) = kernel();
+        for flag in crate::config::ALL_FLAGS {
+            let cfg = OptConfig::o0().with(flag, true);
+            let v = optimize(&prog, f, &cfg);
+            for n in [0i64, 3, 31] {
+                assert_eq!(
+                    run_kernel(&prog, f, n),
+                    run_kernel(&v.program, v.func, n),
+                    "only flag: {flag}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn o3_shrinks_dynamic_step_count() {
+        let (prog, f) = kernel();
+        // Prefetch trades extra statements for cache locality, which the
+        // reference interpreter does not model — exclude it here.
+        let v = optimize(&prog, f, &OptConfig::o3().without(Flag::PrefetchLoopArrays));
+        let steps = |p: &Program, fid: FuncId| {
+            let mut mem = MemoryImage::new(p);
+            let a = p.mem_by_name("a").unwrap();
+            for i in 0..128 {
+                mem.store(a, i, Value::F64(1.0));
+            }
+            Interp::default()
+                .run(p, fid, &[Value::I64(100), Value::F64(1.5)], &mut mem)
+                .unwrap()
+                .steps
+        };
+        let s0 = steps(&prog, f);
+        let s3 = steps(&v.program, v.func);
+        assert!(s3 < s0, "O3 {s3} should execute fewer statements than O0 {s0}");
+    }
+
+    #[test]
+    fn code_size_grows_with_unrolling() {
+        let (prog, f) = kernel();
+        let with = optimize(&prog, f, &OptConfig::o3());
+        let without = optimize(
+            &prog,
+            f,
+            &OptConfig::o3().without(Flag::LoopUnroll).without(Flag::LoopPeel),
+        );
+        assert!(with.code_size > without.code_size);
+    }
+}

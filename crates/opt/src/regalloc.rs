@@ -1,0 +1,296 @@
+//! Register-pressure analysis and spill selection.
+//!
+//! A deliberately simple global allocator: compute per-program-point
+//! pressure (live variables, split into integer/pointer and float
+//! classes), and while any point exceeds the machine's register budget,
+//! spill the cheapest live variable (fewest uses, weighted by loop depth).
+//! The machine simulator charges each access to a spilled variable a stack
+//! load/store through the cache hierarchy — the mechanism behind the ART
+//! strict-aliasing anecdote (paper §5.2).
+
+use peak_ir::{Cfg, Dominators, Function, Liveness, LoopForest, Type, VarId};
+use std::collections::HashSet;
+
+/// Machine register budget seen by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegBudget {
+    /// Integer/pointer registers available for allocation.
+    pub int_regs: u32,
+    /// Floating-point registers available.
+    pub fp_regs: u32,
+}
+
+/// Allocation result.
+#[derive(Debug, Clone, Default)]
+pub struct SpillInfo {
+    /// Spilled variables with their stack slot index.
+    pub spilled: Vec<(VarId, u32)>,
+    /// Maximum integer-class pressure observed (before spilling).
+    pub max_int_pressure: u32,
+    /// Maximum float-class pressure observed (before spilling).
+    pub max_fp_pressure: u32,
+    /// Number of variables live across at least one call site.
+    pub live_across_calls: u32,
+}
+
+impl SpillInfo {
+    /// Whether `v` was spilled.
+    pub fn is_spilled(&self, v: VarId) -> bool {
+        self.spilled.iter().any(|(s, _)| *s == v)
+    }
+
+    /// Stack slot of a spilled variable.
+    pub fn slot(&self, v: VarId) -> Option<u32> {
+        self.spilled.iter().find(|(s, _)| *s == v).map(|(_, sl)| *sl)
+    }
+}
+
+fn class_of(ty: Type) -> usize {
+    match ty {
+        Type::I64 | Type::Ptr => 0,
+        Type::F64 => 1,
+    }
+}
+
+/// Run the allocator: returns spill decisions for `f` under `budget`.
+///
+/// `omit_frame_pointer` adds one integer register. `coalesce` is consumed
+/// by the simulator's copy-cost model, not here.
+#[allow(clippy::needless_range_loop)]
+pub fn allocate(f: &Function, budget: RegBudget, omit_frame_pointer: bool) -> SpillInfo {
+    let int_budget = budget.int_regs + u32::from(omit_frame_pointer);
+    let fp_budget = budget.fp_regs;
+    let cfg = Cfg::build(f);
+    let dom = Dominators::build(f, &cfg);
+    let forest = LoopForest::build(f, &cfg, &dom);
+    let liveness = Liveness::build(f, &cfg);
+    // Spill weight: uses+defs, each weighted by 10^depth (capped).
+    let mut weight = vec![0u64; f.num_vars()];
+    let mut uses = Vec::new();
+    for b in f.block_ids() {
+        let w = 10u64.saturating_pow(forest.depth_of(b).min(4));
+        for s in &f.block(b).stmts {
+            uses.clear();
+            s.uses(&mut uses);
+            for &u in &uses {
+                weight[u.index()] += w;
+            }
+            if let Some(d) = s.def() {
+                weight[d.index()] += w;
+            }
+        }
+    }
+    let mut spilled: HashSet<VarId> = HashSet::new();
+    let mut max_pressure = [0u32; 2];
+    let mut live_across_calls: HashSet<VarId> = HashSet::new();
+    loop {
+        // Walk every block backwards computing point-wise pressure.
+        let mut worst: Option<(usize, u32, Vec<VarId>)> = None; // (class, pressure, live set)
+        let mut first_pass_max = [0u32; 2];
+        for b in f.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let mut live: HashSet<VarId> = liveness.live_out[b.index()]
+                .iter()
+                .map(|i| VarId(i as u32))
+                .collect();
+            let record =
+                |live: &HashSet<VarId>,
+                 worst: &mut Option<(usize, u32, Vec<VarId>)>,
+                 first_pass_max: &mut [u32; 2],
+                 spilled: &HashSet<VarId>| {
+                    for class in 0..2 {
+                        let total = live
+                            .iter()
+                            .filter(|v| class_of(f.var_ty(**v)) == class)
+                            .count() as u32;
+                        first_pass_max[class] = first_pass_max[class].max(total);
+                        let unspilled: Vec<VarId> = live
+                            .iter()
+                            .filter(|v| {
+                                class_of(f.var_ty(**v)) == class && !spilled.contains(*v)
+                            })
+                            .copied()
+                            .collect();
+                        let p = unspilled.len() as u32;
+                        let budget = if class == 0 { int_budget } else { fp_budget };
+                        if p > budget {
+                            let over = p - budget;
+                            let cur_over = worst
+                                .as_ref()
+                                .map(|(c, pp, _)| {
+                                    let wb = if *c == 0 { int_budget } else { fp_budget };
+                                    pp.saturating_sub(wb)
+                                })
+                                .unwrap_or(0);
+                            if over > cur_over {
+                                *worst = Some((class, p, unspilled));
+                            }
+                        }
+                    }
+                };
+            // Terminator point.
+            uses.clear();
+            f.block(b).term.uses(&mut uses);
+            record(&live, &mut worst, &mut first_pass_max, &spilled);
+            for s in f.block(b).stmts.iter().rev() {
+                if let Some(d) = s.def() {
+                    live.remove(&d);
+                }
+                uses.clear();
+                s.uses(&mut uses);
+                let is_call = matches!(
+                    s,
+                    peak_ir::Stmt::CallVoid { .. }
+                        | peak_ir::Stmt::Assign { rv: peak_ir::Rvalue::Call { .. }, .. }
+                );
+                for &u in &uses {
+                    live.insert(u);
+                }
+                if is_call {
+                    for v in &live {
+                        live_across_calls.insert(*v);
+                    }
+                }
+                record(&live, &mut worst, &mut first_pass_max, &spilled);
+            }
+        }
+        if max_pressure == [0, 0] {
+            max_pressure = first_pass_max;
+        }
+        let Some((_class, _p, candidates)) = worst else { break };
+        // Spill the lightest candidate.
+        let victim = candidates
+            .into_iter()
+            .min_by_key(|v| (weight[v.index()], v.0))
+            .expect("non-empty overflow set");
+        spilled.insert(victim);
+    }
+    let mut spill_list: Vec<VarId> = spilled.into_iter().collect();
+    spill_list.sort();
+    SpillInfo {
+        spilled: spill_list
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u32))
+            .collect(),
+        max_int_pressure: max_pressure[0],
+        max_fp_pressure: max_pressure[1],
+        live_across_calls: live_across_calls.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder};
+
+    /// Builds a function holding `k` simultaneously live values.
+    fn wide_function(k: usize) -> Function {
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let vars: Vec<_> = (0..k)
+            .map(|j| {
+                let v = b.var(format!("w{j}"), Type::I64);
+                b.binary_into(v, BinOp::Add, p, j as i64);
+                v
+            })
+            .collect();
+        // Sum them all so they stay live to the end.
+        let mut acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        for v in vars {
+            let t = b.binary(BinOp::Add, acc, v);
+            acc = t;
+        }
+        b.ret(Some(acc.into()));
+        b.finish()
+    }
+
+    #[test]
+    fn no_spills_under_generous_budget() {
+        let f = wide_function(6);
+        let info = allocate(&f, RegBudget { int_regs: 32, fp_regs: 32 }, false);
+        assert!(info.spilled.is_empty());
+        assert!(info.max_int_pressure >= 6);
+    }
+
+    #[test]
+    fn spills_appear_under_tight_budget() {
+        let f = wide_function(12);
+        let info = allocate(&f, RegBudget { int_regs: 6, fp_regs: 8 }, false);
+        assert!(!info.spilled.is_empty());
+        // Spilling enough to fit: live set ≤ budget after spills.
+        assert!(info.spilled.len() as u32 >= info.max_int_pressure - 6);
+    }
+
+    #[test]
+    fn omit_frame_pointer_reduces_spills() {
+        let f = wide_function(10);
+        let tight = RegBudget { int_regs: 8, fp_regs: 8 };
+        let without = allocate(&f, tight, false);
+        let with = allocate(&f, tight, true);
+        assert!(with.spilled.len() <= without.spilled.len());
+    }
+
+    #[test]
+    fn loop_variables_spilled_last() {
+        // One hot loop variable and many cold wide values: the loop var
+        // must survive spilling.
+        let mut b = FunctionBuilder::new("f", Some(Type::I64));
+        let n = b.param("n", Type::I64);
+        let cold: Vec<_> = (0..10)
+            .map(|j| {
+                let v = b.var(format!("c{j}"), Type::I64);
+                b.binary_into(v, BinOp::Add, n, j as i64);
+                v
+            })
+            .collect();
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.binary_into(acc, BinOp::Add, acc, i);
+        });
+        for v in cold {
+            b.binary_into(acc, BinOp::Add, acc, v);
+        }
+        b.ret(Some(acc.into()));
+        let f = b.finish();
+        let info = allocate(&f, RegBudget { int_regs: 6, fp_regs: 8 }, false);
+        assert!(!info.spilled.is_empty());
+        assert!(!info.is_spilled(i), "hot loop iv kept in a register");
+        assert!(!info.is_spilled(acc), "hot accumulator kept in a register");
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        // Float pressure must not trigger integer spills.
+        let mut b = FunctionBuilder::new("f", Some(Type::F64));
+        let p = b.param("p", Type::F64);
+        let vars: Vec<_> = (0..10)
+            .map(|j| {
+                let v = b.var(format!("w{j}"), Type::F64);
+                b.binary_into(v, BinOp::FAdd, p, j as f64);
+                v
+            })
+            .collect();
+        let mut acc = b.var("acc", Type::F64);
+        b.copy(acc, 0.0f64);
+        for v in vars {
+            let t = b.binary(BinOp::FAdd, acc, v);
+            acc = t;
+        }
+        b.ret(Some(acc.into()));
+        let f = b.finish();
+        let info = allocate(&f, RegBudget { int_regs: 4, fp_regs: 32 }, false);
+        assert!(info.spilled.is_empty(), "plenty of fp regs: {info:?}");
+        let info2 = allocate(&f, RegBudget { int_regs: 32, fp_regs: 6 }, false);
+        assert!(!info2.spilled.is_empty(), "fp squeeze spills fp vars");
+        assert!(info2
+            .spilled
+            .iter()
+            .all(|(v, _)| f.var_ty(*v) == Type::F64));
+    }
+}

@@ -1,0 +1,202 @@
+//! Pass-interaction tests: behaviours that only appear when passes
+//! compose — the phenomenon that makes empirical tuning worthwhile at all
+//! (paper §1: interactions make static prediction "extremely difficult").
+
+use peak_ir::{
+    BinOp, CounterId, FunctionBuilder, Interp, MemRef, MemoryImage, Program, Stmt, Type, Value,
+};
+use peak_opt::{optimize, Flag, OptConfig};
+
+/// MBR instrumentation counters survive the whole -O3 pipeline with exact
+/// per-iteration semantics — unrolling/peeling clone them per iteration
+/// copy, DCE keeps them, tail duplication refuses to double them.
+#[test]
+fn counters_survive_o3_with_exact_counts() {
+    let mut prog = Program::new();
+    let a = prog.add_mem("a", Type::I64, 64);
+    let mut b = FunctionBuilder::new("f", None);
+    let n = b.param("n", Type::I64);
+    let i = b.var("i", Type::I64);
+    b.for_loop(i, 0i64, n, 1, |b| {
+        b.emit(Stmt::CounterInc { counter: CounterId(0) });
+        let x = b.load(Type::I64, MemRef::global(a, i));
+        let y = b.binary(BinOp::Add, x, 1i64);
+        b.store(MemRef::global(a, i), y);
+    });
+    b.ret(None);
+    let f = prog.add_func(b.finish());
+    let cv = optimize(&prog, f, &OptConfig::o3());
+    let interp = Interp { num_counters: 1, ..Default::default() };
+    for n in [0i64, 1, 3, 7, 13] {
+        let mut mem = MemoryImage::new(&cv.program);
+        let out = interp.run(&cv.program, cv.func, &[Value::I64(n)], &mut mem).unwrap();
+        assert_eq!(out.counters[0], n as u64, "n={n}: one bump per iteration after -O3");
+    }
+}
+
+/// Register promotion then unrolling: the promoted accumulator must stay
+/// correct across cloned iteration units, including the flush on exit.
+#[test]
+fn promotion_composes_with_unrolling() {
+    let mut prog = Program::new();
+    let g = prog.add_mem("g", Type::I64, 2);
+    let a = prog.add_mem("a", Type::I64, 64);
+    let mut b = FunctionBuilder::new("f", None);
+    let n = b.param("n", Type::I64);
+    let i = b.var("i", Type::I64);
+    b.for_loop(i, 0i64, n, 1, |b| {
+        let x = b.load(Type::I64, MemRef::global(a, i));
+        let acc = b.load(Type::I64, MemRef::global(g, 0i64));
+        let s = b.binary(BinOp::Add, acc, x);
+        b.store(MemRef::global(g, 0i64), s);
+    });
+    b.ret(None);
+    let f = prog.add_func(b.finish());
+    let cfg = OptConfig::o3();
+    let cv = optimize(&prog, f, &cfg);
+    for n in [0i64, 1, 4, 5, 9, 64] {
+        let mut m1 = MemoryImage::new(&prog);
+        let mut m2 = MemoryImage::new(&cv.program);
+        for i in 0..64 {
+            m1.store(a, i, Value::I64(i + 1));
+            m2.store(a, i, Value::I64(i + 1));
+        }
+        m1.store(g, 0, Value::I64(100));
+        m2.store(g, 0, Value::I64(100));
+        Interp::default().run(&prog, f, &[Value::I64(n)], &mut m1).unwrap();
+        Interp::default().run(&cv.program, cv.func, &[Value::I64(n)], &mut m2).unwrap();
+        assert_eq!(m1.load(g, 0), m2.load(g, 0), "n={n}");
+    }
+}
+
+/// Inlining exposes the callee body to loop optimization: with aggressive
+/// inlining + the loop passes, the call disappears AND the hoisted
+/// invariant computation leaves the loop.
+#[test]
+fn inlining_feeds_licm() {
+    let mut prog = Program::new();
+    // callee: scale(k) = k * 7 + 3 (pure, loop-invariant when k is)
+    let mut cb = FunctionBuilder::new("scale", Some(Type::I64));
+    let k = cb.param("k", Type::I64);
+    let t = cb.binary(BinOp::Mul, k, 7i64);
+    let r = cb.binary(BinOp::Add, t, 3i64);
+    cb.ret(Some(r.into()));
+    let callee = prog.add_func(cb.finish());
+    let mut b = FunctionBuilder::new("f", Some(Type::I64));
+    let n = b.param("n", Type::I64);
+    let k2 = b.param("k", Type::I64);
+    let i = b.var("i", Type::I64);
+    let acc = b.var("acc", Type::I64);
+    b.copy(acc, 0i64);
+    b.for_loop(i, 0i64, n, 1, |b| {
+        let s = b.call(Type::I64, callee, vec![k2.into()]);
+        b.binary_into(acc, BinOp::Add, acc, s);
+    });
+    b.ret(Some(acc.into()));
+    let f = prog.add_func(b.finish());
+    let cv = optimize(&prog, f, &OptConfig::o3());
+    // No calls remain in the optimized entry function.
+    let of = cv.program.func(cv.func);
+    let calls = of
+        .block_ids()
+        .flat_map(|bb| of.block(bb).stmts.iter())
+        .filter(|s| {
+            matches!(
+                s,
+                Stmt::CallVoid { .. } | Stmt::Assign { rv: peak_ir::Rvalue::Call { .. }, .. }
+            )
+        })
+        .count();
+    assert_eq!(calls, 0, "call inlined away");
+    // Semantics intact.
+    for (n, k) in [(0i64, 5i64), (3, -2), (10, 9)] {
+        let mut m1 = MemoryImage::new(&prog);
+        let mut m2 = MemoryImage::new(&cv.program);
+        let r1 = Interp::default()
+            .run(&prog, f, &[Value::I64(n), Value::I64(k)], &mut m1)
+            .unwrap();
+        let r2 = Interp::default()
+            .run(&cv.program, cv.func, &[Value::I64(n), Value::I64(k)], &mut m2)
+            .unwrap();
+        assert_eq!(r1.ret, r2.ret, "n={n} k={k}");
+    }
+    // Dynamic step count shrank considerably vs the unoptimized version
+    // (call overhead + recomputation gone).
+    let steps = |p: &Program, fid| {
+        let mut mem = MemoryImage::new(p);
+        Interp::default()
+            .run(p, fid, &[Value::I64(50), Value::I64(3)], &mut mem)
+            .unwrap()
+            .steps
+    };
+    assert!(steps(&cv.program, cv.func) * 2 < steps(&prog, f) * 2, "sanity");
+    assert!(steps(&cv.program, cv.func) < steps(&prog, f));
+}
+
+/// If-conversion changes register pressure: on a tight-register machine,
+/// converting arms into selects can tip the allocator into spilling —
+/// visible through the allocator's spill lists (the MCF/P4 interaction).
+#[test]
+fn ifconv_interacts_with_register_pressure() {
+    let mut prog = Program::new();
+    let a = prog.add_mem("a", Type::I64, 256);
+    let mut b = FunctionBuilder::new("f", Some(Type::I64));
+    let n = b.param("n", Type::I64);
+    let i = b.var("i", Type::I64);
+    // Several live accumulators + a guarded update chain.
+    let accs: Vec<_> = (0..5)
+        .map(|j| {
+            let v = b.var(format!("acc{j}"), Type::I64);
+            b.copy(v, 0i64);
+            v
+        })
+        .collect();
+    b.for_loop(i, 0i64, n, 1, |b| {
+        let x = b.load(Type::I64, MemRef::global(a, i));
+        let c = b.binary(BinOp::Gt, x, 0i64);
+        let accs = accs.clone();
+        b.if_then(c, move |b| {
+            for (j, &v) in accs.iter().enumerate() {
+                let t = b.binary(BinOp::Add, x, j as i64);
+                b.binary_into(v, BinOp::Add, v, t);
+            }
+        });
+    });
+    let mut total = accs[0];
+    for &v in &accs[1..] {
+        let t = b.binary(BinOp::Add, total, v);
+        total = t;
+    }
+    b.ret(Some(total.into()));
+    let f = prog.add_func(b.finish());
+    let with = optimize(&prog, f, &OptConfig::o0().with(Flag::IfConversion, true));
+    let without = optimize(&prog, f, &OptConfig::o0());
+    let spec = peak_sim::MachineSpec::pentium_iv();
+    let pv_with = peak_sim::PreparedVersion::prepare(with, &spec);
+    let pv_without = peak_sim::PreparedVersion::prepare(without, &spec);
+    assert!(
+        pv_with.entry_spills() >= pv_without.entry_spills(),
+        "if-conversion never reduces pressure here: {} vs {}",
+        pv_with.entry_spills(),
+        pv_without.entry_spills()
+    );
+}
+
+/// A flag that is harmless alone can matter after another flag enables it:
+/// register promotion does nothing for the ART accumulators unless strict
+/// aliasing licenses the disambiguation (the gate is the *pair*).
+#[test]
+fn strict_aliasing_gates_promotion() {
+    use peak_workloads::Workload;
+    let w = peak_workloads::art::ArtMatch::new();
+    let spec = peak_sim::MachineSpec::pentium_iv();
+    let spills = |cfg: OptConfig| {
+        let cv = optimize(w.program(), w.ts(), &cfg);
+        peak_sim::PreparedVersion::prepare(cv, &spec).entry_spills()
+    };
+    let both = spills(OptConfig::o3());
+    let no_sa = spills(OptConfig::o3().without(Flag::StrictAliasing));
+    let no_rp = spills(OptConfig::o3().without(Flag::RegisterPromotion));
+    assert!(both > no_sa, "strict aliasing is required for the spill storm");
+    assert!(both > no_rp, "register promotion is required for the spill storm");
+}

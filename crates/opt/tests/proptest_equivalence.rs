@@ -1,0 +1,256 @@
+//! Property-based compiler correctness: for random programs and random
+//! flag configurations, the optimized version must compute exactly the
+//! same results (return value AND final memory image) as the reference
+//! interpreter on the original program.
+//!
+//! The generator produces structured programs (straight-line arithmetic,
+//! bounded counted loops, branches, masked in-bounds memory accesses) so
+//! every generated program terminates and never traps — the domain where
+//! every -O3 transformation must be exact.
+
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, Interp, MemRef, MemoryImage, Operand, Program, Type, UnOp,
+    Value,
+};
+use peak_opt::{optimize, OptConfig};
+use proptest::prelude::*;
+
+/// Region length; all indexes are masked with `& (REGION_LEN-1)`.
+const REGION_LEN: usize = 16;
+/// Integer variable pool size.
+const NI: usize = 5;
+/// Float variable pool size.
+const NF: usize = 3;
+
+/// A generated statement.
+#[derive(Debug, Clone)]
+enum GStmt {
+    /// ivar[d] = ivar[a] op ivar[b]
+    IntOp(u8, usize, usize, usize),
+    /// fvar[d] = fvar[a] op fvar[b]
+    FloatOp(u8, usize, usize, usize),
+    /// ivar[d] = unop ivar[a]
+    IntUn(u8, usize, usize),
+    /// ivar[d] = mem[ivar[a] & mask]
+    Load(usize, usize, usize), // region, dst, idx var
+    /// mem[ivar[a] & mask] = ivar[s]
+    Store(usize, usize, usize), // region, src, idx var
+    /// if ivar[c] > 0 { body }
+    If(usize, Vec<GStmt>),
+    /// for t in 0..k { body }  (k ≤ 6)
+    Loop(u8, Vec<GStmt>),
+    /// ivar[d] = ptr[ivar[i] & 7]  (pointer into region r at offset off)
+    PtrLoad(usize, u8, usize, usize), // region, base offset 0..8, dst, idx
+    /// ptr[ivar[i] & 7] = ivar[s]
+    PtrStore(usize, u8, usize, usize), // region, base offset, src, idx
+}
+
+fn leaf_stmt() -> impl Strategy<Value = GStmt> {
+    prop_oneof![
+        (0u8..8, 0..NI, 0..NI, 0..NI).prop_map(|(o, d, a, b)| GStmt::IntOp(o, d, a, b)),
+        (0u8..3, 0..NF, 0..NF, 0..NF).prop_map(|(o, d, a, b)| GStmt::FloatOp(o, d, a, b)),
+        (0u8..2, 0..NI, 0..NI).prop_map(|(o, d, a)| GStmt::IntUn(o, d, a)),
+        (0usize..2, 0..NI, 0..NI).prop_map(|(r, d, i)| GStmt::Load(r, d, i)),
+        (0usize..2, 0..NI, 0..NI).prop_map(|(r, s, i)| GStmt::Store(r, s, i)),
+        (0usize..2, 0u8..8, 0..NI, 0..NI)
+            .prop_map(|(r, off, d, i)| GStmt::PtrLoad(r, off, d, i)),
+        (0usize..2, 0u8..8, 0..NI, 0..NI)
+            .prop_map(|(r, off, s, i)| GStmt::PtrStore(r, off, s, i)),
+    ]
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<GStmt> {
+    if depth == 0 {
+        leaf_stmt().boxed()
+    } else {
+        prop_oneof![
+            4 => leaf_stmt(),
+            1 => (0..NI, prop::collection::vec(stmt(depth - 1), 1..4))
+                .prop_map(|(c, body)| GStmt::If(c, body)),
+            1 => (2u8..6, prop::collection::vec(stmt(depth - 1), 1..4))
+                .prop_map(|(k, body)| GStmt::Loop(k, body)),
+        ]
+        .boxed()
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<GStmt>> {
+    prop::collection::vec(stmt(2), 3..14)
+}
+
+fn int_op(code: u8) -> BinOp {
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Min,
+        BinOp::Max,
+    ][code as usize]
+}
+
+fn float_op(code: u8) -> BinOp {
+    [BinOp::FAdd, BinOp::FSub, BinOp::FMul][code as usize]
+}
+
+fn int_un(code: u8) -> UnOp {
+    [UnOp::Neg, UnOp::Not][code as usize]
+}
+
+fn emit(b: &mut FunctionBuilder, ivars: &[peak_ir::VarId], fvars: &[peak_ir::VarId],
+        regions: &[peak_ir::MemId], stmts: &[GStmt], loop_depth: u32) {
+    for s in stmts {
+        match s {
+            GStmt::IntOp(o, d, a, c) => {
+                b.binary_into(ivars[*d], int_op(*o), ivars[*a], ivars[*c]);
+            }
+            GStmt::FloatOp(o, d, a, c) => {
+                b.binary_into(fvars[*d], float_op(*o), fvars[*a], fvars[*c]);
+            }
+            GStmt::IntUn(o, d, a) => {
+                let t = b.unary(int_un(*o), ivars[*a]);
+                b.copy(ivars[*d], t);
+            }
+            GStmt::Load(r, d, i) => {
+                let idx = b.binary(BinOp::And, ivars[*i], (REGION_LEN as i64) - 1);
+                b.load_into(ivars[*d], MemRef::global(regions[*r], idx));
+            }
+            GStmt::Store(r, s, i) => {
+                let idx = b.binary(BinOp::And, ivars[*i], (REGION_LEN as i64) - 1);
+                b.store(MemRef::global(regions[*r], idx), ivars[*s]);
+            }
+            GStmt::If(c, body) => {
+                let cond = b.binary(BinOp::Gt, ivars[*c], 0i64);
+                b.if_then(cond, |b| emit(b, ivars, fvars, regions, body, loop_depth));
+            }
+            GStmt::Loop(k, body) => {
+                if loop_depth >= 2 {
+                    emit(b, ivars, fvars, regions, body, loop_depth);
+                    continue;
+                }
+                // Fresh iteration variable per loop site.
+                let iv = b.temp(Type::I64);
+                b.for_loop(iv, 0i64, *k as i64, 1, |b| {
+                    emit(b, ivars, fvars, regions, body, loop_depth + 1);
+                });
+            }
+            GStmt::PtrLoad(r, off, d, i) => {
+                // Pointer with a precise points-to target; index masked so
+                // base offset (≤7) + index (≤7) stays in bounds.
+                let p = b.addr_of(regions[*r], *off as i64);
+                let idx = b.binary(BinOp::And, ivars[*i], 7i64);
+                b.load_into(ivars[*d], MemRef::ptr(p, idx));
+            }
+            GStmt::PtrStore(r, off, s, i) => {
+                let p = b.addr_of(regions[*r], *off as i64);
+                let idx = b.binary(BinOp::And, ivars[*i], 7i64);
+                b.store(MemRef::ptr(p, idx), ivars[*s]);
+            }
+        }
+    }
+}
+
+fn build_program(stmts: &[GStmt]) -> (Program, FuncId) {
+    let mut prog = Program::new();
+    let r0 = prog.add_mem("r0", Type::I64, REGION_LEN);
+    let r1 = prog.add_mem("r1", Type::I64, REGION_LEN);
+    let mut b = FunctionBuilder::new("gen", Some(Type::I64));
+    let p0 = b.param("p0", Type::I64);
+    let p1 = b.param("p1", Type::I64);
+    let pf = b.param("pf", Type::F64);
+    let mut ivars = vec![p0, p1];
+    for j in 2..NI {
+        let v = b.var(format!("iv{j}"), Type::I64);
+        b.copy(v, (j as i64) * 3 - 7);
+        ivars.push(v);
+    }
+    let mut fvars = vec![pf];
+    for j in 1..NF {
+        let v = b.var(format!("fv{j}"), Type::F64);
+        b.copy(v, j as f64 * 0.5 - 0.3);
+        fvars.push(v);
+    }
+    emit(&mut b, &ivars, &fvars, &[r0, r1], stmts, 0);
+    // Fold everything observable into the return value; floats are also
+    // stored so memory comparison covers them.
+    let fbits = b.unary(UnOp::FToInt, fvars[1]);
+    let mixed = b.binary(BinOp::Xor, ivars[2], fbits);
+    let mixed2 = b.binary(BinOp::Add, mixed, ivars[3]);
+    b.store(MemRef::global(r0, 0i64), mixed2);
+    b.ret(Some(Operand::Var(mixed2)));
+    let f = prog.add_func(b.finish());
+    (prog, f)
+}
+
+fn run_interp(prog: &Program, f: FuncId, args: &[Value]) -> (Option<Value>, MemoryImage) {
+    let mut mem = MemoryImage::new(prog);
+    for i in 0..REGION_LEN as i64 {
+        mem.store(peak_ir::MemId(0), i, Value::I64(i * 11 - 5));
+        mem.store(peak_ir::MemId(1), i, Value::I64(100 - i));
+    }
+    let out = Interp::default()
+        .run(prog, f, args, &mut mem)
+        .expect("generated programs never trap");
+    (out.ret, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// interp(optimize(P, O3)) == interp(P) on random inputs.
+    #[test]
+    fn o3_preserves_semantics(stmts in program_strategy(), a in -40i64..40, bb in -40i64..40, x in -2.0f64..2.0) {
+        let (prog, f) = build_program(&stmts);
+        peak_ir::validate_program(&prog).unwrap();
+        let cv = optimize(&prog, f, &OptConfig::o3());
+        peak_ir::validate_program(&cv.program).unwrap();
+        let args = [Value::I64(a), Value::I64(bb), Value::F64(x)];
+        let (r1, m1) = run_interp(&prog, f, &args);
+        let (r2, m2) = run_interp(&cv.program, cv.func, &args);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// Random flag subsets preserve semantics too (interactions between
+    /// passes, not just the full pipeline).
+    #[test]
+    fn random_configs_preserve_semantics(
+        stmts in program_strategy(),
+        bits in any::<u64>(),
+        a in -40i64..40,
+        bb in -40i64..40,
+        x in -2.0f64..2.0,
+    ) {
+        let (prog, f) = build_program(&stmts);
+        let cfg = OptConfig::from_bits(bits);
+        let cv = optimize(&prog, f, &cfg);
+        peak_ir::validate_program(&cv.program).unwrap();
+        let args = [Value::I64(a), Value::I64(bb), Value::F64(x)];
+        let (r1, m1) = run_interp(&prog, f, &args);
+        let (r2, m2) = run_interp(&cv.program, cv.func, &args);
+        prop_assert_eq!(r1, r2, "config {}", cfg);
+        prop_assert_eq!(m1, m2, "config {}", cfg);
+    }
+
+    /// Optimization never increases the dynamic statement count by more
+    /// than the instrumentation slack (prefetch adds a bounded number of
+    /// hint statements per loop iteration).
+    #[test]
+    fn o3_does_not_explode_dynamic_steps(stmts in program_strategy()) {
+        let (prog, f) = build_program(&stmts);
+        let cv = optimize(&prog, f, &OptConfig::o3().without(peak_opt::Flag::PrefetchLoopArrays));
+        let args = [Value::I64(3), Value::I64(-2), Value::F64(0.7)];
+        let mut m1 = MemoryImage::new(&prog);
+        let mut m2 = MemoryImage::new(&cv.program);
+        let s1 = Interp::default().run(&prog, f, &args, &mut m1).unwrap().steps;
+        let s2 = Interp::default().run(&cv.program, cv.func, &args, &mut m2).unwrap().steps;
+        // Unrolling trades branches for straight-line work but must not
+        // multiply the total statement count.
+        prop_assert!(s2 <= s1 * 2 + 16, "steps {} -> {}", s1, s2);
+    }
+}
+
+// Persist failing cases so regressions replay deterministically.
+// (proptest finds the file via this marker in the test root.)

@@ -1,0 +1,233 @@
+//! Set-associative data-cache simulation (two levels + memory).
+//!
+//! Addresses are element-granular (8-byte elements). Each program region
+//! gets a disjoint address range; spill slots live in a dedicated stack
+//! range. Cache state persists across TS invocations within a simulated
+//! run — exactly the preconditioning effect that biases naive
+//! re-execution-based rating and that the improved RBR's warm-up pass
+//! corrects (paper §2.4.2).
+
+use crate::machine::CacheParams;
+
+/// One cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    /// tags[set * ways + way] = Some(tag)
+    tags: Vec<Option<u64>>,
+    /// LRU stamps, larger = more recent.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Empty (cold) cache.
+    pub fn new(params: CacheParams) -> Self {
+        let n = params.sets * params.ways;
+        Cache { params, tags: vec![None; n], stamps: vec![0; n], clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// Access the line containing element address `addr`. Returns true on
+    /// hit; on miss the line is filled.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.params.line_elems as u64;
+        let set = (line % self.params.sets as u64) as usize;
+        let tag = line / self.params.sets as u64;
+        self.clock += 1;
+        let base = set * self.params.ways;
+        let ways = &mut self.tags[base..base + self.params.ways];
+        if let Some(w) = ways.iter().position(|t| *t == Some(tag)) {
+            self.stamps[base + w] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // Fill LRU way.
+        let victim = (0..self.params.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("nonzero associativity");
+        self.tags[base + victim] = Some(tag);
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Drop all lines (used between independent simulated runs).
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+        self.stamps.fill(0);
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The two-level data-cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// L1 data cache.
+    pub l1: Cache,
+    /// L2 unified cache.
+    pub l2: Cache,
+    l1_hit: u64,
+    l2_hit: u64,
+    mem: u64,
+}
+
+impl Hierarchy {
+    /// Cold hierarchy for a machine.
+    pub fn new(spec: &crate::machine::MachineSpec) -> Self {
+        Hierarchy {
+            l1: Cache::new(spec.l1),
+            l2: Cache::new(spec.l2),
+            l1_hit: spec.l1.hit_cycles,
+            l2_hit: spec.l2.hit_cycles,
+            mem: spec.mem_cycles,
+        }
+    }
+
+    /// Cycles for a data access at `addr` (read or write — writeback
+    /// traffic is folded into the miss costs).
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> u64 {
+        if self.l1.access(addr) {
+            self.l1_hit
+        } else if self.l2.access(addr) {
+            self.l2_hit
+        } else {
+            self.mem
+        }
+    }
+
+    /// Prefetch: touch the line, charge nothing (the issue cost is charged
+    /// by the executor as a statement).
+    #[inline]
+    pub fn prefetch(&mut self, addr: u64) {
+        let _ = self.l1.access(addr);
+        let _ = self.l2.access(addr);
+    }
+
+    /// Flush both levels.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+}
+
+/// Address layout: regions padded to disjoint ranges; the stack (spill
+/// slots) in its own range.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    region_base: Vec<u64>,
+    stack_base: u64,
+}
+
+/// Pad between regions, in elements — keeps regions from sharing lines
+/// while still mapping into overlapping cache sets (realistic conflicts).
+const REGION_PAD: u64 = 64;
+
+impl AddressMap {
+    /// Build from region lengths.
+    pub fn new(region_lens: &[usize]) -> Self {
+        let mut base = 0u64;
+        let mut region_base = Vec::with_capacity(region_lens.len());
+        for &len in region_lens {
+            region_base.push(base);
+            base += len as u64 + REGION_PAD;
+        }
+        AddressMap { region_base, stack_base: base + 4096 }
+    }
+
+    /// Element address of `mem[idx]`.
+    #[inline]
+    pub fn addr(&self, mem: peak_ir::MemId, idx: i64) -> u64 {
+        self.region_base[mem.index()].wrapping_add(idx as u64)
+    }
+
+    /// Element address of spill slot `slot`.
+    #[inline]
+    pub fn spill_addr(&self, slot: u32) -> u64 {
+        self.stack_base + slot as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(CacheParams { sets: 16, ways: 2, line_elems: 4, hit_cycles: 1 });
+        assert!(!c.access(0), "cold miss");
+        assert!(c.access(0), "hit");
+        assert!(c.access(3), "same line");
+        assert!(!c.access(4), "next line misses");
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (2, 2));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 1 set × 2 ways × 1-elem lines: addresses 0, 16, 32 conflict.
+        let mut c = Cache::new(CacheParams { sets: 1, ways: 2, line_elems: 1, hit_cycles: 1 });
+        c.access(0);
+        c.access(1);
+        assert!(c.access(0), "still resident");
+        c.access(2); // evicts 1 (LRU)
+        assert!(!c.access(1), "1 was evicted");
+    }
+
+    #[test]
+    fn hierarchy_latencies_ordered() {
+        let spec = MachineSpec::pentium_iv();
+        let mut h = Hierarchy::new(&spec);
+        let miss = h.access(0);
+        let hit = h.access(0);
+        assert_eq!(miss, spec.mem_cycles);
+        assert_eq!(hit, spec.l1.hit_cycles);
+        // After L1 eviction the line should still be in L2 (L2 is bigger).
+        let stride = (spec.l1.sets * spec.l1.line_elems) as u64;
+        for k in 1..=(spec.l1.ways as u64 + 1) {
+            h.access(k * stride); // conflict set 0
+        }
+        let l2 = h.access(0);
+        assert_eq!(l2, spec.l2.hit_cycles);
+    }
+
+    #[test]
+    fn working_set_behaviour() {
+        // A working set within L1 capacity stays fast; a much larger one
+        // keeps missing.
+        let spec = MachineSpec::sparc_ii();
+        let small = spec.l1.capacity_elems() / 2;
+        let large = spec.l1.capacity_elems() * 8;
+        let cost_of = |n: usize| {
+            let mut h = Hierarchy::new(&spec);
+            // two sweeps; measure the second.
+            for i in 0..n {
+                h.access(i as u64);
+            }
+            let mut total = 0;
+            for i in 0..n {
+                total += h.access(i as u64);
+            }
+            total as f64 / n as f64
+        };
+        assert!(cost_of(small) < 3.0);
+        // Large set misses L1 on every new line: avg ≈ (l2_hit + (line-1)·l1_hit)/line.
+        assert!(cost_of(large) > 3.5);
+    }
+
+    #[test]
+    fn address_map_disjoint() {
+        let m = AddressMap::new(&[100, 200, 50]);
+        let a0 = m.addr(peak_ir::MemId(0), 99);
+        let a1 = m.addr(peak_ir::MemId(1), 0);
+        assert!(a1 > a0, "regions do not overlap");
+        assert!(m.spill_addr(0) > m.addr(peak_ir::MemId(2), 49));
+    }
+}

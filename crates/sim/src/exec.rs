@@ -1,0 +1,609 @@
+//! The cycle-charging executor: runs a [`CompiledVersion`] against a
+//! [`MemoryImage`] and persistent machine state (caches, branch
+//! predictor), returning exact simulated cycles. The noisy timer wraps
+//! these into *measured* times at the driver level.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{AddressMap, Hierarchy};
+use crate::machine::MachineSpec;
+use crate::timer::NoisyTimer;
+use peak_ir::{
+    MemBase, MemId, MemRef, MemoryImage, Operand, PtrVal, Rvalue, Stmt, Terminator, Value, VarId,
+};
+use peak_opt::{CompiledVersion, Flag, SpillInfo};
+
+/// Mutable per-run machine state, persisting across TS invocations.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    /// Machine description.
+    pub spec: MachineSpec,
+    /// Data caches.
+    pub caches: Hierarchy,
+    /// Branch predictor.
+    pub predictor: BranchPredictor,
+    /// Measured-time generator.
+    pub timer: NoisyTimer,
+    /// True cycles accumulated this run (all code, tuning overheads
+    /// included by the driver).
+    pub cycles: u64,
+}
+
+impl MachineState {
+    /// Fresh cold state.
+    pub fn new(spec: MachineSpec, seed: u64) -> Self {
+        let caches = Hierarchy::new(&spec);
+        let predictor = BranchPredictor::new(spec.predictor_entries);
+        let timer = NoisyTimer::new(&spec, seed);
+        MachineState { spec, caches, predictor, timer, cycles: 0 }
+    }
+
+    /// Fresh state with a noiseless timer (tests, calibration).
+    pub fn noiseless(spec: MachineSpec) -> Self {
+        let caches = Hierarchy::new(&spec);
+        let predictor = BranchPredictor::new(spec.predictor_entries);
+        MachineState { spec, caches, predictor, timer: NoisyTimer::noiseless(), cycles: 0 }
+    }
+}
+
+/// A version prepared for one machine: register allocation done for every
+/// function, I-cache pressure precomputed.
+#[derive(Debug, Clone)]
+pub struct PreparedVersion {
+    /// The compiled version.
+    pub version: CompiledVersion,
+    /// Per-function spill slot of each variable (`None` = in register).
+    pub spill_slot: Vec<Vec<Option<u32>>>,
+    /// Per-function count of values live across calls.
+    pub live_across_calls: Vec<u32>,
+    /// Whether the version overflows the I-cache/trace-cache budget.
+    pub over_icache: bool,
+    /// Stack-slot base offset per function (slots are function-private).
+    pub slot_base: Vec<u32>,
+}
+
+impl PreparedVersion {
+    /// Allocate registers for every function of the version on `spec`.
+    pub fn prepare(version: CompiledVersion, spec: &MachineSpec) -> Self {
+        let omit_fp = version.config.enabled(Flag::OmitFramePointer);
+        let mut spill_slot = Vec::with_capacity(version.program.funcs.len());
+        let mut live_across_calls = Vec::new();
+        let mut slot_base = Vec::new();
+        let mut next_base = 0u32;
+        for f in &version.program.funcs {
+            let info: SpillInfo = peak_opt::allocate(f, spec.reg_budget(), omit_fp);
+            let mut slots = vec![None; f.num_vars()];
+            for (v, s) in &info.spilled {
+                slots[v.index()] = Some(*s);
+            }
+            slot_base.push(next_base);
+            next_base += info.spilled.len() as u32 + 4;
+            live_across_calls.push(info.live_across_calls);
+            spill_slot.push(slots);
+        }
+        let over_icache = version.code_size > spec.icache_stmt_capacity;
+        PreparedVersion { version, spill_slot, live_across_calls, over_icache, slot_base }
+    }
+
+    /// Total spill slots of the entry function (diagnostics).
+    pub fn entry_spills(&self) -> usize {
+        self.spill_slot[self.version.func.index()]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+}
+
+/// Result of one simulated invocation.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Return value.
+    pub ret: Option<Value>,
+    /// Exact simulated cycles of the invocation.
+    pub true_cycles: u64,
+    /// Instrumentation counter values (CounterInc).
+    pub counters: Vec<u64>,
+    /// Write log when recording was requested (RBR inspector, paper
+    /// §2.4.2): `(region, index, value before the first write)` — an undo
+    /// log sufficient to roll the invocation back.
+    pub writes: Vec<(MemId, i64, Value)>,
+}
+
+/// Execution error (same failure modes as the reference interpreter).
+pub type ExecError = peak_ir::ExecError;
+
+/// Options for one invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Record written addresses (improved-RBR inspector, paper §2.4.2).
+    pub record_writes: bool,
+    /// Number of counters to size the counter vector for.
+    pub num_counters: usize,
+}
+
+/// Execute one invocation of the prepared version's entry function.
+pub fn execute(
+    pv: &PreparedVersion,
+    args: &[Value],
+    mem: &mut MemoryImage,
+    amap: &AddressMap,
+    state: &mut MachineState,
+    opts: &ExecOptions,
+) -> Result<ExecResult, ExecError> {
+    let mut ctx = Ctx {
+        pv,
+        amap,
+        state,
+        counters: vec![0; opts.num_counters],
+        writes: Vec::new(),
+        written: std::collections::HashSet::new(),
+        record_writes: opts.record_writes,
+        steps: 0,
+    };
+    let mut cycles = 0u64;
+    let ret = ctx.call(pv.version.func, args, mem, &mut cycles, 0)?;
+    ctx.state.cycles += cycles;
+    Ok(ExecResult { ret, true_cycles: cycles, counters: ctx.counters, writes: ctx.writes })
+}
+
+const STEP_LIMIT: u64 = 2_000_000_000;
+const RECURSION_LIMIT: usize = 64;
+
+struct Ctx<'a> {
+    pv: &'a PreparedVersion,
+    amap: &'a AddressMap,
+    state: &'a mut MachineState,
+    counters: Vec<u64>,
+    writes: Vec<(MemId, i64, Value)>,
+    written: std::collections::HashSet<(u32, i64)>,
+    record_writes: bool,
+    steps: u64,
+}
+
+impl<'a> Ctx<'a> {
+    fn call(
+        &mut self,
+        func: peak_ir::FuncId,
+        args: &[Value],
+        mem: &mut MemoryImage,
+        cycles: &mut u64,
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        if depth > RECURSION_LIMIT {
+            return Err(ExecError::RecursionLimit);
+        }
+        let prog = &self.pv.version.program;
+        let f = prog.func(func);
+        let config = self.pv.version.config;
+        let spills = &self.pv.spill_slot[func.index()];
+        let slot_base = self.pv.slot_base[func.index()];
+        let spec_kind = self.state.spec.kind;
+        let _ = spec_kind;
+        let coalesce = config.enabled(Flag::RegAllocCoalesce);
+        let sched2 = config.enabled(Flag::ScheduleInsns2);
+        let rename = config.enabled(Flag::RenameRegisters);
+        let delay = config.enabled(Flag::DelayedBranch) && self.state.spec.has_delay_slot;
+        let caller_saves = config.enabled(Flag::CallerSaves);
+        let exposure = self.state.spec.stall_exposure_permille;
+        let icache_pen = if self.pv.over_icache { self.state.spec.icache_penalty } else { 0 };
+
+        let mut regs: Vec<Value> = vec![Value::I64(0); f.num_vars()];
+        for (p, a) in f.params.iter().zip(args) {
+            regs[p.index()] = *a;
+        }
+        // Spill cost helper: access the stack slot through the cache.
+        macro_rules! spill_access {
+            ($self:ident, $slot:expr, $cycles:expr) => {{
+                let addr = $self.amap.spill_addr(slot_base + $slot);
+                let mut c = $self.state.caches.access(addr)
+                    + $self.state.spec.spill_extra_cycles;
+                if sched2 {
+                    c = c.saturating_sub(2); // post-RA scheduling hides part of the spill
+                }
+                c = c.max(1);
+                *$cycles += c;
+            }};
+        }
+
+        let mut bb = f.entry;
+        // (defined var, its latency, uses of prev stmt) for the stall model.
+        let mut prev_def: Option<(VarId, u64)> = None;
+        let mut prev_touched: Vec<VarId> = Vec::new();
+        let mut uses_buf: Vec<VarId> = Vec::new();
+        loop {
+            *cycles += icache_pen;
+            let block = f.block(bb);
+            for s in &block.stmts {
+                self.steps += 1;
+                if self.steps > STEP_LIMIT {
+                    return Err(ExecError::StepLimit);
+                }
+                // Dependence stalls against the previous statement.
+                uses_buf.clear();
+                s.uses(&mut uses_buf);
+                if let Some((pd, lat)) = prev_def {
+                    if lat > 1 && uses_buf.contains(&pd) {
+                        *cycles += (lat - 1) * exposure / 1000;
+                    }
+                }
+                if !rename {
+                    // False dependence (WAW/WAR) exposes a small stall on
+                    // machines without register renaming help.
+                    if let Some(d) = s.def() {
+                        if prev_touched.contains(&d) {
+                            *cycles += 1;
+                        }
+                    }
+                }
+                // Spill loads for used variables.
+                for &u in &uses_buf {
+                    if let Some(slot) = spills[u.index()] {
+                        spill_access!(self, slot, cycles);
+                    }
+                }
+                match s {
+                    Stmt::Assign { dst, rv } => {
+                        let v = match rv {
+                            Rvalue::Use(op) => {
+                                // Copy: possibly coalesced away.
+                                let val = self.operand(op, &regs);
+                                let free = coalesce
+                                    && spills[dst.index()].is_none()
+                                    && op
+                                        .as_var()
+                                        .is_none_or(|v| spills[v.index()].is_none());
+                                if !free {
+                                    *cycles += 1;
+                                }
+                                val
+                            }
+                            Rvalue::Unary(op, a) => {
+                                *cycles += self.state.spec.unop_cost(*op);
+                                peak_ir::interp::eval_unop(*op, self.operand(a, &regs))
+                            }
+                            Rvalue::Binary(op, a, b) => {
+                                *cycles += self.state.spec.binop_cost(*op);
+                                peak_ir::interp::eval_binop(
+                                    *op,
+                                    self.operand(a, &regs),
+                                    self.operand(b, &regs),
+                                )?
+                            }
+                            Rvalue::Load(mr) => {
+                                let (m, idx) = self.resolve(mr, &regs, mem)?;
+                                *cycles += 1 + self.state.caches.access(self.amap.addr(m, idx));
+                                mem.load(m, idx)
+                            }
+                            Rvalue::AddrOf(m, idx) => {
+                                *cycles += 1;
+                                Value::Ptr(PtrVal {
+                                    mem: *m,
+                                    offset: self.operand(idx, &regs).as_i64(),
+                                })
+                            }
+                            Rvalue::Select { cond, on_true, on_false } => {
+                                // cmov-style: fixed 2 cycles, no branch.
+                                *cycles += 2;
+                                if self.operand(cond, &regs).is_true() {
+                                    self.operand(on_true, &regs)
+                                } else {
+                                    self.operand(on_false, &regs)
+                                }
+                            }
+                            Rvalue::Call { func: callee, args } => {
+                                let vals: Vec<Value> =
+                                    args.iter().map(|a| self.operand(a, &regs)).collect();
+                                *cycles += self.state.spec.call_overhead;
+                                *cycles += call_save_cost(
+                                    caller_saves,
+                                    self.pv.live_across_calls[func.index()],
+                                );
+                                self.call(*callee, &vals, mem, cycles, depth + 1)?
+                                    .expect("value call of void function")
+                            }
+                        };
+                        regs[dst.index()] = v;
+                        if let Some(slot) = spills[dst.index()] {
+                            spill_access!(self, slot, cycles);
+                        }
+                    }
+                    Stmt::Store { dst, src } => {
+                        let (m, idx) = self.resolve(dst, &regs, mem)?;
+                        *cycles += 1 + self.state.caches.access(self.amap.addr(m, idx));
+                        if self.record_writes && self.written.insert((m.0, idx)) {
+                            // Inspector: log the pre-write value (undo log);
+                            // the inspector code itself costs cycles.
+                            self.writes.push((m, idx, mem.load(m, idx)));
+                            *cycles += 3;
+                        }
+                        let v = self.operand(src, &regs);
+                        mem.store(m, idx, v);
+                    }
+                    Stmt::CallVoid { func: callee, args } => {
+                        let vals: Vec<Value> =
+                            args.iter().map(|a| self.operand(a, &regs)).collect();
+                        *cycles += self.state.spec.call_overhead;
+                        *cycles +=
+                            call_save_cost(caller_saves, self.pv.live_across_calls[func.index()]);
+                        self.call(*callee, &vals, mem, cycles, depth + 1)?;
+                    }
+                    Stmt::Prefetch { addr } => {
+                        *cycles += 1;
+                        // Best-effort: ignore unresolvable/OOB addresses.
+                        if let Ok((m, idx)) = self.resolve_unchecked(addr, &regs) {
+                            let len = mem.buf(m).len() as i64;
+                            if idx >= 0 && idx < len {
+                                self.state.caches.prefetch(self.amap.addr(m, idx));
+                            }
+                        }
+                    }
+                    Stmt::CounterInc { counter } => {
+                        *cycles += self.state.spec.counter_cost;
+                        if counter.index() >= self.counters.len() {
+                            self.counters.resize(counter.index() + 1, 0);
+                        }
+                        self.counters[counter.index()] += 1;
+                    }
+                }
+                prev_touched.clear();
+                prev_touched.extend_from_slice(&uses_buf);
+                if let Some(d) = s.def() {
+                    prev_touched.push(d);
+                }
+                prev_def = s.def().map(|d| (d, self.state.spec.result_latency(s)));
+            }
+            self.steps += 1;
+            if self.steps > STEP_LIMIT {
+                return Err(ExecError::StepLimit);
+            }
+            // Terminators.
+            let fillable = delay && !block.stmts.is_empty();
+            match &block.term {
+                Terminator::Jump(t) => {
+                    *cycles += 1 + self.taken_cost(f, *t, fillable);
+                    bb = *t;
+                    prev_def = None;
+                    prev_touched.clear();
+                }
+                Terminator::Branch { cond, on_true, on_false } => {
+                    *cycles += 1;
+                    let taken = self.operand(cond, &regs).is_true();
+                    let site = ((func.0 as u64) << 32) ^ (bb.0 as u64);
+                    if self.state.predictor.mispredicted(site, taken) {
+                        *cycles += self.state.spec.mispredict_penalty;
+                    }
+                    if taken {
+                        *cycles += self.taken_cost(f, *on_true, fillable);
+                    }
+                    bb = if taken { *on_true } else { *on_false };
+                    prev_def = None;
+                    prev_touched.clear();
+                }
+                Terminator::Return(v) => {
+                    *cycles += 1;
+                    return Ok(v.as_ref().map(|op| self.operand(op, &regs)));
+                }
+            }
+        }
+    }
+
+    /// Front-end cost of redirecting fetch to `target`.
+    fn taken_cost(&self, f: &peak_ir::Function, target: peak_ir::BlockId, fillable: bool) -> u64 {
+        let mut c = self.state.spec.taken_branch_cost;
+        if f.block(target).aligned {
+            c = c.saturating_sub(self.state.spec.aligned_discount);
+        }
+        if fillable {
+            c = c.saturating_sub(1);
+        }
+        c
+    }
+
+    #[inline]
+    fn operand(&self, op: &Operand, regs: &[Value]) -> Value {
+        match op {
+            Operand::Var(v) => regs[v.index()],
+            Operand::Const(c) => *c,
+        }
+    }
+
+    fn resolve(
+        &self,
+        mr: &MemRef,
+        regs: &[Value],
+        mem: &MemoryImage,
+    ) -> Result<(MemId, i64), ExecError> {
+        let (m, i) = self.resolve_unchecked(mr, regs)?;
+        let len = mem.buf(m).len();
+        if i < 0 || i as usize >= len {
+            return Err(ExecError::OutOfBounds { mem: m.0, index: i, len });
+        }
+        Ok((m, i))
+    }
+
+    fn resolve_unchecked(&self, mr: &MemRef, regs: &[Value]) -> Result<(MemId, i64), ExecError> {
+        let idx = self.operand(&mr.index, regs).as_i64();
+        Ok(match mr.base {
+            MemBase::Global(m) => (m, idx),
+            MemBase::Ptr(p) => {
+                let pv = regs[p.index()].as_ptr();
+                (pv.mem, pv.offset + idx)
+            }
+        })
+    }
+}
+
+fn call_save_cost(caller_saves: bool, live_across: u32) -> u64 {
+    let per_value = if caller_saves { 2 } else { 4 };
+    (live_across.min(12) as u64) * per_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{BinOp, FunctionBuilder, Program, Type};
+    use peak_opt::OptConfig;
+
+    fn sum_kernel() -> (Program, peak_ir::FuncId) {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::F64, 4096);
+        let mut b = FunctionBuilder::new("sum", Some(Type::F64));
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        let acc = b.var("acc", Type::F64);
+        b.copy(acc, 0.0f64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            let x = b.load(Type::F64, peak_ir::MemRef::global(a, i));
+            b.binary_into(acc, BinOp::FAdd, acc, x);
+        });
+        b.ret(Some(acc.into()));
+        let f = prog.add_func(b.finish());
+        (prog, f)
+    }
+
+    fn prep(config: OptConfig, spec: &MachineSpec) -> (PreparedVersion, AddressMap) {
+        let (prog, f) = sum_kernel();
+        let cv = peak_opt::optimize(&prog, f, &config);
+        let amap = AddressMap::new(&cv.program.mems.iter().map(|m| m.len).collect::<Vec<_>>());
+        (PreparedVersion::prepare(cv, spec), amap)
+    }
+
+    fn run_once(
+        pv: &PreparedVersion,
+        amap: &AddressMap,
+        state: &mut MachineState,
+        n: i64,
+    ) -> ExecResult {
+        let mut mem = MemoryImage::new(&pv.version.program);
+        let a = pv.version.program.mem_by_name("a").unwrap();
+        for i in 0..4096 {
+            mem.store(a, i, Value::F64(1.0));
+        }
+        execute(pv, &[Value::I64(n)], &mut mem, amap, state, &ExecOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn result_matches_reference_interpreter() {
+        let spec = MachineSpec::sparc_ii();
+        let (pv, amap) = prep(OptConfig::o3(), &spec);
+        let mut state = MachineState::noiseless(spec);
+        let out = run_once(&pv, &amap, &mut state, 100);
+        assert_eq!(out.ret, Some(Value::F64(100.0)));
+        assert!(out.true_cycles > 100, "loads alone cost cycles");
+    }
+
+    #[test]
+    fn o3_beats_o0_in_cycles() {
+        let spec = MachineSpec::sparc_ii();
+        let (pv3, amap) = prep(OptConfig::o3(), &spec);
+        let (pv0, _) = prep(OptConfig::o0(), &spec);
+        let mut s1 = MachineState::noiseless(spec.clone());
+        let mut s2 = MachineState::noiseless(spec);
+        // Warm up both, then measure.
+        run_once(&pv3, &amap, &mut s1, 1000);
+        run_once(&pv0, &amap, &mut s2, 1000);
+        let c3 = run_once(&pv3, &amap, &mut s1, 1000).true_cycles;
+        let c0 = run_once(&pv0, &amap, &mut s2, 1000).true_cycles;
+        assert!(c3 < c0, "O3 {c3} should beat O0 {c0}");
+    }
+
+    #[test]
+    fn cache_warmup_shows() {
+        let spec = MachineSpec::pentium_iv();
+        let (pv, amap) = prep(OptConfig::o3().without(Flag::PrefetchLoopArrays), &spec);
+        let mut state = MachineState::noiseless(spec);
+        let cold = run_once(&pv, &amap, &mut state, 1500).true_cycles;
+        let warm = run_once(&pv, &amap, &mut state, 1500).true_cycles;
+        assert!(
+            warm * 11 / 10 < cold,
+            "second run should be visibly faster: cold={cold} warm={warm}"
+        );
+    }
+
+    #[test]
+    fn prefetch_helps_streaming_misses() {
+        let spec = MachineSpec::pentium_iv();
+        let (with, amap) = prep(OptConfig::o3(), &spec);
+        let (without, _) = prep(OptConfig::o3().without(Flag::PrefetchLoopArrays), &spec);
+        // Cold caches each time: stream 4096 elements (beyond L1).
+        let mut s1 = MachineState::noiseless(spec.clone());
+        let mut s2 = MachineState::noiseless(spec);
+        let c_with = run_once(&with, &amap, &mut s1, 4000).true_cycles;
+        let c_without = run_once(&without, &amap, &mut s2, 4000).true_cycles;
+        assert!(
+            c_with < c_without,
+            "prefetch should pay on a cold stream: with={c_with} without={c_without}"
+        );
+    }
+
+    #[test]
+    fn writes_recorded_when_requested() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 16);
+        let mut b = FunctionBuilder::new("w", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.store(peak_ir::MemRef::global(a, i), i);
+        });
+        b.ret(None);
+        let f = prog.add_func(b.finish());
+        let cv = peak_opt::optimize(&prog, f, &OptConfig::o0());
+        let spec = MachineSpec::sparc_ii();
+        let amap = AddressMap::new(&[16]);
+        let pv = PreparedVersion::prepare(cv, &spec);
+        let mut state = MachineState::noiseless(spec);
+        let mut mem = MemoryImage::new(&pv.version.program);
+        let out = execute(
+            &pv,
+            &[Value::I64(5)],
+            &mut mem,
+            &amap,
+            &mut state,
+            &ExecOptions { record_writes: true, num_counters: 0 },
+        )
+        .unwrap();
+        assert_eq!(out.writes.len(), 5);
+        assert_eq!(out.writes[0], (a, 0, Value::I64(0)), "old value logged");
+    }
+
+    #[test]
+    fn spills_cost_cycles_on_tight_register_machines() {
+        // Wide straight-line code: many live values.
+        let mut prog = Program::new();
+        let mut b = FunctionBuilder::new("wide", Some(Type::I64));
+        let p = b.param("p", Type::I64);
+        let vars: Vec<_> = (0..14)
+            .map(|j| {
+                let v = b.var(format!("w{j}"), Type::I64);
+                b.binary_into(v, BinOp::Add, p, j as i64);
+                v
+            })
+            .collect();
+        let mut acc = b.var("acc", Type::I64);
+        b.copy(acc, 0i64);
+        for v in vars {
+            let t = b.binary(BinOp::Add, acc, v);
+            acc = t;
+        }
+        b.ret(Some(acc.into()));
+        let f = prog.add_func(b.finish());
+        let cv = peak_opt::optimize(&prog, f, &OptConfig::o0());
+        let amap = AddressMap::new(&[]);
+        let p4 = PreparedVersion::prepare(cv.clone(), &MachineSpec::pentium_iv());
+        let sparc = PreparedVersion::prepare(cv, &MachineSpec::sparc_ii());
+        assert!(p4.entry_spills() > 0, "P4 must spill");
+        assert_eq!(sparc.entry_spills(), 0, "SPARC II has registers to spare");
+        let mut sp4 = MachineState::noiseless(MachineSpec::pentium_iv());
+        let mut ssp = MachineState::noiseless(MachineSpec::sparc_ii());
+        let mut mem = MemoryImage::new(&p4.version.program);
+        let c_p4 = execute(&p4, &[Value::I64(1)], &mut mem, &amap, &mut sp4, &ExecOptions::default())
+            .unwrap()
+            .true_cycles;
+        let mut mem2 = MemoryImage::new(&sparc.version.program);
+        let c_sp =
+            execute(&sparc, &[Value::I64(1)], &mut mem2, &amap, &mut ssp, &ExecOptions::default())
+                .unwrap()
+                .true_cycles;
+        assert!(c_p4 > c_sp, "spill traffic shows: p4={c_p4} sparc={c_sp}");
+    }
+}

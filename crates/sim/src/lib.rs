@@ -1,0 +1,28 @@
+//! # peak-sim — cycle-cost machine simulator
+//!
+//! Executes `peak-opt` [`CompiledVersion`](peak_opt::CompiledVersion)s with
+//! a performance model detailed enough for the paper's phenomena to exist:
+//!
+//! * [`machine`] — two targets (SPARC II-like, Pentium IV-like) differing
+//!   in register count, pipeline depth, and memory hierarchy;
+//! * [`cache`] — two-level set-associative LRU data caches whose state
+//!   persists across TS invocations (the RBR preconditioning problem);
+//! * [`branch`] — a 2-bit branch predictor (if-conversion trade-offs);
+//! * [`exec`] — the executor charging op costs, cache latencies, spills,
+//!   dependence stalls, branch penalties, and I-cache pressure;
+//! * [`timer`] — measured-time generation with Gaussian jitter and
+//!   interrupt-like outliers (what the rating methods must survive).
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod exec;
+pub mod machine;
+pub mod timer;
+
+pub use branch::BranchPredictor;
+pub use cache::{AddressMap, Cache, Hierarchy};
+pub use exec::{execute, ExecOptions, ExecResult, MachineState, PreparedVersion};
+pub use machine::{CacheParams, MachineKind, MachineSpec};
+pub use timer::NoisyTimer;

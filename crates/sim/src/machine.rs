@@ -1,0 +1,264 @@
+//! Machine models: a SPARC II-like and a Pentium IV-like target.
+//!
+//! The two models differ exactly where the paper's results depend on it:
+//! the SPARC II has a large register file (strict-aliasing register
+//! promotion is free) and a shallow pipeline; the Pentium IV has few
+//! architectural registers (promotion causes spills — the ART anecdote of
+//! §5.2), a deep pipeline with expensive branch mispredictions, and a
+//! smaller L1 with a much larger relative memory latency.
+
+use peak_ir::{BinOp, UnOp};
+
+/// Which machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// UltraSPARC II-class: in-order, many registers, mild penalties.
+    SparcII,
+    /// Pentium 4-class: deep pipeline, 8 GPRs / x87 stack, costly misses.
+    PentiumIV,
+}
+
+impl MachineKind {
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::SparcII => "SPARC-II",
+            MachineKind::PentiumIV => "Pentium-IV",
+        }
+    }
+}
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in elements (8-byte elements).
+    pub line_elems: usize,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheParams {
+    /// Capacity in elements.
+    pub fn capacity_elems(&self) -> usize {
+        self.sets * self.ways * self.line_elems
+    }
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Which machine this is.
+    pub kind: MachineKind,
+    /// Integer/pointer registers available to the allocator.
+    pub int_regs: u32,
+    /// Float registers available to the allocator.
+    pub fp_regs: u32,
+    /// L1 data cache.
+    pub l1: CacheParams,
+    /// L2 unified cache.
+    pub l2: CacheParams,
+    /// Memory latency (L2 miss), cycles.
+    pub mem_cycles: u64,
+    /// Branch misprediction penalty, cycles.
+    pub mispredict_penalty: u64,
+    /// Branch-predictor table size (entries).
+    pub predictor_entries: usize,
+    /// Extra cycles for a taken branch (front-end redirect).
+    pub taken_branch_cost: u64,
+    /// Discount on the taken-branch cost when the target is aligned.
+    pub aligned_discount: u64,
+    /// Whether the ISA has a branch delay slot (`delayed-branch` flag).
+    pub has_delay_slot: bool,
+    /// Call/return overhead, cycles.
+    pub call_overhead: u64,
+    /// Cycles per instrumentation counter bump.
+    pub counter_cost: u64,
+    /// Statements that fit the I-cache comfortably; beyond this every
+    /// block entry pays a fetch penalty.
+    pub icache_stmt_capacity: usize,
+    /// Per-block-entry penalty when over I-cache capacity.
+    pub icache_penalty: u64,
+    /// Extra cycles per spill-slot access beyond the cache latency.
+    /// Models store-to-load forwarding stalls in spill/fill code — a
+    /// notorious Pentium 4 pathology (x87 fxch + forwarding misses),
+    /// essentially absent on SPARC with its register windows. This is the
+    /// asymmetry behind the paper's §5.2 ART anecdote: register promotion
+    /// under strict aliasing is free on SPARC II and disastrous on P4.
+    pub spill_extra_cycles: u64,
+    /// Out-of-order depth factor: fraction (per mille) of a dependence
+    /// stall actually exposed (in-order = 1000, aggressive OoO lower).
+    pub stall_exposure_permille: u64,
+    /// Timer noise: multiplicative Gaussian sigma (per mille).
+    pub timer_sigma_permille: u64,
+    /// Timer noise: probability of an interrupt-like outlier (per million
+    /// invocations).
+    pub outlier_per_million: u64,
+    /// Outlier magnitude, cycles.
+    pub outlier_cycles: u64,
+}
+
+impl MachineSpec {
+    /// The SPARC II-like model.
+    pub fn sparc_ii() -> Self {
+        MachineSpec {
+            kind: MachineKind::SparcII,
+            int_regs: 24,
+            fp_regs: 32,
+            l1: CacheParams { sets: 512, ways: 1, line_elems: 4, hit_cycles: 2 },
+            l2: CacheParams { sets: 2048, ways: 4, line_elems: 8, hit_cycles: 10 },
+            mem_cycles: 70,
+            mispredict_penalty: 4,
+            predictor_entries: 512,
+            taken_branch_cost: 2,
+            aligned_discount: 1,
+            has_delay_slot: true,
+            call_overhead: 8,
+            counter_cost: 2,
+            icache_stmt_capacity: 1800,
+            icache_penalty: 2,
+            spill_extra_cycles: 0,
+            stall_exposure_permille: 1000, // in-order
+            timer_sigma_permille: 8,
+            outlier_per_million: 1500,
+            outlier_cycles: 60_000,
+        }
+    }
+
+    /// The Pentium IV-like model.
+    pub fn pentium_iv() -> Self {
+        MachineSpec {
+            kind: MachineKind::PentiumIV,
+            int_regs: 6, // 8 GPRs minus ESP and one scratch
+            fp_regs: 8,  // x87 stack
+            l1: CacheParams { sets: 64, ways: 4, line_elems: 8, hit_cycles: 2 },
+            l2: CacheParams { sets: 1024, ways: 8, line_elems: 16, hit_cycles: 18 },
+            mem_cycles: 220,
+            mispredict_penalty: 20,
+            predictor_entries: 4096,
+            taken_branch_cost: 1,
+            aligned_discount: 1,
+            has_delay_slot: false,
+            call_overhead: 12,
+            counter_cost: 2,
+            icache_stmt_capacity: 1200, // trace cache is small
+            icache_penalty: 3,
+            spill_extra_cycles: 7,
+            stall_exposure_permille: 350, // deep OoO hides most stalls
+            timer_sigma_permille: 12,
+            outlier_per_million: 2500,
+            outlier_cycles: 120_000,
+        }
+    }
+
+    /// Construct by kind.
+    pub fn of(kind: MachineKind) -> Self {
+        match kind {
+            MachineKind::SparcII => Self::sparc_ii(),
+            MachineKind::PentiumIV => Self::pentium_iv(),
+        }
+    }
+
+    /// Execution cycles of a binary operator (excluding operand fetch).
+    pub fn binop_cost(&self, op: BinOp) -> u64 {
+        use BinOp::*;
+        match self.kind {
+            MachineKind::SparcII => match op {
+                Add | Sub | And | Or | Xor | Shl | Shr | Min | Max | PtrAdd | PtrDiff => 1,
+                Mul => 5,
+                Div | Rem => 36,
+                FAdd | FSub => 3,
+                FMul => 3,
+                FDiv => 22,
+                _ if op.is_comparison() => 1,
+                _ => 1,
+            },
+            MachineKind::PentiumIV => match op {
+                Add | Sub | And | Or | Xor | Min | Max | PtrAdd | PtrDiff => 1,
+                Shl | Shr => 2, // P4 shifts are slow
+                Mul => 10,
+                Div | Rem => 56,
+                FAdd | FSub => 5,
+                FMul => 7,
+                FDiv => 38,
+                _ if op.is_comparison() => 1,
+                _ => 1,
+            },
+        }
+    }
+
+    /// Execution cycles of a unary operator.
+    pub fn unop_cost(&self, op: UnOp) -> u64 {
+        use UnOp::*;
+        match self.kind {
+            MachineKind::SparcII => match op {
+                Neg | Not | FNeg | FAbs => 1,
+                IntToF | FToInt => 4,
+                FSqrt => 24,
+            },
+            MachineKind::PentiumIV => match op {
+                Neg | Not | FNeg | FAbs => 1,
+                IntToF | FToInt => 6,
+                FSqrt => 40,
+            },
+        }
+    }
+
+    /// Producer latency used by the dependence-stall model (cycles the
+    /// result takes to become forwardable).
+    pub fn result_latency(&self, s: &peak_ir::Stmt) -> u64 {
+        match s {
+            peak_ir::Stmt::Assign { rv, .. } => match rv {
+                peak_ir::Rvalue::Load(_) => self.l1.hit_cycles + 1,
+                peak_ir::Rvalue::Binary(op, ..) => self.binop_cost(*op).min(20),
+                peak_ir::Rvalue::Unary(op, _) => self.unop_cost(*op).min(20),
+                _ => 1,
+            },
+            _ => 1,
+        }
+    }
+
+    /// Register budget for `peak-opt`'s allocator.
+    pub fn reg_budget(&self) -> peak_opt::RegBudget {
+        peak_opt::RegBudget { int_regs: self.int_regs, fp_regs: self.fp_regs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_differ_where_it_matters() {
+        let s = MachineSpec::sparc_ii();
+        let p = MachineSpec::pentium_iv();
+        assert!(s.int_regs > 2 * p.int_regs, "SPARC II has many more GPRs");
+        assert!(p.mispredict_penalty > 3 * s.mispredict_penalty, "P4 pipeline is deep");
+        assert!(p.mem_cycles > s.mem_cycles, "P4 memory is relatively farther");
+        assert!(s.has_delay_slot && !p.has_delay_slot);
+    }
+
+    #[test]
+    fn cache_capacities() {
+        let s = MachineSpec::sparc_ii();
+        // 512 sets × 1 way × 4 elems × 8 B = 16 KiB L1.
+        assert_eq!(s.l1.capacity_elems() * 8, 16 * 1024);
+        let p = MachineSpec::pentium_iv();
+        // 64 × 4 × 8 × 8 = 16 KiB? No: P4 L1 is 8 KiB... 64*4*8 = 2048 elems = 16 KiB.
+        // The model uses 16 KiB vs the real 8 KiB to compensate for our
+        // 8-byte-element-only memory; relative sizes still favour SPARC II
+        // per element budget below.
+        assert_eq!(p.l1.capacity_elems(), 2048);
+    }
+
+    #[test]
+    fn op_costs_reasonable() {
+        let p = MachineSpec::pentium_iv();
+        assert!(p.binop_cost(BinOp::Div) > p.binop_cost(BinOp::Mul));
+        assert!(p.binop_cost(BinOp::Mul) > p.binop_cost(BinOp::Add));
+        assert!(p.binop_cost(BinOp::FDiv) > p.binop_cost(BinOp::FMul));
+    }
+}

@@ -1,0 +1,117 @@
+//! The noisy timer: turns true simulated cycles into *measured* cycles.
+//!
+//! Real measurements suffer multiplicative jitter (frequency scaling, TLB
+//! noise) and rare additive spikes (interrupts, scheduling). The rating
+//! methods' whole job (paper §3) is to produce consistent EVALs in spite
+//! of this, including outlier elimination; the timer therefore generates
+//! both noise kinds from a seeded RNG so experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Timer configuration + RNG state.
+#[derive(Debug, Clone)]
+pub struct NoisyTimer {
+    rng: StdRng,
+    sigma: f64,
+    outlier_p: f64,
+    outlier_cycles: u64,
+}
+
+impl NoisyTimer {
+    /// Build from a machine spec and seed.
+    pub fn new(spec: &crate::machine::MachineSpec, seed: u64) -> Self {
+        NoisyTimer {
+            rng: StdRng::seed_from_u64(seed),
+            sigma: spec.timer_sigma_permille as f64 / 1000.0,
+            outlier_p: spec.outlier_per_million as f64 / 1_000_000.0,
+            outlier_cycles: spec.outlier_cycles,
+        }
+    }
+
+    /// A noiseless timer (used by tests that need exact cycles).
+    pub fn noiseless() -> Self {
+        NoisyTimer { rng: StdRng::seed_from_u64(0), sigma: 0.0, outlier_p: 0.0, outlier_cycles: 0 }
+    }
+
+    /// Convert true cycles to a measured value.
+    pub fn measure(&mut self, true_cycles: u64) -> u64 {
+        let mut t = true_cycles as f64;
+        if self.sigma > 0.0 {
+            // Box-Muller standard normal.
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            t *= 1.0 + self.sigma * z;
+        }
+        let mut out = t.max(1.0) as u64;
+        if self.outlier_p > 0.0 && self.rng.gen_bool(self.outlier_p) {
+            // Interrupt-like spike with a heavy-ish tail.
+            let scale: f64 = self.rng.gen_range(0.5..3.0);
+            out += (self.outlier_cycles as f64 * scale) as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let mut t = NoisyTimer::noiseless();
+        for c in [1u64, 100, 123456] {
+            assert_eq!(t.measure(c), c);
+        }
+    }
+
+    #[test]
+    fn noise_is_small_and_unbiased() {
+        let spec = MachineSpec::sparc_ii();
+        let mut t = NoisyTimer::new(&spec, 42);
+        let true_c = 100_000u64;
+        let n = 5000;
+        let samples: Vec<u64> = (0..n).map(|_| t.measure(true_c)).collect();
+        // Discard outliers (they're the point of the spike model).
+        let mut clean: Vec<u64> = samples
+            .iter()
+            .copied()
+            .filter(|&s| s < true_c * 11 / 10)
+            .collect();
+        clean.sort();
+        let mean = clean.iter().sum::<u64>() as f64 / clean.len() as f64;
+        assert!((mean - true_c as f64).abs() / (true_c as f64) < 0.01, "mean={mean}");
+        // Spread is a few permille.
+        let sd = (clean.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>()
+            / clean.len() as f64)
+            .sqrt();
+        assert!(sd > 0.0 && sd / mean < 0.05, "sd={sd}");
+    }
+
+    #[test]
+    fn outliers_occur_at_roughly_configured_rate() {
+        let spec = MachineSpec::pentium_iv();
+        let mut t = NoisyTimer::new(&spec, 7);
+        let n = 200_000;
+        let big = (0..n)
+            .filter(|_| t.measure(1000) > 30_000)
+            .count();
+        let expected = n as f64 * spec.outlier_per_million as f64 / 1e6;
+        assert!(
+            (big as f64) > expected * 0.5 && (big as f64) < expected * 2.0,
+            "outliers={big}, expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let spec = MachineSpec::sparc_ii();
+        let mut a = NoisyTimer::new(&spec, 99);
+        let mut b = NoisyTimer::new(&spec, 99);
+        for c in [50u64, 5000, 500000] {
+            assert_eq!(a.measure(c), b.measure(c));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! APSI `radb4` — radix-4 inverse FFT butterfly pass.
+//!
+//! The FFT factorization calls radb4 with a small set of `(ido, l1)`
+//! shapes; Table 1 reports **three contexts** with different consistency
+//! per context (context 1 is the noisiest). Control is fully scalar →
+//! CBR; the three shapes appear with different frequencies.
+
+use crate::common::{fill_f64, ContextCycle};
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Transform length (ido × l1 × 4 per pass).
+const CC_LEN: usize = 4096;
+
+/// The APSI radb4 workload.
+pub struct ApsiRadb4 {
+    program: Program,
+    ts: FuncId,
+    contexts: ContextCycle,
+}
+
+impl Default for ApsiRadb4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ApsiRadb4 {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let cc = program.add_mem("cc", Type::F64, CC_LEN);
+        let ch = program.add_mem("ch", Type::F64, CC_LEN);
+
+        // radb4(ido, l1): for k in 0..l1, for i in 0..ido:
+        //   4-point butterfly between cc[(k*4+q)*ido + i], q=0..3
+        //   written to ch[(q*l1+k)*ido + i]
+        let mut b = FunctionBuilder::new("radb4", None);
+        let ido = b.param("ido", Type::I64);
+        let l1 = b.param("l1", Type::I64);
+        let k = b.var("k", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(k, 0i64, l1, 1, |b| {
+            let k4 = b.binary(BinOp::Mul, k, 4i64);
+            b.for_loop(i, 0i64, ido, 1, |b| {
+                // Load the four inputs.
+                let mut ins = Vec::new();
+                for q in 0..4i64 {
+                    let row = b.binary(BinOp::Add, k4, q);
+                    let off = b.binary(BinOp::Mul, row, ido);
+                    let idx = b.binary(BinOp::Add, off, i);
+                    ins.push(b.load(Type::F64, MemRef::global(cc, idx)));
+                }
+                // Radix-4 butterfly (real inverse form).
+                let t0 = b.binary(BinOp::FAdd, ins[0], ins[2]);
+                let t1 = b.binary(BinOp::FSub, ins[0], ins[2]);
+                let t2 = b.binary(BinOp::FAdd, ins[1], ins[3]);
+                let t3 = b.binary(BinOp::FSub, ins[1], ins[3]);
+                let o0 = b.binary(BinOp::FAdd, t0, t2);
+                let o1 = b.binary(BinOp::FSub, t1, t3);
+                let o2 = b.binary(BinOp::FSub, t0, t2);
+                let o3 = b.binary(BinOp::FAdd, t1, t3);
+                for (q, o) in [o0, o1, o2, o3].into_iter().enumerate() {
+                    let row = b.binary(BinOp::Mul, l1, q as i64);
+                    let rk = b.binary(BinOp::Add, row, k);
+                    let off = b.binary(BinOp::Mul, rk, ido);
+                    let idx = b.binary(BinOp::Add, off, i);
+                    b.store(MemRef::global(ch, idx), o);
+                }
+            });
+        });
+        b.ret(None);
+        let ts = program.add_func(b.finish());
+        // The three contexts of Table 1, weighted like an FFT
+        // factorization (the innermost shape dominates).
+        let c1 = [Value::I64(1), Value::I64(256)];
+        let c2 = [Value::I64(8), Value::I64(32)];
+        let c3 = [Value::I64(64), Value::I64(4)];
+        let contexts = ContextCycle::new(&[(&c1, 4), (&c2, 2), (&c3, 1)]);
+        ApsiRadb4 { program, ts, contexts }
+    }
+}
+
+impl Workload for ApsiRadb4 {
+    fn name(&self) -> &'static str {
+        "APSI"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "radb4"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 4_100, // Table 1: 1.37M, scaled
+            Dataset::Ref => 12_300,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        for name in ["cc", "ch"] {
+            let m = self.program.mem_by_name(name).unwrap();
+            fill_f64(mem, m, rng, -1.0..1.0);
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Spectral data refreshed between transforms.
+        let cc = self.program.mem_by_name("cc").unwrap();
+        for _ in 0..8 {
+            let i = rng.gen_range(0..CC_LEN as i64);
+            mem.store(cc, i, Value::F64(rng.gen_range(-1.0..1.0)));
+        }
+        self.contexts.get(inv)
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // The other radix passes + physics around each call.
+        6_000
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "CBR", invocations_paper: 1_370_000, contexts: 3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cbr_applicable_two_scalar_params() {
+        let w = ApsiRadb4::new();
+        match context_set(&w.program().func(w.ts())) {
+            ContextAnalysis::Applicable(srcs) => {
+                assert_eq!(
+                    srcs,
+                    vec![peak_ir::ContextSource::Param(0), peak_ir::ContextSource::Param(1)]
+                );
+            }
+            ContextAnalysis::NotApplicable(why) => panic!("{why}"),
+        }
+    }
+
+    #[test]
+    fn exactly_three_contexts_with_weights() {
+        let w = ApsiRadb4::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let mut seen = HashSet::new();
+        let mut c1 = 0;
+        for inv in 0..700 {
+            let a = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            let key = (a[0].as_i64(), a[1].as_i64());
+            if key == (1, 256) {
+                c1 += 1;
+            }
+            seen.insert(key);
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(c1, 400, "context 1 appears 4/7 of the time");
+    }
+
+    #[test]
+    fn butterfly_is_invertible_sum() {
+        // o0+o1+o2+o3 = 4*in0 + 2*(in1-in3)… spot check energy moves.
+        let w = ApsiRadb4::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let ch = w.program().mem_by_name("ch").unwrap();
+        let before = mem.load(ch, 0);
+        Interp::default()
+            .run(w.program(), w.ts(), &[Value::I64(8), Value::I64(32)], &mut mem)
+            .unwrap();
+        assert_ne!(before, mem.load(ch, 0));
+    }
+
+    #[test]
+    fn all_contexts_do_equal_total_work() {
+        // ido*l1 is constant across the three shapes — the contexts differ
+        // in loop structure, not volume (so their EVALs differ by loop
+        // overhead, like the per-context σ differences in Table 1).
+        let w = ApsiRadb4::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let steps: Vec<u64> = [(1i64, 256i64), (8, 32), (64, 4)]
+            .iter()
+            .map(|&(ido, l1)| {
+                interp
+                    .run(
+                        w.program(),
+                        w.ts(),
+                        &[Value::I64(ido), Value::I64(l1)],
+                        &mut mem,
+                    )
+                    .unwrap()
+                    .steps
+            })
+            .collect();
+        // Same inner-body executions; step totals differ only by loop
+        // bookkeeping (≤ 35%).
+        let max = *steps.iter().max().unwrap() as f64;
+        let min = *steps.iter().min().unwrap() as f64;
+        assert!(max / min < 1.35, "{steps:?}");
+    }
+}

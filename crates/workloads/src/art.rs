@@ -1,0 +1,251 @@
+//! ART `match` — adaptive-resonance F1-layer match scan.
+//!
+//! The kernel accumulates per-category activations into a set of global
+//! f64 scalars while scanning permuted weights (gather) and writing a
+//! "bus" vector through an opaque pointer parameter. This reproduces the
+//! paper's headline §5.2 anecdote:
+//!
+//! * the control flow depends on loaded data → CBR inapplicable; MBR's
+//!   linear model fits poorly (gather-dependent per-iteration time) → the
+//!   system lands on **RBR** (Table 1);
+//! * the opaque f64 pointer store can only be disambiguated from the
+//!   accumulators under `strict-aliasing`, which then register-promotes
+//!   ~10 f64 accumulators: free on SPARC II (32 FP regs), disastrous on
+//!   Pentium IV (8 FP regs → spill/fill storms), so tuning discovers that
+//!   turning **off** strict aliasing is a huge win on P4 only.
+
+use crate::common::{fill_f64, fill_permutation};
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// F1 layer size, train input.
+const NUMF1_TRAIN: i64 = 600;
+/// F1 layer size, ref input.
+const NUMF1_REF: i64 = 1400;
+/// Array capacity.
+const F1_MAX: usize = 1400;
+/// Number of category accumulators (g[0..CATS]); chosen to exceed the P4
+/// FP register budget once promoted.
+const CATS: usize = 12;
+
+/// The ART match workload.
+pub struct ArtMatch {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for ArtMatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtMatch {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let weights = program.add_mem("weights", Type::F64, F1_MAX);
+        let input = program.add_mem("input", Type::F64, F1_MAX);
+        let perm = program.add_mem("perm", Type::I64, F1_MAX);
+        let _bus = program.add_mem("bus", Type::I64, F1_MAX);
+        let acc = program.add_mem("acc", Type::F64, CATS + 2);
+
+        // match(numf1, busp, rho):
+        //   for j in 0..numf1:
+        //     k = perm[j]                    (gather index)
+        //     w = weights[k]; x = input[j]
+        //     m = w * x
+        //     acc[j % CATS_pattern]: accumulate into the CATS globals via
+        //       an unrolled if-ladder on (j & (CATS-1))? — instead, all
+        //       CATS accumulators are touched with distinct multipliers
+        //       (like ART's per-field Y updates), keeping addresses
+        //       loop-invariant (promotable).
+        //     busp[j] = m                    (⊤-pointer f64 store)
+        //     if m > acc[CATS] { acc[CATS] = m }   (winner, data-dependent)
+        let mut b = FunctionBuilder::new("match", None);
+        let numf1 = b.param("numf1", Type::I64);
+        let busp = b.param("busp", Type::Ptr);
+        let rho = b.param("rho", Type::F64);
+        let j = b.var("j", Type::I64);
+        b.for_loop(j, 0i64, numf1, 1, |b| {
+            let k = b.load(Type::I64, MemRef::global(perm, j));
+            let w = b.load(Type::F64, MemRef::global(weights, k));
+            let x = b.load(Type::F64, MemRef::global(input, j));
+            let m = b.binary(BinOp::FMul, w, x);
+            // Per-category activations: acc[c] += m * coeff_c. Addresses
+            // are constant → register-promotion candidates.
+            for c in 0..CATS {
+                let coeff = 0.05 + c as f64 * 0.09;
+                let term = b.binary(BinOp::FMul, m, coeff);
+                let cur = b.load(Type::F64, MemRef::global(acc, c as i64));
+                let nxt = b.binary(BinOp::FAdd, cur, term);
+                b.store(MemRef::global(acc, c as i64), nxt);
+            }
+            // Opaque bus write: a quantized (integer) activation stored
+            // through a pointer the compiler cannot resolve. Without
+            // strict aliasing this store may alias the f64 accumulators
+            // and blocks their promotion; with strict aliasing the
+            // int-vs-float type distinction licenses promotion — the
+            // exact C `int* / double*` reasoning of GCC's
+            // `-fstrict-aliasing`.
+            let scaled1000 = b.binary(BinOp::FMul, m, 1000.0f64);
+            let mi = b.unary(peak_ir::UnOp::FToInt, scaled1000);
+            b.store(MemRef::ptr(busp, j), mi);
+            // Winner tracking: data-dependent branch (RBR trigger).
+            let best = b.load(Type::F64, MemRef::global(acc, CATS as i64));
+            let scaled = b.binary(BinOp::FMul, m, rho);
+            let gt = b.binary(BinOp::FGt, scaled, best);
+            b.if_then(gt, |b| {
+                b.store(MemRef::global(acc, CATS as i64), scaled);
+                let widx = b.unary(peak_ir::UnOp::IntToF, j);
+                b.store(MemRef::global(acc, (CATS + 1) as i64), widx);
+            });
+        });
+        b.ret(None);
+        let ts = program.add_func(b.finish());
+        ArtMatch { program, ts }
+    }
+
+    fn numf1(ds: Dataset) -> i64 {
+        match ds {
+            Dataset::Train => NUMF1_TRAIN,
+            Dataset::Ref => NUMF1_REF,
+        }
+    }
+}
+
+impl Workload for ArtMatch {
+    fn name(&self) -> &'static str {
+        "ART"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "match"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 250, // Table 1
+            Dataset::Ref => 750,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let weights = self.program.mem_by_name("weights").unwrap();
+        let input = self.program.mem_by_name("input").unwrap();
+        let perm = self.program.mem_by_name("perm").unwrap();
+        fill_f64(mem, weights, rng, 0.0..1.0);
+        fill_f64(mem, input, rng, 0.0..1.0);
+        fill_permutation(mem, perm, rng);
+        let acc = self.program.mem_by_name("acc").unwrap();
+        for c in 0..(CATS + 2) {
+            mem.store(acc, c as i64, Value::F64(0.0));
+        }
+    }
+
+    fn args(
+        &self,
+        ds: Dataset,
+        _inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // New scan pattern each invocation: fresh input vector and reset
+        // winner (the rest of ART's F1/F2 processing).
+        let input = self.program.mem_by_name("input").unwrap();
+        for _ in 0..32 {
+            let i = rng.gen_range(0..F1_MAX as i64);
+            mem.store(input, i, Value::F64(rng.gen_range(0.0..1.0)));
+        }
+        let acc = self.program.mem_by_name("acc").unwrap();
+        mem.store(acc, CATS as i64, Value::F64(0.0));
+        let bus = self.program.mem_by_name("bus").unwrap();
+        vec![
+            Value::I64(Self::numf1(ds)),
+            Value::Ptr(peak_ir::PtrVal { mem: bus, offset: 0 }),
+            Value::F64(rng.gen_range(0.9..1.1)),
+        ]
+    }
+
+    fn other_cycles(&self, ds: Dataset) -> u64 {
+        // ART is scan-dominated; the F2 layer and weight adaptation
+        // between scans are comparatively light.
+        Self::numf1(ds) as u64 * 18
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 250, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable_due_to_data_dependent_winner() {
+        let w = ArtMatch::new();
+        assert!(
+            matches!(
+                context_set(&w.program().func(w.ts())),
+                ContextAnalysis::NotApplicable(_)
+            ),
+            "winner branch reads loaded data"
+        );
+    }
+
+    #[test]
+    fn accumulators_accumulate() {
+        let w = ArtMatch::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let args = w.args(Dataset::Train, 0, &mut mem, &mut rng);
+        Interp::default().run(w.program(), w.ts(), &args, &mut mem).unwrap();
+        let acc = w.program().mem_by_name("acc").unwrap();
+        for c in 0..CATS {
+            assert!(mem.load(acc, c as i64).as_f64() > 0.0, "category {c} active");
+        }
+        assert!(mem.load(acc, CATS as i64).as_f64() > 0.0, "winner recorded");
+    }
+
+    #[test]
+    fn strict_aliasing_changes_p4_spills() {
+        // The load-bearing mechanism of Figure 7(b): compile the TS with
+        // and without strict aliasing; on the P4 model the strict version
+        // must spill FP registers, on SPARC II neither should.
+        let w = ArtMatch::new();
+        let strict = peak_opt::optimize(w.program(), w.ts(), &peak_opt::OptConfig::o3());
+        let relaxed = peak_opt::optimize(
+            w.program(),
+            w.ts(),
+            &peak_opt::OptConfig::o3().without(peak_opt::Flag::StrictAliasing),
+        );
+        let p4 = peak_sim::MachineSpec::pentium_iv();
+        let sparc = peak_sim::MachineSpec::sparc_ii();
+        let strict_p4 = peak_sim::PreparedVersion::prepare(strict.clone(), &p4);
+        let relaxed_p4 = peak_sim::PreparedVersion::prepare(relaxed, &p4);
+        let strict_sparc = peak_sim::PreparedVersion::prepare(strict, &sparc);
+        assert!(
+            strict_p4.entry_spills() > relaxed_p4.entry_spills(),
+            "strict aliasing must raise P4 spills: strict={} relaxed={}",
+            strict_p4.entry_spills(),
+            relaxed_p4.entry_spills()
+        );
+        assert_eq!(strict_sparc.entry_spills(), 0, "SPARC II absorbs the pressure");
+    }
+}

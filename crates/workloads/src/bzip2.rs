@@ -1,0 +1,188 @@
+//! BZIP2 `fullGtU` — greater-than comparison of two block suffixes.
+//!
+//! The hottest function of bzip2's block sort: compare bytes at two
+//! offsets until they differ, with a bound. The exit is data-dependent
+//! (text-like data with long common runs), so context analysis fails and
+//! per-invocation time varies wildly with (i1, i2) — the canonical RBR
+//! case. Table 1: 24.2M invocations (scaled here to 24 200 per run).
+
+use crate::common::fill_runs;
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Operand, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Block size (bytes under sort).
+const BLOCK: usize = 16384;
+/// Comparison bound (bzip2 compares in quadrant-sized chunks).
+const LIMIT: i64 = 48;
+
+/// The BZIP2 fullGtU workload.
+pub struct Bzip2FullGtU {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for Bzip2FullGtU {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bzip2FullGtU {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let block = program.add_mem("block", Type::I64, BLOCK + LIMIT as usize + 1);
+
+        // fullGtU(i1, i2) -> i64:
+        //   for k in 0..LIMIT:
+        //     c1 = block[i1 + k]; c2 = block[i2 + k]
+        //     if c1 != c2 { return (c1 > c2) }
+        //   return 0
+        let mut b = FunctionBuilder::new("fullGtU", Some(Type::I64));
+        let i1 = b.param("i1", Type::I64);
+        let i2 = b.param("i2", Type::I64);
+        let k = b.var("k", Type::I64);
+        let ret_blk = b.new_block();
+        let result = b.var("result", Type::I64);
+        b.copy(result, 0i64);
+        b.for_loop(k, 0i64, LIMIT, 1, |b| {
+            let a1 = b.binary(BinOp::Add, i1, k);
+            let a2 = b.binary(BinOp::Add, i2, k);
+            let c1 = b.load(Type::I64, MemRef::global(block, a1));
+            let c2 = b.load(Type::I64, MemRef::global(block, a2));
+            let ne = b.binary(BinOp::Ne, c1, c2);
+            b.if_then(ne, |b| {
+                let gt = b.binary(BinOp::Gt, c1, c2);
+                b.copy(result, gt);
+            });
+            // Break out once decided.
+            let done = b.binary(BinOp::Ne, c1, c2);
+            b.branch_out_if(done, ret_blk);
+        });
+        b.jump(ret_blk);
+        b.ret(Some(Operand::Var(result)));
+        let ts = program.add_func(b.finish());
+        Bzip2FullGtU { program, ts }
+    }
+}
+
+impl Workload for Bzip2FullGtU {
+    fn name(&self) -> &'static str {
+        "BZIP2"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "fullGtU"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 24_200, // Table 1 scaled ÷1000
+            Dataset::Ref => 72_000,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let block = self.program.mem_by_name("block").unwrap();
+        fill_runs(mem, block, rng, 24);
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        _inv: usize,
+        _mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Sorting compares nearby suffixes most of the time.
+        let i1 = rng.gen_range(0..BLOCK as i64);
+        let i2 = if rng.gen_bool(0.7) {
+            (i1 + rng.gen_range(1..256)).min(BLOCK as i64 - 1)
+        } else {
+            rng.gen_range(0..BLOCK as i64)
+        };
+        vec![Value::I64(i1), Value::I64(i2)]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // The surrounding quicksort bookkeeping is small per comparison.
+        220
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 24_200_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable_control_reads_block_data() {
+        let w = Bzip2FullGtU::new();
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric() {
+        let w = Bzip2FullGtU::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let run = |mem: &mut MemoryImage, a: i64, b: i64| {
+            interp
+                .run(w.program(), w.ts(), &[Value::I64(a), Value::I64(b)], mem)
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_i64()
+        };
+        let mut checked = 0;
+        for _ in 0..50 {
+            let a = rng.gen_range(0..BLOCK as i64);
+            let b = rng.gen_range(0..BLOCK as i64);
+            let ab = run(&mut mem, a, b);
+            let ba = run(&mut mem, b, a);
+            if ab == 1 {
+                assert_eq!(ba, 0, "a>b implies !(b>a)");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn iteration_count_varies_with_inputs() {
+        // The RBR trigger: per-invocation work depends on the data.
+        let w = Bzip2FullGtU::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let mut steps = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let args = w.args(Dataset::Train, 0, &mut mem, &mut rng);
+            steps.insert(interp.run(w.program(), w.ts(), &args, &mut mem).unwrap().steps);
+        }
+        assert!(steps.len() >= 3, "step counts should vary: {steps:?}");
+    }
+}

@@ -1,0 +1,240 @@
+//! CRAFTY `Attacked` — is a square attacked by a given side?
+//!
+//! Ray walks in eight directions over a board array, stopping at blockers
+//! — branch-heavy, data-dependent control over loaded board state, with
+//! (square, side) arguments giving 128 nominal contexts anyway. RBR per
+//! Table 1 (12.3M invocations, scaled to 12 300).
+
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Operand, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Board is 8×8 = 64 squares; we use a 10×12-like padded board of 120.
+const BOARD: usize = 120;
+/// Eight ray directions on the padded board.
+const DIRS: [i64; 8] = [-11, -10, -9, -1, 1, 9, 10, 11];
+
+/// The CRAFTY Attacked workload.
+pub struct CraftyAttacked {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for CraftyAttacked {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CraftyAttacked {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        // board: 0 empty, negative = black piece kind, positive = white,
+        // ±7 sentinel border.
+        let board = program.add_mem("board", Type::I64, BOARD);
+        let dirs = program.add_mem("dirs", Type::I64, 8);
+
+        // attacked(sq, side) -> 1 if any slider of `side` sees `sq`.
+        //   for d in 0..8:
+        //     step = dirs[d]; pos = sq + step
+        //     loop: piece = board[pos]
+        //       if piece == 7 || piece == -7 -> border, next direction
+        //       if piece == 0 { pos += step; continue }
+        //       if side*piece > 0 -> attacker found (sliders only, kinds 4,5)
+        //       break
+        let mut b = FunctionBuilder::new("Attacked", Some(Type::I64));
+        let sq = b.param("sq", Type::I64);
+        let side = b.param("side", Type::I64);
+        let d = b.var("d", Type::I64);
+        let pos = b.var("pos", Type::I64);
+        let hit = b.var("hit", Type::I64);
+        let done = b.new_block();
+        b.copy(hit, 0i64);
+        b.for_loop(d, 0i64, 8i64, 1, |b| {
+            let step = b.load(Type::I64, MemRef::global(dirs, d));
+            b.binary_into(pos, BinOp::Add, sq, step);
+            let next_dir = b.new_block();
+            b.while_loop(
+                |b| {
+                    let piece = b.load(Type::I64, MemRef::global(board, pos));
+                    let absb = b.binary(BinOp::Mul, piece, piece);
+                    b.binary(BinOp::Lt, absb, 49i64).into() // not a border sentinel
+                },
+                |b| {
+                    let piece = b.load(Type::I64, MemRef::global(board, pos));
+                    let empty = b.binary(BinOp::Eq, piece, 0i64);
+                    b.if_then_else(
+                        empty,
+                        |b| {
+                            b.binary_into(pos, BinOp::Add, pos, step);
+                        },
+                        |b| {
+                            let signed = b.binary(BinOp::Mul, piece, side);
+                            let friendly_slider = b.binary(BinOp::Ge, signed, 4i64);
+                            b.if_then(friendly_slider, |b| {
+                                b.copy(hit, 1i64);
+                            });
+                            b.jump(next_dir); // blocker ends the ray
+                            let unreachable = b.new_block();
+                            b.switch_to(unreachable);
+                        },
+                    );
+                },
+            );
+            b.jump(next_dir);
+            // If an attacker was found, stop scanning directions.
+            b.branch_out_if(hit, done);
+        });
+        b.jump(done);
+        b.ret(Some(Operand::Var(hit)));
+        let ts = program.add_func(b.finish());
+        CraftyAttacked { program, ts }
+    }
+}
+
+impl Workload for CraftyAttacked {
+    fn name(&self) -> &'static str {
+        "CRAFTY"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "Attacked"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 12_300, // Table 1 scaled ÷1000
+            Dataset::Ref => 37_000,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let board = self.program.mem_by_name("board").unwrap();
+        let dirs = self.program.mem_by_name("dirs").unwrap();
+        for (i, step) in DIRS.iter().enumerate() {
+            mem.store(dirs, i as i64, Value::I64(*step));
+        }
+        // Borders (two outer rings of the 10×12 board).
+        for i in 0..BOARD as i64 {
+            let row = i / 10;
+            let col = i % 10;
+            let border = !(2..=9).contains(&row) || !(1..=8).contains(&col);
+            let v = if border {
+                7
+            } else if rng.gen_bool(0.25) {
+                // A piece: kind 1..=5, signed by colour.
+                let kind = rng.gen_range(1..=5);
+                if rng.gen_bool(0.5) {
+                    kind
+                } else {
+                    -kind
+                }
+            } else {
+                0
+            };
+            mem.store(board, i, Value::I64(v));
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Occasionally make a "move" so board state evolves.
+        if inv.is_multiple_of(16) {
+            let board = self.program.mem_by_name("board").unwrap();
+            let row = rng.gen_range(2..=9);
+            let col = rng.gen_range(1..=8);
+            let v = if rng.gen_bool(0.3) { 0 } else { rng.gen_range(1..=5) };
+            mem.store(board, row * 10 + col, Value::I64(v));
+        }
+        let row = rng.gen_range(2..=9i64);
+        let col = rng.gen_range(1..=8i64);
+        let side = if rng.gen_bool(0.5) { 1 } else { -1 };
+        vec![Value::I64(row * 10 + col), Value::I64(side)]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // Search bookkeeping per attack query.
+        160
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 12_300_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable() {
+        let w = CraftyAttacked::new();
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn returns_boolean_and_terminates() {
+        let w = CraftyAttacked::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let mut hits = 0;
+        for inv in 0..60 {
+            let args = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            let r = interp
+                .run(w.program(), w.ts(), &args, &mut mem)
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_i64();
+            assert!(r == 0 || r == 1);
+            hits += r;
+        }
+        assert!(hits > 0, "some squares are attacked");
+        assert!(hits < 60, "not every square is attacked");
+    }
+
+    #[test]
+    fn empty_board_never_attacked() {
+        let w = CraftyAttacked::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        // Clear all pieces.
+        let board = w.program().mem_by_name("board").unwrap();
+        for i in 0..BOARD as i64 {
+            if mem.load(board, i).as_i64().abs() != 7 {
+                mem.store(board, i, Value::I64(0));
+            }
+        }
+        let r = Interp::default()
+            .run(w.program(), w.ts(), &[Value::I64(45), Value::I64(1)], &mut mem)
+            .unwrap()
+            .ret
+            .unwrap();
+        assert_eq!(r, Value::I64(0));
+    }
+}

@@ -1,0 +1,199 @@
+//! EQUAKE `smvp` — sparse matrix-vector product.
+//!
+//! A flat scan over the nonzeros with indirect row/column indexing:
+//! control depends only on the scalar nonzero count (constant across
+//! invocations → CBR with **one context**), but the gather/scatter memory
+//! traffic is irregular — the paper attributes EQUAKE's relatively high
+//! rating variance to exactly this (§5.1).
+
+use crate::common::fill_f64;
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Nonzeros, train input.
+const NNZ_TRAIN: i64 = 2200;
+/// Nonzeros, ref input.
+const NNZ_REF: i64 = 6400;
+/// Matrix dimension (node count).
+const NODES: usize = 1600;
+/// Nonzero capacity.
+const NNZ_MAX: usize = 6400;
+
+/// The EQUAKE smvp workload.
+pub struct EquakeSmvp {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for EquakeSmvp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EquakeSmvp {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let aval = program.add_mem("aval", Type::F64, NNZ_MAX);
+        let arow = program.add_mem("arow", Type::I64, NNZ_MAX);
+        let acol = program.add_mem("acol", Type::I64, NNZ_MAX);
+        let vin = program.add_mem("vin", Type::F64, NODES);
+        let vout = program.add_mem("vout", Type::F64, NODES);
+
+        // smvp(nnz): for e in 0..nnz:
+        //   r = arow[e]; c = acol[e]
+        //   vout[r] += aval[e] * vin[c]
+        let mut b = FunctionBuilder::new("smvp", None);
+        let nnz = b.param("nnz", Type::I64);
+        let e = b.var("e", Type::I64);
+        b.for_loop(e, 0i64, nnz, 1, |b| {
+            let r = b.load(Type::I64, MemRef::global(arow, e));
+            let c = b.load(Type::I64, MemRef::global(acol, e));
+            let a = b.load(Type::F64, MemRef::global(aval, e));
+            let x = b.load(Type::F64, MemRef::global(vin, c));
+            let prod = b.binary(BinOp::FMul, a, x);
+            let cur = b.load(Type::F64, MemRef::global(vout, r));
+            let nxt = b.binary(BinOp::FAdd, cur, prod);
+            b.store(MemRef::global(vout, r), nxt);
+        });
+        b.ret(None);
+        let ts = program.add_func(b.finish());
+        EquakeSmvp { program, ts }
+    }
+
+    fn nnz(ds: Dataset) -> i64 {
+        match ds {
+            Dataset::Train => NNZ_TRAIN,
+            Dataset::Ref => NNZ_REF,
+        }
+    }
+}
+
+impl Workload for EquakeSmvp {
+    fn name(&self) -> &'static str {
+        "EQUAKE"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "smvp"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 2709, // Table 1
+            Dataset::Ref => 8100,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let aval = self.program.mem_by_name("aval").unwrap();
+        let vin = self.program.mem_by_name("vin").unwrap();
+        let vout = self.program.mem_by_name("vout").unwrap();
+        fill_f64(mem, aval, rng, -1.0..1.0);
+        fill_f64(mem, vin, rng, -1.0..1.0);
+        fill_f64(mem, vout, rng, 0.0..0.0001);
+        // Sparse structure: banded-random pattern like a 3D FEM mesh —
+        // mostly local with occasional long-range couplings.
+        let arow = self.program.mem_by_name("arow").unwrap();
+        let acol = self.program.mem_by_name("acol").unwrap();
+        for e in 0..NNZ_MAX as i64 {
+            let r = rng.gen_range(0..NODES as i64);
+            let c = if rng.gen_bool(0.8) {
+                (r + rng.gen_range(-12..=12)).clamp(0, NODES as i64 - 1)
+            } else {
+                rng.gen_range(0..NODES as i64)
+            };
+            mem.store(arow, e, Value::I64(r));
+            mem.store(acol, e, Value::I64(c));
+        }
+    }
+
+    fn args(
+        &self,
+        ds: Dataset,
+        _inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Time integration refreshes the input vector between products.
+        let vin = self.program.mem_by_name("vin").unwrap();
+        for _ in 0..16 {
+            let i = rng.gen_range(0..NODES as i64);
+            mem.store(vin, i, Value::F64(rng.gen_range(-1.0..1.0)));
+        }
+        vec![Value::I64(Self::nnz(ds))]
+    }
+
+    fn other_cycles(&self, ds: Dataset) -> u64 {
+        // Element processing + time integration around each product.
+        Self::nnz(ds) as u64 * 14
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "CBR", invocations_paper: 2709, contexts: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_applicable_single_scalar_context() {
+        let w = EquakeSmvp::new();
+        match context_set(&w.program().func(w.ts())) {
+            ContextAnalysis::Applicable(srcs) => {
+                assert_eq!(srcs, vec![peak_ir::ContextSource::Param(0)]);
+            }
+            ContextAnalysis::NotApplicable(why) => panic!("{why}"),
+        }
+    }
+
+    #[test]
+    fn gather_scatter_touches_vout() {
+        let w = EquakeSmvp::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let vout = w.program().mem_by_name("vout").unwrap();
+        let sum_before: f64 = (0..NODES as i64).map(|i| mem.load(vout, i).as_f64()).sum();
+        let args = w.args(Dataset::Train, 0, &mut mem, &mut rng);
+        Interp::default().run(w.program(), w.ts(), &args, &mut mem).unwrap();
+        let sum_after: f64 = (0..NODES as i64).map(|i| mem.load(vout, i).as_f64()).sum();
+        assert_ne!(sum_before, sum_after);
+    }
+
+    #[test]
+    fn flat_loop_steps_proportional_to_nnz() {
+        let w = EquakeSmvp::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let s1 = interp
+            .run(w.program(), w.ts(), &[Value::I64(1000)], &mut mem)
+            .unwrap()
+            .steps;
+        let s2 = interp
+            .run(w.program(), w.ts(), &[Value::I64(2000)], &mut mem)
+            .unwrap()
+            .steps;
+        let ratio = s2 as f64 / s1 as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio={ratio}");
+    }
+}

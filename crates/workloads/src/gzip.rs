@@ -1,0 +1,214 @@
+//! GZIP `longest_match` — find the longest match in the LZ77 window.
+//!
+//! Walks the hash chain, comparing window substrings; both the chain walk
+//! and each comparison exit on loaded data. RBR per Table 1 (82.6M
+//! invocations, the scaled stream capped at 20 600 per run).
+
+use crate::common::fill_runs;
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Operand, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// LZ77 window size.
+const WINDOW: usize = 8192;
+/// Chain table size.
+const CHAIN: usize = 8192;
+/// Maximum match length.
+const MAX_MATCH: i64 = 32;
+/// Maximum chain steps.
+const MAX_CHAIN: i64 = 16;
+
+/// The GZIP longest_match workload.
+pub struct GzipLongestMatch {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for GzipLongestMatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GzipLongestMatch {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let window = program.add_mem("window", Type::I64, WINDOW + MAX_MATCH as usize);
+        let chain = program.add_mem("chain", Type::I64, CHAIN);
+
+        // longest_match(strstart, cur_match) -> best_len
+        //   best = 2; steps = 0
+        //   while cur_match > 0 && steps < MAX_CHAIN:
+        //     len = compare window[strstart..] with window[cur_match..]
+        //     if len > best { best = len }
+        //     cur_match = chain[cur_match]; steps += 1
+        //   return best
+        let mut b = FunctionBuilder::new("longest_match", Some(Type::I64));
+        let strstart = b.param("strstart", Type::I64);
+        let cur0 = b.param("cur_match", Type::I64);
+        let cur = b.var("cur", Type::I64);
+        let best = b.var("best", Type::I64);
+        let steps = b.var("steps", Type::I64);
+        let len = b.var("len", Type::I64);
+        let k = b.var("k", Type::I64);
+        b.copy(cur, cur0);
+        b.copy(best, 2i64);
+        b.copy(steps, 0i64);
+        b.while_loop(
+            |b| {
+                let pos_ok = b.binary(BinOp::Gt, cur, 0i64);
+                let step_ok = b.binary(BinOp::Lt, steps, MAX_CHAIN);
+                b.binary(BinOp::And, pos_ok, step_ok).into()
+            },
+            |b| {
+                // Inner comparison loop.
+                b.copy(len, 0i64);
+                let cmp_done = b.new_block();
+                b.for_loop(k, 0i64, MAX_MATCH, 1, |b| {
+                    let a1 = b.binary(BinOp::Add, strstart, k);
+                    let a2 = b.binary(BinOp::Add, cur, k);
+                    let c1 = b.load(Type::I64, MemRef::global(window, a1));
+                    let c2 = b.load(Type::I64, MemRef::global(window, a2));
+                    let ne = b.binary(BinOp::Ne, c1, c2);
+                    b.branch_out_if(ne, cmp_done);
+                    b.binary_into(len, BinOp::Add, len, 1i64);
+                });
+                b.jump(cmp_done);
+                let better = b.binary(BinOp::Gt, len, best);
+                b.if_then(better, |b| b.copy(best, len));
+                let nxt = b.load(Type::I64, MemRef::global(chain, cur));
+                b.copy(cur, nxt);
+                b.binary_into(steps, BinOp::Add, steps, 1i64);
+            },
+        );
+        b.ret(Some(Operand::Var(best)));
+        let ts = program.add_func(b.finish());
+        GzipLongestMatch { program, ts }
+    }
+}
+
+impl Workload for GzipLongestMatch {
+    fn name(&self) -> &'static str {
+        "GZIP"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "longest_match"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 20_600, // Table 1 scaled (capped)
+            Dataset::Ref => 62_000,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let window = self.program.mem_by_name("window").unwrap();
+        fill_runs(mem, window, rng, 20);
+        // Hash chains: each position points to an earlier one (or 0).
+        let chain = self.program.mem_by_name("chain").unwrap();
+        for i in 0..CHAIN as i64 {
+            let prev = if i < 8 || rng.gen_bool(0.2) {
+                0
+            } else {
+                i - rng.gen_range(1..(i.min(512)))
+            };
+            mem.store(chain, i, Value::I64(prev));
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        _inv: usize,
+        _mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        let strstart = rng.gen_range(256..WINDOW as i64 - 1);
+        let cur = rng.gen_range(1..strstart);
+        vec![Value::I64(strstart), Value::I64(cur)]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // deflate() hash insertion + literal emission per match query.
+        190
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 82_600_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable() {
+        let w = GzipLongestMatch::new();
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn match_length_bounded_and_sane() {
+        let w = GzipLongestMatch::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        for _ in 0..40 {
+            let args = w.args(Dataset::Train, 0, &mut mem, &mut rng);
+            let best = interp
+                .run(w.program(), w.ts(), &args, &mut mem)
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_i64();
+            assert!((2..=MAX_MATCH).contains(&best), "best={best}");
+        }
+    }
+
+    #[test]
+    fn identical_suffix_gives_max_match() {
+        let w = GzipLongestMatch::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let window = w.program().mem_by_name("window").unwrap();
+        // Force two identical substrings.
+        for k in 0..MAX_MATCH {
+            let v = mem.load(window, 100 + k);
+            mem.store(window, 5000 + k, v);
+        }
+        let best = Interp::default()
+            .run(
+                w.program(),
+                w.ts(),
+                &[Value::I64(5000), Value::I64(100)],
+                &mut mem,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .as_i64();
+        assert_eq!(best, MAX_MATCH);
+    }
+}

@@ -1,0 +1,189 @@
+//! MCF `primal_bea_mpp` — pricing scan of the network-simplex solver.
+//!
+//! Scans a block of arcs computing reduced costs from node potentials
+//! (pointer-style indirection), tracking the most negative one. The
+//! conditional update and the indirect potential loads make timing
+//! data-dependent → RBR (Table 1: 105K invocations — the smallest
+//! integer-benchmark count, kept at 2 100 here).
+
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Operand, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Total arcs.
+const ARCS: usize = 12_000;
+/// Nodes.
+const NODES: usize = 1_500;
+/// Arcs examined per invocation (the "block" in block pricing).
+const BLOCK: i64 = 300;
+
+/// The MCF primal_bea_mpp workload.
+pub struct McfPrimalBeaMpp {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for McfPrimalBeaMpp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl McfPrimalBeaMpp {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let cost = program.add_mem("cost", Type::I64, ARCS);
+        let tail = program.add_mem("tail", Type::I64, ARCS);
+        let head = program.add_mem("head", Type::I64, ARCS);
+        let potential = program.add_mem("potential", Type::I64, NODES);
+        let out = program.add_mem("out", Type::I64, 4);
+
+        // primal_bea_mpp(start):
+        //   best = 0; besta = -1
+        //   for a in start..start+BLOCK:
+        //     red = cost[a] - potential[tail[a]] + potential[head[a]]
+        //     if red < best { best = red; besta = a }
+        //   out[0] = best; out[1] = besta
+        let mut b = FunctionBuilder::new("primal_bea_mpp", Some(Type::I64));
+        let start = b.param("start", Type::I64);
+        let a = b.var("a", Type::I64);
+        let best = b.var("best", Type::I64);
+        let besta = b.var("besta", Type::I64);
+        b.copy(best, 0i64);
+        b.copy(besta, Operand::Const(Value::I64(-1)));
+        let end = b.binary(BinOp::Add, start, BLOCK);
+        b.for_loop(a, start, end, 1, |b| {
+            let c = b.load(Type::I64, MemRef::global(cost, a));
+            let t = b.load(Type::I64, MemRef::global(tail, a));
+            let h = b.load(Type::I64, MemRef::global(head, a));
+            let pt = b.load(Type::I64, MemRef::global(potential, t));
+            let ph = b.load(Type::I64, MemRef::global(potential, h));
+            let d1 = b.binary(BinOp::Sub, c, pt);
+            let red = b.binary(BinOp::Add, d1, ph);
+            let lt = b.binary(BinOp::Lt, red, best);
+            b.if_then(lt, |b| {
+                b.copy(best, red);
+                b.copy(besta, a);
+            });
+        });
+        b.store(MemRef::global(out, 0i64), best);
+        b.store(MemRef::global(out, 1i64), besta);
+        b.ret(Some(Operand::Var(besta)));
+        let ts = program.add_func(b.finish());
+        McfPrimalBeaMpp { program, ts }
+    }
+}
+
+impl Workload for McfPrimalBeaMpp {
+    fn name(&self) -> &'static str {
+        "MCF"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "primal_bea_mpp"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 2_100, // Table 1: 105K, scaled ÷50
+            Dataset::Ref => 6_300,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let cost = self.program.mem_by_name("cost").unwrap();
+        let tail = self.program.mem_by_name("tail").unwrap();
+        let head = self.program.mem_by_name("head").unwrap();
+        let potential = self.program.mem_by_name("potential").unwrap();
+        for i in 0..ARCS as i64 {
+            mem.store(cost, i, Value::I64(rng.gen_range(0..10_000)));
+            mem.store(tail, i, Value::I64(rng.gen_range(0..NODES as i64)));
+            mem.store(head, i, Value::I64(rng.gen_range(0..NODES as i64)));
+        }
+        for i in 0..NODES as i64 {
+            mem.store(potential, i, Value::I64(rng.gen_range(0..10_000)));
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Simplex pivots update a few potentials between scans.
+        let potential = self.program.mem_by_name("potential").unwrap();
+        for _ in 0..6 {
+            let i = rng.gen_range(0..NODES as i64);
+            mem.store(potential, i, Value::I64(rng.gen_range(0..10_000)));
+        }
+        let start = ((inv as i64) * BLOCK) % (ARCS as i64 - BLOCK);
+        vec![Value::I64(start)]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // Basis update + tree manipulation between pricing scans.
+        5_500
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 105_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable_via_indirect_potentials() {
+        let w = McfPrimalBeaMpp::new();
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn finds_most_negative_reduced_cost() {
+        let w = McfPrimalBeaMpp::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        // Plant a hugely negative arc inside the first block.
+        let cost = w.program().mem_by_name("cost").unwrap();
+        mem.store(cost, 42, Value::I64(-1_000_000));
+        let r = Interp::default()
+            .run(w.program(), w.ts(), &[Value::I64(0)], &mut mem)
+            .unwrap()
+            .ret
+            .unwrap();
+        assert_eq!(r, Value::I64(42));
+    }
+
+    #[test]
+    fn scan_covers_distinct_blocks() {
+        let w = McfPrimalBeaMpp::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let s0 = w.args(Dataset::Train, 0, &mut mem, &mut rng)[0].as_i64();
+        let s1 = w.args(Dataset::Train, 1, &mut mem, &mut rng)[0].as_i64();
+        assert_ne!(s0, s1);
+    }
+}

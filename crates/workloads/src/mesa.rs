@@ -1,0 +1,189 @@
+//! MESA `sample_1d_linear` — linearly interpolated 1D texture sampling.
+//!
+//! A tiny function called enormously often (Table 1: 193M invocations,
+//! by far the most; scaled to 19 300 here). The texel index derives from
+//! a continuous float coordinate, so contexts never repeat; the wrap-mode
+//! branch depends on the computed index. RBR.
+
+use crate::common::fill_f64;
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, UnOp, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Texture size (texels).
+const TEX: usize = 1024;
+
+/// The MESA sample_1d_linear workload.
+pub struct MesaSample1dLinear {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for MesaSample1dLinear {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MesaSample1dLinear {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let texture = program.add_mem("texture", Type::F64, TEX);
+        let out = program.add_mem("sample_out", Type::F64, 2);
+
+        // sample_1d_linear(s) -> lerp(texture[i], texture[i+1], frac)
+        //   u = s * TEX - 0.5 ; i = floor(u) ; frac = u - i
+        //   wrap i into [0, TEX-2] (clamp mode, branchy)
+        let mut b = FunctionBuilder::new("sample_1d_linear", Some(Type::F64));
+        let s = b.param("s", Type::F64);
+        let i = b.var("i", Type::I64);
+        let scaled = b.binary(BinOp::FMul, s, TEX as f64);
+        let u = b.binary(BinOp::FSub, scaled, 0.5f64);
+        let i0 = b.unary(UnOp::FToInt, u);
+        b.copy(i, i0);
+        // Clamp: if i < 0 { i = 0 } ; if i > TEX-2 { i = TEX-2 }
+        let neg = b.binary(BinOp::Lt, i, 0i64);
+        b.if_then(neg, |b| b.copy(i, 0i64));
+        let hi = b.binary(BinOp::Gt, i, (TEX - 2) as i64);
+        b.if_then(hi, |b| b.copy(i, (TEX - 2) as i64));
+        let fi = b.unary(UnOp::IntToF, i);
+        let frac = b.var("frac", Type::F64);
+        b.binary_into(frac, BinOp::FSub, u, fi);
+        // Clamp the fraction too (out-of-range coordinates, clamp mode).
+        let fneg = b.binary(BinOp::FLt, frac, 0.0f64);
+        b.if_then(fneg, |b| b.copy(frac, 0.0f64));
+        let fhi = b.binary(BinOp::FGt, frac, 1.0f64);
+        b.if_then(fhi, |b| b.copy(frac, 1.0f64));
+        let ip1 = b.binary(BinOp::Add, i, 1i64);
+        let t0 = b.load(Type::F64, MemRef::global(texture, i));
+        let t1 = b.load(Type::F64, MemRef::global(texture, ip1));
+        let d = b.binary(BinOp::FSub, t1, t0);
+        let lerp = b.binary(BinOp::FMul, frac, d);
+        let result = b.binary(BinOp::FAdd, t0, lerp);
+        b.store(MemRef::global(out, 0i64), peak_ir::Operand::Var(result));
+        b.ret(Some(peak_ir::Operand::Var(result)));
+        let ts = program.add_func(b.finish());
+        MesaSample1dLinear { program, ts }
+    }
+}
+
+impl Workload for MesaSample1dLinear {
+    fn name(&self) -> &'static str {
+        "MESA"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "sample_1d_linear"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 19_300, // Table 1: 193M, scaled (capped)
+            Dataset::Ref => 58_000,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let texture = self.program.mem_by_name("texture").unwrap();
+        fill_f64(mem, texture, rng, 0.0..1.0);
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        _mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Rasterization walks texture coordinates with spans of locality
+        // plus occasional out-of-range values that exercise the clamps.
+        let base = (inv % 97) as f64 / 97.0;
+        let s = if rng.gen_bool(0.9) {
+            base + rng.gen_range(-0.01..0.01)
+        } else {
+            rng.gen_range(-0.3..1.3)
+        };
+        vec![Value::F64(s)]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // Span setup and fragment processing per texel fetch.
+        70
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 193_000_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::Interp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interpolation_within_texel_range() {
+        let w = MesaSample1dLinear::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        for inv in 0..50 {
+            let args = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            let r = interp
+                .run(w.program(), w.ts(), &args, &mut mem)
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_f64();
+            assert!((-0.5..1.5).contains(&r), "interpolant near texel range: {r}");
+        }
+    }
+
+    #[test]
+    fn clamping_handles_out_of_range_coords() {
+        let w = MesaSample1dLinear::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        for s in [-2.0f64, -0.1, 0.0, 1.0, 1.7] {
+            interp
+                .run(w.program(), w.ts(), &[Value::F64(s)], &mut mem)
+                .unwrap_or_else(|e| panic!("s={s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn known_texels_interpolate_linearly() {
+        let w = MesaSample1dLinear::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let texture = w.program().mem_by_name("texture").unwrap();
+        mem.store(texture, 99, Value::F64(0.0));
+        mem.store(texture, 100, Value::F64(1.0));
+        // s such that u = 99.5 → i=99, frac=0.5 → result 0.5.
+        let s = 100.0 / TEX as f64;
+        let r = Interp::default()
+            .run(w.program(), w.ts(), &[Value::F64(s)], &mut mem)
+            .unwrap()
+            .ret
+            .unwrap()
+            .as_f64();
+        assert!((r - 0.5).abs() < 1e-9, "r={r}");
+    }
+}

@@ -1,0 +1,209 @@
+//! MGRID `resid` — multigrid residual computation `r = v − A·u`.
+//!
+//! A regular 2D stencil, but invoked across the levels of a V-cycle: the
+//! grid size parameter takes **many distinct values**, so CBR sees too
+//! many contexts and wastes invocations (Figure 7's MGRID_CBR
+//! pathology), while MBR models the time as `T_body·C_body + T_const`
+//! with the body count derivable from the grid size (paper §2.3) — the
+//! method the paper's system picks for MGRID.
+
+use crate::common::fill_f64;
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Grid sizes cycled through one V-cycle (11 distinct contexts — past the
+/// consultant's CBR context budget). Sized so even the largest level's
+/// working set stays cache-resident, keeping the per-element time stable
+/// across levels (the linearity MBR's model relies on).
+const LEVELS: [i64; 11] = [4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24];
+/// Maximum grid side (array sizing).
+const N_MAX: usize = 24;
+
+/// The MGRID resid workload.
+pub struct MgridResid {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for MgridResid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MgridResid {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let cells = N_MAX * N_MAX;
+        let u = program.add_mem("u", Type::F64, cells);
+        let v = program.add_mem("v", Type::F64, cells);
+        let r = program.add_mem("r", Type::F64, cells);
+
+        // resid(m): for j in 1..m-1, i in 1..m-1:
+        //   idx = j*N_MAX + i
+        //   r[idx] = v[idx] - a0*u[idx]
+        //          - a1*(u[idx-1] + u[idx+1] + u[idx-N] + u[idx+N])
+        let mut b = FunctionBuilder::new("resid", None);
+        let m = b.param("m", Type::I64);
+        let j = b.var("j", Type::I64);
+        let i = b.var("i", Type::I64);
+        let bound = b.binary(BinOp::Sub, m, 1i64);
+        b.for_loop(j, 1i64, bound, 1, |b| {
+            let row = b.binary(BinOp::Mul, j, N_MAX as i64);
+            b.for_loop(i, 1i64, bound, 1, |b| {
+                let idx = b.binary(BinOp::Add, row, i);
+                let uc = b.load(Type::F64, MemRef::global(u, idx));
+                let iw = b.binary(BinOp::Sub, idx, 1i64);
+                let ie = b.binary(BinOp::Add, idx, 1i64);
+                let in_ = b.binary(BinOp::Sub, idx, N_MAX as i64);
+                let is_ = b.binary(BinOp::Add, idx, N_MAX as i64);
+                let uw = b.load(Type::F64, MemRef::global(u, iw));
+                let ue = b.load(Type::F64, MemRef::global(u, ie));
+                let un = b.load(Type::F64, MemRef::global(u, in_));
+                let us = b.load(Type::F64, MemRef::global(u, is_));
+                let s1 = b.binary(BinOp::FAdd, uw, ue);
+                let s2 = b.binary(BinOp::FAdd, un, us);
+                let ssum = b.binary(BinOp::FAdd, s1, s2);
+                let c0 = b.binary(BinOp::FMul, uc, -4.0f64);
+                let lap = b.binary(BinOp::FAdd, c0, ssum);
+                let vv = b.load(Type::F64, MemRef::global(v, idx));
+                let scaled = b.binary(BinOp::FMul, lap, 0.25f64);
+                let res = b.binary(BinOp::FSub, vv, scaled);
+                b.store(MemRef::global(r, idx), res);
+            });
+        });
+        b.ret(None);
+        let ts = program.add_func(b.finish());
+        MgridResid { program, ts }
+    }
+}
+
+impl Workload for MgridResid {
+    fn name(&self) -> &'static str {
+        "MGRID"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "resid"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 2410, // Table 1
+            Dataset::Ref => 7200,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        for name in ["u", "v", "r"] {
+            let m = self.program.mem_by_name(name).unwrap();
+            fill_f64(mem, m, rng, -1.0..1.0);
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // V-cycle walk: descend then ascend through the levels.
+        let cycle = LEVELS.len() * 2 - 2;
+        let pos = inv % cycle;
+        let level = if pos < LEVELS.len() { pos } else { cycle - pos };
+        // Smoother between calls: touch a few cells.
+        let u = self.program.mem_by_name("u").unwrap();
+        for _ in 0..4 {
+            let i = rng.gen_range(0..(N_MAX * N_MAX) as i64);
+            mem.store(u, i, Value::F64(rng.gen_range(-1.0..1.0)));
+        }
+        vec![Value::I64(LEVELS[level])]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // psinv + interp + rprj3 between resid calls.
+        9_000
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "MBR", invocations_paper: 2410, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cbr_technically_applicable_but_many_contexts() {
+        let w = MgridResid::new();
+        // Figure-1 analysis succeeds (scalar m drives control)…
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::Applicable(_)
+        ));
+        // …but the invocation stream produces 12 distinct contexts.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let mut seen = HashSet::new();
+        for inv in 0..100 {
+            let a = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            seen.insert(a[0].as_i64());
+        }
+        assert_eq!(seen.len(), LEVELS.len());
+    }
+
+    #[test]
+    fn body_count_is_model_friendly() {
+        // Block-entry count of the inner body = (m-2)² — exactly the
+        // linear structure MBR exploits.
+        let w = MgridResid::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        for m in [4i64, 8, 16] {
+            let out = interp
+                .run(w.program(), w.ts(), &[Value::I64(m)], &mut mem)
+                .unwrap();
+            let expected = ((m - 2) * (m - 2)) as u64;
+            assert!(
+                out.block_entries.contains(&expected),
+                "m={m}: no block executed exactly (m-2)^2 = {expected} times: {:?}",
+                out.block_entries
+            );
+        }
+    }
+
+    #[test]
+    fn v_cycle_descends_and_ascends() {
+        let w = MgridResid::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let sizes: Vec<i64> = (0..24)
+            .map(|inv| w.args(Dataset::Train, inv, &mut mem, &mut rng)[0].as_i64())
+            .collect();
+        assert_eq!(sizes[0], 4);
+        assert_eq!(sizes[10], 24);
+        assert_eq!(sizes[11], 20, "coming back down");
+    }
+}

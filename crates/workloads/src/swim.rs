@@ -1,0 +1,200 @@
+//! SWIM `calc3` — shallow-water time-smoothing update.
+//!
+//! A dense 2D stencil sweep over three field triples (u, v, p). Perfectly
+//! regular: all control derives from the scalar grid size `n`, which is
+//! constant across invocations, so CBR applies with a **single context**
+//! (Table 1: 198 invocations, the most consistent CBR row).
+
+use crate::common::fill_f64;
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Grid side for the train input.
+const N_TRAIN: i64 = 24;
+/// Grid side for the ref input.
+const N_REF: i64 = 32;
+/// Maximum grid side (array sizing).
+const N_MAX: usize = 32;
+
+/// The SWIM calc3 workload.
+pub struct SwimCalc3 {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for SwimCalc3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwimCalc3 {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let cells = N_MAX * N_MAX;
+        let u = program.add_mem("u", Type::F64, cells);
+        let uold = program.add_mem("uold", Type::F64, cells);
+        let unew = program.add_mem("unew", Type::F64, cells);
+        let v = program.add_mem("v", Type::F64, cells);
+        let vold = program.add_mem("vold", Type::F64, cells);
+        let vnew = program.add_mem("vnew", Type::F64, cells);
+        let p = program.add_mem("p", Type::F64, cells);
+        let pold = program.add_mem("pold", Type::F64, cells);
+        let pnew = program.add_mem("pnew", Type::F64, cells);
+
+        // calc3(n, alpha):
+        //   for j in 1..n-1: for i in 1..n-1:
+        //     idx = j*N_MAX + i
+        //     uold[idx] = u[idx] + alpha*(unew[idx] - 2*u[idx] + uold[idx])
+        //     (same for v and p triples)
+        //     u[idx] = unew[idx]; … (field rotation folded in)
+        let mut b = FunctionBuilder::new("calc3", None);
+        let n = b.param("n", Type::I64);
+        let alpha = b.param("alpha", Type::F64);
+        let j = b.var("j", Type::I64);
+        let i = b.var("i", Type::I64);
+        let bound = b.binary(BinOp::Sub, n, 1i64);
+        b.for_loop(j, 1i64, bound, 1, |b| {
+            let row = b.binary(BinOp::Mul, j, N_MAX as i64);
+            b.for_loop(i, 1i64, bound, 1, |b| {
+                let idx = b.binary(BinOp::Add, row, i);
+                for (cur, old, new) in [(u, uold, unew), (v, vold, vnew), (p, pold, pnew)] {
+                    let xc = b.load(Type::F64, MemRef::global(cur, idx));
+                    let xo = b.load(Type::F64, MemRef::global(old, idx));
+                    let xn = b.load(Type::F64, MemRef::global(new, idx));
+                    let two = b.binary(BinOp::FMul, xc, 2.0f64);
+                    let d1 = b.binary(BinOp::FSub, xn, two);
+                    let d2 = b.binary(BinOp::FAdd, d1, xo);
+                    let sm = b.binary(BinOp::FMul, alpha, d2);
+                    let res = b.binary(BinOp::FAdd, xc, sm);
+                    b.store(MemRef::global(old, idx), res);
+                    b.store(MemRef::global(cur, idx), xn);
+                }
+            });
+        });
+        b.ret(None);
+        let ts = program.add_func(b.finish());
+        SwimCalc3 { program, ts }
+    }
+
+    fn n(ds: Dataset) -> i64 {
+        match ds {
+            Dataset::Train => N_TRAIN,
+            Dataset::Ref => N_REF,
+        }
+    }
+}
+
+impl Workload for SwimCalc3 {
+    fn name(&self) -> &'static str {
+        "SWIM"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "calc3"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 198, // Table 1
+            Dataset::Ref => 600,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        for name in ["u", "uold", "unew", "v", "vold", "vnew", "p", "pold", "pnew"] {
+            let m = self.program.mem_by_name(name).unwrap();
+            fill_f64(mem, m, rng, -1.0..1.0);
+        }
+    }
+
+    fn args(
+        &self,
+        ds: Dataset,
+        _inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // The rest of the program (calc1/calc2) refreshes the "new" fields
+        // between calls; emulate with a sparse perturbation.
+        for name in ["unew", "vnew", "pnew"] {
+            let m = self.program.mem_by_name(name).unwrap();
+            for _ in 0..8 {
+                let i = rng.gen_range(0..(N_MAX * N_MAX) as i64);
+                mem.store(m, i, Value::F64(rng.gen_range(-1.0..1.0)));
+            }
+        }
+        vec![Value::I64(Self::n(ds)), Value::F64(0.0625)]
+    }
+
+    fn other_cycles(&self, ds: Dataset) -> u64 {
+        // calc1 + calc2 + boundary code: roughly 2.5× the calc3 work.
+        let n = Self::n(ds) as u64;
+        (n - 2) * (n - 2) * 110
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "CBR", invocations_paper: 198, contexts: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_applicable_with_scalar_context() {
+        let w = SwimCalc3::new();
+        let ca = context_set(&w.program().func(w.ts()));
+        match ca {
+            ContextAnalysis::Applicable(srcs) => {
+                // Only the grid size feeds control.
+                assert_eq!(srcs, vec![peak_ir::ContextSource::Param(0)]);
+            }
+            ContextAnalysis::NotApplicable(why) => panic!("CBR must apply: {why}"),
+        }
+    }
+
+    #[test]
+    fn stencil_updates_old_fields() {
+        let w = SwimCalc3::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let uold = w.program().mem_by_name("uold").unwrap();
+        let before = mem.load(uold, (N_MAX + 1) as i64);
+        let args = w.args(Dataset::Train, 0, &mut mem, &mut rng);
+        Interp::default().run(w.program(), w.ts(), &args, &mut mem).unwrap();
+        let after = mem.load(uold, (N_MAX + 1) as i64);
+        assert_ne!(before, after, "interior cell smoothed");
+    }
+
+    #[test]
+    fn work_scales_with_dataset() {
+        let w = SwimCalc3::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let a_train = w.args(Dataset::Train, 0, &mut mem, &mut rng);
+        let s_train = interp.run(w.program(), w.ts(), &a_train, &mut mem).unwrap().steps;
+        let a_ref = w.args(Dataset::Ref, 0, &mut mem, &mut rng);
+        let s_ref = interp.run(w.program(), w.ts(), &a_ref, &mut mem).unwrap().steps;
+        assert!(s_ref > s_train);
+    }
+}

@@ -1,0 +1,221 @@
+//! TWOLF `new_dbox_a` — incremental bounding-box cost of a net.
+//!
+//! For each terminal of a net, chase the terminal → cell → position
+//! indirection and accumulate the half-perimeter change. Net sizes vary
+//! and every load is a dependent pointer chase — RBR (Table 1: 3.19M
+//! invocations, scaled to 3 190).
+
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Operand, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of nets.
+const NETS: usize = 512;
+/// Terminals per net (max).
+const MAX_TERMS: usize = 24;
+/// Number of cells.
+const CELLS: usize = 2_048;
+
+/// The TWOLF new_dbox_a workload.
+pub struct TwolfNewDboxA {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for TwolfNewDboxA {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwolfNewDboxA {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        // net_len[n]: terminal count; net_terms[n*MAX_TERMS + t]: cell id.
+        let net_len = program.add_mem("net_len", Type::I64, NETS);
+        let net_terms = program.add_mem("net_terms", Type::I64, NETS * MAX_TERMS);
+        let cell_x = program.add_mem("cell_x", Type::I64, CELLS);
+        let cell_y = program.add_mem("cell_y", Type::I64, CELLS);
+
+        // new_dbox_a(net) -> half-perimeter:
+        //   len = net_len[net]; base = net*MAX_TERMS
+        //   minx=maxx=first cell x …
+        //   for t in 0..len: c = net_terms[base+t]
+        //     x = cell_x[c]; y = cell_y[c]; min/max updates via if
+        //   return (maxx-minx) + (maxy-miny)
+        let mut b = FunctionBuilder::new("new_dbox_a", Some(Type::I64));
+        let net = b.param("net", Type::I64);
+        let t = b.var("t", Type::I64);
+        let minx = b.var("minx", Type::I64);
+        let maxx = b.var("maxx", Type::I64);
+        let miny = b.var("miny", Type::I64);
+        let maxy = b.var("maxy", Type::I64);
+        let len = b.load(Type::I64, MemRef::global(net_len, net));
+        let base = b.binary(BinOp::Mul, net, MAX_TERMS as i64);
+        b.copy(minx, 1_000_000i64);
+        b.copy(maxx, Operand::Const(Value::I64(-1_000_000)));
+        b.copy(miny, 1_000_000i64);
+        b.copy(maxy, Operand::Const(Value::I64(-1_000_000)));
+        b.for_loop(t, 0i64, len, 1, |b| {
+            let idx = b.binary(BinOp::Add, base, t);
+            let c = b.load(Type::I64, MemRef::global(net_terms, idx));
+            let x = b.load(Type::I64, MemRef::global(cell_x, c));
+            let y = b.load(Type::I64, MemRef::global(cell_y, c));
+            let ltx = b.binary(BinOp::Lt, x, minx);
+            b.if_then(ltx, |b| b.copy(minx, x));
+            let gtx = b.binary(BinOp::Gt, x, maxx);
+            b.if_then(gtx, |b| b.copy(maxx, x));
+            let lty = b.binary(BinOp::Lt, y, miny);
+            b.if_then(lty, |b| b.copy(miny, y));
+            let gty = b.binary(BinOp::Gt, y, maxy);
+            b.if_then(gty, |b| b.copy(maxy, y));
+        });
+        let dx = b.binary(BinOp::Sub, maxx, minx);
+        let dy = b.binary(BinOp::Sub, maxy, miny);
+        let hp = b.binary(BinOp::Add, dx, dy);
+        b.ret(Some(hp.into()));
+        let ts = program.add_func(b.finish());
+        TwolfNewDboxA { program, ts }
+    }
+}
+
+impl Workload for TwolfNewDboxA {
+    fn name(&self) -> &'static str {
+        "TWOLF"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "new_dbox_a"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 3_190, // Table 1 scaled ÷1000
+            Dataset::Ref => 9_600,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let net_len = self.program.mem_by_name("net_len").unwrap();
+        let net_terms = self.program.mem_by_name("net_terms").unwrap();
+        let cell_x = self.program.mem_by_name("cell_x").unwrap();
+        let cell_y = self.program.mem_by_name("cell_y").unwrap();
+        for n in 0..NETS as i64 {
+            // Net sizes: mostly small, occasionally large (Rent-like).
+            let len = if rng.gen_bool(0.8) {
+                rng.gen_range(2..6)
+            } else {
+                rng.gen_range(6..MAX_TERMS as i64)
+            };
+            mem.store(net_len, n, Value::I64(len));
+            for t in 0..MAX_TERMS as i64 {
+                mem.store(
+                    net_terms,
+                    n * MAX_TERMS as i64 + t,
+                    Value::I64(rng.gen_range(0..CELLS as i64)),
+                );
+            }
+        }
+        for c in 0..CELLS as i64 {
+            mem.store(cell_x, c, Value::I64(rng.gen_range(0..4000)));
+            mem.store(cell_y, c, Value::I64(rng.gen_range(0..4000)));
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        _inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Simulated annealing moves a cell between cost evaluations.
+        let cell_x = self.program.mem_by_name("cell_x").unwrap();
+        let cell_y = self.program.mem_by_name("cell_y").unwrap();
+        let c = rng.gen_range(0..CELLS as i64);
+        mem.store(cell_x, c, Value::I64(rng.gen_range(0..4000)));
+        mem.store(cell_y, c, Value::I64(rng.gen_range(0..4000)));
+        vec![Value::I64(rng.gen_range(0..NETS as i64))]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // Move generation + acceptance logic per cost query.
+        450
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 3_190_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable_loop_bound_loaded() {
+        let w = TwolfNewDboxA::new();
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn half_perimeter_nonnegative_and_bounded() {
+        let w = TwolfNewDboxA::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        for inv in 0..30 {
+            let args = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            let hp = interp
+                .run(w.program(), w.ts(), &args, &mut mem)
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_i64();
+            assert!((0..=8000).contains(&hp), "hp={hp}");
+        }
+    }
+
+    #[test]
+    fn known_two_terminal_net() {
+        let w = TwolfNewDboxA::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let net_len = w.program().mem_by_name("net_len").unwrap();
+        let net_terms = w.program().mem_by_name("net_terms").unwrap();
+        let cell_x = w.program().mem_by_name("cell_x").unwrap();
+        let cell_y = w.program().mem_by_name("cell_y").unwrap();
+        mem.store(net_len, 0, Value::I64(2));
+        mem.store(net_terms, 0, Value::I64(10));
+        mem.store(net_terms, 1, Value::I64(11));
+        mem.store(cell_x, 10, Value::I64(100));
+        mem.store(cell_y, 10, Value::I64(200));
+        mem.store(cell_x, 11, Value::I64(150));
+        mem.store(cell_y, 11, Value::I64(260));
+        let hp = Interp::default()
+            .run(w.program(), w.ts(), &[Value::I64(0)], &mut mem)
+            .unwrap()
+            .ret
+            .unwrap();
+        assert_eq!(hp, Value::I64(50 + 60));
+    }
+}

@@ -1,0 +1,187 @@
+//! VORTEX `ChkGetChunk` — object-store chunk validation.
+//!
+//! A tiny accessor (the paper's highest invocation count: 80.4M, scaled
+//! to 20 100): bounds checks and status-field tests on loaded descriptor
+//! fields. Small body + loaded-data branches → RBR.
+
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Operand, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of chunk descriptors.
+const CHUNKS: usize = 4_096;
+/// Fields per descriptor: [status, size, owner, generation].
+const FIELDS: usize = 4;
+
+/// The VORTEX ChkGetChunk workload.
+pub struct VortexChkGetChunk {
+    program: Program,
+    ts: FuncId,
+}
+
+impl Default for VortexChkGetChunk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VortexChkGetChunk {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let table = program.add_mem("chunk_table", Type::I64, CHUNKS * FIELDS);
+
+        // ChkGetChunk(id, expect_gen) -> status code
+        //   if id < 0 || id >= CHUNKS: return -1
+        //   status = table[id*4]; if status == 0: return -2   (free)
+        //   gen = table[id*4+3];  if gen != expect_gen: return -3
+        //   size = table[id*4+1]; if size <= 0: return -4
+        //   return size
+        let mut b = FunctionBuilder::new("ChkGetChunk", Some(Type::I64));
+        let id = b.param("id", Type::I64);
+        let expect_gen = b.param("expect_gen", Type::I64);
+        let res = b.var("res", Type::I64);
+        let done = b.new_block();
+        let neg = b.binary(BinOp::Lt, id, 0i64);
+        b.copy(res, Operand::Const(Value::I64(-1)));
+        b.branch_out_if(neg, done);
+        let too_big = b.binary(BinOp::Ge, id, CHUNKS as i64);
+        b.branch_out_if(too_big, done);
+        let base = b.binary(BinOp::Mul, id, FIELDS as i64);
+        let status = b.load(Type::I64, MemRef::global(table, base));
+        let free = b.binary(BinOp::Eq, status, 0i64);
+        b.copy(res, Operand::Const(Value::I64(-2)));
+        b.branch_out_if(free, done);
+        let gidx = b.binary(BinOp::Add, base, 3i64);
+        let gen = b.load(Type::I64, MemRef::global(table, gidx));
+        let stale = b.binary(BinOp::Ne, gen, expect_gen);
+        b.copy(res, Operand::Const(Value::I64(-3)));
+        b.branch_out_if(stale, done);
+        let sidx = b.binary(BinOp::Add, base, 1i64);
+        let size = b.load(Type::I64, MemRef::global(table, sidx));
+        let bad = b.binary(BinOp::Le, size, 0i64);
+        b.copy(res, Operand::Const(Value::I64(-4)));
+        b.branch_out_if(bad, done);
+        b.copy(res, size);
+        b.jump(done);
+        b.ret(Some(Operand::Var(res)));
+        let ts = program.add_func(b.finish());
+        VortexChkGetChunk { program, ts }
+    }
+}
+
+impl Workload for VortexChkGetChunk {
+    fn name(&self) -> &'static str {
+        "VORTEX"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "ChkGetChunk"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 20_100, // Table 1 scaled (capped)
+            Dataset::Ref => 60_300,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        let table = self.program.mem_by_name("chunk_table").unwrap();
+        for c in 0..CHUNKS as i64 {
+            let status = i64::from(!rng.gen_bool(0.1)); // 10% free
+            mem.store(table, c * 4, Value::I64(status));
+            mem.store(table, c * 4 + 1, Value::I64(rng.gen_range(1..65536)));
+            mem.store(table, c * 4 + 2, Value::I64(rng.gen_range(0..64)));
+            mem.store(table, c * 4 + 3, Value::I64(rng.gen_range(0..4)));
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // The object manager occasionally reallocates a chunk.
+        if inv.is_multiple_of(64) {
+            let table = self.program.mem_by_name("chunk_table").unwrap();
+            let c = rng.gen_range(0..CHUNKS as i64);
+            mem.store(table, c * 4 + 3, Value::I64(rng.gen_range(0..4)));
+        }
+        // Mostly valid lookups with locality; a few wild ids.
+        let id = if rng.gen_bool(0.95) {
+            rng.gen_range(0..CHUNKS as i64)
+        } else {
+            rng.gen_range(-10..(CHUNKS as i64 + 10))
+        };
+        vec![Value::I64(id), Value::I64(rng.gen_range(0..4))]
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // The accessor is called from everywhere; little code between
+        // calls.
+        90
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "RBR", invocations_paper: 80_400_000, contexts: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_inapplicable_status_checks() {
+        let w = VortexChkGetChunk::new();
+        assert!(matches!(
+            context_set(&w.program().func(w.ts())),
+            ContextAnalysis::NotApplicable(_)
+        ));
+    }
+
+    #[test]
+    fn error_codes() {
+        let w = VortexChkGetChunk::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let interp = Interp::default();
+        let run = |mem: &mut MemoryImage, id: i64, gen: i64| {
+            interp
+                .run(w.program(), w.ts(), &[Value::I64(id), Value::I64(gen)], mem)
+                .unwrap()
+                .ret
+                .unwrap()
+                .as_i64()
+        };
+        assert_eq!(run(&mut mem, -5, 0), -1, "negative id");
+        assert_eq!(run(&mut mem, CHUNKS as i64 + 3, 0), -1, "id too large");
+        // Make chunk 7 free.
+        let table = w.program().mem_by_name("chunk_table").unwrap();
+        mem.store(table, 7 * 4, Value::I64(0));
+        assert_eq!(run(&mut mem, 7, 0), -2, "free chunk");
+        // Valid chunk returns its size.
+        mem.store(table, 9 * 4, Value::I64(1));
+        mem.store(table, 9 * 4 + 1, Value::I64(777));
+        mem.store(table, 9 * 4 + 3, Value::I64(2));
+        assert_eq!(run(&mut mem, 9, 2), 777);
+        assert_eq!(run(&mut mem, 9, 3), -3, "stale generation");
+    }
+}

@@ -1,0 +1,229 @@
+//! WUPWISE `zgemm` — complex matrix-matrix multiply.
+//!
+//! Called with two shapes by the lattice-QCD solver (Table 1 reports two
+//! contexts with distinct consistency). Triple loop, fully scalar control
+//! → CBR with 2 contexts. (Complex numbers stored as interleaved
+//! real/imag pairs.)
+
+use crate::common::{fill_f64, ContextCycle};
+use crate::{Dataset, PaperRow, Workload};
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, MemRef, MemoryImage, Program, Type, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Maximum matrix dimension.
+const DIM_MAX: usize = 16;
+/// Element capacity (interleaved complex).
+const CAP: usize = DIM_MAX * DIM_MAX * 2;
+
+/// The WUPWISE zgemm workload.
+pub struct WupwiseZgemm {
+    program: Program,
+    ts: FuncId,
+    contexts: ContextCycle,
+}
+
+impl Default for WupwiseZgemm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WupwiseZgemm {
+    /// Build the workload.
+    pub fn new() -> Self {
+        let mut program = Program::new();
+        let a = program.add_mem("za", Type::F64, CAP);
+        let bm = program.add_mem("zb", Type::F64, CAP);
+        let c = program.add_mem("zc", Type::F64, CAP);
+
+        // zgemm(m, n, k): C[m×n] += A[m×k] · B[k×n], complex.
+        let mut b = FunctionBuilder::new("zgemm", None);
+        let m = b.param("m", Type::I64);
+        let n = b.param("n", Type::I64);
+        let kk = b.param("k", Type::I64);
+        let i = b.var("i", Type::I64);
+        let j = b.var("j", Type::I64);
+        let l = b.var("l", Type::I64);
+        let sum_re = b.var("sum_re", Type::F64);
+        let sum_im = b.var("sum_im", Type::F64);
+        b.for_loop(i, 0i64, m, 1, |b| {
+            b.for_loop(j, 0i64, n, 1, |b| {
+                b.copy(sum_re, 0.0f64);
+                b.copy(sum_im, 0.0f64);
+                b.for_loop(l, 0i64, kk, 1, |b| {
+                    // A[i,l] — interleaved index 2*(i*k + l)
+                    let arow = b.binary(BinOp::Mul, i, kk);
+                    let ai = b.binary(BinOp::Add, arow, l);
+                    let ai2 = b.binary(BinOp::Mul, ai, 2i64);
+                    let ai2p = b.binary(BinOp::Add, ai2, 1i64);
+                    let are = b.load(Type::F64, MemRef::global(a, ai2));
+                    let aim = b.load(Type::F64, MemRef::global(a, ai2p));
+                    // B[l,j]
+                    let brow = b.binary(BinOp::Mul, l, n);
+                    let bi = b.binary(BinOp::Add, brow, j);
+                    let bi2 = b.binary(BinOp::Mul, bi, 2i64);
+                    let bi2p = b.binary(BinOp::Add, bi2, 1i64);
+                    let bre = b.load(Type::F64, MemRef::global(bm, bi2));
+                    let bim = b.load(Type::F64, MemRef::global(bm, bi2p));
+                    // Complex multiply-add.
+                    let rr = b.binary(BinOp::FMul, are, bre);
+                    let ii = b.binary(BinOp::FMul, aim, bim);
+                    let ri = b.binary(BinOp::FMul, are, bim);
+                    let ir = b.binary(BinOp::FMul, aim, bre);
+                    let re = b.binary(BinOp::FSub, rr, ii);
+                    let im = b.binary(BinOp::FAdd, ri, ir);
+                    b.binary_into(sum_re, BinOp::FAdd, sum_re, re);
+                    b.binary_into(sum_im, BinOp::FAdd, sum_im, im);
+                });
+                // C[i,j] +=
+                let crow = b.binary(BinOp::Mul, i, n);
+                let ci = b.binary(BinOp::Add, crow, j);
+                let ci2 = b.binary(BinOp::Mul, ci, 2i64);
+                let ci2p = b.binary(BinOp::Add, ci2, 1i64);
+                let cre = b.load(Type::F64, MemRef::global(c, ci2));
+                let cim = b.load(Type::F64, MemRef::global(c, ci2p));
+                let nre = b.binary(BinOp::FAdd, cre, sum_re);
+                let nim = b.binary(BinOp::FAdd, cim, sum_im);
+                b.store(MemRef::global(c, ci2), nre);
+                b.store(MemRef::global(c, ci2p), nim);
+            });
+        });
+        b.ret(None);
+        let ts = program.add_func(b.finish());
+        // Two contexts: 12×12×12 (dominant) and 4×4×16.
+        let big = [Value::I64(12), Value::I64(12), Value::I64(12)];
+        let small = [Value::I64(4), Value::I64(4), Value::I64(16)];
+        let contexts = ContextCycle::new(&[(&big, 3), (&small, 1)]);
+        WupwiseZgemm { program, ts, contexts }
+    }
+}
+
+impl Workload for WupwiseZgemm {
+    fn name(&self) -> &'static str {
+        "WUPWISE"
+    }
+
+    fn ts_name(&self) -> &'static str {
+        "zgemm"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ts(&self) -> FuncId {
+        self.ts
+    }
+
+    fn invocations(&self, ds: Dataset) -> usize {
+        match ds {
+            Dataset::Train => 11_250, // Table 1: 22.5M, scaled ÷2000
+            Dataset::Ref => 33_750,
+        }
+    }
+
+    fn setup(&self, _ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng) {
+        for name in ["za", "zb", "zc"] {
+            let m = self.program.mem_by_name(name).unwrap();
+            fill_f64(mem, m, rng, -1.0..1.0);
+        }
+    }
+
+    fn args(
+        &self,
+        _ds: Dataset,
+        inv: usize,
+        mem: &mut MemoryImage,
+        rng: &mut StdRng,
+    ) -> Vec<Value> {
+        // Fresh gauge-field block between multiplies; also keep C bounded.
+        let a = self.program.mem_by_name("za").unwrap();
+        for _ in 0..8 {
+            let i = rng.gen_range(0..CAP as i64);
+            mem.store(a, i, Value::F64(rng.gen_range(-1.0..1.0)));
+        }
+        if inv.is_multiple_of(64) {
+            let c = self.program.mem_by_name("zc").unwrap();
+            for i in 0..CAP as i64 {
+                mem.store(c, i, Value::F64(0.0));
+            }
+        }
+        self.contexts.get(inv)
+    }
+
+    fn other_cycles(&self, _ds: Dataset) -> u64 {
+        // zaxpy/zcopy glue between multiplies.
+        4_200
+    }
+
+    fn paper_row(&self) -> PaperRow {
+        PaperRow { method: "CBR", invocations_paper: 22_500_000, contexts: 2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_ir::{context_set, ContextAnalysis, Interp};
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cbr_applicable_three_scalars() {
+        let w = WupwiseZgemm::new();
+        match context_set(&w.program().func(w.ts())) {
+            ContextAnalysis::Applicable(srcs) => {
+                assert_eq!(srcs.len(), 3);
+            }
+            ContextAnalysis::NotApplicable(why) => panic!("{why}"),
+        }
+    }
+
+    #[test]
+    fn two_contexts_cycle() {
+        let w = WupwiseZgemm::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let mut seen = HashSet::new();
+        for inv in 0..40 {
+            let a = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            seen.insert((a[0].as_i64(), a[1].as_i64(), a[2].as_i64()));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn identity_multiply() {
+        let w = WupwiseZgemm::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let a = w.program().mem_by_name("za").unwrap();
+        let bm = w.program().mem_by_name("zb").unwrap();
+        let c = w.program().mem_by_name("zc").unwrap();
+        // A = 2×2 identity (complex), B arbitrary known, C zero.
+        for i in 0..CAP as i64 {
+            mem.store(a, i, Value::F64(0.0));
+            mem.store(c, i, Value::F64(0.0));
+        }
+        // k=2: A[0,0]=1, A[1,1]=1 (real parts).
+        mem.store(a, 0, Value::F64(1.0)); // (0*2+0)*2
+        mem.store(a, 6, Value::F64(1.0)); // (1*2+1)*2
+        mem.store(bm, 0, Value::F64(3.0)); // B[0,0].re
+        mem.store(bm, 1, Value::F64(4.0)); // B[0,0].im
+        Interp::default()
+            .run(
+                w.program(),
+                w.ts(),
+                &[Value::I64(2), Value::I64(2), Value::I64(2)],
+                &mut mem,
+            )
+            .unwrap();
+        assert_eq!(mem.load(c, 0), Value::F64(3.0));
+        assert_eq!(mem.load(c, 1), Value::F64(4.0));
+    }
+}

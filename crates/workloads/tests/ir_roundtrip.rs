@@ -1,0 +1,65 @@
+//! Textual IR round-trip over every workload program: Display → parse →
+//! Display must be a fixpoint, and the reparsed program must validate and
+//! execute identically.
+
+use peak_ir::{parse_program, Interp, MemoryImage};
+use peak_workloads::{all_workloads, Dataset, Workload};
+use rand::SeedableRng;
+
+fn render(prog: &peak_ir::Program) -> String {
+    let mut text = String::new();
+    for (mi, m) in prog.mems.iter().enumerate() {
+        text.push_str(&format!("mem m{mi}: {}[{}]\n", m.elem, m.len));
+    }
+    for f in &prog.funcs {
+        text.push_str(&format!("{f}\n"));
+    }
+    text
+}
+
+#[test]
+fn every_workload_roundtrips_through_text() {
+    for w in all_workloads() {
+        let text = render(w.program());
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}\n--- source ---\n{text}", w.name()));
+        peak_ir::validate_program(&reparsed).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let text2 = render(&reparsed);
+        assert_eq!(text, text2, "{}: render→parse→render is a fixpoint", w.name());
+    }
+}
+
+#[test]
+fn reparsed_programs_execute_identically() {
+    let interp = Interp::default();
+    for w in all_workloads() {
+        let reparsed = parse_program(&render(w.program())).unwrap();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+        let mut m1 = MemoryImage::new(w.program());
+        let mut m2 = MemoryImage::new(&reparsed);
+        w.setup(Dataset::Train, &mut m1, &mut rng1);
+        w.setup(Dataset::Train, &mut m2, &mut rng2);
+        for inv in 0..3 {
+            let a1 = w.args(Dataset::Train, inv, &mut m1, &mut rng1);
+            let a2 = w.args(Dataset::Train, inv, &mut m2, &mut rng2);
+            let r1 = interp.run(w.program(), w.ts(), &a1, &mut m1).unwrap();
+            let r2 = interp.run(&reparsed, w.ts(), &a2, &mut m2).unwrap();
+            assert_eq!(r1.ret, r2.ret, "{} inv {inv}", w.name());
+        }
+        assert_eq!(m1, m2, "{}", w.name());
+    }
+}
+
+#[test]
+fn optimized_programs_roundtrip_too() {
+    // Harder shapes: -O3 output has selects, prefetches, aligned blocks,
+    // pointer constants.
+    for w in all_workloads() {
+        let cv = peak_opt::optimize(w.program(), w.ts(), &peak_opt::OptConfig::o3());
+        let text = render(&cv.program);
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{} (O3): {e}", w.name()));
+        assert_eq!(text, render(&reparsed), "{} (O3)", w.name());
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-workload checks of the Table-1 traits each benchmark encodes.
+
+use peak_ir::{context_set, ContextAnalysis, Interp, MemoryImage};
+use peak_workloads::{all_workloads, Dataset, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Figure-1 applicability matches each benchmark's paper method: CBR rows
+/// must pass context analysis, RBR rows (except the scalar-driven MESA
+/// and the over-budget MGRID) must fail it.
+#[test]
+fn context_analysis_matches_method_family() {
+    for w in all_workloads() {
+        let applicable =
+            matches!(context_set(w.program().func(w.ts())), ContextAnalysis::Applicable(_));
+        match w.paper_row().method {
+            "CBR" => assert!(applicable, "{}: CBR needs Figure-1 applicability", w.name()),
+            "MBR" => assert!(
+                applicable,
+                "{}: MGRID's analysis succeeds (the consultant rejects on context count)",
+                w.name()
+            ),
+            "RBR" => {
+                // MESA's control derives from its scalar parameter; its
+                // RBR assignment comes from unbounded contexts, not from
+                // analysis failure.
+                if w.name() != "MESA" {
+                    assert!(
+                        !applicable,
+                        "{}: integer/irregular codes fail the Figure-1 analysis",
+                        w.name()
+                    );
+                }
+            }
+            other => panic!("unknown method {other}"),
+        }
+    }
+}
+
+/// CBR benchmarks expose exactly the context counts of Table 1.
+#[test]
+fn context_counts_match_table1() {
+    for w in all_workloads() {
+        let row = w.paper_row();
+        if row.method != "CBR" {
+            continue;
+        }
+        let ContextAnalysis::Applicable(sources) = context_set(w.program().func(w.ts()))
+        else {
+            panic!("{}: analysis must apply", w.name())
+        };
+        let mut rng = StdRng::seed_from_u64(0x7472_6169_6e00);
+        let mut mem = MemoryImage::new(w.program());
+        w.setup(Dataset::Train, &mut mem, &mut rng);
+        let mut seen = HashSet::new();
+        let n = 300.min(w.invocations(Dataset::Train));
+        for inv in 0..n {
+            let args = w.args(Dataset::Train, inv, &mut mem, &mut rng);
+            // Count full-key contexts, with run-time constants folded the
+            // way the profile does: constants make keys identical anyway.
+            let key: Vec<u64> = sources
+                .iter()
+                .map(|s| match s {
+                    peak_ir::ContextSource::Param(i) => args[*i].context_key(),
+                    peak_ir::ContextSource::GlobalScalar { mem: m, index } => {
+                        mem.load(*m, *index).context_key()
+                    }
+                })
+                .collect();
+            seen.insert(key);
+        }
+        assert_eq!(
+            seen.len(),
+            row.contexts as usize,
+            "{}: Table 1 lists {} context(s)",
+            w.name(),
+            row.contexts
+        );
+    }
+}
+
+/// Invocation-count ordering mirrors the paper's: the scaled counts keep
+/// MESA/VORTEX/BZIP2/GZIP huge and APPLU/ART/SWIM tiny.
+#[test]
+fn invocation_count_ordering_preserved() {
+    let count = |name: &str| {
+        peak_workloads::workload_by_name(name)
+            .unwrap()
+            .invocations(Dataset::Train)
+    };
+    // Small-count group exactly as in the paper.
+    assert_eq!(count("SWIM"), 198);
+    assert_eq!(count("APPLU"), 250);
+    assert_eq!(count("ART"), 250);
+    assert_eq!(count("MGRID"), 2410);
+    assert_eq!(count("EQUAKE"), 2709);
+    // Large-count group stays largest.
+    for big in ["BZIP2", "GZIP", "VORTEX", "MESA", "WUPWISE"] {
+        assert!(
+            count(big) > 10_000,
+            "{big} carries a paper-scale invocation count"
+        );
+    }
+}
+
+/// Workload streams are deterministic per dataset: two replays of the
+/// same dataset produce identical argument sequences and memory effects.
+#[test]
+fn streams_are_replayable() {
+    for w in all_workloads() {
+        let replay = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mem = MemoryImage::new(w.program());
+            w.setup(Dataset::Train, &mut mem, &mut rng);
+            let mut out = Vec::new();
+            for inv in 0..10.min(w.invocations(Dataset::Train)) {
+                out.push(w.args(Dataset::Train, inv, &mut mem, &mut rng));
+            }
+            out
+        };
+        assert_eq!(replay(42), replay(42), "{}", w.name());
+    }
+}
+
+/// Every workload's ref input does strictly more total work than train
+/// (the paper tunes on train and reports on ref; the datasets must
+/// actually differ).
+#[test]
+fn ref_does_more_work_than_train() {
+    let interp = Interp::default();
+    for w in all_workloads() {
+        let steps_of = |ds: Dataset| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut mem = MemoryImage::new(w.program());
+            w.setup(ds, &mut mem, &mut rng);
+            let mut total = 0u64;
+            for inv in 0..5 {
+                let args = w.args(ds, inv, &mut mem, &mut rng);
+                total += interp.run(w.program(), w.ts(), &args, &mut mem).unwrap().steps;
+            }
+            (total, w.invocations(ds) as u64)
+        };
+        let (train_steps, train_inv) = steps_of(Dataset::Train);
+        let (ref_steps, ref_inv) = steps_of(Dataset::Ref);
+        // Per-invocation work and/or invocation count grows.
+        assert!(
+            ref_steps * ref_inv > train_steps * train_inv,
+            "{}: ref run must outweigh train run",
+            w.name()
+        );
+    }
+}

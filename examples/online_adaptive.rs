@@ -1,0 +1,66 @@
+//! Online, adaptive tuning demo — the paper's "future work" scenario
+//! (§6): tune *while the application runs in production*, using CBR's
+//! per-context winners so different contexts can use different versions.
+//!
+//! ```text
+//! cargo run --release --example online_adaptive
+//! ```
+//!
+//! The APSI radb4 kernel runs with three (ido, l1) shapes. The adaptive
+//! driver (`peak_core::adaptive`) keeps a best + experimental version per
+//! context (the ADAPT mechanism of paper Fig. 6), rates experiments in
+//! vivo with CBR windows, and promotes winners — all inside one
+//! continuous run. On the Pentium IV model the trip-1 shape (ido = 1)
+//! genuinely prefers less optimization than the fat shapes, so the
+//! winners *diverge by context*.
+
+use peak_core::{AdaptiveTuner, RunHarness};
+use peak_opt::{Flag, OptConfig};
+use peak_sim::MachineSpec;
+use peak_workloads::{apsi::ApsiRadb4, Dataset, Workload};
+
+fn main() {
+    let workload = ApsiRadb4::new();
+    let spec = MachineSpec::pentium_iv();
+    println!(
+        "== Online adaptive tuning: {} / {} on {} ==",
+        workload.name(),
+        workload.ts_name(),
+        spec.kind.name()
+    );
+
+    // Candidate pool: -O3 plus plausible variants (a production adaptive
+    // system would generate these on the fly via the remote optimizer).
+    let candidates = vec![
+        OptConfig::o3(),
+        OptConfig::o0(),
+        OptConfig::o3().without(Flag::LoopUnroll),
+        OptConfig::o3().without(Flag::PrefetchLoopArrays),
+        OptConfig::o3().without(Flag::ScheduleInsns),
+    ];
+    println!("candidate pool:");
+    for (i, c) in candidates.iter().enumerate() {
+        println!("  #{i}: {c}");
+    }
+
+    let tuner = AdaptiveTuner::new(&workload, &spec, candidates);
+    let mut h = RunHarness::new(&workload, Dataset::Ref, &spec, 7);
+    let out = tuner.run(&mut h);
+
+    println!("\nafter one continuous production run:");
+    println!(
+        "  {} invocations, {} ({:.1}%) spent sampling experiments",
+        out.invocations,
+        out.sampling_invocations,
+        100.0 * out.sampling_invocations as f64 / out.invocations as f64
+    );
+    for (key, winner, promotions, decisions) in &out.winners {
+        println!(
+            "  context {:?}: best = #{winner} ({}), {promotions} promotion(s) over {decisions} decision(s)",
+            key.0,
+            tuner.candidates()[*winner],
+        );
+    }
+    println!("\ntotal run cycles: {}", out.cycles);
+    println!("(different contexts may settle on different winners — the per-context payoff of CBR, paper §2.2)");
+}
