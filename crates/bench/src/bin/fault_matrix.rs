@@ -1,0 +1,188 @@
+//! Fault-injection matrix: how rating accuracy degrades with fault
+//! intensity, per rating method, plus a crash+jitter scenario exercising
+//! the supervisor's degradation cascade end-to-end.
+//!
+//! ```text
+//! cargo run --release -p peak-bench --bin fault_matrix \
+//!     [-- --machine sparc|p4] [--bench NAME] [--json PATH]
+//! ```
+//!
+//! For each fault intensity the harness self-rates `-O3` against itself
+//! (true improvement = 1.0) with every applicable method; the reported
+//! error `|EVAL_ratio − 1| × 100` is the rating-accuracy cost of the
+//! faults. The final section rates under a deterministic version-crash
+//! plus heavy jitter and shows the supervisor walking the
+//! CBR → MBR → RBR → WHL cascade instead of panicking.
+
+use peak_core::consultant::Method;
+use peak_core::rating::{rate, TuningSetup};
+use peak_core::RatingSupervisor;
+use peak_opt::OptConfig;
+use peak_sim::{FaultConfig, MachineKind, MachineSpec};
+use peak_util::{Json, ToJson};
+use peak_workloads::Dataset;
+use std::io::Write;
+
+/// Fault intensities swept (0.0 = clean control).
+const INTENSITIES: &[f64] = &[0.0, 0.5, 1.0, 2.0];
+/// Scenario seed for reproducible fault streams.
+const SCENARIO_SEED: u64 = 0xFA_07;
+
+struct Cell {
+    method: Method,
+    intensity: f64,
+    error_pct: f64,
+    samples: usize,
+    trimmed: usize,
+    dropouts: u64,
+    crashes: u64,
+    unconverged: usize,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("method", self.method.to_json()),
+            ("intensity", self.intensity.to_json()),
+            ("error_pct", self.error_pct.to_json()),
+            ("samples", self.samples.to_json()),
+            ("trimmed", self.trimmed.to_json()),
+            ("dropouts", self.dropouts.to_json()),
+            ("crashes", self.crashes.to_json()),
+            ("unconverged", self.unconverged.to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machine = arg_value(&args, "--machine").unwrap_or_else(|| "sparc".into());
+    let bench = arg_value(&args, "--bench").unwrap_or_else(|| "swim".into());
+    let json_path = arg_value(&args, "--json");
+    let kind = match machine.as_str() {
+        "p4" | "pentium" | "pentium4" => MachineKind::PentiumIV,
+        "sparc" => MachineKind::SparcII,
+        other => {
+            eprintln!("error: unknown machine `{other}` (expected sparc or p4)");
+            std::process::exit(1);
+        }
+    };
+    let Some(workload) = peak_workloads::workload_by_name(&bench) else {
+        eprintln!("error: unknown benchmark `{bench}`");
+        std::process::exit(1);
+    };
+    let spec = MachineSpec::of(kind);
+    let base = OptConfig::o3();
+
+    println!(
+        "Fault matrix — rating-accuracy degradation under injected faults ({}, {})",
+        workload.name(),
+        kind.name()
+    );
+    println!("Self-rating of -O3 (true improvement = 1.0); error = |ratio-1|x100.");
+    println!();
+    println!(
+        "{:<6} {:>9} {:>10} {:>8} {:>8} {:>9} {:>8} {:>12}",
+        "method", "intensity", "error%", "samples", "trimmed", "dropouts", "crashes", "unconverged"
+    );
+
+    // Applicable methods for this TS, always ending in the baselines.
+    let consult = peak_core::consult(workload.as_ref(), &spec);
+    let mut methods = consult.order.clone();
+    if !methods.contains(&Method::Whl) {
+        methods.push(Method::Whl);
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &method in &methods {
+        for &intensity in INTENSITIES {
+            let mut setup = TuningSetup::new(workload.as_ref(), spec.clone(), Dataset::Train);
+            if intensity > 0.0 {
+                setup.set_faults(Some(spec.fault_profile(intensity, SCENARIO_SEED)));
+            }
+            let Some(out) = rate(&mut setup, method, base, &[base]) else {
+                continue;
+            };
+            let cell = Cell {
+                method,
+                intensity,
+                error_pct: (out.improvements[0] - 1.0).abs() * 100.0,
+                samples: out.samples,
+                trimmed: out.trimmed,
+                dropouts: out.dropouts,
+                crashes: out.crashes,
+                unconverged: out.unconverged,
+            };
+            println!(
+                "{:<6} {:>9.1} {:>10.3} {:>8} {:>8} {:>9} {:>8} {:>12}",
+                cell.method.name(),
+                cell.intensity,
+                cell.error_pct,
+                cell.samples,
+                cell.trimmed,
+                cell.dropouts,
+                cell.crashes,
+                cell.unconverged
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Crash + jitter scenario: a deterministic version crash on the 6th
+    // TS execution of every run plus intensity-1.0 jitter. Per-method
+    // rating survives (crashes are data, not panics); the supervisor
+    // degrades down the cascade and still produces a rating.
+    println!();
+    println!("Crash+jitter scenario (crash on 6th execution per run, intensity 1.0):");
+    let mut crash_cfg: FaultConfig = spec.fault_profile(1.0, SCENARIO_SEED);
+    crash_cfg.crash_at = Some(6);
+    let mut setup = TuningSetup::new(workload.as_ref(), spec.clone(), Dataset::Train);
+    setup.set_faults(Some(crash_cfg));
+    let preferred = *consult.order.first().unwrap_or(&Method::Rbr);
+    let mut supervisor = RatingSupervisor::default();
+    let (out, used) = supervisor.rate(&mut setup, preferred, base, &[base]);
+    println!(
+        "  preferred {} -> completed with {} (error {:.3}%, {} downgrades)",
+        preferred.name(),
+        used.name(),
+        (out.improvements[0] - 1.0).abs() * 100.0,
+        supervisor.events().len()
+    );
+    for e in supervisor.events() {
+        println!(
+            "    degrade {} -> {}: {} (after {} retries)",
+            e.from.name(),
+            e.to.name(),
+            e.trigger.name(),
+            e.retries
+        );
+    }
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("benchmark", workload.name().to_json()),
+            ("machine", kind.name().to_json()),
+            ("cells", Json::Arr(cells.iter().map(|c| c.to_json()).collect())),
+            (
+                "crash_scenario",
+                Json::obj(vec![
+                    ("preferred", preferred.to_json()),
+                    ("completed_with", used.to_json()),
+                    ("error_pct", ((out.improvements[0] - 1.0).abs() * 100.0).to_json()),
+                    (
+                        "events",
+                        Json::Arr(supervisor.events().iter().map(|e| e.to_json()).collect()),
+                    ),
+                ]),
+            ),
+        ]);
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        writeln!(f, "{}", doc.pretty()).expect("write json output");
+        println!();
+        println!("wrote {path}");
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

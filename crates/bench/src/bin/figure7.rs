@@ -109,7 +109,7 @@ fn main() {
     println!();
     summarize(&cells);
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&cells).expect("serialize");
+        let json = peak_util::to_string_pretty(&cells);
         std::fs::File::create(&path)
             .and_then(|mut f| f.write_all(json.as_bytes()))
             .expect("write json");

@@ -75,7 +75,7 @@ fn main() {
         flat.len()
     );
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&flat).expect("serialize");
+        let json = peak_util::to_string_pretty(&flat);
         std::fs::File::create(&path)
             .and_then(|mut f| f.write_all(json.as_bytes()))
             .expect("write json");

@@ -13,11 +13,11 @@
 use peak_core::consultant::Method;
 use peak_core::TuneReport;
 use peak_sim::{MachineKind, MachineSpec};
+use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
-use serde::Serialize;
 
 /// One Figure-7 cell: benchmark × machine × method × tuning dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure7Cell {
     /// The tuning report (improvement, search stats).
     pub report: TuneReport,
@@ -25,6 +25,15 @@ pub struct Figure7Cell {
     /// benchmark/machine/dataset (Figure 7 c/d bars). Filled by the
     /// aggregation step.
     pub tuning_time_vs_whl: Option<f64>,
+}
+
+impl ToJson for Figure7Cell {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("report", self.report.to_json()),
+            ("tuning_time_vs_whl", self.tuning_time_vs_whl.to_json()),
+        ])
+    }
 }
 
 /// Methods plotted for a benchmark in Figure 7: every method with a plan

@@ -114,7 +114,7 @@ impl AdaptiveTuner {
             });
             tick += 1;
             let experimenting =
-                st.experiment < n_versions && tick % self.sample_every == 0;
+                st.experiment < n_versions && tick.is_multiple_of(self.sample_every);
             let vi = if experimenting { st.experiment } else { st.best };
             let (measured, _) = h.execute_timed(&self.versions[vi], &args, &opts);
             if experimenting {

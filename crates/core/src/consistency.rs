@@ -11,11 +11,11 @@ use crate::harness::RunHarness;
 use crate::stats;
 use peak_opt::OptConfig;
 use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
+use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
-use serde::Serialize;
 
 /// One row of Table 1 (one context for multi-context CBR sections).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ConsistencyRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -31,6 +31,19 @@ pub struct ConsistencyRow {
     /// Per window size: (w, mean×100, stddev×100) — the paper's
     /// "Mean (Standard Deviation) * 100" columns.
     pub cells: Vec<(usize, f64, f64)>,
+}
+
+impl ToJson for ConsistencyRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("benchmark", self.benchmark.to_json()),
+            ("ts", self.ts.to_json()),
+            ("method", self.method.to_json()),
+            ("context", self.context.to_json()),
+            ("invocations", self.invocations.to_json()),
+            ("cells", self.cells.to_json()),
+        ])
+    }
 }
 
 /// Window sizes of Table 1.

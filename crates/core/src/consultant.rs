@@ -7,12 +7,12 @@ use crate::context::{ContextKey, ContextProfile};
 use crate::mbr::{self, MbrModel};
 use peak_ir::{context_set, mem_effects, ContextAnalysis, ContextSource, MemId, MemoryImage};
 use peak_workloads::{Dataset, Workload};
+use peak_util::{Json, ToJson};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 
 /// A rating method (plus the two baselines of §5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Context-based rating.
     Cbr,
@@ -26,7 +26,36 @@ pub enum Method {
     Avg,
 }
 
+impl ToJson for Method {
+    fn to_json(&self) -> Json {
+        // Variant-name strings, matching serde's external enum tagging so
+        // the committed golden result files stay comparable.
+        Json::Str(
+            match self {
+                Method::Cbr => "Cbr",
+                Method::Mbr => "Mbr",
+                Method::Rbr => "Rbr",
+                Method::Whl => "Whl",
+                Method::Avg => "Avg",
+            }
+            .to_owned(),
+        )
+    }
+}
+
 impl Method {
+    /// Parse the JSON variant string written by [`ToJson`].
+    pub fn from_json_name(name: &str) -> Option<Method> {
+        Some(match name {
+            "Cbr" => Method::Cbr,
+            "Mbr" => Method::Mbr,
+            "Rbr" => Method::Rbr,
+            "Whl" => Method::Whl,
+            "Avg" => Method::Avg,
+            _ => return None,
+        })
+    }
+
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {

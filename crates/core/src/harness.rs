@@ -9,7 +9,10 @@
 
 use crate::context::ContextKey;
 use peak_ir::{MemoryImage, Value};
-use peak_sim::{AddressMap, ExecOptions, ExecResult, MachineSpec, MachineState, PreparedVersion};
+use peak_sim::{
+    AddressMap, ExecError, ExecOptions, ExecResult, FaultPlan, MachineSpec, MachineState,
+    PreparedVersion,
+};
 use peak_workloads::{Dataset, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +46,18 @@ impl<'w> RunHarness<'w> {
         spec: &MachineSpec,
         noise_seed: u64,
     ) -> Self {
+        Self::with_faults(workload, ds, spec, noise_seed, None)
+    }
+
+    /// Start a run with an optional injected-fault plan (the robustness
+    /// harness). `faults = None` is exactly [`RunHarness::new`].
+    pub fn with_faults(
+        workload: &'w dyn Workload,
+        ds: Dataset,
+        spec: &MachineSpec,
+        noise_seed: u64,
+        faults: Option<FaultPlan>,
+    ) -> Self {
         let mem_lens: Vec<usize> =
             workload.program().mems.iter().map(|m| m.len).collect();
         let amap = AddressMap::new(&mem_lens);
@@ -54,16 +69,11 @@ impl<'w> RunHarness<'w> {
         let mut stream_rng = StdRng::seed_from_u64(stream_seed);
         workload.setup(ds, &mut mem, &mut stream_rng);
         let limit = workload.invocations(ds);
-        RunHarness {
-            workload,
-            ds,
-            machine: MachineState::new(spec.clone(), noise_seed),
-            amap,
-            mem,
-            stream_rng,
-            next_inv: 0,
-            limit,
+        let mut machine = MachineState::new(spec.clone(), noise_seed);
+        if let Some(plan) = faults {
+            machine.install_faults(plan);
         }
+        RunHarness { workload, ds, machine, amap, mem, stream_rng, next_inv: 0, limit }
     }
 
     /// Invocations remaining in this run.
@@ -87,22 +97,34 @@ impl<'w> RunHarness<'w> {
     }
 
     /// Execute one TS invocation with `version` and return the result
-    /// (true cycles inside; accounting updated).
+    /// (true cycles inside; accounting updated). Panics on any failure —
+    /// the legacy interface for fault-free paths; fault-aware drivers use
+    /// [`RunHarness::try_execute`].
     pub fn execute(
         &mut self,
         version: &PreparedVersion,
         args: &[Value],
         opts: &ExecOptions,
     ) -> ExecResult {
-        peak_sim::execute(version, args, &mut self.mem, &self.amap, &mut self.machine, opts)
-            .unwrap_or_else(|e|
+        self.try_execute(version, args, opts).unwrap_or_else(|e| {
+            panic!("workload {} execution failed: {e}", self.workload.name())
+        })
+    }
 
-                panic!("workload {} execution failed: {e}", self.workload.name())
-            )
+    /// Execute one TS invocation, surfacing failures (including injected
+    /// version crashes) as data instead of panicking.
+    pub fn try_execute(
+        &mut self,
+        version: &PreparedVersion,
+        args: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<ExecResult, ExecError> {
+        peak_sim::execute(version, args, &mut self.mem, &self.amap, &mut self.machine, opts)
     }
 
     /// Measure an execution: run it and return the *noisy* measured time
-    /// alongside the result.
+    /// alongside the result. Legacy interface: fault-induced dropout does
+    /// not apply here (use [`RunHarness::try_execute_timed`] for that).
     pub fn execute_timed(
         &mut self,
         version: &PreparedVersion,
@@ -112,6 +134,21 @@ impl<'w> RunHarness<'w> {
         let res = self.execute(version, args, opts);
         let measured = self.machine.timer.measure(res.true_cycles);
         (measured, res)
+    }
+
+    /// Measure an execution through the fault layer: `Ok((None, res))`
+    /// means the invocation ran (cycles charged) but its reading was lost
+    /// to an injected dropout; `Err` means the execution itself failed
+    /// (e.g. an injected crash — the run should be abandoned).
+    pub fn try_execute_timed(
+        &mut self,
+        version: &PreparedVersion,
+        args: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<(Option<u64>, ExecResult), ExecError> {
+        let res = self.try_execute(version, args, opts)?;
+        let measured = self.machine.measure(res.true_cycles);
+        Ok((measured, res))
     }
 
     /// Context key for the upcoming invocation: reads the context sources

@@ -16,6 +16,9 @@
 //!   (Figure 7);
 //! * [`consistency`] — the Table 1 experiment;
 //! * [`adaptive`] — the §6 online/adaptive scenario (per-context winners);
+//! * [`degrade`] — rating supervisor: retry-with-backoff and the
+//!   CBR → MBR → RBR → WHL degradation cascade under injected faults;
+//! * [`checkpoint`] — serializable tuner state for kill/resume;
 //! * [`harness`] — simulated application runs with version swapping;
 //! * [`stats`], [`linreg`] — EVAL/VAR windows, outlier elimination, least
 //!   squares;
@@ -24,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod checkpoint;
 pub mod consistency;
 pub mod consultant;
 pub mod context;
+pub mod degrade;
 pub mod harness;
 pub mod linreg;
 pub mod mbr;
@@ -37,10 +42,12 @@ pub mod ts_select;
 pub mod tuner;
 
 pub use adaptive::{AdaptiveOutcome, AdaptiveTuner};
+pub use checkpoint::TunerCheckpoint;
 pub use consistency::{consistency_rows, ConsistencyRow, WINDOW_SIZES};
 pub use consultant::{consult, Consultation, Method};
+pub use degrade::{DegradeEvent, DegradeTrigger, RatingSupervisor, SupervisorConfig};
 pub use harness::RunHarness;
 pub use mbr::MbrModel;
-pub use rating::{rate, RateOutcome, TuningSetup};
+pub use rating::{rate, rate_with, RateOptions, RateOutcome, TuningSetup};
 pub use search::{exhaustive, iterative_elimination, random_search, SearchResult};
-pub use tuner::{production_time, tune, TuneReport};
+pub use tuner::{production_time, tune, TuneReport, Tuner};

@@ -10,7 +10,7 @@ use crate::consultant::{Consultation, Method};
 use crate::harness::RunHarness;
 use crate::stats::Window;
 use peak_opt::OptConfig;
-use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
+use peak_sim::{ExecError, ExecOptions, FaultConfig, FaultPlan, MachineSpec, PreparedVersion};
 use peak_workloads::{Dataset, Workload};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,6 +27,7 @@ pub struct TuningSetup<'w> {
     pub ds: Dataset,
     versions: HashMap<(u64, bool), Arc<PreparedVersion>>,
     next_seed: u64,
+    fault_config: Option<FaultConfig>,
     /// True cycles consumed by tuning runs so far.
     pub tuning_cycles: u64,
     /// Application runs started so far.
@@ -46,10 +47,43 @@ impl<'w> TuningSetup<'w> {
             ds,
             versions: HashMap::new(),
             next_seed: 1,
+            fault_config: None,
             tuning_cycles: 0,
             runs_used: 0,
             invocations_used: 0,
         }
+    }
+
+    /// Install (or clear) a fault scenario: every subsequent run gets a
+    /// [`FaultPlan`] derived from the scenario seed and that run's seed,
+    /// so fault streams replay exactly per run regardless of history.
+    pub fn set_faults(&mut self, config: Option<FaultConfig>) {
+        self.fault_config = config;
+    }
+
+    /// The installed fault scenario, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault_config.as_ref()
+    }
+
+    /// Seed the next run will be derived from (checkpointing).
+    pub fn next_seed(&self) -> u64 {
+        self.next_seed
+    }
+
+    /// Restore run accounting from a checkpoint so a resumed tuner
+    /// replays the exact run-seed sequence of the uninterrupted run.
+    pub fn restore_accounting(
+        &mut self,
+        next_seed: u64,
+        tuning_cycles: u64,
+        runs_used: usize,
+        invocations_used: u64,
+    ) {
+        self.next_seed = next_seed;
+        self.tuning_cycles = tuning_cycles;
+        self.runs_used = runs_used;
+        self.invocations_used = invocations_used;
     }
 
     /// Compile (and cache) a version. `instrumented` selects the
@@ -75,7 +109,9 @@ impl<'w> TuningSetup<'w> {
     pub fn new_run(&mut self) -> RunHarness<'w> {
         self.runs_used += 1;
         self.next_seed += 1;
-        RunHarness::new(self.workload, self.ds, &self.spec, self.next_seed)
+        let faults =
+            self.fault_config.as_ref().map(|c| FaultPlan::new(c.clone(), self.next_seed));
+        RunHarness::with_faults(self.workload, self.ds, &self.spec, self.next_seed, faults)
     }
 
     /// Account a finished (or abandoned) run's cycles.
@@ -89,12 +125,57 @@ impl<'w> TuningSetup<'w> {
 pub struct RateOutcome {
     /// Per-candidate improvement over base (>1 = candidate faster).
     pub improvements: Vec<f64>,
-    /// Per-candidate rating variance (CV of the underlying estimate).
+    /// Per-candidate rating variance: the CV of the mean estimate for
+    /// window methods (the quantity convergence is judged on — an
+    /// exhausted window carries its real CV here), the regression
+    /// variance for MBR.
     pub vars: Vec<f64>,
     /// Candidates whose window never converged.
     pub unconverged: usize,
     /// The method that produced these numbers.
     pub method: Method,
+    /// Measurements accepted into estimates.
+    pub samples: usize,
+    /// Samples rejected by the outlier filter across all estimates.
+    pub trimmed: usize,
+    /// Measurements lost to injected dropout (invocation ran, reading
+    /// lost).
+    pub dropouts: u64,
+    /// Runs abandoned because an execution crashed (injected fault).
+    pub crashes: u64,
+}
+
+impl RateOutcome {
+    /// Fraction of measurements lost to dropout (0 when nothing was
+    /// measured).
+    pub fn dropout_rate(&self) -> f64 {
+        let total = self.samples as f64 + self.dropouts as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.dropouts as f64 / total
+        }
+    }
+}
+
+/// Knobs for one rating call (the supervisor's retry-with-backoff).
+#[derive(Debug, Clone, Copy)]
+pub struct RateOptions {
+    /// Multiplier on each method's maximum window budget (CBR/AVG/RBR
+    /// samples, MBR rows). `1.0` (the default) is bit-identical to the
+    /// un-optioned path.
+    pub window_scale: f64,
+}
+
+impl Default for RateOptions {
+    fn default() -> Self {
+        RateOptions { window_scale: 1.0 }
+    }
+}
+
+/// Scale a window budget; `scale = 1.0` returns `n` exactly.
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64) * scale).round() as usize
 }
 
 /// Hard cap on runs per rating call.
@@ -115,11 +196,27 @@ pub fn rate(
     base: OptConfig,
     candidates: &[OptConfig],
 ) -> Option<RateOutcome> {
+    rate_with(setup, method, base, candidates, &RateOptions::default())
+}
+
+/// [`rate`] with explicit options (window widening for the supervisor's
+/// retry-with-backoff). Default options are bit-identical to [`rate`].
+pub fn rate_with(
+    setup: &mut TuningSetup<'_>,
+    method: Method,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    opts: &RateOptions,
+) -> Option<RateOutcome> {
     match method {
-        Method::Cbr => setup.consult.cbr.is_some().then(|| rate_cbr(setup, base, candidates, true)),
-        Method::Avg => Some(rate_cbr(setup, base, candidates, false)),
-        Method::Mbr => setup.consult.mbr.is_some().then(|| rate_mbr(setup, base, candidates)),
-        Method::Rbr => Some(rate_rbr(setup, base, candidates, true)),
+        Method::Cbr => {
+            setup.consult.cbr.is_some().then(|| rate_cbr(setup, base, candidates, true, opts))
+        }
+        Method::Avg => Some(rate_cbr(setup, base, candidates, false, opts)),
+        Method::Mbr => {
+            setup.consult.mbr.is_some().then(|| rate_mbr(setup, base, candidates, opts))
+        }
+        Method::Rbr => Some(rate_rbr(setup, base, candidates, true, opts)),
         Method::Whl => Some(rate_whl(setup, base, candidates)),
     }
 }
@@ -132,6 +229,7 @@ fn rate_cbr(
     base: OptConfig,
     candidates: &[OptConfig],
     use_context: bool,
+    ropts: &RateOptions,
 ) -> RateOutcome {
     let (sources, varying, important) = if use_context {
         let plan = setup.consult.cbr.as_ref().expect("CBR plan");
@@ -140,6 +238,7 @@ fn rate_cbr(
         (Vec::new(), Vec::new(), crate::context::ContextKey(Vec::new()))
     };
     let (wmin, wmax, thr) = if use_context { CBR_WINDOW } else { AVG_WINDOW };
+    let wmax = scaled(wmax, ropts.window_scale);
     // Window per version: index 0 = base.
     let mut all: Vec<OptConfig> = vec![base];
     all.extend_from_slice(candidates);
@@ -147,6 +246,8 @@ fn rate_cbr(
     let versions: Vec<Arc<PreparedVersion>> =
         all.iter().map(|c| setup.version(*c, false)).collect();
     let opts = ExecOptions::default();
+    let mut dropouts = 0u64;
+    let mut crashes = 0u64;
     'runs: for _ in 0..MAX_RUNS_PER_RATING {
         let mut h = setup.new_run();
         while let Some(args) = h.next_args() {
@@ -160,7 +261,14 @@ fn rate_cbr(
             if !matches {
                 // Off-context invocation: run the base version to keep the
                 // program advancing; its timing is not comparable.
-                let _ = h.execute(&versions[0], &args, &opts);
+                match h.try_execute(&versions[0], &args, &opts) {
+                    Ok(_) => {}
+                    Err(ExecError::InjectedCrash { .. }) => {
+                        crashes += 1;
+                        break; // abandon the run: the process died
+                    }
+                    Err(e) => panic!("workload {} failed: {e}", setup.workload.name()),
+                }
                 continue;
             }
             // Pick the least-sampled unconverged window.
@@ -174,8 +282,15 @@ fn rate_cbr(
                 setup.absorb_run(&h);
                 break 'runs;
             };
-            let (measured, _) = h.execute_timed(&versions[i], &args, &opts);
-            windows[i].push(measured as f64);
+            match h.try_execute_timed(&versions[i], &args, &opts) {
+                Ok((Some(measured), _)) => windows[i].push(measured as f64),
+                Ok((None, _)) => dropouts += 1,
+                Err(ExecError::InjectedCrash { .. }) => {
+                    crashes += 1;
+                    break;
+                }
+                Err(e) => panic!("workload {} failed: {e}", setup.workload.name()),
+            }
         }
         setup.absorb_run(&h);
         if windows.iter().all(|w| w.converged() || w.exhausted()) {
@@ -194,19 +309,31 @@ fn rate_cbr(
             }
         })
         .collect();
-    let vars = windows[1..].iter().map(|w| w.summary().cv()).collect();
+    let vars = windows[1..].iter().map(|w| w.mean_cv()).collect();
     let unconverged = windows.iter().filter(|w| !w.converged()).count();
+    let samples = windows.iter().map(|w| w.len()).sum();
+    let trimmed = windows.iter().map(|w| w.rejected()).sum();
     RateOutcome {
         improvements,
         vars,
         unconverged,
         method: if use_context { Method::Cbr } else { Method::Avg },
+        samples,
+        trimmed,
+        dropouts,
+        crashes,
     }
 }
 
 /// MBR: regression of time on component counts per version (paper §2.3).
-fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfig]) -> RateOutcome {
+fn rate_mbr(
+    setup: &mut TuningSetup<'_>,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    ropts: &RateOptions,
+) -> RateOutcome {
     let model = setup.consult.mbr.as_ref().expect("MBR model").clone();
+    let max_rows = scaled(MBR_MAX_ROWS, ropts.window_scale);
     let mut all: Vec<OptConfig> = vec![base];
     all.extend_from_slice(candidates);
     let versions: Vec<Arc<PreparedVersion>> =
@@ -216,6 +343,8 @@ fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfi
     let mut counts: Vec<Vec<Vec<f64>>> = vec![Vec::new(); all.len()];
     let mut evals: Vec<Option<(f64, f64)>> = vec![None; all.len()]; // (eval, var)
     let min_rows = MBR_MIN_ROWS.max(2 * model.num_components());
+    let mut dropouts = 0u64;
+    let mut crashes = 0u64;
     // Version assignment is randomized, not round-robin: a fixed stride
     // phase-locks with periodic context streams (MGRID's V-cycle), giving
     // different versions systematically different context mixes and
@@ -231,7 +360,7 @@ fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfi
             let eligible: Vec<usize> = (0..all.len())
                 .filter(|&i| {
                     evals[i].is_none_or(|(_, var)| var > MBR_VAR_OK)
-                        && times[i].len() < MBR_MAX_ROWS
+                        && times[i].len() < max_rows
                 })
                 .collect();
             let pick = if eligible.is_empty() {
@@ -243,9 +372,21 @@ fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfi
                 setup.absorb_run(&h);
                 break 'runs;
             };
-            let (measured, res) = h.execute_timed(&versions[i], &args, &opts);
-            times[i].push(measured as f64);
-            counts[i].push(model.count_row(&args, &res.counters));
+            match h.try_execute_timed(&versions[i], &args, &opts) {
+                Ok((Some(measured), res)) => {
+                    times[i].push(measured as f64);
+                    counts[i].push(model.count_row(&args, &res.counters));
+                }
+                Ok((None, _)) => {
+                    dropouts += 1;
+                    continue;
+                }
+                Err(ExecError::InjectedCrash { .. }) => {
+                    crashes += 1;
+                    break;
+                }
+                Err(e) => panic!("workload {} failed: {e}", setup.workload.name()),
+            }
             if times[i].len() >= min_rows && times[i].len().is_multiple_of(8) {
                 if let Some((t, c)) = trimmed_rows(&times[i], &counts[i]) {
                     if let Some(reg) = crate::linreg::solve(&t, &c) {
@@ -256,7 +397,7 @@ fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfi
         }
         setup.absorb_run(&h);
         if (0..all.len())
-            .all(|i| evals[i].is_some_and(|(_, v)| v <= MBR_VAR_OK) || times[i].len() >= MBR_MAX_ROWS)
+            .all(|i| evals[i].is_some_and(|(_, v)| v <= MBR_VAR_OK) || times[i].len() >= max_rows)
         {
             break;
         }
@@ -278,7 +419,21 @@ fn rate_mbr(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfi
         .collect();
     let vars = evals[1..].iter().map(|e| e.map(|(_, v)| v).unwrap_or(f64::INFINITY)).collect();
     let unconverged = evals.iter().filter(|e| e.is_none_or(|(_, v)| v > MBR_VAR_OK)).count();
-    RateOutcome { improvements, vars, unconverged, method: Method::Mbr }
+    let samples = times.iter().map(|t| t.len()).sum();
+    let trimmed = times
+        .iter()
+        .map(|t| t.len() - crate::stats::trim_outliers(t, crate::stats::OUTLIER_K).len())
+        .sum();
+    RateOutcome {
+        improvements,
+        vars,
+        unconverged,
+        method: Method::Mbr,
+        samples,
+        trimmed,
+        dropouts,
+        crashes,
+    }
 }
 
 /// Remove time-outlier rows jointly from (times, counts).
@@ -308,17 +463,21 @@ fn rate_rbr(
     base: OptConfig,
     candidates: &[OptConfig],
     improved: bool,
+    ropts: &RateOptions,
 ) -> RateOutcome {
     let plan = setup.consult.rbr.clone();
     let base_v = setup.version(base, false);
     let cand_vs: Vec<Arc<PreparedVersion>> =
         candidates.iter().map(|c| setup.version(*c, false)).collect();
     let (wmin, wmax, thr) = RBR_WINDOW;
+    let wmax = scaled(wmax, ropts.window_scale);
     let mut windows: Vec<Window> =
         (0..candidates.len()).map(|_| Window::with(wmin, wmax, thr)).collect();
     let mut flip = false;
     let opts_plain = ExecOptions::default();
     let opts_record = ExecOptions { record_writes: true, num_counters: 0 };
+    let mut dropouts = 0u64;
+    let mut crashes = 0u64;
     'runs: for _ in 0..MAX_RUNS_PER_RATING {
         let mut h = setup.new_run();
         while let Some(args) = h.next_args() {
@@ -339,7 +498,15 @@ fn rate_rbr(
                 rbr_basic_sample(&mut h, &plan, &base_v, &cand_vs[i], &args, &opts_plain)
             };
             flip = !flip;
-            windows[i].push(r);
+            match r {
+                Ok(Some(sample)) => windows[i].push(sample),
+                Ok(None) => dropouts += 1,
+                Err(ExecError::InjectedCrash { .. }) => {
+                    crashes += 1;
+                    break;
+                }
+                Err(e) => panic!("workload {} failed: {e}", setup.workload.name()),
+            }
         }
         setup.absorb_run(&h);
         if windows.iter().all(|w| w.converged() || w.exhausted()) {
@@ -357,12 +524,25 @@ fn rate_rbr(
             }
         })
         .collect();
-    let vars = windows.iter().map(|w| w.summary().cv()).collect();
+    let vars = windows.iter().map(|w| w.mean_cv()).collect();
     let unconverged = windows.iter().filter(|w| !w.converged()).count();
-    RateOutcome { improvements, vars, unconverged, method: Method::Rbr }
+    let samples = windows.iter().map(|w| w.len()).sum();
+    let trimmed = windows.iter().map(|w| w.rejected()).sum();
+    RateOutcome {
+        improvements,
+        vars,
+        unconverged,
+        method: Method::Rbr,
+        samples,
+        trimmed,
+        dropouts,
+        crashes,
+    }
 }
 
-/// One improved-RBR sample: returns `R = T_base / T_candidate`.
+/// One improved-RBR sample: returns `R = T_base / T_candidate`, or
+/// `Ok(None)` when either timing was lost to injected dropout (the
+/// executions still ran, so program state stays consistent).
 #[allow(clippy::too_many_arguments)]
 fn rbr_improved_sample(
     h: &mut RunHarness<'_>,
@@ -373,12 +553,12 @@ fn rbr_improved_sample(
     flip: bool,
     opts_plain: &ExecOptions,
     opts_record: &ExecOptions,
-) -> f64 {
+) -> Result<Option<f64>, ExecError> {
     // 1-4: save the modified input, run the precondition pass (warming the
     // cache), restore.
     let undo: UndoState = if plan.inspector {
         // Inspector: the precondition itself records the undo log.
-        let res = h.execute(base, args, opts_record);
+        let res = h.try_execute(base, args, opts_record)?;
         let cells: Vec<(peak_ir::MemId, i64)> =
             res.writes.iter().map(|(m, i, _)| (*m, *i)).collect();
         let vals: Vec<peak_ir::Value> = res.writes.iter().map(|(_, _, v)| *v).collect();
@@ -387,21 +567,24 @@ fn rbr_improved_sample(
         UndoState::Cells(cells, vals)
     } else {
         let snap = h.save_regions(&plan.modified_regions);
-        let _ = h.execute(base, args, opts_plain); // precondition pass
+        let _ = h.try_execute(base, args, opts_plain)?; // precondition pass
         h.restore_regions(&snap);
         UndoState::Regions(snap)
     };
     // 5-7: time the two versions under the same context, order alternating.
     let (first, second) = if flip { (cand, base) } else { (base, cand) };
-    let (t_first, _) = h.execute_timed(first, args, opts_plain);
+    let (t_first, _) = h.try_execute_timed(first, args, opts_plain)?;
     match &undo {
         UndoState::Cells(cells, vals) => h.restore_cells(cells, vals),
         UndoState::Regions(snap) => h.restore_regions(snap),
     }
-    let (t_second, _) = h.execute_timed(second, args, opts_plain);
+    let (t_second, _) = h.try_execute_timed(second, args, opts_plain)?;
     // Leave the second execution's (correct) results in memory.
+    let (Some(t_first), Some(t_second)) = (t_first, t_second) else {
+        return Ok(None);
+    };
     let (t_base, t_cand) = if flip { (t_second, t_first) } else { (t_first, t_second) };
-    t_base as f64 / t_cand.max(1) as f64
+    Ok(Some(t_base as f64 / t_cand.max(1) as f64))
 }
 
 /// One basic-RBR sample (paper Fig. 3): save the full input, time base,
@@ -414,7 +597,7 @@ fn rbr_basic_sample(
     cand: &PreparedVersion,
     args: &[peak_ir::Value],
     opts: &ExecOptions,
-) -> f64 {
+) -> Result<Option<f64>, ExecError> {
     // Basic method saves the whole (written) input set.
     let mut save: Vec<peak_ir::MemId> = plan.modified_regions.clone();
     for m in &plan.input_regions {
@@ -423,10 +606,13 @@ fn rbr_basic_sample(
         }
     }
     let snap = h.save_regions(&save);
-    let (t_base, _) = h.execute_timed(base, args, opts);
+    let (t_base, _) = h.try_execute_timed(base, args, opts)?;
     h.restore_regions(&snap);
-    let (t_cand, _) = h.execute_timed(cand, args, opts);
-    t_base as f64 / t_cand.max(1) as f64
+    let (t_cand, _) = h.try_execute_timed(cand, args, opts)?;
+    let (Some(t_base), Some(t_cand)) = (t_base, t_cand) else {
+        return Ok(None);
+    };
+    Ok(Some(t_base as f64 / t_cand.max(1) as f64))
 }
 
 enum UndoState {
@@ -440,7 +626,7 @@ pub fn rate_rbr_basic(
     base: OptConfig,
     candidates: &[OptConfig],
 ) -> RateOutcome {
-    rate_rbr(setup, base, candidates, false)
+    rate_rbr(setup, base, candidates, false, &RateOptions::default())
 }
 
 /// WHL: one full application run per version; EVAL = whole-program time
@@ -451,21 +637,44 @@ fn rate_whl(setup: &mut TuningSetup<'_>, base: OptConfig, candidates: &[OptConfi
     all.extend_from_slice(candidates);
     let opts = ExecOptions::default();
     let mut totals = Vec::with_capacity(all.len());
+    let mut samples = 0usize;
+    let mut crashes = 0u64;
     for cfg in &all {
         let v = setup.version(*cfg, false);
         let mut h = setup.new_run();
         while let Some(args) = h.next_args() {
             setup.invocations_used += 1;
-            let _ = h.execute(&v, &args, &opts);
+            match h.try_execute(&v, &args, &opts) {
+                Ok(_) => {}
+                Err(ExecError::InjectedCrash { .. }) => {
+                    // Best-effort terminal method: score the partial run.
+                    crashes += 1;
+                    break;
+                }
+                Err(e) => panic!("workload {} failed: {e}", setup.workload.name()),
+            }
         }
-        let total = h.machine.timer.measure(h.cycles());
+        // Whole-program timing is a single wall-clock reading; dropout of
+        // per-invocation measurements does not apply, so fall back to the
+        // true cycle count if the fault layer eats the reading.
+        let total = h.machine.measure(h.cycles()).unwrap_or_else(|| h.cycles());
         setup.absorb_run(&h);
+        samples += 1;
         totals.push(total as f64);
     }
     let base_total = totals[0].max(1.0);
     let improvements = totals[1..].iter().map(|t| base_total / t.max(1.0)).collect();
     let vars = vec![0.0; candidates.len()];
-    RateOutcome { improvements, vars, unconverged: 0, method: Method::Whl }
+    RateOutcome {
+        improvements,
+        vars,
+        unconverged: 0,
+        method: Method::Whl,
+        samples,
+        trimmed: 0,
+        dropouts: 0,
+        crashes,
+    }
 }
 
 #[cfg(test)]

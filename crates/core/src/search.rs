@@ -10,13 +10,13 @@
 use crate::consultant::Method;
 use crate::rating::{rate, RateOutcome, TuningSetup};
 use peak_opt::{Flag, OptConfig};
-use serde::Serialize;
+use peak_util::{Json, ToJson};
 
 /// Search outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SearchResult {
-    /// Best configuration found.
-    #[serde(skip)]
+    /// Best configuration found (not serialized; `disabled_flags` is the
+    /// report-friendly form).
     pub best: OptConfig,
     /// Flags disabled relative to -O3 (report-friendly).
     pub disabled_flags: Vec<String>,
@@ -34,15 +34,29 @@ pub struct SearchResult {
     pub invocations: u64,
 }
 
+impl ToJson for SearchResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("disabled_flags", self.disabled_flags.to_json()),
+            ("method", self.method.to_json()),
+            ("switches", self.switches.to_json()),
+            ("ratings", self.ratings.to_json()),
+            ("tuning_cycles", self.tuning_cycles.to_json()),
+            ("runs", self.runs.to_json()),
+            ("invocations", self.invocations.to_json()),
+        ])
+    }
+}
+
 /// Minimum relative improvement for a flag removal to count (noise guard).
-const MIN_GAIN: f64 = 1.012;
+pub(crate) const MIN_GAIN: f64 = 1.012;
 /// Round cap for Iterative Elimination: each round removes one flag, and
 /// gains below [`MIN_GAIN`] stop the search anyway; the cap bounds tuning
 /// cost when measurement noise keeps producing marginal "wins".
-const MAX_IE_ROUNDS: usize = 10;
+pub(crate) const MAX_IE_ROUNDS: usize = 10;
 /// Fraction of candidates allowed to stay unconverged before the tuner
 /// switches rating methods.
-const SWITCH_FRACTION: f64 = 0.34;
+pub(crate) const SWITCH_FRACTION: f64 = 0.34;
 
 /// Rate with automatic method switching down the consultant's order
 /// (paper §3: "If the system cannot achieve enough accuracy … it switches

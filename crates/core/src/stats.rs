@@ -126,6 +126,26 @@ impl Window {
         robust_summary(&self.samples)
     }
 
+    /// Samples rejected by the outlier filter.
+    pub fn rejected(&self) -> usize {
+        self.samples.len() - self.summary().n
+    }
+
+    /// CV of the *mean estimate* (standard error of the mean over |mean|)
+    /// — the VAR quantity convergence is judged on. Infinite when no
+    /// samples survive trimming or the mean is zero, so an
+    /// exhausted-but-unconverged window always carries a meaningful
+    /// (possibly infinite) value into `RateOutcome::vars` instead of
+    /// vanishing into the `unconverged` count alone.
+    pub fn mean_cv(&self) -> f64 {
+        let s = self.summary();
+        if s.n == 0 || s.mean.abs() < f64::EPSILON {
+            return f64::INFINITY;
+        }
+        let sem = s.std_dev() / (s.n as f64).sqrt();
+        sem / s.mean.abs()
+    }
+
     /// Converged? (standard error of mean below threshold)
     pub fn converged(&self) -> bool {
         if self.samples.len() < self.min_samples {
@@ -135,11 +155,7 @@ impl Window {
         if s.n < self.min_samples.min(4) {
             return false;
         }
-        let sem = s.std_dev() / (s.n as f64).sqrt();
-        if s.mean.abs() < f64::EPSILON {
-            return false;
-        }
-        sem / s.mean.abs() < self.var_threshold
+        self.mean_cv() < self.var_threshold
     }
 
     /// Exhausted without convergence? (the §3 method-switch trigger)
@@ -220,5 +236,32 @@ mod tests {
     fn cv_of_zero_mean_is_infinite() {
         let s = summarize(&[-1.0, 1.0]);
         assert!(s.cv().is_infinite());
+    }
+
+    #[test]
+    fn exhausted_window_reports_finite_mean_cv() {
+        let mut w = Window::with(10, 50, 0.0001);
+        for i in 0..50 {
+            w.push(if i % 2 == 0 { 100.0 } else { 300.0 });
+        }
+        assert!(w.exhausted());
+        let cv = w.mean_cv();
+        assert!(cv.is_finite() && cv > w.var_threshold, "cv={cv}");
+    }
+
+    #[test]
+    fn empty_window_mean_cv_is_infinite() {
+        assert!(Window::new().mean_cv().is_infinite());
+    }
+
+    #[test]
+    fn window_counts_rejected_outliers() {
+        let mut w = Window::new();
+        for i in 0..30 {
+            w.push(1000.0 + (i % 3) as f64);
+        }
+        assert_eq!(w.rejected(), 0);
+        w.push(250_000.0);
+        assert_eq!(w.rejected(), 1);
     }
 }

@@ -6,16 +6,19 @@
 //! (different) production dataset — the train-bar/ref-bar distinction of
 //! Figure 7.
 
+use crate::checkpoint::TunerCheckpoint;
 use crate::consultant::Method;
-use crate::rating::TuningSetup;
+use crate::degrade::{DegradeEvent, RatingSupervisor, SupervisorConfig};
+use crate::rating::{rate, TuningSetup};
 use crate::search::{iterative_elimination, SearchResult};
 use peak_opt::OptConfig;
-use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
+use peak_sim::{ExecOptions, FaultConfig, MachineSpec, PreparedVersion};
+use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
-use serde::Serialize;
+use std::path::{Path, PathBuf};
 
 /// One tuned result plus its production-side evaluation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TuneReport {
     /// Benchmark name.
     pub benchmark: String,
@@ -35,6 +38,22 @@ pub struct TuneReport {
     pub tuned_cycles: u64,
     /// Performance improvement over -O3, percent (Figure 7a/b bars).
     pub improvement_pct: f64,
+}
+
+impl ToJson for TuneReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("benchmark", self.benchmark.to_json()),
+            ("ts", self.ts.to_json()),
+            ("machine", self.machine.to_json()),
+            ("method", self.method.to_json()),
+            ("tuned_on", self.tuned_on.to_json()),
+            ("search", self.search.to_json()),
+            ("baseline_cycles", self.baseline_cycles.to_json()),
+            ("tuned_cycles", self.tuned_cycles.to_json()),
+            ("improvement_pct", self.improvement_pct.to_json()),
+        ])
+    }
 }
 
 /// Measure a full production run (no instrumentation, no tuning
@@ -83,6 +102,245 @@ pub fn tune(
         baseline_cycles,
         tuned_cycles,
         improvement_pct,
+    }
+}
+
+/// Checkpointed, fault-tolerant tuning driver: Iterative Elimination with
+/// the [`RatingSupervisor`] in the loop (retry-with-backoff + degradation
+/// cascade), serializing its full state after every rating step so a
+/// killed job resumes bit-identically via [`Tuner::resume`].
+///
+/// With no faults installed and no degradation triggered, `run()` visits
+/// the same (base, candidates) rating sequence as
+/// [`iterative_elimination`] — the supervisor's accept path is the §3
+/// fallback check — but drives it one observable, resumable step at a
+/// time.
+pub struct Tuner<'w> {
+    setup: TuningSetup<'w>,
+    supervisor: RatingSupervisor,
+    method: Method,
+    last_method: Method,
+    base: OptConfig,
+    round: usize,
+    ratings: usize,
+    done: bool,
+    checkpoint_path: Option<PathBuf>,
+}
+
+impl<'w> Tuner<'w> {
+    /// New fault-free tuner (equivalent to [`Tuner::with_faults`] with
+    /// `None`).
+    pub fn new(
+        workload: &'w dyn Workload,
+        spec: MachineSpec,
+        method: Method,
+        ds: Dataset,
+    ) -> Self {
+        Self::with_faults(workload, spec, method, ds, None)
+    }
+
+    /// New tuner with an optional fault scenario installed on every
+    /// tuning run.
+    pub fn with_faults(
+        workload: &'w dyn Workload,
+        spec: MachineSpec,
+        method: Method,
+        ds: Dataset,
+        faults: Option<FaultConfig>,
+    ) -> Self {
+        let mut setup = TuningSetup::new(workload, spec, ds);
+        setup.set_faults(faults);
+        Tuner {
+            setup,
+            supervisor: RatingSupervisor::default(),
+            method,
+            last_method: method,
+            base: OptConfig::o3(),
+            round: 0,
+            ratings: 0,
+            done: false,
+            checkpoint_path: None,
+        }
+    }
+
+    /// Override the supervisor policy (must be called before stepping).
+    pub fn set_supervisor(&mut self, config: SupervisorConfig) {
+        self.supervisor = RatingSupervisor::new(config);
+    }
+
+    /// Write a checkpoint to `path` after every rating step (and one
+    /// immediately, so even a job killed before its first step resumes).
+    pub fn checkpoint_to(&mut self, path: &Path) -> std::io::Result<()> {
+        self.checkpoint_path = Some(path.to_path_buf());
+        self.checkpoint().save(path)
+    }
+
+    /// Snapshot the current state.
+    pub fn checkpoint(&self) -> TunerCheckpoint {
+        TunerCheckpoint {
+            benchmark: self.setup.workload.name().to_string(),
+            machine: self.setup.spec.kind.name().to_string(),
+            dataset: dataset_name(self.setup.ds).to_string(),
+            method: self.method,
+            last_method: self.last_method,
+            base_bits: self.base.bits(),
+            round: self.round,
+            ratings: self.ratings,
+            supervised: self.supervisor.ratings(),
+            switches: self.supervisor.events().len() as u32,
+            next_seed: self.setup.next_seed(),
+            tuning_cycles: self.setup.tuning_cycles,
+            runs_used: self.setup.runs_used,
+            invocations_used: self.setup.invocations_used,
+            fault_config: self.setup.fault_config().cloned(),
+            events: self.supervisor.events().to_vec(),
+            done: self.done,
+        }
+    }
+
+    /// Resume from a checkpoint written by a previous [`Tuner`]. The
+    /// workload and machine must match the ones the checkpoint was taken
+    /// with (validated by name); the tuning dataset is restored from the
+    /// checkpoint. Stepping a resumed tuner replays the exact run-seed
+    /// sequence of the uninterrupted job, so the final result is
+    /// identical.
+    pub fn resume(
+        workload: &'w dyn Workload,
+        spec: MachineSpec,
+        path: &Path,
+    ) -> std::io::Result<Self> {
+        let cp = TunerCheckpoint::load(path)?;
+        let invalid = |what: &str, want: &str, got: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("checkpoint {what} mismatch: checkpoint has {got:?}, caller supplied {want:?}"),
+            )
+        };
+        if cp.benchmark != workload.name() {
+            return Err(invalid("benchmark", workload.name(), &cp.benchmark));
+        }
+        if cp.machine != spec.kind.name() {
+            return Err(invalid("machine", spec.kind.name(), &cp.machine));
+        }
+        let ds = match cp.dataset.as_str() {
+            "train" => Dataset::Train,
+            "ref" => Dataset::Ref,
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("checkpoint has unknown dataset {other:?}"),
+                ))
+            }
+        };
+        let mut tuner = Self::with_faults(workload, spec, cp.method, ds, cp.fault_config.clone());
+        tuner.setup.restore_accounting(
+            cp.next_seed,
+            cp.tuning_cycles,
+            cp.runs_used,
+            cp.invocations_used,
+        );
+        tuner.supervisor.restore(cp.events.clone(), cp.supervised);
+        tuner.last_method = cp.last_method;
+        tuner.base = OptConfig::from_bits(cp.base_bits);
+        tuner.round = cp.round;
+        tuner.ratings = cp.ratings;
+        tuner.done = cp.done;
+        tuner.checkpoint_path = Some(path.to_path_buf());
+        Ok(tuner)
+    }
+
+    /// Perform one Iterative-Elimination round (one supervised rating of
+    /// all single-flag removals), then checkpoint. Returns `false` once
+    /// the search has terminated.
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let flags = self.base.enabled_flags();
+        if flags.is_empty() {
+            self.done = true;
+            self.save_checkpoint();
+            return false;
+        }
+        let candidates: Vec<OptConfig> =
+            flags.iter().map(|&f| self.base.without(f)).collect();
+        let (out, used) = if matches!(self.method, Method::Whl | Method::Avg) {
+            // Baselines rate directly; the cascade has nowhere to go.
+            (
+                rate(&mut self.setup, self.method, self.base, &candidates)
+                    .expect("baseline method rates"),
+                self.method,
+            )
+        } else {
+            self.supervisor.rate(&mut self.setup, self.method, self.base, &candidates)
+        };
+        self.last_method = used;
+        self.ratings += candidates.len();
+        self.round += 1;
+        let bestidx = (0..candidates.len())
+            .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+        match bestidx {
+            Some(i) if out.improvements[i] >= crate::search::MIN_GAIN => {
+                self.base = candidates[i];
+            }
+            _ => self.done = true,
+        }
+        if self.round >= crate::search::MAX_IE_ROUNDS {
+            self.done = true;
+        }
+        self.save_checkpoint();
+        !self.done
+    }
+
+    /// Run the search to completion and return the result.
+    pub fn run(&mut self) -> SearchResult {
+        while self.step() {}
+        self.result()
+    }
+
+    /// Downgrades logged so far.
+    pub fn events(&self) -> &[DegradeEvent] {
+        self.supervisor.events()
+    }
+
+    /// Whether the search has terminated.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The search result for the current state (final once
+    /// [`Tuner::is_done`]).
+    pub fn result(&self) -> SearchResult {
+        SearchResult {
+            best: self.base,
+            disabled_flags: self
+                .base
+                .disabled_flags()
+                .iter()
+                .map(|f| f.name().to_string())
+                .collect(),
+            method: self.last_method,
+            switches: self.supervisor.events().len() as u32,
+            ratings: self.ratings,
+            tuning_cycles: self.setup.tuning_cycles,
+            runs: self.setup.runs_used,
+            invocations: self.setup.invocations_used,
+        }
+    }
+
+    fn save_checkpoint(&self) {
+        if let Some(path) = &self.checkpoint_path {
+            if let Err(e) = self.checkpoint().save(path) {
+                eprintln!("warning: checkpoint save to {path:?} failed: {e}");
+            }
+        }
+    }
+}
+
+fn dataset_name(ds: Dataset) -> &'static str {
+    match ds {
+        Dataset::Train => "train",
+        Dataset::Ref => "ref",
     }
 }
 
@@ -140,5 +398,63 @@ mod tests {
         assert!(ms.contains(&Method::Avg));
         assert!(ms.contains(&Method::Whl));
         assert_eq!(ms.last(), Some(&Method::Whl));
+    }
+
+    #[test]
+    fn tuner_matches_iterative_elimination_when_clean() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let mut setup = TuningSetup::new(&w, spec.clone(), Dataset::Train);
+        let reference = iterative_elimination(&mut setup, Method::Cbr);
+        let mut tuner = Tuner::new(&w, spec, Method::Cbr, Dataset::Train);
+        let supervised = tuner.run();
+        assert_eq!(supervised.best, reference.best);
+        assert_eq!(supervised.ratings, reference.ratings);
+        assert_eq!(supervised.invocations, reference.invocations);
+        assert!(tuner.events().is_empty(), "{:?}", tuner.events());
+    }
+
+    #[test]
+    fn killed_tuner_resumes_to_identical_result() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let dir = std::env::temp_dir().join("peak-tuner-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+
+        // Uninterrupted reference run.
+        let mut straight = Tuner::new(&w, spec.clone(), Method::Cbr, Dataset::Train);
+        let want = straight.run();
+
+        // "Killed" run: two steps with checkpointing, then drop the tuner.
+        let mut victim = Tuner::new(&w, spec.clone(), Method::Cbr, Dataset::Train);
+        victim.checkpoint_to(&path).unwrap();
+        victim.step();
+        victim.step();
+        drop(victim);
+
+        // Resume from disk and finish.
+        let mut resumed = Tuner::resume(&w, spec, &path).unwrap();
+        let got = resumed.run();
+        assert_eq!(got.best, want.best);
+        assert_eq!(got.ratings, want.ratings);
+        assert_eq!(got.runs, want.runs);
+        assert_eq!(got.invocations, want.invocations);
+        assert_eq!(got.tuning_cycles, want.tuning_cycles);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_wrong_workload() {
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let dir = std::env::temp_dir().join("peak-tuner-mismatch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let mut t = Tuner::new(&w, spec.clone(), Method::Cbr, Dataset::Train);
+        t.checkpoint_to(&path).unwrap();
+        let other = peak_workloads::art::ArtMatch::new();
+        assert!(Tuner::resume(&other, spec, &path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -70,6 +70,49 @@ proptest! {
         // (Singular count matrices may return None — that is correct.)
     }
 
+    /// Trimming a non-empty slice never empties it: the median itself is
+    /// always within any positive MAD radius of the median.
+    #[test]
+    fn trimming_never_empties_nonempty_input(
+        xs in prop::collection::vec(1.0f64..1.0e9, 1..120),
+    ) {
+        let kept = trim_outliers(&xs, OUTLIER_K);
+        prop_assert!(!kept.is_empty(), "{} samples in, 0 out", xs.len());
+    }
+
+    /// On clean (tight multiplicative jitter) data the filter is
+    /// idempotent: a second pass removes nothing more.
+    #[test]
+    fn trimming_is_idempotent_on_clean_data(
+        base in 100.0f64..1.0e6,
+        jitter in prop::collection::vec(-0.002f64..0.002, 8..80),
+    ) {
+        let xs: Vec<f64> = jitter.iter().map(|j| base * (1.0 + j)).collect();
+        let once = trim_outliers(&xs, OUTLIER_K);
+        let twice = trim_outliers(&once, OUTLIER_K);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// A single 100x spike is always removed, most of the clean data is
+    /// kept, and the robust mean stays within 1% of the clean base.
+    #[test]
+    fn single_100x_spike_is_removed(
+        base in 100.0f64..1.0e6,
+        jitter in prop::collection::vec(-0.002f64..0.002, 8..80),
+        pos in 0usize..1000,
+    ) {
+        let mut xs: Vec<f64> = jitter.iter().map(|j| base * (1.0 + j)).collect();
+        let spike = base * 100.0;
+        let at = pos % (xs.len() + 1);
+        xs.insert(at, spike);
+        let kept = trim_outliers(&xs, OUTLIER_K);
+        prop_assert!(!kept.contains(&spike), "spike survived");
+        prop_assert!(kept.len() * 2 >= xs.len() - 1, "kept {} of {}", kept.len(), xs.len());
+        let s = robust_summary(&xs);
+        prop_assert!((s.mean - base).abs() < base * 0.01,
+            "robust mean {} vs base {}", s.mean, base);
+    }
+
     /// Regression residual VAR is scale-invariant in time units.
     #[test]
     fn linreg_var_scale_invariant(scale in 1.0f64..1000.0) {

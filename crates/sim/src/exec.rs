@@ -5,11 +5,13 @@
 
 use crate::branch::BranchPredictor;
 use crate::cache::{AddressMap, Hierarchy};
+use crate::faults::FaultPlan;
 use crate::machine::MachineSpec;
 use crate::timer::NoisyTimer;
 use peak_ir::{
     MemBase, MemId, MemRef, MemoryImage, Operand, PtrVal, Rvalue, Stmt, Terminator, Value, VarId,
 };
+use peak_ir::ExecError as InterpError;
 use peak_opt::{CompiledVersion, Flag, SpillInfo};
 
 /// Mutable per-run machine state, persisting across TS invocations.
@@ -26,6 +28,10 @@ pub struct MachineState {
     /// True cycles accumulated this run (all code, tuning overheads
     /// included by the driver).
     pub cycles: u64,
+    /// Injected-fault state for this run; `None` (the default) leaves
+    /// every execution and measurement path bit-identical to a fault-free
+    /// build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineState {
@@ -34,14 +40,33 @@ impl MachineState {
         let caches = Hierarchy::new(&spec);
         let predictor = BranchPredictor::new(spec.predictor_entries);
         let timer = NoisyTimer::new(&spec, seed);
-        MachineState { spec, caches, predictor, timer, cycles: 0 }
+        MachineState { spec, caches, predictor, timer, cycles: 0, faults: None }
     }
 
     /// Fresh state with a noiseless timer (tests, calibration).
     pub fn noiseless(spec: MachineSpec) -> Self {
         let caches = Hierarchy::new(&spec);
         let predictor = BranchPredictor::new(spec.predictor_entries);
-        MachineState { spec, caches, predictor, timer: NoisyTimer::noiseless(), cycles: 0 }
+        MachineState {
+            spec,
+            caches,
+            predictor,
+            timer: NoisyTimer::noiseless(),
+            cycles: 0,
+            faults: None,
+        }
+    }
+
+    /// Install a fault plan for this run.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Measure `true_cycles` through the timer and any installed
+    /// measurement faults. `None` = the reading was dropped. Without a
+    /// fault plan this is exactly [`NoisyTimer::measure`].
+    pub fn measure(&mut self, true_cycles: u64) -> Option<u64> {
+        self.timer.measure_with(true_cycles, self.faults.as_mut())
     }
 }
 
@@ -108,8 +133,39 @@ pub struct ExecResult {
     pub writes: Vec<(MemId, i64, Value)>,
 }
 
-/// Execution error (same failure modes as the reference interpreter).
-pub type ExecError = peak_ir::ExecError;
+/// Execution error: either a genuine interpreter failure or an injected
+/// version crash from the fault layer (surfaced as data, not a panic, so
+/// the tuning driver can abandon the run and degrade).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A real failure mode shared with the reference interpreter.
+    Interp(InterpError),
+    /// The fault plan crashed this execution (1-based count within the
+    /// run).
+    InjectedCrash {
+        /// Which execution of the run faulted.
+        invocation: u64,
+    },
+}
+
+impl From<InterpError> for ExecError {
+    fn from(e: InterpError) -> Self {
+        ExecError::Interp(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Interp(e) => write!(f, "{e}"),
+            ExecError::InjectedCrash { invocation } => {
+                write!(f, "injected crash on execution {invocation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Options for one invocation.
 #[derive(Debug, Clone, Default)]
@@ -129,6 +185,18 @@ pub fn execute(
     state: &mut MachineState,
     opts: &ExecOptions,
 ) -> Result<ExecResult, ExecError> {
+    // Fault hooks: a crash aborts before any work; a perturbation episode
+    // pollutes caches/predictor like a co-tenant time slice (no cycles
+    // charged to the program).
+    {
+        let MachineState { faults, caches, predictor, .. } = &mut *state;
+        if let Some(plan) = faults.as_mut() {
+            if let Some(invocation) = plan.pre_execute_crash() {
+                return Err(ExecError::InjectedCrash { invocation });
+            }
+            plan.maybe_perturb(caches, predictor);
+        }
+    }
     let mut ctx = Ctx {
         pv,
         amap,
@@ -167,9 +235,9 @@ impl<'a> Ctx<'a> {
         mem: &mut MemoryImage,
         cycles: &mut u64,
         depth: usize,
-    ) -> Result<Option<Value>, ExecError> {
+    ) -> Result<Option<Value>, InterpError> {
         if depth > RECURSION_LIMIT {
-            return Err(ExecError::RecursionLimit);
+            return Err(InterpError::RecursionLimit);
         }
         let prog = &self.pv.version.program;
         let f = prog.func(func);
@@ -215,7 +283,7 @@ impl<'a> Ctx<'a> {
             for s in &block.stmts {
                 self.steps += 1;
                 if self.steps > STEP_LIMIT {
-                    return Err(ExecError::StepLimit);
+                    return Err(InterpError::StepLimit);
                 }
                 // Dependence stalls against the previous statement.
                 uses_buf.clear();
@@ -353,7 +421,7 @@ impl<'a> Ctx<'a> {
             }
             self.steps += 1;
             if self.steps > STEP_LIMIT {
-                return Err(ExecError::StepLimit);
+                return Err(InterpError::StepLimit);
             }
             // Terminators.
             let fillable = delay && !block.stmts.is_empty();
@@ -411,16 +479,16 @@ impl<'a> Ctx<'a> {
         mr: &MemRef,
         regs: &[Value],
         mem: &MemoryImage,
-    ) -> Result<(MemId, i64), ExecError> {
+    ) -> Result<(MemId, i64), InterpError> {
         let (m, i) = self.resolve_unchecked(mr, regs)?;
         let len = mem.buf(m).len();
         if i < 0 || i as usize >= len {
-            return Err(ExecError::OutOfBounds { mem: m.0, index: i, len });
+            return Err(InterpError::OutOfBounds { mem: m.0, index: i, len });
         }
         Ok((m, i))
     }
 
-    fn resolve_unchecked(&self, mr: &MemRef, regs: &[Value]) -> Result<(MemId, i64), ExecError> {
+    fn resolve_unchecked(&self, mr: &MemRef, regs: &[Value]) -> Result<(MemId, i64), InterpError> {
         let idx = self.operand(&mr.index, regs).as_i64();
         Ok(match mr.base {
             MemBase::Global(m) => (m, idx),

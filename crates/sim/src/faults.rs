@@ -1,0 +1,360 @@
+//! Deterministic fault injection: the failure modes a real measurement
+//! environment inflicts on a tuning run, reproduced from a seed so every
+//! scenario can be replayed exactly.
+//!
+//! Four fault families (all optional, all off by default):
+//!
+//! * **timer spikes / jitter bursts** — one-off additive spikes beyond the
+//!   machine's own outlier model, and sustained multiplicative inflation
+//!   over a window of measurements (a co-tenant or frequency-scaling
+//!   episode);
+//! * **state perturbation** — between TS invocations, a burst of
+//!   co-tenant memory traffic and branch history pollutes the caches and
+//!   the predictor (no cycles are charged to the program — the cost shows
+//!   up later as extra misses);
+//! * **measurement dropout** — an invocation executes but its timing is
+//!   lost (lost sample, cycles still spent);
+//! * **version crash** — the Nth execution of a run faults, surfaced as
+//!   [`crate::exec::ExecError::InjectedCrash`] rather than a panic, so the
+//!   driver can abandon the run and degrade gracefully.
+//!
+//! A [`FaultConfig`] is pure data (JSON round-trip via `peak-util`) and
+//! describes the scenario; a [`FaultPlan`] is the per-run RNG state
+//! derived from `config.seed ^ run_seed`, so re-running the same run seed
+//! replays the same faults — the property checkpoint/resume relies on.
+
+use crate::branch::BranchPredictor;
+use crate::cache::Hierarchy;
+use peak_util::{Json, ToJson};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serializable description of a fault scenario. Rates are expressed per
+/// million events so configs round-trip through JSON without float drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Base seed; each run's plan derives its RNG from `seed ^ run_seed`.
+    pub seed: u64,
+    /// Extra additive timer spikes, per million measurements.
+    pub spike_per_million: u64,
+    /// Magnitude of an injected spike, cycles (scaled 0.5–3× per spike).
+    pub spike_cycles: u64,
+    /// Probability a sustained jitter burst starts, per million
+    /// measurements.
+    pub burst_per_million: u64,
+    /// Burst length range in measurements (inclusive).
+    pub burst_len: (u32, u32),
+    /// Multiplicative inflation applied to every measurement inside a
+    /// burst (e.g. `1.25` = 25% slower readings).
+    pub burst_factor: f64,
+    /// Measurement dropout rate, per million measurements.
+    pub dropout_per_million: u64,
+    /// Cache/predictor perturbation rate, per million executions.
+    pub perturb_per_million: u64,
+    /// Co-tenant cache lines touched per perturbation episode.
+    pub perturb_lines: u32,
+    /// Crash the Nth TS execution of every run (1-based). `None` = never.
+    pub crash_at: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A scenario with every fault disabled (useful as a base to tweak).
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            spike_per_million: 0,
+            spike_cycles: 0,
+            burst_per_million: 0,
+            burst_len: (0, 0),
+            burst_factor: 1.0,
+            dropout_per_million: 0,
+            perturb_per_million: 0,
+            perturb_lines: 0,
+            crash_at: None,
+        }
+    }
+
+    /// Parse a config back from the JSON produced by [`ToJson`].
+    pub fn from_json(j: &Json) -> Option<FaultConfig> {
+        let len = j.get("burst_len")?.as_arr()?;
+        Some(FaultConfig {
+            seed: j.get("seed")?.as_u64()?,
+            spike_per_million: j.get("spike_per_million")?.as_u64()?,
+            spike_cycles: j.get("spike_cycles")?.as_u64()?,
+            burst_per_million: j.get("burst_per_million")?.as_u64()?,
+            burst_len: (len.first()?.as_u64()? as u32, len.get(1)?.as_u64()? as u32),
+            burst_factor: j.get("burst_factor")?.as_f64()?,
+            dropout_per_million: j.get("dropout_per_million")?.as_u64()?,
+            perturb_per_million: j.get("perturb_per_million")?.as_u64()?,
+            perturb_lines: j.get("perturb_lines")?.as_u64()? as u32,
+            crash_at: match j.get("crash_at")? {
+                Json::Null => None,
+                v => Some(v.as_u64()?),
+            },
+        })
+    }
+}
+
+impl ToJson for FaultConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", self.seed.to_json()),
+            ("spike_per_million", self.spike_per_million.to_json()),
+            ("spike_cycles", self.spike_cycles.to_json()),
+            ("burst_per_million", self.burst_per_million.to_json()),
+            ("burst_len", vec![self.burst_len.0 as u64, self.burst_len.1 as u64].to_json()),
+            ("burst_factor", self.burst_factor.to_json()),
+            ("dropout_per_million", self.dropout_per_million.to_json()),
+            ("perturb_per_million", self.perturb_per_million.to_json()),
+            ("perturb_lines", (self.perturb_lines as u64).to_json()),
+            ("crash_at", self.crash_at.to_json()),
+        ])
+    }
+}
+
+/// Counters of faults actually injected (diagnostics / bench reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Additive spikes injected.
+    pub spikes: u64,
+    /// Jitter bursts started.
+    pub bursts: u64,
+    /// Measurements dropped.
+    pub dropouts: u64,
+    /// Perturbation episodes applied.
+    pub perturbations: u64,
+    /// Whether this plan crashed its run.
+    pub crashed: bool,
+}
+
+/// Per-run fault state: the config plus a derived RNG and burst/crash
+/// progress. Recreated from `(config, run_seed)` at the start of every
+/// run, which keeps fault streams independent of how many runs preceded
+/// them — the property that makes checkpoint/resume bit-identical.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: StdRng,
+    burst_left: u32,
+    executions: u64,
+    /// Injection counters.
+    pub stats: FaultStats,
+}
+
+/// Element-address space co-tenant traffic is drawn from (large enough to
+/// sweep every cache set with distinct tags).
+const POLLUTION_ADDR_SPACE: u64 = 1 << 22;
+/// Branch-site space used for predictor pollution.
+const POLLUTION_SITE_SPACE: u64 = 1 << 16;
+
+fn rate(per_million: u64) -> f64 {
+    (per_million.min(1_000_000)) as f64 / 1_000_000.0
+}
+
+impl FaultPlan {
+    /// Instantiate the scenario for one run.
+    pub fn new(config: FaultConfig, run_seed: u64) -> Self {
+        let rng = StdRng::seed_from_u64(
+            config.seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        FaultPlan { config, rng, burst_left: 0, executions: 0, stats: FaultStats::default() }
+    }
+
+    /// The scenario this plan executes.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// TS executions seen so far this run.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Called at the top of every execution: advances the execution count
+    /// and returns `Some(n)` when this execution must crash.
+    pub fn pre_execute_crash(&mut self) -> Option<u64> {
+        self.executions += 1;
+        match self.config.crash_at {
+            Some(n) if self.executions >= n => {
+                self.stats.crashed = true;
+                Some(self.executions)
+            }
+            _ => None,
+        }
+    }
+
+    /// Possibly pollute machine state with co-tenant traffic (cache line
+    /// fills and branch outcomes at foreign sites). No cycles are charged:
+    /// the cost surfaces as the program's own extra misses afterwards.
+    pub fn maybe_perturb(&mut self, caches: &mut Hierarchy, predictor: &mut BranchPredictor) {
+        let p = rate(self.config.perturb_per_million);
+        if p <= 0.0 || !self.rng.gen_bool(p) {
+            return;
+        }
+        self.stats.perturbations += 1;
+        for _ in 0..self.config.perturb_lines {
+            let addr = self.rng.gen_range(0..POLLUTION_ADDR_SPACE);
+            let _ = caches.access(addr);
+        }
+        for _ in 0..self.config.perturb_lines {
+            let site = self.rng.gen_range(0..POLLUTION_SITE_SPACE);
+            let taken = self.rng.gen_bool(0.5);
+            let _ = predictor.mispredicted(site, taken);
+        }
+    }
+
+    /// Filter one measured timing through the measurement faults: burst
+    /// inflation, additive spikes, and dropout (`None` = reading lost).
+    pub fn filter_measurement(&mut self, measured: u64) -> Option<u64> {
+        let mut out = measured;
+        if self.burst_left == 0 {
+            let p = rate(self.config.burst_per_million);
+            if p > 0.0 && self.rng.gen_bool(p) {
+                let (lo, hi) = self.config.burst_len;
+                self.burst_left = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo.max(1) };
+                self.stats.bursts += 1;
+            }
+        }
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            out = ((out as f64) * self.config.burst_factor.max(1.0)) as u64;
+        }
+        let sp = rate(self.config.spike_per_million);
+        if sp > 0.0 && self.rng.gen_bool(sp) {
+            let scale: f64 = self.rng.gen_range(0.5..3.0);
+            out += (self.config.spike_cycles as f64 * scale) as u64;
+            self.stats.spikes += 1;
+        }
+        let dp = rate(self.config.dropout_per_million);
+        if dp > 0.0 && self.rng.gen_bool(dp) {
+            self.stats.dropouts += 1;
+            return None;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    fn jittery() -> FaultConfig {
+        FaultConfig {
+            spike_per_million: 50_000,
+            spike_cycles: 10_000,
+            burst_per_million: 20_000,
+            burst_len: (5, 20),
+            burst_factor: 1.5,
+            dropout_per_million: 100_000,
+            perturb_per_million: 200_000,
+            perturb_lines: 64,
+            ..FaultConfig::none(7)
+        }
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        for cfg in [FaultConfig::none(3), jittery(), FaultConfig { crash_at: Some(17), ..jittery() }] {
+            let s = peak_util::to_string_pretty(&cfg);
+            let parsed = FaultConfig::from_json(&peak_util::from_str(&s).unwrap()).unwrap();
+            assert_eq!(parsed, cfg);
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mk = || FaultPlan::new(jittery(), 42);
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..5000u64 {
+            assert_eq!(a.pre_execute_crash(), b.pre_execute_crash());
+            assert_eq!(a.filter_measurement(1000 + i), b.filter_measurement(1000 + i));
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_run_seeds_diverge() {
+        let mut a = FaultPlan::new(jittery(), 1);
+        let mut b = FaultPlan::new(jittery(), 2);
+        let xs: Vec<_> = (0..2000).map(|_| a.filter_measurement(1000)).collect();
+        let ys: Vec<_> = (0..2000).map(|_| b.filter_measurement(1000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn crash_fires_exactly_at_n() {
+        let mut p = FaultPlan::new(FaultConfig { crash_at: Some(3), ..FaultConfig::none(1) }, 9);
+        assert_eq!(p.pre_execute_crash(), None);
+        assert_eq!(p.pre_execute_crash(), None);
+        assert_eq!(p.pre_execute_crash(), Some(3));
+        assert!(p.stats.crashed);
+        // A caller that ignores the crash keeps crashing.
+        assert_eq!(p.pre_execute_crash(), Some(4));
+    }
+
+    #[test]
+    fn dropout_rate_roughly_configured() {
+        let mut p = FaultPlan::new(
+            FaultConfig { dropout_per_million: 250_000, ..FaultConfig::none(5) },
+            11,
+        );
+        let n = 20_000;
+        let lost = (0..n).filter(|_| p.filter_measurement(100).is_none()).count();
+        let frac = lost as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "dropout frac {frac}");
+    }
+
+    #[test]
+    fn bursts_inflate_sustained_windows() {
+        let mut p = FaultPlan::new(
+            FaultConfig {
+                burst_per_million: 30_000,
+                burst_len: (10, 10),
+                burst_factor: 2.0,
+                ..FaultConfig::none(2)
+            },
+            3,
+        );
+        let xs: Vec<u64> = (0..5000).filter_map(|_| p.filter_measurement(1000)).collect();
+        let inflated = xs.iter().filter(|&&x| x >= 2000).count();
+        assert!(p.stats.bursts > 0, "bursts must occur");
+        assert!(
+            inflated as u64 >= p.stats.bursts * 9,
+            "each burst inflates ~10 readings: inflated={inflated} bursts={}",
+            p.stats.bursts
+        );
+    }
+
+    #[test]
+    fn perturbation_dirties_caches_and_predictor() {
+        let spec = MachineSpec::sparc_ii();
+        let mut caches = Hierarchy::new(&spec);
+        let mut pred = BranchPredictor::new(spec.predictor_entries);
+        let mut p = FaultPlan::new(
+            FaultConfig {
+                perturb_per_million: 1_000_000,
+                perturb_lines: 256,
+                ..FaultConfig::none(8)
+            },
+            4,
+        );
+        p.maybe_perturb(&mut caches, &mut pred);
+        assert_eq!(p.stats.perturbations, 1);
+        let (_, l1_misses) = caches.l1.stats();
+        assert!(l1_misses > 0, "co-tenant traffic filled lines");
+        let (c, w) = pred.stats();
+        assert!(c + w > 0, "predictor saw foreign branches");
+    }
+
+    #[test]
+    fn disabled_faults_are_inert() {
+        let mut p = FaultPlan::new(FaultConfig::none(1), 5);
+        for c in [1u64, 100, 123_456] {
+            assert_eq!(p.filter_measurement(c), Some(c));
+            assert_eq!(p.pre_execute_crash(), None);
+        }
+        assert_eq!(p.stats, FaultStats::default());
+    }
+}

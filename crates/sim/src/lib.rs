@@ -11,18 +11,23 @@
 //! * [`exec`] — the executor charging op costs, cache latencies, spills,
 //!   dependence stalls, branch penalties, and I-cache pressure;
 //! * [`timer`] — measured-time generation with Gaussian jitter and
-//!   interrupt-like outliers (what the rating methods must survive).
+//!   interrupt-like outliers (what the rating methods must survive);
+//! * [`faults`] — seeded, replayable fault injection (jitter bursts,
+//!   state pollution, measurement dropout, version crashes) for
+//!   robustness testing of the tuning layer.
 
 #![warn(missing_docs)]
 
 pub mod branch;
 pub mod cache;
 pub mod exec;
+pub mod faults;
 pub mod machine;
 pub mod timer;
 
 pub use branch::BranchPredictor;
 pub use cache::{AddressMap, Cache, Hierarchy};
-pub use exec::{execute, ExecOptions, ExecResult, MachineState, PreparedVersion};
+pub use exec::{execute, ExecError, ExecOptions, ExecResult, MachineState, PreparedVersion};
+pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use machine::{CacheParams, MachineKind, MachineSpec};
 pub use timer::NoisyTimer;

@@ -225,6 +225,26 @@ impl MachineSpec {
     pub fn reg_budget(&self) -> peak_opt::RegBudget {
         peak_opt::RegBudget { int_regs: self.int_regs, fp_regs: self.fp_regs }
     }
+
+    /// A fault scenario for this machine scaled by `intensity` (0 = no
+    /// faults, 1 = a heavily loaded shared host, >1 = hostile). Spike
+    /// magnitude tracks the machine's own outlier model so injected
+    /// spikes are the same order as natural ones.
+    pub fn fault_profile(&self, intensity: f64, seed: u64) -> crate::faults::FaultConfig {
+        let s = intensity.max(0.0);
+        crate::faults::FaultConfig {
+            seed,
+            spike_per_million: (s * 20_000.0) as u64,
+            spike_cycles: self.outlier_cycles,
+            burst_per_million: (s * 4_000.0) as u64,
+            burst_len: (8, 40),
+            burst_factor: 1.0 + 0.15 * s,
+            dropout_per_million: (s * 30_000.0) as u64,
+            perturb_per_million: (s * 50_000.0) as u64,
+            perturb_lines: if s > 0.0 { 64 + (s * 192.0) as u32 } else { 0 },
+            crash_at: None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,22 @@ impl NoisyTimer {
         }
         out
     }
+
+    /// Measure through an optional fault plan: the timer's own noise is
+    /// applied first (from its private RNG stream — unchanged whether or
+    /// not faults are installed), then the plan's bursts/spikes/dropout.
+    /// `None` = the reading was lost to an injected dropout.
+    pub fn measure_with(
+        &mut self,
+        true_cycles: u64,
+        faults: Option<&mut crate::faults::FaultPlan>,
+    ) -> Option<u64> {
+        let measured = self.measure(true_cycles);
+        match faults {
+            Some(plan) => plan.filter_measurement(measured),
+            None => Some(measured),
+        }
+    }
 }
 
 #[cfg(test)]

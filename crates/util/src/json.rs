@@ -1,0 +1,354 @@
+//! The JSON value model and serde_json-compatible pretty writer.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Integers keep their own variants so u64 counters
+/// round-trip exactly; object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer.
+    U(u64),
+    /// Floating point (must be finite to serialize).
+    F(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer view (also accepts exact signed/float values).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U(v) => Some(v),
+            Json::I(v) => u64::try_from(v).ok(),
+            Json::F(v) if v >= 0.0 && v.fract() == 0.0 && v < u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::I(v) => Some(v),
+            Json::U(v) => i64::try_from(v).ok(),
+            Json::F(v) if v.fract() == 0.0 && v.abs() < i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::F(v) => Some(v),
+            Json::I(v) => Some(v as f64),
+            Json::U(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with serde_json's pretty format.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, 0);
+        out
+    }
+}
+
+/// Conversion into the JSON model (the stand-in for `serde::Serialize`).
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Pretty-serialize any convertible value (drop-in for
+/// `serde_json::to_string_pretty`, minus the `Result` wrapper — the value
+/// model cannot fail to serialize).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+macro_rules! to_json_int {
+    ($variant:ident: $($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::$variant(*self as _)
+            }
+        }
+    )+};
+}
+
+to_json_int!(U: u8, u16, u32, u64, usize);
+to_json_int!(I: i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+macro_rules! to_json_tuple {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+
+to_json_tuple!(A.0, B.1);
+to_json_tuple!(A.0, B.1, C.2);
+to_json_tuple!(A.0, B.1, C.2, D.3);
+
+const INDENT: &str = "  ";
+
+fn write_value(out: &mut String, v: &Json, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::I(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::U(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::F(x) => write_f64(out, *x),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push(if i == 0 { '\n' } else { ',' });
+                if i > 0 {
+                    out.push('\n');
+                }
+                push_indent(out, depth + 1);
+                write_value(out, item, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push(if i == 0 { '\n' } else { ',' });
+                if i > 0 {
+                    out.push('\n');
+                }
+                push_indent(out, depth + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Ryu-compatible float notation: `0.0`/`-0.0` for zero; plain decimal
+/// (with a trailing `.0` when integral) for `1e-5 ≤ |v| < 1e16`;
+/// scientific (Rust `{:e}`, which matches ryu's shortest digits and bare
+/// exponent) outside that range. Non-finite values become `null`, as
+/// serde_json refuses them.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if v == 0.0 {
+        out.push_str(if v.is_sign_negative() { "-0.0" } else { "0.0" });
+        return;
+    }
+    let abs = v.abs();
+    if (1e-5..1e16).contains(&abs) {
+        let start = out.len();
+        let _ = write!(out, "{v}");
+        if !out[start..].contains('.') {
+            out.push_str(".0");
+        }
+    } else {
+        let _ = write!(out, "{v:e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_match_ryu_notation() {
+        let mut s = String::new();
+        for (v, want) in [
+            (0.0, "0.0"),
+            (-0.0, "-0.0"),
+            (160.0, "160.0"),
+            (0.05345762719100052, "0.05345762719100052"),
+            (-1.1749860343949573e-14, "-1.1749860343949573e-14"),
+            (1e16, "1e16"),
+            (2.5e-15, "2.5e-15"),
+            (0.00001, "0.00001"),
+        ] {
+            s.clear();
+            write_f64(&mut s, v);
+            assert_eq!(s, want);
+        }
+    }
+
+    #[test]
+    fn pretty_matches_serde_layout() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("x".into())),
+            ("cells", Json::Arr(vec![(10usize, 0.5f64, 2.0f64).to_json()])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let expect = "{\n  \"name\": \"x\",\n  \"cells\": [\n    [\n      10,\n      0.5,\n      2.0\n    ]\n  ],\n  \"empty\": []\n}";
+        assert_eq!(v.pretty(), expect);
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let v = Json::obj(vec![
+            ("a", Json::U(7)),
+            ("b", Json::I(-3)),
+            ("c", Json::F(0.25)),
+            ("d", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("e", Json::Str("line\n\"quoted\"".into())),
+        ]);
+        let parsed = crate::from_str(&v.pretty()).unwrap();
+        assert_eq!(parsed, v);
+    }
+}

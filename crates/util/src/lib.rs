@@ -1,0 +1,16 @@
+//! Dependency-free JSON support.
+//!
+//! The workspace builds in a container without registry access, so result
+//! emission (`table1 --json`, `figure7 --json`, `fault_matrix`) and the
+//! tuning checkpoint layer share this small JSON model instead of
+//! serde_json. The writer reproduces serde_json's pretty format — two-space
+//! indent, object keys in insertion order, ryu-style float notation
+//! (decimal with a trailing `.0` for integral values when
+//! `1e-5 ≤ |v| < 1e16`, scientific otherwise) — so files regenerated here
+//! stay byte-compatible with the committed golden results.
+
+pub mod json;
+pub mod parse;
+
+pub use json::{to_string_pretty, Json, ToJson};
+pub use parse::{from_str, ParseError};

@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn cbr_applicable() {
         let w = AppluBlts::new();
-        match context_set(&w.program().func(w.ts())) {
+        match context_set(w.program().func(w.ts())) {
             ContextAnalysis::Applicable(srcs) => {
                 assert_eq!(srcs, vec![peak_ir::ContextSource::Param(0)]);
             }

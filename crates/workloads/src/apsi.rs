@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn cbr_applicable_two_scalar_params() {
         let w = ApsiRadb4::new();
-        match context_set(&w.program().func(w.ts())) {
+        match context_set(w.program().func(w.ts())) {
             ContextAnalysis::Applicable(srcs) => {
                 assert_eq!(
                     srcs,

@@ -201,7 +201,7 @@ mod tests {
         let w = ArtMatch::new();
         assert!(
             matches!(
-                context_set(&w.program().func(w.ts())),
+                context_set(w.program().func(w.ts())),
                 ContextAnalysis::NotApplicable(_)
             ),
             "winner branch reads loaded data"

@@ -136,7 +136,7 @@ mod tests {
     fn cbr_inapplicable_control_reads_block_data() {
         let w = Bzip2FullGtU::new();
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::NotApplicable(_)
         ));
     }

@@ -189,7 +189,7 @@ mod tests {
     fn cbr_inapplicable() {
         let w = CraftyAttacked::new();
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::NotApplicable(_)
         ));
     }

@@ -162,7 +162,7 @@ mod tests {
     fn cbr_inapplicable() {
         let w = GzipLongestMatch::new();
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::NotApplicable(_)
         ));
     }

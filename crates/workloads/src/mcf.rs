@@ -154,7 +154,7 @@ mod tests {
     fn cbr_inapplicable_via_indirect_potentials() {
         let w = McfPrimalBeaMpp::new();
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::NotApplicable(_)
         ));
     }

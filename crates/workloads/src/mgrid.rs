@@ -156,7 +156,7 @@ mod tests {
         let w = MgridResid::new();
         // Figure-1 analysis succeeds (scalar m drives control)…
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::Applicable(_)
         ));
         // …but the invocation stream produces 12 distinct contexts.

@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn cbr_applicable_with_scalar_context() {
         let w = SwimCalc3::new();
-        let ca = context_set(&w.program().func(w.ts()));
+        let ca = context_set(w.program().func(w.ts()));
         match ca {
             ContextAnalysis::Applicable(srcs) => {
                 // Only the grid size feeds control.

@@ -170,7 +170,7 @@ mod tests {
     fn cbr_inapplicable_loop_bound_loaded() {
         let w = TwolfNewDboxA::new();
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::NotApplicable(_)
         ));
     }

@@ -151,7 +151,7 @@ mod tests {
     fn cbr_inapplicable_status_checks() {
         let w = VortexChkGetChunk::new();
         assert!(matches!(
-            context_set(&w.program().func(w.ts())),
+            context_set(w.program().func(w.ts())),
             ContextAnalysis::NotApplicable(_)
         ));
     }

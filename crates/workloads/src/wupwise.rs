@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn cbr_applicable_three_scalars() {
         let w = WupwiseZgemm::new();
-        match context_set(&w.program().func(w.ts())) {
+        match context_set(w.program().func(w.ts())) {
             ContextAnalysis::Applicable(srcs) => {
                 assert_eq!(srcs.len(), 3);
             }

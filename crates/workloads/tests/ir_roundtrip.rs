@@ -3,7 +3,7 @@
 //! execute identically.
 
 use peak_ir::{parse_program, Interp, MemoryImage};
-use peak_workloads::{all_workloads, Dataset, Workload};
+use peak_workloads::{all_workloads, Dataset};
 use rand::SeedableRng;
 
 fn render(prog: &peak_ir::Program) -> String {

@@ -1,7 +1,7 @@
 //! Cross-workload checks of the Table-1 traits each benchmark encodes.
 
 use peak_ir::{context_set, ContextAnalysis, Interp, MemoryImage};
-use peak_workloads::{all_workloads, Dataset, Workload};
+use peak_workloads::{all_workloads, Dataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this crate provides the
+//! subset of proptest's API the workspace's property tests use: the
+//! [`Strategy`] trait (with `prop_map`/`boxed`), range / tuple / collection
+//! strategies, `any::<T>()`, weighted `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` macros. Test cases are generated from a deterministic
+//! per-test seed (FNV hash of the test name), so failures reproduce across
+//! runs; there is no shrinking — the panic message carries the case index.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, OneOf, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the case
+/// with a message rather than unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                        l, r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                        l, r, format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: `(left != right)`\n  both: `{:?}`",
+                        l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Choose between strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(&config, stringify!($name), &strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

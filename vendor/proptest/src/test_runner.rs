@@ -1,0 +1,55 @@
+//! Case runner: deterministic per-test seeding, no shrinking.
+
+use crate::strategy::Strategy;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Shrink-iteration bound — accepted for source compatibility with
+    /// real proptest; this shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// FNV-1a, used to derive a stable seed from the test name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `config.cases` random cases of `f` over values from `strategy`.
+/// Panics (failing the enclosing `#[test]`) on the first case whose
+/// closure returns `Err`.
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let base = fnv1a(name);
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(case));
+        let value = strategy.generate(&mut rng);
+        if let Err(msg) = f(value) {
+            panic!(
+                "proptest failure in `{name}` (case {case}/{}, seed {:#x}): {msg}",
+                config.cases,
+                base.wrapping_add(case)
+            );
+        }
+    }
+}

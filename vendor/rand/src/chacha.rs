@@ -1,0 +1,143 @@
+//! ChaCha12 block generator wrapped in rand_core's `BlockRng` buffering
+//! discipline, reproducing `rand::rngs::StdRng` (rand 0.8 = ChaCha12)
+//! word-for-word: four 16-word blocks per refill, `next_u64` pairing two
+//! consecutive u32 words little-endian-first, with the split-read edge
+//! case at the end of the buffer.
+
+use crate::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // 4 ChaCha blocks of 16 u32 words
+const ROUNDS: usize = 12;
+
+/// The standard generator: ChaCha12 with a 64-bit block counter.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let init: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let mut s = init;
+        for _ in 0..ROUNDS / 2 {
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = s[i].wrapping_add(init[i]);
+        }
+    }
+
+    fn refill(&mut self) {
+        for b in 0..4 {
+            let counter = self.counter.wrapping_add(b as u64);
+            let start = b * 16;
+            let mut tmp = [0u32; 16];
+            self.block(counter, &mut tmp);
+            self.buf[start..start + 16].copy_from_slice(&tmp);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        StdRng { key, counter: 0, buf: [0; BUF_WORDS], index: BUF_WORDS }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core BlockRng::next_u64 semantics.
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            let x = u64::from(self.buf[BUF_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_width_reads_follow_block_rng_rules() {
+        // Reading 63 u32s then a u64 must split across the refill.
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut first = Vec::new();
+        for _ in 0..64 {
+            first.push(a.next_u32());
+        }
+        for w in first.iter().take(63) {
+            assert_eq!(*w, b.next_u32());
+        }
+        let lo = u64::from(first[63]);
+        let split = b.next_u64();
+        assert_eq!(split & 0xffff_ffff, lo, "low half comes from the tail word");
+    }
+}

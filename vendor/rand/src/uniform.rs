@@ -1,0 +1,182 @@
+//! Uniform range sampling, reproducing rand 0.8.5's `UniformInt`
+//! (widening-multiply rejection) and `UniformFloat` (52-bit mantissa into
+//! [1, 2)) `sample_single` algorithms exactly, including their randomness
+//! consumption, so seeded streams match the real crate.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types with a uniform single-sample implementation.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample uniformly from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_single_inclusive(lo, hi, rng)
+    }
+}
+
+// Integer uniform sampling. $ty: sampled type, $unsigned: its unsigned
+// partner, $large: the generation width rand uses ($u32 for <= 32-bit
+// types, u64 for 64-bit ones), $gen: the RngCore word generator.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $large:ty, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                Self::sample_single_inclusive(low, high.wrapping_sub(1), rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                if range == 0 {
+                    // Full span: accept anything.
+                    return rng.$gen() as $ty;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Small types cascade to a modulo-derived zone.
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = rng.$gen() as $large;
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[inline(always)]
+fn wmul_u32(a: u32, b: u32) -> (u32, u32) {
+    let t = (a as u64) * (b as u64);
+    ((t >> 32) as u32, t as u32)
+}
+
+#[inline(always)]
+fn wmul_u64(a: u64, b: u64) -> (u64, u64) {
+    let t = (a as u128) * (b as u128);
+    ((t >> 64) as u64, t as u64)
+}
+
+// Dispatch wmul by width through a tiny trait.
+trait WMul: Sized {
+    fn wmul_pair(self, other: Self) -> (Self, Self);
+}
+impl WMul for u32 {
+    fn wmul_pair(self, other: Self) -> (Self, Self) {
+        wmul_u32(self, other)
+    }
+}
+impl WMul for u64 {
+    fn wmul_pair(self, other: Self) -> (Self, Self) {
+        wmul_u64(self, other)
+    }
+}
+
+#[inline(always)]
+fn wmul<T: WMul>(a: T, b: T) -> (T, T) {
+    a.wmul_pair(b)
+}
+
+uniform_int_impl!(u8, u8, u32, next_u32);
+uniform_int_impl!(u16, u16, u32, next_u32);
+uniform_int_impl!(u32, u32, u32, next_u32);
+uniform_int_impl!(u64, u64, u64, next_u64);
+uniform_int_impl!(usize, usize, u64, next_u64);
+uniform_int_impl!(i8, u8, u32, next_u32);
+uniform_int_impl!(i16, u16, u32, next_u32);
+uniform_int_impl!(i32, u32, u32, next_u32);
+uniform_int_impl!(i64, u64, u64, next_u64);
+uniform_int_impl!(isize, usize, u64, next_u64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $gen:ident, $one_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let mut scale = high - low;
+                loop {
+                    // Value in [1, 2): exponent 0, random mantissa.
+                    let mant = rng.$gen() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits($one_bits | mant);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding hit `high`: shave one ulp off the scale and
+                    // resample (rand 0.8's decrease_masked path).
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // Matches rand's inclusive float sampling closely enough
+                // for the (unused-in-repo) inclusive case.
+                let scale = high - low;
+                let mant = rng.$gen() >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits($one_bits | mant);
+                (value1_2 - 1.0) * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f64, u64, 12u32, next_u64, 1023u64 << 52);
+uniform_float_impl!(f32, u32, 9u32, next_u32, 127u32 << 23);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_uniformity_rough() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn float_mean_centered() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..50_000).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+}
