@@ -4,8 +4,16 @@
 //!
 //! ```text
 //! cargo run --release -p peak-bench --bin fault_matrix \
-//!     [-- --machine sparc|p4] [--bench NAME] [--json PATH]
+//!     [-- --machine sparc|p4] [--bench NAME] [--json PATH] [--trace PATH]
 //! ```
+//!
+//! `--trace PATH` writes a JSONL telemetry trace (rating outcomes, fault
+//! firings per run, supervisor degrades/retries) readable with the
+//! `peak-trace` binary. The sweep is single-threaded, so events stream
+//! straight to the file in execution order. Adding `--trace-wall`
+//! stamps `wall_ns` self-profiling fields so `peak-trace summary`
+//! reports per-method rating overhead — at the cost of trace
+//! byte-reproducibility (see DESIGN.md §9).
 //!
 //! For each fault intensity the harness self-rates `-O3` against itself
 //! (true improvement = 1.0) with every applicable method; the reported
@@ -17,11 +25,13 @@
 use peak_core::consultant::Method;
 use peak_core::rating::{rate, TuningSetup};
 use peak_core::RatingSupervisor;
+use peak_obs::{event, JsonlSink, TraceSink, Tracer};
 use peak_opt::OptConfig;
 use peak_sim::{FaultConfig, MachineKind, MachineSpec};
 use peak_util::{Json, ToJson};
 use peak_workloads::Dataset;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Fault intensities swept (0.0 = clean control).
 const INTENSITIES: &[f64] = &[0.0, 0.5, 1.0, 2.0];
@@ -73,6 +83,24 @@ fn main() {
     };
     let spec = MachineSpec::of(kind);
     let base = OptConfig::o3();
+    let trace_path = arg_value(&args, "--trace");
+    let trace_wall = args.iter().any(|a| a == "--trace-wall");
+    // Single-threaded sweep: events can stream straight to the file.
+    let (tracer, trace_sink) = match &trace_path {
+        Some(path) => {
+            let sink: Arc<JsonlSink> =
+                Arc::new(JsonlSink::create(std::path::Path::new(path)).expect("create trace file"));
+            let mut tracer = Tracer::to_sink(sink.clone() as Arc<dyn TraceSink>).with_context(vec![
+                ("benchmark".to_owned(), Json::Str(workload.name().to_owned())),
+                ("machine".to_owned(), Json::Str(kind.name().to_owned())),
+            ]);
+            if trace_wall {
+                tracer = tracer.with_wall_clock();
+            }
+            (tracer, Some(sink))
+        }
+        None => (Tracer::disabled(), None),
+    };
 
     println!(
         "Fault matrix — rating-accuracy degradation under injected faults ({}, {})",
@@ -97,8 +125,17 @@ fn main() {
     for &method in &methods {
         for &intensity in INTENSITIES {
             let mut setup = TuningSetup::new(workload.as_ref(), spec.clone(), Dataset::Train);
+            setup.set_tracer(tracer.clone());
             if intensity > 0.0 {
                 setup.set_faults(Some(spec.fault_profile(intensity, SCENARIO_SEED)));
+            }
+            if tracer.enabled() {
+                event!(
+                    tracer,
+                    "matrix.cell",
+                    method = method.name(),
+                    intensity = intensity,
+                );
             }
             let Some(out) = rate(&mut setup, method, base, &[base]) else {
                 continue;
@@ -137,7 +174,11 @@ fn main() {
     let mut crash_cfg: FaultConfig = spec.fault_profile(1.0, SCENARIO_SEED);
     crash_cfg.crash_at = Some(6);
     let mut setup = TuningSetup::new(workload.as_ref(), spec.clone(), Dataset::Train);
+    setup.set_tracer(tracer.clone());
     setup.set_faults(Some(crash_cfg));
+    if tracer.enabled() {
+        event!(tracer, "matrix.crash_scenario", crash_at = 6u64, intensity = 1.0,);
+    }
     let preferred = *consult.order.first().unwrap_or(&Method::Rbr);
     let mut supervisor = RatingSupervisor::default();
     let (out, used) = supervisor.rate(&mut setup, preferred, base, &[base]);
@@ -180,6 +221,10 @@ fn main() {
         writeln!(f, "{}", doc.pretty()).expect("write json output");
         println!();
         println!("wrote {path}");
+    }
+    if let (Some(sink), Some(path)) = (trace_sink, &trace_path) {
+        sink.flush();
+        eprintln!("trace: wrote {path}");
     }
 }
 

@@ -4,17 +4,24 @@
 //!
 //! ```text
 //! cargo run --release -p peak-bench --bin figure7 -- [--machine sparc|p4|both] \
-//!     [--bench swim|mgrid|art|equake] [--quick] [--json PATH]
+//!     [--bench swim|mgrid|art|equake] [--quick] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `--quick` tunes on the train input only (the left bars); the full run
 //! adds ref-input tuning (the right bars of each pair).
+//!
+//! `--trace PATH` writes a JSONL telemetry trace (tuning rounds, rating
+//! outcomes, per-run simulator metrics) readable with the `peak-trace`
+//! binary. Each parallel cell buffers its events; buffers are written in
+//! job order so the trace is deterministic regardless of scheduling.
 
-use peak_bench::{figure7_cell, figure7_method_list, normalize_tuning_times, Figure7Cell};
+use peak_bench::{figure7_cell_traced, figure7_method_list, normalize_tuning_times, Figure7Cell};
 use peak_core::consultant::Method;
+use peak_obs::{BufferSink, JsonlSink, TraceSink, Tracer};
 use peak_sim::{MachineKind, MachineSpec};
 use peak_workloads::Dataset;
 use std::io::Write;
+use std::sync::Arc;
 
 const BENCHMARKS: [&str; 4] = ["SWIM", "MGRID", "ART", "EQUAKE"];
 
@@ -60,15 +67,25 @@ fn main() {
             }
         }
     }
+    let trace_path = arg_value(&args, "--trace");
+    let tracing = trace_path.is_some();
     eprintln!("figure7: {} cells (parallel)", jobs.len());
-    // Parallel evaluation; cells are fully independent.
-    let mut cells: Vec<Figure7Cell> = std::thread::scope(|scope| {
+    // Parallel evaluation; cells are fully independent. With `--trace`,
+    // each cell buffers its events locally; buffers are spliced into the
+    // trace file in job order after the join.
+    let results: Vec<(Figure7Cell, Vec<String>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|(name, kind, method, ds)| {
                 scope.spawn(move || {
                     let t0 = std::time::Instant::now();
-                    let cell = figure7_cell(name, *kind, *method, *ds);
+                    let (tracer, sink) = if tracing {
+                        let sink = Arc::new(BufferSink::new());
+                        (Tracer::to_sink(sink.clone()), Some(sink))
+                    } else {
+                        (Tracer::disabled(), None)
+                    };
+                    let cell = figure7_cell_traced(name, *kind, *method, *ds, tracer);
                     eprintln!(
                         "  {name:<7} {:<10} {:<4} {:<5}  {:+6.1}%  ({} ratings, {:.1}s)",
                         kind.name(),
@@ -78,12 +95,24 @@ fn main() {
                         cell.report.search.ratings,
                         t0.elapsed().as_secs_f64(),
                     );
-                    cell
+                    (cell, sink.map(|s| s.drain()).unwrap_or_default())
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker")).collect()
     });
+    let mut cells = Vec::with_capacity(results.len());
+    if let Some(path) = &trace_path {
+        let sink = JsonlSink::create(std::path::Path::new(path)).expect("create trace file");
+        for (_, lines) in &results {
+            sink.append_lines(lines.iter());
+        }
+        sink.flush();
+        eprintln!("trace: wrote {path}");
+    }
+    for (cell, _) in results {
+        cells.push(cell);
+    }
     normalize_tuning_times(&mut cells);
     // --- Figure 7 (a)/(b): improvement over -O3 ---
     for &kind in &kinds {

@@ -2,8 +2,15 @@
 //! fourteen selected tuning sections.
 //!
 //! ```text
-//! cargo run --release -p peak-bench --bin table1 [-- --machine sparc|p4] [--json PATH]
+//! cargo run --release -p peak-bench --bin table1 \
+//!     [-- --machine sparc|p4] [--json PATH] [--trace PATH]
 //! ```
+//!
+//! `--trace PATH` writes a JSONL telemetry trace (per-run simulator
+//! metrics, window states, Table-1 row provenance) readable with the
+//! `peak-trace` binary. Tracing never changes stdout: the confirmation
+//! note goes to stderr, and each parallel worker buffers its events so
+//! the trace file is written in deterministic benchmark order.
 //!
 //! For every benchmark, the consultant picks the rating approach (CBR →
 //! MBR → RBR); the harness then rates a single `-O3` experimental version
@@ -11,14 +18,18 @@
 //! and reporting `Mean(StdDev)×100` of the rating error — paper Eq. 7-10.
 
 use peak_bench::render_consistency_row;
-use peak_core::consistency::consistency_rows;
+use peak_core::consistency::consistency_rows_traced;
+use peak_obs::{BufferSink, JsonlSink, TraceSink, Tracer};
 use peak_sim::{MachineKind, MachineSpec};
+use peak_util::Json;
 use std::io::Write;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let machine = arg_value(&args, "--machine").unwrap_or_else(|| "sparc".into());
     let json_path = arg_value(&args, "--json");
+    let trace_path = arg_value(&args, "--trace");
     let only = arg_value(&args, "--bench");
     let kind = match machine.as_str() {
         "p4" | "pentium" | "pentium4" => MachineKind::PentiumIV,
@@ -42,22 +53,48 @@ fn main() {
         .into_iter()
         .filter(|w| only.as_deref().is_none_or(|o| w.name().eq_ignore_ascii_case(o)))
         .collect();
-    // Parallel across benchmarks: each cell is independent.
-    let mut all_rows: Vec<(usize, Vec<peak_core::ConsistencyRow>)> =
+    // Parallel across benchmarks: each cell is independent. With
+    // `--trace`, each worker buffers its events locally; buffers are
+    // spliced into the trace file in benchmark order after the join so
+    // the trace is deterministic regardless of scheduling.
+    let tracing = trace_path.is_some();
+    let mut all_rows: Vec<(usize, Vec<peak_core::ConsistencyRow>, Vec<String>)> =
         std::thread::scope(|scope| {
             let spec = &spec;
             let handles: Vec<_> = workloads
                 .iter()
                 .enumerate()
                 .map(|(i, w)| {
-                    scope.spawn(move || (i, consistency_rows(w.as_ref(), spec)))
+                    scope.spawn(move || {
+                        let (tracer, sink) = if tracing {
+                            let sink = Arc::new(BufferSink::new());
+                            let tracer = Tracer::to_sink(sink.clone()).with_context(vec![
+                                ("benchmark".to_owned(), Json::Str(w.name().to_owned())),
+                                ("machine".to_owned(), Json::Str(spec.kind.name().to_owned())),
+                            ]);
+                            (tracer, Some(sink))
+                        } else {
+                            (Tracer::disabled(), None)
+                        };
+                        let rows = consistency_rows_traced(w.as_ref(), spec, &tracer);
+                        let lines = sink.map(|s| s.drain()).unwrap_or_default();
+                        (i, rows, lines)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker")).collect()
         });
-    all_rows.sort_by_key(|(i, _)| *i);
+    all_rows.sort_by_key(|(i, _, _)| *i);
+    if let Some(path) = &trace_path {
+        let sink = JsonlSink::create(std::path::Path::new(path)).expect("create trace file");
+        for (_, _, lines) in &all_rows {
+            sink.append_lines(lines.iter());
+        }
+        sink.flush();
+        eprintln!("trace: wrote {path}");
+    }
     let mut flat = Vec::new();
-    for (_, rows) in all_rows {
+    for (_, rows, _) in all_rows {
         for row in rows {
             println!("{}", render_consistency_row(&row));
             flat.push(row);

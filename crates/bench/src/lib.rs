@@ -12,6 +12,7 @@
 
 use peak_core::consultant::Method;
 use peak_core::TuneReport;
+use peak_obs::Tracer;
 use peak_sim::{MachineKind, MachineSpec};
 use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
@@ -61,9 +62,38 @@ pub fn figure7_cell(
     method: Method,
     tuned_on: Dataset,
 ) -> Figure7Cell {
+    figure7_cell_traced(name, kind, method, tuned_on, Tracer::disabled())
+}
+
+/// [`figure7_cell`] with telemetry: tuning-loop spans and measurement
+/// provenance go to `tracer`. The tracer is stamped with the cell's
+/// benchmark/ts/machine/method/dataset context so trace consumers can
+/// attribute every event without reconstructing the job layout.
+pub fn figure7_cell_traced(
+    name: &str,
+    kind: MachineKind,
+    method: Method,
+    tuned_on: Dataset,
+    tracer: Tracer,
+) -> Figure7Cell {
     let workload = peak_workloads::workload_by_name(name).expect("known workload");
     let spec = MachineSpec::of(kind);
-    let report = peak_core::tune(workload.as_ref(), &spec, method, tuned_on);
+    let tracer = if tracer.enabled() {
+        let ds = match tuned_on {
+            Dataset::Train => "train",
+            Dataset::Ref => "ref",
+        };
+        tracer.with_context(vec![
+            ("benchmark".to_owned(), Json::Str(name.to_owned())),
+            ("ts".to_owned(), Json::Str(workload.ts_name().to_owned())),
+            ("machine".to_owned(), Json::Str(spec.kind.name().to_owned())),
+            ("method".to_owned(), Json::Str(method.name().to_owned())),
+            ("tuned_on".to_owned(), Json::Str(ds.to_owned())),
+        ])
+    } else {
+        tracer
+    };
+    let report = peak_core::tune_traced(workload.as_ref(), &spec, method, tuned_on, tracer);
     Figure7Cell { report, tuning_time_vs_whl: None }
 }
 

@@ -9,8 +9,9 @@
 use crate::consultant::{consult, Method};
 use crate::harness::RunHarness;
 use crate::stats;
+use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
-use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
+use peak_sim::{ExecOptions, MachineSpec, PreparedVersion, SimMetrics};
 use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
 
@@ -56,13 +57,69 @@ const MAX_RUNS: usize = 400;
 
 /// Collect the consistency rows for one workload on one machine.
 pub fn consistency_rows(workload: &dyn Workload, spec: &MachineSpec) -> Vec<ConsistencyRow> {
+    consistency_rows_traced(workload, spec, &Tracer::disabled())
+}
+
+/// [`consistency_rows`] with telemetry: spans each TS's collection,
+/// emits per-run simulator metrics and a `table1.row` event per
+/// finished row. A disabled tracer makes this exactly
+/// [`consistency_rows`] (which delegates here).
+pub fn consistency_rows_traced(
+    workload: &dyn Workload,
+    spec: &MachineSpec,
+    tracer: &Tracer,
+) -> Vec<ConsistencyRow> {
     let consultation = consult(workload, spec);
     let method = consultation.order[0];
-    match method {
-        Method::Cbr => cbr_rows(workload, spec, &consultation),
-        Method::Mbr => vec![mbr_row(workload, spec, &consultation)],
-        _ => vec![rbr_row(workload, spec, &consultation)],
+    let _span = if tracer.enabled() {
+        Some(tracer.span(
+            "table1.collect",
+            vec![
+                ("benchmark".to_owned(), Json::Str(workload.name().to_owned())),
+                ("ts".to_owned(), Json::Str(workload.ts_name().to_owned())),
+                ("method".to_owned(), Json::Str(method.name().to_owned())),
+            ],
+        ))
+    } else {
+        None
+    };
+    let rows = match method {
+        Method::Cbr => cbr_rows(workload, spec, &consultation, tracer),
+        Method::Mbr => vec![mbr_row(workload, spec, &consultation, tracer)],
+        _ => vec![rbr_row(workload, spec, &consultation, tracer)],
+    };
+    if tracer.enabled() {
+        for row in &rows {
+            tracer.emit(
+                "table1.row",
+                vec![
+                    ("benchmark".to_owned(), Json::Str(row.benchmark.clone())),
+                    ("ts".to_owned(), Json::Str(row.ts.clone())),
+                    ("method".to_owned(), Json::Str(row.method.name().to_owned())),
+                    ("context".to_owned(), Json::U(row.context as u64)),
+                    ("invocations".to_owned(), Json::U(row.invocations as u64)),
+                    ("cells".to_owned(), row.cells.to_json()),
+                ],
+            );
+        }
     }
+    rows
+}
+
+/// Per-run simulator provenance for the Table 1 collectors (the tuning
+/// paths get the equivalent event from `TuningSetup::absorb_run`).
+fn emit_run(tracer: &Tracer, run: usize, seed: u64, h: &RunHarness<'_>) {
+    if !tracer.enabled() {
+        return;
+    }
+    let mut fields = vec![
+        ("run".to_owned(), Json::U(run as u64)),
+        ("seed".to_owned(), Json::U(seed)),
+    ];
+    if let Json::Obj(pairs) = SimMetrics::snapshot(&h.machine).to_json() {
+        fields.extend(pairs);
+    }
+    tracer.emit("sim.run", fields);
 }
 
 fn chunked_stats(samples: &[f64], w: usize, relative: bool) -> (f64, f64) {
@@ -85,6 +142,7 @@ fn cbr_rows(
     workload: &dyn Workload,
     spec: &MachineSpec,
     consultation: &crate::consultant::Consultation,
+    tracer: &Tracer,
 ) -> Vec<ConsistencyRow> {
     let plan = consultation.cbr.as_ref().expect("CBR row needs plan");
     let cv = peak_opt::optimize(workload.program(), workload.ts(), &OptConfig::o3());
@@ -109,6 +167,11 @@ fn cbr_rows(
                 }
             }
         }
+        emit_run(tracer, runs, seed, &h);
+    }
+    if tracer.enabled() {
+        let kept: Vec<u64> = per_ctx.iter().map(|s| s.len() as u64).collect();
+        event!(tracer, "cbr.contexts_sampled", kept = kept.to_json(), runs = runs as u64);
     }
     per_ctx
         .into_iter()
@@ -134,6 +197,7 @@ fn mbr_row(
     workload: &dyn Workload,
     spec: &MachineSpec,
     consultation: &crate::consultant::Consultation,
+    tracer: &Tracer,
 ) -> ConsistencyRow {
     let model = consultation.mbr.as_ref().expect("MBR row needs model").clone();
     let cv = peak_opt::optimize(&model.instrumented, model.ts, &OptConfig::o3());
@@ -152,6 +216,7 @@ fn mbr_row(
             times.push(measured as f64);
             counts.push(model.count_row(&args, &res.counters));
         }
+        emit_run(tracer, runs, seed, &h);
     }
     // V_i per window: regression over each chunk, EVAL from the model.
     let cells = WINDOW_SIZES
@@ -195,6 +260,7 @@ fn rbr_row(
     workload: &dyn Workload,
     spec: &MachineSpec,
     consultation: &crate::consultant::Consultation,
+    tracer: &Tracer,
 ) -> ConsistencyRow {
     let plan = &consultation.rbr;
     let cv = peak_opt::optimize(workload.program(), workload.ts(), &OptConfig::o3());
@@ -236,6 +302,7 @@ fn rbr_row(
             flip = !flip;
             samples.push(r);
         }
+        emit_run(tracer, runs, seed, &h);
     }
     ConsistencyRow {
         benchmark: workload.name().to_string(),

@@ -19,6 +19,7 @@
 
 use crate::consultant::Method;
 use crate::rating::{rate_with, RateOptions, RateOutcome, TuningSetup};
+use peak_obs::event;
 use peak_opt::OptConfig;
 use peak_util::{Json, ToJson};
 
@@ -245,6 +246,7 @@ impl RatingSupervisor {
     ) -> (RateOutcome, Method) {
         let rating = self.ratings;
         self.ratings += 1;
+        let tracer = setup.tracer().clone();
         let cascade = self.cascade(setup, preferred);
         let ncand = candidates.len().max(1) as f64;
         let mut last: Option<RateOutcome> = None;
@@ -253,6 +255,15 @@ impl RatingSupervisor {
             let next = cascade.get(pos + 1).copied().unwrap_or(Method::Whl);
             let log = |trigger: DegradeTrigger, retries: u32, events: &mut Vec<DegradeEvent>| {
                 events.push(DegradeEvent { rating, from: m, to: next, trigger, retries });
+                event!(
+                    tracer,
+                    "supervisor.degrade",
+                    rating = rating as u64,
+                    from = m.name(),
+                    to = next.name(),
+                    trigger = trigger.name(),
+                    retries = retries as u64,
+                );
             };
             let mut opts = RateOptions::default();
             let mut retries = 0u32;
@@ -277,6 +288,15 @@ impl RatingSupervisor {
                 if retries < self.config.max_retries && self.budget_allows_retry(setup) {
                     retries += 1;
                     opts.window_scale *= self.config.widen_factor;
+                    event!(
+                        tracer,
+                        "supervisor.retry",
+                        rating = rating as u64,
+                        method = m.name(),
+                        retry = retries as u64,
+                        window_scale = opts.window_scale,
+                        unconverged = out.unconverged as u64,
+                    );
                     continue;
                 }
                 log(self.unconverged_trigger(&out), retries, &mut self.events);

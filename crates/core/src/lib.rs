@@ -43,11 +43,11 @@ pub mod tuner;
 
 pub use adaptive::{AdaptiveOutcome, AdaptiveTuner};
 pub use checkpoint::TunerCheckpoint;
-pub use consistency::{consistency_rows, ConsistencyRow, WINDOW_SIZES};
+pub use consistency::{consistency_rows, consistency_rows_traced, ConsistencyRow, WINDOW_SIZES};
 pub use consultant::{consult, Consultation, Method};
 pub use degrade::{DegradeEvent, DegradeTrigger, RatingSupervisor, SupervisorConfig};
 pub use harness::RunHarness;
 pub use mbr::MbrModel;
 pub use rating::{rate, rate_with, RateOptions, RateOutcome, TuningSetup};
 pub use search::{exhaustive, iterative_elimination, random_search, SearchResult};
-pub use tuner::{production_time, tune, TuneReport, Tuner};
+pub use tuner::{production_time, tune, tune_traced, TuneReport, Tuner};

@@ -9,8 +9,12 @@
 use crate::consultant::{Consultation, Method};
 use crate::harness::RunHarness;
 use crate::stats::Window;
+use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
-use peak_sim::{ExecError, ExecOptions, FaultConfig, FaultPlan, MachineSpec, PreparedVersion};
+use peak_sim::{
+    ExecError, ExecOptions, FaultConfig, FaultPlan, MachineSpec, PreparedVersion, SimMetrics,
+};
+use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,6 +32,7 @@ pub struct TuningSetup<'w> {
     versions: HashMap<(u64, bool), Arc<PreparedVersion>>,
     next_seed: u64,
     fault_config: Option<FaultConfig>,
+    tracer: Tracer,
     /// True cycles consumed by tuning runs so far.
     pub tuning_cycles: u64,
     /// Application runs started so far.
@@ -48,6 +53,7 @@ impl<'w> TuningSetup<'w> {
             versions: HashMap::new(),
             next_seed: 1,
             fault_config: None,
+            tracer: Tracer::disabled(),
             tuning_cycles: 0,
             runs_used: 0,
             invocations_used: 0,
@@ -64,6 +70,18 @@ impl<'w> TuningSetup<'w> {
     /// The installed fault scenario, if any.
     pub fn fault_config(&self) -> Option<&FaultConfig> {
         self.fault_config.as_ref()
+    }
+
+    /// Install a tracer: every subsequent run and rating call emits
+    /// telemetry through it. The default disabled tracer leaves the
+    /// tuning path bit-identical to an uninstrumented build.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Seed the next run will be derived from (checkpointing).
@@ -114,9 +132,27 @@ impl<'w> TuningSetup<'w> {
         RunHarness::with_faults(self.workload, self.ds, &self.spec, self.next_seed, faults)
     }
 
-    /// Account a finished (or abandoned) run's cycles.
+    /// Account a finished (or abandoned) run's cycles; when a tracer is
+    /// installed, emits a `sim.run` event with the run's machine
+    /// counters and fault stats (measurement provenance: this run's
+    /// seed links the samples to the exact replayable fault stream).
     pub fn absorb_run(&mut self, h: &RunHarness<'_>) {
         self.tuning_cycles += h.cycles();
+        if self.tracer.enabled() {
+            let m = SimMetrics::snapshot(&h.machine);
+            let mut fields = vec![
+                ("run".to_owned(), Json::U(self.runs_used as u64)),
+                ("seed".to_owned(), Json::U(self.next_seed)),
+            ];
+            if let Json::Obj(pairs) = m.to_json() {
+                fields.extend(pairs);
+            }
+            if let Some(plan) = &h.machine.faults {
+                fields.push(("faults".to_owned(), plan.stats.to_json()));
+                fields.push(("executions".to_owned(), Json::U(plan.executions())));
+            }
+            self.tracer.emit("sim.run", fields);
+        }
     }
 }
 
@@ -208,7 +244,26 @@ pub fn rate_with(
     candidates: &[OptConfig],
     opts: &RateOptions,
 ) -> Option<RateOutcome> {
-    match method {
+    let tracer = setup.tracer.clone();
+    let _span = if tracer.enabled() {
+        Some(tracer.span(
+            "rating",
+            vec![
+                ("method".to_owned(), Json::Str(method.name().to_owned())),
+                ("base".to_owned(), Json::U(base.bits())),
+                ("candidates".to_owned(), Json::U(candidates.len() as u64)),
+                ("window_scale".to_owned(), Json::F(opts.window_scale)),
+            ],
+        ))
+    } else {
+        None
+    };
+    // Self-profiling baselines: runs/invocations/cycles before the call
+    // give the method's exclusive measurement cost; wall-clock only when
+    // the tracer opted in (it breaks trace byte-identity).
+    let (runs0, inv0, cyc0) = (setup.runs_used, setup.invocations_used, setup.tuning_cycles);
+    let wall0 = tracer.wall_ns();
+    let out = match method {
         Method::Cbr => {
             setup.consult.cbr.is_some().then(|| rate_cbr(setup, base, candidates, true, opts))
         }
@@ -218,7 +273,37 @@ pub fn rate_with(
         }
         Method::Rbr => Some(rate_rbr(setup, base, candidates, true, opts)),
         Method::Whl => Some(rate_whl(setup, base, candidates)),
+    };
+    if tracer.enabled() {
+        match &out {
+            Some(o) => {
+                let mut fields = vec![
+                    ("method".to_owned(), Json::Str(o.method.name().to_owned())),
+                    ("improvements".to_owned(), o.improvements.to_json()),
+                    ("vars".to_owned(), o.vars.to_json()),
+                    ("unconverged".to_owned(), Json::U(o.unconverged as u64)),
+                    ("samples".to_owned(), Json::U(o.samples as u64)),
+                    ("trimmed".to_owned(), Json::U(o.trimmed as u64)),
+                    ("dropouts".to_owned(), Json::U(o.dropouts)),
+                    ("crashes".to_owned(), Json::U(o.crashes)),
+                    ("runs".to_owned(), Json::U((setup.runs_used - runs0) as u64)),
+                    (
+                        "invocations".to_owned(),
+                        Json::U(setup.invocations_used - inv0),
+                    ),
+                    ("cycles".to_owned(), Json::U(setup.tuning_cycles - cyc0)),
+                ];
+                if let (Some(w0), Some(w1)) = (wall0, tracer.wall_ns()) {
+                    fields.push(("wall_ns".to_owned(), Json::U(w1.saturating_sub(w0))));
+                }
+                tracer.emit("rating.outcome", fields);
+            }
+            None => {
+                event!(tracer, "rating.inapplicable", method = method.name());
+            }
+        }
     }
+    out
 }
 
 /// CBR (and, with `use_context = false`, the AVG baseline): average the
@@ -248,13 +333,21 @@ fn rate_cbr(
     let opts = ExecOptions::default();
     let mut dropouts = 0u64;
     let mut crashes = 0u64;
+    let mut ctx_matches = 0u64;
+    let mut ctx_misses = 0u64;
     'runs: for _ in 0..MAX_RUNS_PER_RATING {
         let mut h = setup.new_run();
         while let Some(args) = h.next_args() {
             setup.invocations_used += 1;
             let matches = if use_context {
                 let key = h.context_key(&sources, &args);
-                crate::context::reduce_key(&key, &varying) == important
+                let m = crate::context::reduce_key(&key, &varying) == important;
+                if m {
+                    ctx_matches += 1;
+                } else {
+                    ctx_misses += 1;
+                }
+                m
             } else {
                 true
             };
@@ -296,6 +389,22 @@ fn rate_cbr(
         if windows.iter().all(|w| w.converged() || w.exhausted()) {
             break;
         }
+    }
+    if use_context {
+        let t = setup.tracer.clone();
+        event!(t, "cbr.context", matches = ctx_matches, misses = ctx_misses);
+    }
+    if setup.tracer.enabled() {
+        let lens: Vec<u64> = windows.iter().map(|w| w.len() as u64).collect();
+        let cvs: Vec<f64> = windows.iter().map(Window::mean_cv).collect();
+        let t = setup.tracer.clone();
+        event!(
+            t,
+            "window.state",
+            method = if use_context { "cbr" } else { "avg" },
+            lens = lens.to_json(),
+            cvs = cvs.to_json(),
+        );
     }
     let base_eval = windows[0].summary().mean.max(1.0);
     let improvements = windows[1..]
@@ -412,6 +521,21 @@ fn rate_mbr(
             }
         }
     }
+    if setup.tracer.enabled() {
+        let rows: Vec<u64> = times.iter().map(|t| t.len() as u64).collect();
+        let res_vars: Vec<f64> =
+            evals.iter().map(|e| e.map(|(_, v)| v).unwrap_or(f64::INFINITY)).collect();
+        let fitted: Vec<bool> = evals.iter().map(Option::is_some).collect();
+        let t = setup.tracer.clone();
+        event!(
+            t,
+            "mbr.fit",
+            rows = rows.to_json(),
+            residual_vars = res_vars.to_json(),
+            fitted = fitted.to_json(),
+            min_rows = min_rows as u64,
+        );
+    }
     let base_eval = evals[0].map(|(e, _)| e).unwrap_or(1.0).max(1e-9);
     let improvements = evals[1..]
         .iter()
@@ -512,6 +636,12 @@ fn rate_rbr(
         if windows.iter().all(|w| w.converged() || w.exhausted()) {
             break;
         }
+    }
+    if setup.tracer.enabled() {
+        let lens: Vec<u64> = windows.iter().map(|w| w.len() as u64).collect();
+        let cvs: Vec<f64> = windows.iter().map(|w| w.mean_cv()).collect();
+        let t = setup.tracer.clone();
+        event!(t, "window.state", method = "rbr", lens = lens.to_json(), cvs = cvs.to_json());
     }
     let improvements = windows
         .iter()

@@ -9,6 +9,7 @@
 
 use crate::consultant::Method;
 use crate::rating::{rate, RateOutcome, TuningSetup};
+use peak_obs::event;
 use peak_opt::{Flag, OptConfig};
 use peak_util::{Json, ToJson};
 
@@ -109,7 +110,7 @@ pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> Sea
     let mut ratings = 0usize;
     let mut switches = 0u32;
     let mut last_method = method;
-    for _round in 0..MAX_IE_ROUNDS {
+    for round in 0..MAX_IE_ROUNDS {
         let flags: Vec<Flag> = base.enabled_flags();
         if flags.is_empty() {
             break;
@@ -129,8 +130,26 @@ pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> Sea
         // Remove the flag whose removal helps most.
         let bestidx = (0..candidates.len())
             .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+        let removed = match bestidx {
+            Some(i) if out.improvements[i] >= MIN_GAIN => Some(flags[i].name()),
+            _ => None,
+        };
+        {
+            let tracer = setup.tracer();
+            if tracer.enabled() {
+                event!(
+                    tracer,
+                    "search.round",
+                    round = round as u64,
+                    method = used.name(),
+                    best_improvement = bestidx.map(|i| out.improvements[i]).unwrap_or(1.0),
+                    removed_flag = removed,
+                    switches = switches as u64,
+                );
+            }
+        }
         match bestidx {
-            Some(i) if out.improvements[i] >= MIN_GAIN => {
+            Some(i) if removed.is_some() => {
                 base = candidates[i];
             }
             _ => break,

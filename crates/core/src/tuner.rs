@@ -11,6 +11,7 @@ use crate::consultant::Method;
 use crate::degrade::{DegradeEvent, RatingSupervisor, SupervisorConfig};
 use crate::rating::{rate, TuningSetup};
 use crate::search::{iterative_elimination, SearchResult};
+use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
 use peak_sim::{ExecOptions, FaultConfig, MachineSpec, PreparedVersion};
 use peak_util::{Json, ToJson};
@@ -83,7 +84,21 @@ pub fn tune(
     method: Method,
     tuned_on: Dataset,
 ) -> TuneReport {
+    tune_traced(workload, spec, method, tuned_on, Tracer::disabled())
+}
+
+/// [`tune`] with a tracer installed for the tuning phase: every rating
+/// call and tuning run emits telemetry. With a disabled tracer this is
+/// exactly [`tune`] (which delegates here).
+pub fn tune_traced(
+    workload: &dyn Workload,
+    spec: &MachineSpec,
+    method: Method,
+    tuned_on: Dataset,
+    tracer: Tracer,
+) -> TuneReport {
     let mut setup = TuningSetup::new(workload, spec.clone(), tuned_on);
+    setup.set_tracer(tracer);
     let search = iterative_elimination(&mut setup, method);
     let baseline_cycles = production_time(workload, spec, OptConfig::o3(), Dataset::Ref);
     let tuned_cycles = production_time(workload, spec, search.best, Dataset::Ref);
@@ -166,6 +181,13 @@ impl<'w> Tuner<'w> {
     /// Override the supervisor policy (must be called before stepping).
     pub fn set_supervisor(&mut self, config: SupervisorConfig) {
         self.supervisor = RatingSupervisor::new(config);
+    }
+
+    /// Install a tracer on the underlying [`TuningSetup`]: tuner rounds,
+    /// supervised ratings, and per-run simulator metrics all emit
+    /// through it. The default disabled tracer changes nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.setup.set_tracer(tracer);
     }
 
     /// Write a checkpoint to `path` after every rating step (and one
@@ -262,6 +284,19 @@ impl<'w> Tuner<'w> {
             self.save_checkpoint();
             return false;
         }
+        let tracer = self.setup.tracer().clone();
+        let _round_span = if tracer.enabled() {
+            Some(tracer.span(
+                "tuner.round",
+                vec![
+                    ("round".to_owned(), Json::U(self.round as u64)),
+                    ("base".to_owned(), Json::U(self.base.bits())),
+                    ("flags_enabled".to_owned(), Json::U(flags.len() as u64)),
+                ],
+            ))
+        } else {
+            None
+        };
         let candidates: Vec<OptConfig> =
             flags.iter().map(|&f| self.base.without(f)).collect();
         let (out, used) = if matches!(self.method, Method::Whl | Method::Avg) {
@@ -279,14 +314,28 @@ impl<'w> Tuner<'w> {
         self.round += 1;
         let bestidx = (0..candidates.len())
             .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+        let mut removed: Option<&'static str> = None;
         match bestidx {
             Some(i) if out.improvements[i] >= crate::search::MIN_GAIN => {
+                removed = Some(flags[i].name());
                 self.base = candidates[i];
             }
             _ => self.done = true,
         }
         if self.round >= crate::search::MAX_IE_ROUNDS {
             self.done = true;
+        }
+        if tracer.enabled() {
+            let best = bestidx.map(|i| out.improvements[i]).unwrap_or(1.0);
+            event!(
+                tracer,
+                "tuner.step",
+                round = (self.round - 1) as u64,
+                method = used.name(),
+                best_improvement = best,
+                removed_flag = removed,
+                done = self.done,
+            );
         }
         self.save_checkpoint();
         !self.done
@@ -331,7 +380,17 @@ impl<'w> Tuner<'w> {
     fn save_checkpoint(&self) {
         if let Some(path) = &self.checkpoint_path {
             if let Err(e) = self.checkpoint().save(path) {
-                eprintln!("warning: checkpoint save to {path:?} failed: {e}");
+                let tracer = self.setup.tracer();
+                if tracer.enabled() {
+                    event!(
+                        tracer,
+                        "warn.checkpoint_save",
+                        path = path.display().to_string(),
+                        error = e.to_string(),
+                    );
+                } else {
+                    eprintln!("warning: checkpoint save to {path:?} failed: {e}");
+                }
             }
         }
     }

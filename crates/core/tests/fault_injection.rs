@@ -5,9 +5,11 @@
 use peak_core::consultant::Method;
 use peak_core::rating::TuningSetup;
 use peak_core::{DegradeTrigger, RatingSupervisor, Tuner};
+use peak_obs::{BufferSink, Tracer};
 use peak_opt::OptConfig;
 use peak_sim::{FaultConfig, MachineSpec};
 use peak_workloads::{swim::SwimCalc3, Dataset};
+use std::sync::Arc;
 
 /// A fault scenario nasty enough to force degradation: moderate jitter
 /// and dropout plus a deterministic crash partway into every run.
@@ -20,23 +22,62 @@ fn nasty_faults(seed: u64) -> FaultConfig {
 
 #[test]
 fn same_seed_fault_replay_is_bit_identical() {
+    // Each replay records its full telemetry stream; determinism must
+    // extend to the trace (same seed + same FaultConfig ⇒ byte-identical
+    // JSONL), not just the rating result.
     let run = || {
         let w = SwimCalc3::new();
         let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        let sink = Arc::new(BufferSink::new());
+        setup.set_tracer(Tracer::to_sink(sink.clone()));
         setup.set_faults(Some(nasty_faults(0xDEAD)));
         let base = OptConfig::o3();
         let cand = [base.without(peak_opt::Flag::LoopUnroll), base];
         let mut sup = RatingSupervisor::default();
         let (out, m) = sup.rate(&mut setup, Method::Cbr, base, &cand);
-        (out.improvements.clone(), m, sup.events().to_vec(), setup.invocations_used)
+        (
+            out.improvements.clone(),
+            m,
+            sup.events().to_vec(),
+            setup.invocations_used,
+            sink.drain(),
+        )
     };
-    let (imp1, m1, ev1, inv1) = run();
-    let (imp2, m2, ev2, inv2) = run();
+    let (imp1, m1, ev1, inv1, trace1) = run();
+    let (imp2, m2, ev2, inv2, trace2) = run();
     assert_eq!(imp1, imp2, "improvements must replay bit-identically");
     assert_eq!(m1, m2);
     assert_eq!(ev1, ev2, "degradation event streams must replay identically");
     assert_eq!(inv1, inv2);
     assert!(!ev1.is_empty(), "the nasty scenario must actually degrade");
+    assert_eq!(trace1, trace2, "telemetry streams must replay byte-identically");
+    assert!(
+        trace1.iter().any(|l| l.contains("\"supervisor.degrade\"")),
+        "the degradation cascade must appear in the trace"
+    );
+    assert!(
+        trace1.iter().any(|l| l.contains("\"sim.run\"")),
+        "per-run provenance must appear in the trace"
+    );
+}
+
+#[test]
+fn tracing_is_observation_only() {
+    // The same scenario rated with and without telemetry must produce
+    // identical results: instrumentation never perturbs the measurement.
+    let run = |traced: bool| {
+        let w = SwimCalc3::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        if traced {
+            setup.set_tracer(Tracer::to_sink(Arc::new(BufferSink::new())));
+        }
+        setup.set_faults(Some(nasty_faults(0xDEAD)));
+        let base = OptConfig::o3();
+        let mut sup = RatingSupervisor::default();
+        let (out, m) = sup.rate(&mut setup, Method::Cbr, base, &[base]);
+        (out.improvements.clone(), m, setup.invocations_used)
+    };
+    assert_eq!(run(false), run(true));
 }
 
 #[test]

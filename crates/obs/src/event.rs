@@ -1,0 +1,173 @@
+//! The trace event model and its JSONL round-trip.
+
+use peak_util::{from_str, Json, ParseError, ToJson};
+
+/// One structured telemetry record.
+///
+/// Events serialize as one compact JSON object per line with three
+/// reserved keys — `seq` (logical sequence number, the deterministic
+/// substitute for a timestamp), `span` (id of the enclosing span, `0`
+/// for top-level events) and `kind` (event name such as `rating` or
+/// `sim.run`) — followed by the event's payload fields flattened into
+/// the same object in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Logical sequence number, unique and monotonic per tracer.
+    pub seq: u64,
+    /// Id of the enclosing span (`0` when emitted outside any span).
+    pub span: u64,
+    /// Event name, dot-separated by convention (`span.enter`, `sim.run`).
+    pub kind: String,
+    /// Payload fields in insertion order. Field names must not collide
+    /// with the reserved keys `seq` / `span` / `kind`.
+    pub fields: Vec<(String, Json)>,
+}
+
+/// A value convertible into an event field. Implemented for the common
+/// scalar types plus [`Json`] itself so instrumentation sites can pass
+/// counters, ratios, names and pre-built JSON values uniformly.
+pub trait FieldValue {
+    /// Convert into the JSON field representation.
+    fn into_field(self) -> Json;
+}
+
+impl FieldValue for Json {
+    fn into_field(self) -> Json {
+        self
+    }
+}
+
+macro_rules! field_via_to_json {
+    ($($ty:ty),+) => {$(
+        impl FieldValue for $ty {
+            fn into_field(self) -> Json {
+                self.to_json()
+            }
+        }
+    )+};
+}
+
+field_via_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, bool, String);
+
+impl FieldValue for &str {
+    fn into_field(self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T> FieldValue for Option<T>
+where
+    T: FieldValue,
+{
+    fn into_field(self) -> Json {
+        match self {
+            Some(v) => v.into_field(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Serialize as a single JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut pairs = Vec::with_capacity(3 + self.fields.len());
+        pairs.push(("seq".to_owned(), Json::U(self.seq)));
+        pairs.push(("span".to_owned(), Json::U(self.span)));
+        pairs.push(("kind".to_owned(), Json::Str(self.kind.clone())));
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs).compact()
+    }
+
+    /// Parse one JSONL line back into an event. Lines must be objects
+    /// with the three reserved keys leading in any position; every other
+    /// key becomes a payload field, preserving file order.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+        let json = from_str(line.trim())?;
+        Self::from_json(&json).ok_or_else(|| ParseError {
+            offset: 0,
+            message: "trace event must be an object with seq/span/kind".to_owned(),
+        })
+    }
+
+    /// Build from an already-parsed JSON object; `None` when the value
+    /// is not an object or lacks the reserved keys.
+    pub fn from_json(json: &Json) -> Option<TraceEvent> {
+        let Json::Obj(pairs) = json else { return None };
+        let seq = json.get("seq")?.as_u64()?;
+        let span = json.get("span")?.as_u64()?;
+        let kind = json.get("kind")?.as_str()?.to_owned();
+        let fields = pairs
+            .iter()
+            .filter(|(k, _)| k != "seq" && k != "span" && k != "kind")
+            .cloned()
+            .collect();
+        Some(TraceEvent {
+            seq,
+            span,
+            kind,
+            fields,
+        })
+    }
+
+    /// Payload field lookup by name.
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut pairs = Vec::with_capacity(3 + self.fields.len());
+        pairs.push(("seq".to_owned(), Json::U(self.seq)));
+        pairs.push(("span".to_owned(), Json::U(self.span)));
+        pairs.push(("kind".to_owned(), Json::Str(self.kind.clone())));
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip_preserves_field_order() {
+        let ev = TraceEvent {
+            seq: 41,
+            span: 7,
+            kind: "rating".into(),
+            fields: vec![
+                ("method".to_owned(), Json::Str("cbr".into())),
+                ("cv".to_owned(), Json::F(0.0042)),
+                ("samples".to_owned(), Json::U(160)),
+                ("converged".to_owned(), Json::Bool(true)),
+            ],
+        };
+        let line = ev.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            r#"{"seq":41,"span":7,"kind":"rating","method":"cbr","cv":0.0042,"samples":160,"converged":true}"#
+        );
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn parse_rejects_non_events() {
+        assert!(TraceEvent::parse_line("[1,2,3]").is_err());
+        assert!(TraceEvent::parse_line(r#"{"seq":1,"span":0}"#).is_err());
+        assert!(TraceEvent::parse_line("not json").is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let ev = TraceEvent {
+            seq: 0,
+            span: 0,
+            kind: "k".into(),
+            fields: vec![("x".to_owned(), Json::U(9))],
+        };
+        assert_eq!(ev.field("x").and_then(Json::as_u64), Some(9));
+        assert!(ev.field("y").is_none());
+    }
+}

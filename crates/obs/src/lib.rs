@@ -1,0 +1,42 @@
+//! # peak-obs — tuning telemetry
+//!
+//! A first-class observability layer for the tuning pipeline: every
+//! rating decision, degradation step, simulated run, and tuner round can
+//! emit structured [`TraceEvent`]s through a [`TraceSink`], making the
+//! evidence behind each timing decision auditable and replayable.
+//!
+//! Design constraints (in priority order):
+//!
+//! 1. **Zero cost when disabled.** A disabled [`Tracer`] is a `None` —
+//!    every instrumentation site guards on [`Tracer::enabled`] (a single
+//!    branch) and builds no fields. The fault-free hot path stays
+//!    bit-identical and within measurement noise of an uninstrumented
+//!    build.
+//! 2. **Deterministic by default.** Events are stamped with logical
+//!    sequence numbers, not wall-clock times, so the same seed and the
+//!    same [`FaultConfig`](../peak_sim/faults) produce byte-identical
+//!    event streams — the property the replay tests pin. Wall-clock
+//!    self-profiling is opt-in via [`Tracer::with_wall_clock`] and adds
+//!    a `wall_ns` field that diff tooling knows to ignore.
+//! 3. **No registry dependencies.** Like `peak-util`, this crate builds
+//!    offline; events serialize through the shared `peak-util` JSON
+//!    model as compact JSONL lines.
+//!
+//! The crate provides:
+//!
+//! * [`event`] — the [`TraceEvent`] model and its JSONL round-trip;
+//! * [`sink`] — the [`TraceSink`] trait with a no-op sink, an in-memory
+//!   [`BufferSink`] (used for deterministic per-job buffering in the
+//!   parallel bench bins), and a buffered file [`JsonlSink`];
+//! * [`tracer`] — the [`Tracer`] handle plus the [`span!`], [`event!`]
+//!   and [`counter!`] macros.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod sink;
+pub mod tracer;
+
+pub use event::{FieldValue, TraceEvent};
+pub use sink::{BufferSink, JsonlSink, NoopSink, TraceSink};
+pub use tracer::{SpanGuard, Tracer};

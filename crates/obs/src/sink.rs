@@ -1,0 +1,187 @@
+//! Trace sinks: where emitted events go.
+//!
+//! The tracer serializes each event to its JSONL line *before* handing
+//! it to the sink, so sinks only move bytes — the [`JsonlSink`] holds
+//! its buffer lock for a `Vec` append, never for serialization or I/O
+//! formatting work.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Destination for serialized trace events.
+///
+/// `emit` receives both the structured event and its pre-rendered JSONL
+/// line; most sinks only need the line. Implementations must be
+/// thread-safe — the parallel bench bins share one tracer per job but
+/// tests may hammer a sink from several threads.
+pub trait TraceSink: Send + Sync {
+    /// Record one event. `line` is `event.to_line()`, rendered by the
+    /// tracer outside any sink lock.
+    fn emit(&self, event: &TraceEvent, line: &str);
+
+    /// Flush any buffered output to its backing store.
+    fn flush(&self) {}
+}
+
+/// Discards every event; backs disabled tracers in tests that still
+/// want a sink object.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn emit(&self, _event: &TraceEvent, _line: &str) {}
+}
+
+/// In-memory sink collecting JSONL lines.
+///
+/// This is the determinism workhorse: the parallel bench bins give each
+/// scoped-thread job its own `BufferSink`, then append the buffers to
+/// the trace file in job-index order after joining, so the file is
+/// byte-identical regardless of thread interleaving. Tests use it to
+/// compare whole event streams across replays.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl BufferSink {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the collected lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+
+    /// Take the collected lines, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<String> {
+        std::mem::take(&mut *self.lines.lock().unwrap())
+    }
+
+    /// Number of buffered lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().unwrap().is_empty()
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn emit(&self, _event: &TraceEvent, line: &str) {
+        self.lines.lock().unwrap().push(line.to_owned());
+    }
+}
+
+/// Buffered JSONL file sink.
+///
+/// Writes one line per event through a [`BufWriter`]; the mutex guards
+/// only the byte append (serialization already happened in the tracer).
+/// Flushes on [`TraceSink::flush`] and on drop.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Append raw pre-rendered JSONL lines (used by the bench bins to
+    /// splice per-job [`BufferSink`] buffers in deterministic order).
+    pub fn append_lines<I, S>(&self, lines: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut w = self.writer.lock().unwrap();
+        for line in lines {
+            let _ = w.write_all(line.as_ref().as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, _event: &TraceEvent, line: &str) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_util::Json;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            span: 0,
+            kind: "t".into(),
+            fields: vec![("v".to_owned(), Json::U(seq * 2))],
+        }
+    }
+
+    #[test]
+    fn buffer_sink_collects_in_order() {
+        let sink = BufferSink::new();
+        for seq in 0..4 {
+            let e = ev(seq);
+            sink.emit(&e, &e.to_line());
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with(r#"{"seq":3,"#));
+        assert_eq!(sink.drain().len(), 4);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("peak-obs-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for seq in 0..3 {
+            let e = ev(seq);
+            sink.emit(&e, &e.to_line());
+        }
+        sink.append_lines(["{\"seq\":99,\"span\":0,\"kind\":\"spliced\"}"]);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| TraceEvent::parse_line(l).unwrap())
+            .collect();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[2].seq, 2);
+        assert_eq!(parsed[3].kind, "spliced");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -28,6 +28,9 @@ pub struct MachineState {
     /// True cycles accumulated this run (all code, tuning overheads
     /// included by the driver).
     pub cycles: u64,
+    /// IR statements executed this run (telemetry counter; charged
+    /// nothing — costs come from the cycle model).
+    pub instructions: u64,
     /// Injected-fault state for this run; `None` (the default) leaves
     /// every execution and measurement path bit-identical to a fault-free
     /// build.
@@ -40,7 +43,7 @@ impl MachineState {
         let caches = Hierarchy::new(&spec);
         let predictor = BranchPredictor::new(spec.predictor_entries);
         let timer = NoisyTimer::new(&spec, seed);
-        MachineState { spec, caches, predictor, timer, cycles: 0, faults: None }
+        MachineState { spec, caches, predictor, timer, cycles: 0, instructions: 0, faults: None }
     }
 
     /// Fresh state with a noiseless timer (tests, calibration).
@@ -53,6 +56,7 @@ impl MachineState {
             predictor,
             timer: NoisyTimer::noiseless(),
             cycles: 0,
+            instructions: 0,
             faults: None,
         }
     }
@@ -210,6 +214,8 @@ pub fn execute(
     let mut cycles = 0u64;
     let ret = ctx.call(pv.version.func, args, mem, &mut cycles, 0)?;
     ctx.state.cycles += cycles;
+    let steps = ctx.steps;
+    ctx.state.instructions += steps;
     Ok(ExecResult { ret, true_cycles: cycles, counters: ctx.counters, writes: ctx.writes })
 }
 

@@ -14,7 +14,10 @@
 //!   interrupt-like outliers (what the rating methods must survive);
 //! * [`faults`] — seeded, replayable fault injection (jitter bursts,
 //!   state pollution, measurement dropout, version crashes) for
-//!   robustness testing of the tuning layer.
+//!   robustness testing of the tuning layer;
+//! * [`metrics`] — cumulative counter snapshots ([`SimMetrics`]) the
+//!   tuning layer diffs at measurement boundaries for telemetry; the
+//!   simulator itself stays free of any tracing dependency.
 
 #![warn(missing_docs)]
 
@@ -23,6 +26,7 @@ pub mod cache;
 pub mod exec;
 pub mod faults;
 pub mod machine;
+pub mod metrics;
 pub mod timer;
 
 pub use branch::BranchPredictor;
@@ -30,4 +34,5 @@ pub use cache::{AddressMap, Cache, Hierarchy};
 pub use exec::{execute, ExecError, ExecOptions, ExecResult, MachineState, PreparedVersion};
 pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use machine::{CacheParams, MachineKind, MachineSpec};
+pub use metrics::SimMetrics;
 pub use timer::NoisyTimer;

@@ -1,0 +1,168 @@
+//! Point-in-time metric snapshots of the simulated machine.
+//!
+//! The simulator itself stays observability-free (no `peak-obs`
+//! dependency, nothing on the execution hot path): callers snapshot a
+//! [`SimMetrics`] from a [`MachineState`](crate::MachineState) at
+//! measurement boundaries and diff two snapshots to attribute work to a
+//! run. The tuning layer turns those deltas into trace events.
+
+use crate::exec::MachineState;
+use crate::faults::FaultStats;
+use peak_util::{Json, ToJson};
+
+/// Cumulative machine counters at one instant.
+///
+/// All fields are monotonically non-decreasing over a run (cache and
+/// predictor counters reset only on explicit `flush`), so
+/// [`SimMetrics::delta`] of two snapshots taken around an execution
+/// window gives that window's exclusive counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimMetrics {
+    /// IR statements executed.
+    pub instructions: u64,
+    /// True simulated cycles.
+    pub cycles: u64,
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (memory accesses).
+    pub l2_misses: u64,
+    /// Correctly predicted branches.
+    pub branch_correct: u64,
+    /// Mispredicted branches.
+    pub branch_wrong: u64,
+    /// Injected timer spikes so far (0 without a fault plan).
+    pub fault_spikes: u64,
+    /// Injected jitter bursts so far.
+    pub fault_bursts: u64,
+    /// Injected measurement dropouts so far.
+    pub fault_dropouts: u64,
+    /// Injected perturbation episodes so far.
+    pub fault_perturbations: u64,
+}
+
+impl SimMetrics {
+    /// Snapshot the counters of `state`.
+    pub fn snapshot(state: &MachineState) -> SimMetrics {
+        let (l1_hits, l1_misses) = state.caches.l1.stats();
+        let (l2_hits, l2_misses) = state.caches.l2.stats();
+        let (branch_correct, branch_wrong) = state.predictor.stats();
+        let faults = state
+            .faults
+            .as_ref()
+            .map(|p| p.stats)
+            .unwrap_or_default();
+        SimMetrics {
+            instructions: state.instructions,
+            cycles: state.cycles,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            branch_correct,
+            branch_wrong,
+            fault_spikes: faults.spikes,
+            fault_bursts: faults.bursts,
+            fault_dropouts: faults.dropouts,
+            fault_perturbations: faults.perturbations,
+        }
+    }
+
+    /// Exclusive counts since `earlier` (saturating, so a cache flush
+    /// between snapshots degrades to zero rather than wrapping).
+    pub fn delta(&self, earlier: &SimMetrics) -> SimMetrics {
+        SimMetrics {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l1_misses: self.l1_misses.saturating_sub(earlier.l1_misses),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            branch_correct: self.branch_correct.saturating_sub(earlier.branch_correct),
+            branch_wrong: self.branch_wrong.saturating_sub(earlier.branch_wrong),
+            fault_spikes: self.fault_spikes.saturating_sub(earlier.fault_spikes),
+            fault_bursts: self.fault_bursts.saturating_sub(earlier.fault_bursts),
+            fault_dropouts: self.fault_dropouts.saturating_sub(earlier.fault_dropouts),
+            fault_perturbations: self
+                .fault_perturbations
+                .saturating_sub(earlier.fault_perturbations),
+        }
+    }
+
+    /// True when every counter is zero (nothing executed in the window).
+    pub fn is_zero(&self) -> bool {
+        *self == SimMetrics::default()
+    }
+}
+
+impl ToJson for SimMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("instructions", Json::U(self.instructions)),
+            ("cycles", Json::U(self.cycles)),
+            ("l1_hits", Json::U(self.l1_hits)),
+            ("l1_misses", Json::U(self.l1_misses)),
+            ("l2_hits", Json::U(self.l2_hits)),
+            ("l2_misses", Json::U(self.l2_misses)),
+            ("branch_correct", Json::U(self.branch_correct)),
+            ("branch_wrong", Json::U(self.branch_wrong)),
+            ("fault_spikes", Json::U(self.fault_spikes)),
+            ("fault_bursts", Json::U(self.fault_bursts)),
+            ("fault_dropouts", Json::U(self.fault_dropouts)),
+            ("fault_perturbations", Json::U(self.fault_perturbations)),
+        ])
+    }
+}
+
+impl ToJson for FaultStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("spikes", Json::U(self.spikes)),
+            ("bursts", Json::U(self.bursts)),
+            ("dropouts", Json::U(self.dropouts)),
+            ("perturbations", Json::U(self.perturbations)),
+            ("crashed", Json::Bool(self.crashed)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MachineKind, MachineSpec};
+
+    #[test]
+    fn snapshot_delta_isolates_a_window() {
+        let spec = MachineSpec::of(MachineKind::SparcII);
+        let mut state = MachineState::noiseless(spec);
+        state.instructions = 100;
+        state.cycles = 1000;
+        let before = SimMetrics::snapshot(&state);
+        state.instructions = 160;
+        state.cycles = 1900;
+        let _ = state.caches.access(64);
+        let after = SimMetrics::snapshot(&state);
+        let d = after.delta(&before);
+        assert_eq!(d.instructions, 60);
+        assert_eq!(d.cycles, 900);
+        assert_eq!(d.l1_hits + d.l1_misses, 1);
+        assert!(!d.is_zero());
+        assert!(before.delta(&before).is_zero());
+    }
+
+    #[test]
+    fn metrics_json_has_stable_keys() {
+        let m = SimMetrics {
+            instructions: 5,
+            cycles: 9,
+            ..SimMetrics::default()
+        };
+        let j = m.to_json();
+        assert_eq!(j.get("instructions").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(9));
+        assert_eq!(j.get("fault_dropouts").and_then(Json::as_u64), Some(0));
+    }
+}

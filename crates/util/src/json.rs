@@ -98,6 +98,20 @@ impl Json {
         write_value(&mut out, self, 0);
         out
     }
+
+    /// Serialize on a single line with no whitespace (serde_json's
+    /// `to_string` format) — the JSONL form used by trace sinks.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        out
+    }
+}
+
+/// Compact-serialize any convertible value (drop-in for
+/// `serde_json::to_string`).
+pub fn to_string_compact<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().compact()
 }
 
 /// Conversion into the JSON model (the stand-in for `serde::Serialize`).
@@ -253,6 +267,34 @@ fn write_value(out: &mut String, v: &Json, depth: usize) {
     }
 }
 
+fn write_compact(out: &mut String, v: &Json) {
+    match v {
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+        scalar => write_value(out, scalar, 0),
+    }
+}
+
 fn push_indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str(INDENT);
@@ -337,6 +379,24 @@ mod tests {
         ]);
         let expect = "{\n  \"name\": \"x\",\n  \"cells\": [\n    [\n      10,\n      0.5,\n      2.0\n    ]\n  ],\n  \"empty\": []\n}";
         assert_eq!(v.pretty(), expect);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_parses_back() {
+        let v = Json::obj(vec![
+            ("seq", Json::U(3)),
+            ("kind", Json::Str("rating".into())),
+            ("cv", Json::F(0.0125)),
+            ("flags", Json::Arr(vec![Json::Str("gcse".into()), Json::Null])),
+            ("empty", Json::obj::<&str>(vec![])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n') && !line.contains(": "), "{line}");
+        assert_eq!(
+            line,
+            r#"{"seq":3,"kind":"rating","cv":0.0125,"flags":["gcse",null],"empty":{}}"#
+        );
+        assert_eq!(crate::from_str(&line).unwrap(), v);
     }
 
     #[test]

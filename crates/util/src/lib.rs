@@ -12,5 +12,5 @@
 pub mod json;
 pub mod parse;
 
-pub use json::{to_string_pretty, Json, ToJson};
+pub use json::{to_string_compact, to_string_pretty, Json, ToJson};
 pub use parse::{from_str, ParseError};
