@@ -17,6 +17,7 @@
 
 use peak_bench::{figure7_cell_traced, figure7_method_list, normalize_tuning_times, Figure7Cell};
 use peak_core::consultant::Method;
+use peak_core::VersionCache;
 use peak_obs::{BufferSink, JsonlSink, TraceSink, Tracer};
 use peak_sim::{MachineKind, MachineSpec};
 use peak_workloads::Dataset;
@@ -113,6 +114,16 @@ fn main() {
     for (cell, _) in results {
         cells.push(cell);
     }
+    // Compile-cache effectiveness across the whole run (stderr only:
+    // stdout stays byte-stable across cache-layer changes).
+    let vc = VersionCache::global().stats();
+    eprintln!(
+        "version cache: {} hits / {} lookups ({:.0}% hit rate, {} entries)",
+        vc.hits,
+        vc.hits + vc.misses,
+        vc.hit_rate() * 100.0,
+        VersionCache::global().len(),
+    );
     normalize_tuning_times(&mut cells);
     // --- Figure 7 (a)/(b): improvement over -O3 ---
     for &kind in &kinds {

@@ -1,0 +1,217 @@
+//! Hot-path microbenchmark: how fast is one simulated TS invocation, and
+//! how fast is one compile+prepare? Seeds the perf trajectory — every
+//! executor or cache change reruns this and compares.
+//!
+//! ```text
+//! cargo run --release -p peak-bench --bin hotpath \
+//!     [-- --machine sparc|p4] [--bench NAME] [--json PATH] [--min-ms N]
+//! ```
+//!
+//! Emits `BENCH_hotpath.json` (stable schema, one record per
+//! workload×machine): `workload`, `machine`, `invocations_per_sec`,
+//! `compiles_per_sec`, `cache_hit_rate`, plus the raw counts/durations
+//! behind the rates. Rates are wall-clock and machine-dependent; the
+//! *schema* and the cache-hit-rate are what CI pins down.
+
+use peak_core::{RunHarness, VersionCache};
+use peak_opt::{Flag, OptConfig, ALL_FLAGS};
+use peak_sim::{ExecOptions, MachineKind, MachineSpec, PreparedVersion};
+use peak_util::Json;
+use peak_workloads::{Dataset, Workload};
+use std::io::Write;
+use std::time::Instant;
+
+/// Distinct configs used for the compile and cache measurements: -O3 plus
+/// one-flag-off neighbours — the request stream of an Iterative
+/// Elimination first round.
+const NEIGHBOUR_FLAGS: usize = 7;
+
+struct Record {
+    workload: &'static str,
+    machine: &'static str,
+    invocations: u64,
+    invoke_secs: f64,
+    compiles: u64,
+    compile_secs: f64,
+    cache_hits: u64,
+    cache_lookups: u64,
+}
+
+impl Record {
+    fn invocations_per_sec(&self) -> f64 {
+        self.invocations as f64 / self.invoke_secs.max(1e-9)
+    }
+    fn compiles_per_sec(&self) -> f64 {
+        self.compiles as f64 / self.compile_secs.max(1e-9)
+    }
+    fn cache_hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / (self.cache_lookups.max(1)) as f64
+    }
+}
+
+fn neighbour_configs() -> Vec<OptConfig> {
+    let mut cfgs = vec![OptConfig::o3()];
+    cfgs.extend(
+        ALL_FLAGS[..NEIGHBOUR_FLAGS]
+            .iter()
+            .map(|&f: &Flag| OptConfig::o3().without(f)),
+    );
+    cfgs
+}
+
+/// Time `min_ms` worth of TS invocations of the -O3 version (fresh
+/// harness per exhausted invocation budget — cache/predictor state warms
+/// exactly like a tuning run's).
+fn time_invocations(w: &dyn Workload, spec: &MachineSpec, min_ms: u64) -> (u64, f64) {
+    let pv = PreparedVersion::prepare(
+        peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3()),
+        spec,
+    );
+    let opts = ExecOptions::default();
+    // Warm-up run so JIT-ish one-time costs (lazy allocs, page faults)
+    // don't pollute the first timed slice.
+    {
+        let mut h = RunHarness::new(w, Dataset::Train, spec, 1);
+        for _ in 0..8 {
+            let Some(args) = h.next_args() else { break };
+            let _ = h.execute(&pv, &args, &opts);
+        }
+    }
+    let budget = std::time::Duration::from_millis(min_ms);
+    let start = Instant::now();
+    let mut n = 0u64;
+    let mut seed = 2u64;
+    'outer: loop {
+        let mut h = RunHarness::new(w, Dataset::Train, spec, seed);
+        seed += 1;
+        while let Some(args) = h.next_args() {
+            let _ = h.execute(&pv, &args, &opts);
+            n += 1;
+            if n.is_multiple_of(64) && start.elapsed() >= budget {
+                break 'outer;
+            }
+        }
+    }
+    (n, start.elapsed().as_secs_f64())
+}
+
+/// Time uncached compile+prepare over the neighbour configs, repeating
+/// the sweep until `min_ms` elapsed.
+fn time_compiles(w: &dyn Workload, spec: &MachineSpec, min_ms: u64) -> (u64, f64) {
+    let cfgs = neighbour_configs();
+    let budget = std::time::Duration::from_millis(min_ms);
+    let start = Instant::now();
+    let mut n = 0u64;
+    loop {
+        for cfg in &cfgs {
+            let pv = PreparedVersion::prepare(peak_opt::optimize(w.program(), w.ts(), cfg), spec);
+            std::hint::black_box(&pv);
+            n += 1;
+        }
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    (n, start.elapsed().as_secs_f64())
+}
+
+/// Replay an Iterative-Elimination-shaped request stream (two rounds over
+/// the neighbour configs) against a fresh cache and report its hit/miss
+/// counters. Deterministic: round one misses, round two hits.
+fn cache_profile(w: &dyn Workload, spec: &MachineSpec) -> (u64, u64) {
+    let cache = VersionCache::new();
+    for _round in 0..2 {
+        for cfg in neighbour_configs() {
+            let _ = cache.prepare_workload(w, spec, cfg);
+        }
+    }
+    let s = cache.stats();
+    (s.hits, s.hits + s.misses)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machine = arg_value(&args, "--machine");
+    let only = arg_value(&args, "--bench");
+    let json_path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let min_ms: u64 = arg_value(&args, "--min-ms").map_or(300, |v| v.parse().expect("--min-ms"));
+    let kinds: Vec<MachineKind> = match machine.as_deref() {
+        None => vec![MachineKind::SparcII, MachineKind::PentiumIV],
+        Some("sparc") => vec![MachineKind::SparcII],
+        Some("p4" | "pentium" | "pentium4") => vec![MachineKind::PentiumIV],
+        Some(other) => {
+            eprintln!("error: unknown machine `{other}` (expected sparc or p4)");
+            std::process::exit(1);
+        }
+    };
+    if let Some(b) = &only {
+        if peak_workloads::workload_by_name(b).is_none() {
+            eprintln!("error: unknown benchmark `{b}`");
+            std::process::exit(1);
+        }
+    }
+    let workloads: Vec<_> = peak_workloads::all_workloads()
+        .into_iter()
+        .filter(|w| only.as_deref().is_none_or(|o| w.name().eq_ignore_ascii_case(o)))
+        .collect();
+    println!("hotpath — invocations/sec and compiles/sec per workload×machine");
+    println!(
+        "{:<10} {:>9} | {:>16} {:>14} {:>14}",
+        "workload", "machine", "invocations/s", "compiles/s", "cache hit rate"
+    );
+    let mut records = Vec::new();
+    for w in &workloads {
+        for &kind in &kinds {
+            let spec = MachineSpec::of(kind);
+            let (invocations, invoke_secs) = time_invocations(w.as_ref(), &spec, min_ms);
+            let (compiles, compile_secs) = time_compiles(w.as_ref(), &spec, min_ms.min(150));
+            let (cache_hits, cache_lookups) = cache_profile(w.as_ref(), &spec);
+            let r = Record {
+                workload: w.name(),
+                machine: kind.name(),
+                invocations,
+                invoke_secs,
+                compiles,
+                compile_secs,
+                cache_hits,
+                cache_lookups,
+            };
+            println!(
+                "{:<10} {:>9} | {:>16.0} {:>14.0} {:>14.2}",
+                r.workload,
+                r.machine,
+                r.invocations_per_sec(),
+                r.compiles_per_sec(),
+                r.cache_hit_rate()
+            );
+            records.push(r);
+        }
+    }
+    let json = Json::Arr(
+        records
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("workload", Json::Str(r.workload.to_owned())),
+                    ("machine", Json::Str(r.machine.to_owned())),
+                    ("invocations_per_sec", Json::F(r.invocations_per_sec())),
+                    ("compiles_per_sec", Json::F(r.compiles_per_sec())),
+                    ("cache_hit_rate", Json::F(r.cache_hit_rate())),
+                    ("invocations", Json::U(r.invocations)),
+                    ("invoke_secs", Json::F(r.invoke_secs)),
+                    ("compiles", Json::U(r.compiles)),
+                    ("compile_secs", Json::F(r.compile_secs)),
+                ])
+            })
+            .collect(),
+    );
+    std::fs::File::create(&json_path)
+        .and_then(|mut f| f.write_all((json.pretty() + "\n").as_bytes()))
+        .expect("write json");
+    println!();
+    println!("wrote {json_path}");
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}

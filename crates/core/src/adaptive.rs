@@ -13,6 +13,7 @@
 use crate::context::{reduce_key, ContextKey};
 use crate::harness::RunHarness;
 use crate::stats::Window;
+use crate::version_cache::VersionCache;
 use peak_opt::OptConfig;
 use peak_sim::{ExecOptions, MachineSpec, PreparedVersion};
 use peak_workloads::Workload;
@@ -64,12 +65,7 @@ impl AdaptiveTuner {
         assert!(candidates.len() >= 2, "need an incumbent and at least one experiment");
         let versions = candidates
             .iter()
-            .map(|c| {
-                Arc::new(PreparedVersion::prepare(
-                    peak_opt::optimize(workload.program(), workload.ts(), c),
-                    spec,
-                ))
-            })
+            .map(|c| VersionCache::global().prepare_workload(workload, spec, *c))
             .collect();
         // Context structure from the Figure-1 analysis; adaptive tuning
         // degrades to AVG-per-everything when CBR does not apply.

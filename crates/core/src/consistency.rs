@@ -9,9 +9,10 @@
 use crate::consultant::{consult, Method};
 use crate::harness::RunHarness;
 use crate::stats;
+use crate::version_cache::{VersionCache, VersionKey};
 use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
-use peak_sim::{ExecOptions, MachineSpec, PreparedVersion, SimMetrics};
+use peak_sim::{ExecOptions, MachineSpec, SimMetrics};
 use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
 
@@ -145,8 +146,7 @@ fn cbr_rows(
     tracer: &Tracer,
 ) -> Vec<ConsistencyRow> {
     let plan = consultation.cbr.as_ref().expect("CBR row needs plan");
-    let cv = peak_opt::optimize(workload.program(), workload.ts(), &OptConfig::o3());
-    let pv = PreparedVersion::prepare(cv, spec);
+    let pv = VersionCache::global().prepare_workload(workload, spec, OptConfig::o3());
     let opts = ExecOptions::default();
     let n_ctx = plan.contexts.len();
     let mut per_ctx: Vec<Vec<f64>> = vec![Vec::new(); n_ctx];
@@ -200,8 +200,11 @@ fn mbr_row(
     tracer: &Tracer,
 ) -> ConsistencyRow {
     let model = consultation.mbr.as_ref().expect("MBR row needs model").clone();
-    let cv = peak_opt::optimize(&model.instrumented, model.ts, &OptConfig::o3());
-    let pv = PreparedVersion::prepare(cv, spec);
+    let pv = VersionCache::global().get_or_prepare(
+        VersionKey::instrumented(workload, OptConfig::o3(), spec.kind),
+        spec,
+        || peak_opt::optimize(&model.instrumented, model.ts, &OptConfig::o3()),
+    );
     let opts = ExecOptions { record_writes: false, num_counters: model.num_counters };
     let mut times: Vec<f64> = Vec::new();
     let mut counts: Vec<Vec<f64>> = Vec::new();
@@ -263,8 +266,7 @@ fn rbr_row(
     tracer: &Tracer,
 ) -> ConsistencyRow {
     let plan = &consultation.rbr;
-    let cv = peak_opt::optimize(workload.program(), workload.ts(), &OptConfig::o3());
-    let pv = PreparedVersion::prepare(cv, spec);
+    let pv = VersionCache::global().prepare_workload(workload, spec, OptConfig::o3());
     let opts_plain = ExecOptions::default();
     let opts_record = ExecOptions { record_writes: true, num_counters: 0 };
     let mut samples: Vec<f64> = Vec::new();

@@ -220,8 +220,13 @@ fn profile_mbr_quality(
     model: &mut MbrModel,
 ) -> bool {
     use crate::harness::RunHarness;
-    let cv = peak_opt::optimize(&model.instrumented, model.ts, &peak_opt::OptConfig::o3());
-    let pv = peak_sim::PreparedVersion::prepare(cv, spec);
+    use crate::version_cache::{VersionCache, VersionKey};
+    let cfg = peak_opt::OptConfig::o3();
+    let pv = VersionCache::global().get_or_prepare(
+        VersionKey::instrumented(workload, cfg, spec.kind),
+        spec,
+        || peak_opt::optimize(&model.instrumented, model.ts, &cfg),
+    );
     let mut h = RunHarness::new(workload, Dataset::Train, spec, 0xbeef);
     let opts = peak_sim::ExecOptions { record_writes: false, num_counters: model.num_counters };
     let mut times = Vec::new();

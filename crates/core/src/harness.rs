@@ -10,8 +10,8 @@
 use crate::context::ContextKey;
 use peak_ir::{MemoryImage, Value};
 use peak_sim::{
-    AddressMap, ExecError, ExecOptions, ExecResult, FaultPlan, MachineSpec, MachineState,
-    PreparedVersion,
+    AddressMap, ExecError, ExecOptions, ExecResult, ExecScratch, FaultPlan, MachineSpec,
+    MachineState, PreparedVersion,
 };
 use peak_workloads::{Dataset, Workload};
 use rand::rngs::StdRng;
@@ -34,6 +34,9 @@ pub struct RunHarness<'w> {
     stream_rng: StdRng,
     next_inv: usize,
     limit: usize,
+    /// Reusable executor buffers: the steady-state invocation path of a
+    /// run allocates nothing.
+    scratch: ExecScratch,
 }
 
 impl<'w> RunHarness<'w> {
@@ -73,7 +76,17 @@ impl<'w> RunHarness<'w> {
         if let Some(plan) = faults {
             machine.install_faults(plan);
         }
-        RunHarness { workload, ds, machine, amap, mem, stream_rng, next_inv: 0, limit }
+        RunHarness {
+            workload,
+            ds,
+            machine,
+            amap,
+            mem,
+            stream_rng,
+            next_inv: 0,
+            limit,
+            scratch: ExecScratch::new(),
+        }
     }
 
     /// Invocations remaining in this run.
@@ -119,7 +132,15 @@ impl<'w> RunHarness<'w> {
         args: &[Value],
         opts: &ExecOptions,
     ) -> Result<ExecResult, ExecError> {
-        peak_sim::execute(version, args, &mut self.mem, &self.amap, &mut self.machine, opts)
+        peak_sim::execute_with_scratch(
+            version,
+            args,
+            &mut self.mem,
+            &self.amap,
+            &mut self.machine,
+            opts,
+            &mut self.scratch,
+        )
     }
 
     /// Measure an execution: run it and return the *noisy* measured time

@@ -40,6 +40,7 @@ pub mod search;
 pub mod stats;
 pub mod ts_select;
 pub mod tuner;
+pub mod version_cache;
 
 pub use adaptive::{AdaptiveOutcome, AdaptiveTuner};
 pub use checkpoint::TunerCheckpoint;
@@ -51,3 +52,4 @@ pub use mbr::MbrModel;
 pub use rating::{rate, rate_with, RateOptions, RateOutcome, TuningSetup};
 pub use search::{exhaustive, iterative_elimination, random_search, SearchResult};
 pub use tuner::{production_time, tune, tune_traced, TuneReport, Tuner};
+pub use version_cache::{CacheStats, VersionCache, VersionKey};

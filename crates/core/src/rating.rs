@@ -9,6 +9,7 @@
 use crate::consultant::{Consultation, Method};
 use crate::harness::RunHarness;
 use crate::stats::Window;
+use crate::version_cache::{VersionCache, VersionKey};
 use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
 use peak_sim::{
@@ -16,7 +17,6 @@ use peak_sim::{
 };
 use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Shared tuning state: version cache, run/cycle accounting.
@@ -29,7 +29,6 @@ pub struct TuningSetup<'w> {
     pub consult: Consultation,
     /// Dataset used for tuning runs.
     pub ds: Dataset,
-    versions: HashMap<(u64, bool), Arc<PreparedVersion>>,
     next_seed: u64,
     fault_config: Option<FaultConfig>,
     tracer: Tracer,
@@ -50,7 +49,6 @@ impl<'w> TuningSetup<'w> {
             spec,
             consult,
             ds,
-            versions: HashMap::new(),
             next_seed: 1,
             fault_config: None,
             tracer: Tracer::disabled(),
@@ -104,23 +102,25 @@ impl<'w> TuningSetup<'w> {
         self.invocations_used = invocations_used;
     }
 
-    /// Compile (and cache) a version. `instrumented` selects the
-    /// MBR-instrumented TS as the source.
+    /// Compile (and cache, process-wide) a version. `instrumented`
+    /// selects the MBR-instrumented TS as the source. Hits in the
+    /// [`VersionCache`] are shared across setups, search rounds, rating
+    /// retries, the degradation cascade, and checkpoint resume.
     pub fn version(&mut self, cfg: OptConfig, instrumented: bool) -> Arc<PreparedVersion> {
-        let key = (cfg.bits(), instrumented);
-        if let Some(v) = self.versions.get(&key) {
-            return v.clone();
-        }
-        let (prog, ts) = if instrumented {
-            let m = self.consult.mbr.as_ref().expect("instrumented version needs MBR model");
-            (&m.instrumented, m.ts)
+        let key = if instrumented {
+            VersionKey::instrumented(self.workload, cfg, self.spec.kind)
         } else {
-            (self.workload.program(), self.workload.ts())
+            VersionKey::plain(self.workload, cfg, self.spec.kind)
         };
-        let cv = peak_opt::optimize(prog, ts, &cfg);
-        let pv = Arc::new(PreparedVersion::prepare(cv, &self.spec));
-        self.versions.insert(key, pv.clone());
-        pv
+        VersionCache::global().get_or_prepare(key, &self.spec, || {
+            let (prog, ts) = if instrumented {
+                let m = self.consult.mbr.as_ref().expect("instrumented version needs MBR model");
+                (&m.instrumented, m.ts)
+            } else {
+                (self.workload.program(), self.workload.ts())
+            };
+            peak_opt::optimize(prog, ts, &cfg)
+        })
     }
 
     /// Start a fresh application run (a new process).

@@ -11,9 +11,10 @@ use crate::consultant::Method;
 use crate::degrade::{DegradeEvent, RatingSupervisor, SupervisorConfig};
 use crate::rating::{rate, TuningSetup};
 use crate::search::{iterative_elimination, SearchResult};
+use crate::version_cache::VersionCache;
 use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
-use peak_sim::{ExecOptions, FaultConfig, MachineSpec, PreparedVersion};
+use peak_sim::{ExecOptions, FaultConfig, MachineSpec};
 use peak_util::{Json, ToJson};
 use peak_workloads::{Dataset, Workload};
 use std::path::{Path, PathBuf};
@@ -65,8 +66,7 @@ pub fn production_time(
     cfg: OptConfig,
     ds: Dataset,
 ) -> u64 {
-    let cv = peak_opt::optimize(workload.program(), workload.ts(), &cfg);
-    let pv = PreparedVersion::prepare(cv, spec);
+    let pv = VersionCache::global().prepare_workload(workload, spec, cfg);
     let mut h = crate::harness::RunHarness::new(workload, ds, spec, 0);
     let opts = ExecOptions::default();
     while let Some(args) = h.next_args() {

@@ -1,0 +1,236 @@
+//! Process-wide compile/prepare cache for tuning-section versions.
+//!
+//! Every layer of the tuning pipeline — rating calls, the checkpointed
+//! [`Tuner`](crate::Tuner), the degradation cascade, the consultant's MBR
+//! profile, the Table 1 collectors, production measurement — needs a
+//! [`PreparedVersion`] for some `(workload, config, machine)` triple, and
+//! until now each call site ran `peak_opt::optimize` +
+//! `PreparedVersion::prepare` from scratch. Both are pure functions of
+//! their inputs: the workload's program is a fixed artifact, the
+//! optimization pipeline is deterministic, and register allocation
+//! depends only on the machine spec. So one shared cache keyed by
+//! (workload, TS, instrumented?, config bits, machine kind) can hand out
+//! `Arc<PreparedVersion>` clones forever without changing a single
+//! simulated cycle — the "never compile the same version twice"
+//! amortization that FOGA-style flag-evaluation caches and the Collective
+//! Tuning Initiative build their tuning-time wins on.
+//!
+//! The cache is process-wide ([`VersionCache::global`]) because the
+//! experiment drivers (`table1`, `figure7`) fan benchmarks out across
+//! threads and repeat configurations across cells, rating retries, the
+//! CBR→MBR→RBR→WHL cascade, and checkpoint resume. Compilation happens
+//! outside the map lock; two threads racing on the same key at worst
+//! compile it twice and then share one copy. Entries are never evicted —
+//! the whole 38-flag search space for every Table 1 workload is a few
+//! hundred small IR programs — but [`VersionCache::clear`] exists for
+//! long-lived embedders.
+
+use peak_opt::{CompiledVersion, OptConfig};
+use peak_sim::{MachineKind, MachineSpec, PreparedVersion};
+use peak_workloads::Workload;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of one compiled + prepared version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionKey {
+    /// Benchmark name (workloads are fixed artifacts, so the name
+    /// identifies the program).
+    pub workload: &'static str,
+    /// Tuning-section name.
+    pub ts: &'static str,
+    /// Whether the source is the MBR-instrumented variant of the TS
+    /// (deterministically derived from the workload, so the flag
+    /// identifies it).
+    pub instrumented: bool,
+    /// Optimization configuration bits ([`OptConfig::bits`]).
+    pub config_bits: u64,
+    /// Target machine (register allocation and pre-decoding depend on it).
+    pub machine: MachineKind,
+}
+
+impl VersionKey {
+    /// Key for the plain (uninstrumented) TS of `workload`.
+    pub fn plain(workload: &dyn Workload, cfg: OptConfig, machine: MachineKind) -> Self {
+        VersionKey {
+            workload: workload.name(),
+            ts: workload.ts_name(),
+            instrumented: false,
+            config_bits: cfg.bits(),
+            machine,
+        }
+    }
+
+    /// Key for the MBR-instrumented TS of `workload`.
+    pub fn instrumented(workload: &dyn Workload, cfg: OptConfig, machine: MachineKind) -> Self {
+        VersionKey { instrumented: true, ..Self::plain(workload, cfg, machine) }
+    }
+}
+
+/// Hit/miss counters of a cache (monotonic; snapshot with
+/// [`VersionCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled and prepared a fresh version.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counters accumulated since `earlier`.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// A compile/prepare cache: `VersionKey` → `Arc<PreparedVersion>`.
+#[derive(Debug, Default)]
+pub struct VersionCache {
+    map: Mutex<HashMap<VersionKey, Arc<PreparedVersion>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VersionCache {
+    /// Fresh empty cache (tests; everything else uses
+    /// [`VersionCache::global`]).
+    pub fn new() -> Self {
+        VersionCache::default()
+    }
+
+    /// The process-wide cache shared by every tuning layer.
+    pub fn global() -> &'static VersionCache {
+        static GLOBAL: OnceLock<VersionCache> = OnceLock::new();
+        GLOBAL.get_or_init(VersionCache::new)
+    }
+
+    /// Return the prepared version for `key`, compiling it with `compile`
+    /// and [`PreparedVersion::prepare`] on first use. `spec.kind` must
+    /// match `key.machine` — the prepared artifact is machine-specific.
+    pub fn get_or_prepare(
+        &self,
+        key: VersionKey,
+        spec: &MachineSpec,
+        compile: impl FnOnce() -> CompiledVersion,
+    ) -> Arc<PreparedVersion> {
+        debug_assert_eq!(spec.kind, key.machine, "key/spec machine mismatch");
+        if let Some(v) = self.map.lock().expect("version cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside the lock: compilation dominates, and a racing
+        // duplicate compile of the same deterministic inputs is harmless.
+        let pv = Arc::new(PreparedVersion::prepare(compile(), spec));
+        self.map
+            .lock()
+            .expect("version cache lock")
+            .entry(key)
+            .or_insert(pv)
+            .clone()
+    }
+
+    /// Shorthand: compile (or fetch) the plain TS of `workload` under
+    /// `cfg` for `spec`.
+    pub fn prepare_workload(
+        &self,
+        workload: &dyn Workload,
+        spec: &MachineSpec,
+        cfg: OptConfig,
+    ) -> Arc<PreparedVersion> {
+        self.get_or_prepare(VersionKey::plain(workload, cfg, spec.kind), spec, || {
+            peak_opt::optimize(workload.program(), workload.ts(), &cfg)
+        })
+    }
+
+    /// Cached versions currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("version cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cached version (counters keep running).
+    pub fn clear(&self) {
+        self.map.lock().expect("version cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_workloads::swim::SwimCalc3;
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = VersionCache::new();
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let a = cache.prepare_workload(&w, &spec, OptConfig::o3());
+        let b = cache.prepare_workload(&w, &spec, OptConfig::o3());
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one artifact");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_separate_machine_config_and_instrumentation() {
+        let cache = VersionCache::new();
+        let w = SwimCalc3::new();
+        let sparc = MachineSpec::sparc_ii();
+        let p4 = MachineSpec::pentium_iv();
+        let _ = cache.prepare_workload(&w, &sparc, OptConfig::o3());
+        let _ = cache.prepare_workload(&w, &p4, OptConfig::o3());
+        let _ = cache.prepare_workload(&w, &sparc, OptConfig::o0());
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+        assert_ne!(
+            VersionKey::plain(&w, OptConfig::o3(), MachineKind::SparcII),
+            VersionKey::instrumented(&w, OptConfig::o3(), MachineKind::SparcII),
+        );
+    }
+
+    #[test]
+    fn cached_version_matches_fresh_compile() {
+        let cache = VersionCache::new();
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let cached = cache.prepare_workload(&w, &spec, OptConfig::o3());
+        let fresh = PreparedVersion::prepare(
+            peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3()),
+            &spec,
+        );
+        assert_eq!(cached.version.code_size, fresh.version.code_size);
+        assert_eq!(cached.spill_slot, fresh.spill_slot);
+        assert_eq!(cached.slot_base, fresh.slot_base);
+        assert_eq!(cached.live_across_calls, fresh.live_across_calls);
+        assert_eq!(cached.over_icache, fresh.over_icache);
+    }
+}

@@ -20,21 +20,51 @@ pub struct Cache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Shift/mask form of the set/line arithmetic when the geometry is
+    /// power-of-two (every shipped machine spec); `None` falls back to
+    /// div/mod. Same mapping either way — this is a strength reduction
+    /// of the hot path, not a policy change.
+    pow2: Option<(u32, u64, u32)>,
 }
 
 impl Cache {
     /// Empty (cold) cache.
     pub fn new(params: CacheParams) -> Self {
         let n = params.sets * params.ways;
-        Cache { params, tags: vec![None; n], stamps: vec![0; n], clock: 0, hits: 0, misses: 0 }
+        let pow2 = (params.line_elems.is_power_of_two() && params.sets.is_power_of_two()).then(
+            || {
+                (
+                    params.line_elems.trailing_zeros(),
+                    params.sets as u64 - 1,
+                    params.sets.trailing_zeros(),
+                )
+            },
+        );
+        Cache {
+            params,
+            tags: vec![None; n],
+            stamps: vec![0; n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            pow2,
+        }
     }
 
     /// Access the line containing element address `addr`. Returns true on
     /// hit; on miss the line is filled.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.params.line_elems as u64;
-        let set = (line % self.params.sets as u64) as usize;
-        let tag = line / self.params.sets as u64;
+        let (set, tag) = match self.pow2 {
+            Some((line_shift, set_mask, set_shift)) => {
+                let line = addr >> line_shift;
+                ((line & set_mask) as usize, line >> set_shift)
+            }
+            None => {
+                let line = addr / self.params.line_elems as u64;
+                ((line % self.params.sets as u64) as usize, line / self.params.sets as u64)
+            }
+        };
         self.clock += 1;
         let base = set * self.params.ways;
         let ways = &mut self.tags[base..base + self.params.ways];

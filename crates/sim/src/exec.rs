@@ -2,6 +2,18 @@
 //! [`MemoryImage`] and persistent machine state (caches, branch
 //! predictor), returning exact simulated cycles. The noisy timer wraps
 //! these into *measured* times at the driver level.
+//!
+//! The executor is pre-decoded: [`PreparedVersion::prepare`] flattens
+//! every function into a parallel statement stream carrying the
+//! use/def lists, resolved spill slots, producer latencies and all
+//! flag-/machine-dependent constant costs, so the per-invocation
+//! interpreter loop touches no `OptConfig` bits, recomputes no use
+//! lists, and scans no spill tables. The decode is cost-preserving by
+//! construction: constant cycle charges commute (only their sum enters
+//! `true_cycles`), and every *stateful* access — cache lines, branch
+//! predictor entries — happens at exactly the same point in exactly the
+//! same order as the pre-decode executor did, so results are
+//! bit-identical (see the differential goldens in `peak-core`).
 
 use crate::branch::BranchPredictor;
 use crate::cache::{AddressMap, Hierarchy};
@@ -74,8 +86,62 @@ impl MachineState {
     }
 }
 
+/// Flag- and machine-dependent constants the interpreter loop needs at
+/// run time, resolved once in [`PreparedVersion::prepare`] instead of on
+/// every `call`. Everything else flag-dependent is folded into the
+/// per-block constants of the decoded stream.
+#[derive(Debug, Clone, Copy)]
+struct ExecParams {
+    /// Extra cycles per spill-slot access beyond the cache latency.
+    spill_extra: u64,
+    /// Cycles post-RA scheduling hides per spill access (`schedule-insns2`).
+    spill_sub: u64,
+    /// Branch misprediction penalty.
+    mispredict_penalty: u64,
+}
+
+/// One spill access of a block, in execution order. `key` is
+/// `(stmt_index << 1) | is_def`: use-spills (loads) fire before the
+/// statement body, the def-spill (store) after it — a single sorted
+/// stream the executor walks with one cursor.
+#[derive(Debug, Clone, Copy)]
+struct SpillEv {
+    key: u32,
+    /// Absolute spill slot (function base pre-added).
+    slot: u32,
+}
+
+/// Pre-decoded per-block data. Everything the cost model charges that
+/// does not depend on run-time data — opcode costs, copy-coalescing,
+/// call overheads, dependence and false-dependence stalls (both are
+/// functions of *adjacent statements only*, and the window resets at
+/// block boundaries), I-cache pressure, base terminator cost — is one
+/// precomputed constant. Constant cycle charges commute, so folding them
+/// per block is exact; only stateful accesses (data cache, branch
+/// predictor, spill slots) remain in the loop, in their original order.
+#[derive(Debug, Clone)]
+struct DecodedBlock {
+    /// Constant cycles per execution of this block: fetch penalty +
+    /// every statement's data-independent cost + base terminator cost
+    /// (`1 + taken_cost(target)` for jumps, `1` for branches/returns).
+    const_cost: u64,
+    /// Extra cost when a conditional branch is taken (front-end
+    /// redirect, alignment and delay-slot discounts applied).
+    taken_extra: u64,
+    /// Branch-predictor site key of this block's terminator.
+    site: u64,
+    /// Spill accesses in execution order (empty for most blocks).
+    spills: Box<[SpillEv]>,
+}
+
+#[derive(Debug, Clone)]
+struct DecodedFunc {
+    blocks: Box<[DecodedBlock]>,
+}
+
 /// A version prepared for one machine: register allocation done for every
-/// function, I-cache pressure precomputed.
+/// function, I-cache pressure precomputed, and the statement stream
+/// pre-decoded for the executor.
 #[derive(Debug, Clone)]
 pub struct PreparedVersion {
     /// The compiled version.
@@ -88,10 +154,16 @@ pub struct PreparedVersion {
     pub over_icache: bool,
     /// Stack-slot base offset per function (slots are function-private).
     pub slot_base: Vec<u32>,
+    decoded: Vec<DecodedFunc>,
+    params: ExecParams,
 }
 
 impl PreparedVersion {
-    /// Allocate registers for every function of the version on `spec`.
+    /// Allocate registers for every function of the version on `spec` and
+    /// pre-decode the statement streams. A `PreparedVersion` is only
+    /// meaningful on machine states built from the same `spec` (register
+    /// allocation already depends on it), so flag/spec-dependent costs are
+    /// resolved here once.
     pub fn prepare(version: CompiledVersion, spec: &MachineSpec) -> Self {
         let omit_fp = version.config.enabled(Flag::OmitFramePointer);
         let mut spill_slot = Vec::with_capacity(version.program.funcs.len());
@@ -110,7 +182,136 @@ impl PreparedVersion {
             spill_slot.push(slots);
         }
         let over_icache = version.code_size > spec.icache_stmt_capacity;
-        PreparedVersion { version, spill_slot, live_across_calls, over_icache, slot_base }
+
+        let config = version.config;
+        let coalesce = config.enabled(Flag::RegAllocCoalesce);
+        let sched2 = config.enabled(Flag::ScheduleInsns2);
+        let rename = config.enabled(Flag::RenameRegisters);
+        let delay = config.enabled(Flag::DelayedBranch) && spec.has_delay_slot;
+        let caller_saves = config.enabled(Flag::CallerSaves);
+        let exposure = spec.stall_exposure_permille;
+        let icache_pen = if over_icache { spec.icache_penalty } else { 0 };
+        let params = ExecParams {
+            spill_extra: spec.spill_extra_cycles,
+            spill_sub: if sched2 { 2 } else { 0 },
+            mispredict_penalty: spec.mispredict_penalty,
+        };
+
+        let mut decoded = Vec::with_capacity(version.program.funcs.len());
+        let mut uses_buf: Vec<VarId> = Vec::new();
+        let mut prev_uses: Vec<VarId> = Vec::new();
+        let mut evs: Vec<SpillEv> = Vec::new();
+        for (fi, f) in version.program.funcs.iter().enumerate() {
+            let spills = &spill_slot[fi];
+            let base = slot_base[fi];
+            // Constant cost of one call *from* this function: overhead
+            // plus saving the caller's call-crossing values.
+            let call_cost =
+                spec.call_overhead + call_save_cost(caller_saves, live_across_calls[fi]);
+            let blocks = f
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(bi, block)| {
+                    let mut const_cost = icache_pen;
+                    evs.clear();
+                    // Dependence-stall window: (def, latency) and uses of
+                    // the previous statement. Static per adjacent pair —
+                    // the window opens fresh at every block entry.
+                    let mut prev_def: Option<(VarId, u64)> = None;
+                    prev_uses.clear();
+                    for (si, s) in block.stmts.iter().enumerate() {
+                        uses_buf.clear();
+                        s.uses(&mut uses_buf);
+                        let def = s.def();
+                        if let Some((pd, lat)) = prev_def {
+                            if lat > 1 && uses_buf.contains(&pd) {
+                                const_cost += (lat - 1) * exposure / 1000;
+                            }
+                        }
+                        if !rename {
+                            // False dependence (WAW/WAR): a small stall on
+                            // machines without register renaming help.
+                            if let Some(d) = def {
+                                if prev_uses.contains(&d) || prev_def.is_some_and(|(p, _)| p == d)
+                                {
+                                    const_cost += 1;
+                                }
+                            }
+                        }
+                        // Spill loads for used variables, then the def
+                        // store — the executor replays these in order.
+                        let key = (si as u32) << 1;
+                        for u in &uses_buf {
+                            if let Some(slot) = spills[u.index()] {
+                                evs.push(SpillEv { key, slot: base + slot });
+                            }
+                        }
+                        if let Some(slot) = def.and_then(|d| spills[d.index()]) {
+                            evs.push(SpillEv { key: key | 1, slot: base + slot });
+                        }
+                        const_cost += match s {
+                            Stmt::Assign { dst, rv } => match rv {
+                                Rvalue::Use(op) => {
+                                    // Copy: coalescing makes register-to-
+                                    // register moves free.
+                                    let free = coalesce
+                                        && spills[dst.index()].is_none()
+                                        && op.as_var().is_none_or(|v| spills[v.index()].is_none());
+                                    if free { 0 } else { 1 }
+                                }
+                                Rvalue::Unary(op, _) => spec.unop_cost(*op),
+                                Rvalue::Binary(op, ..) => spec.binop_cost(*op),
+                                Rvalue::Load(_) => 1,
+                                Rvalue::AddrOf(..) => 1,
+                                // cmov-style: fixed 2 cycles, no branch.
+                                Rvalue::Select { .. } => 2,
+                                Rvalue::Call { .. } => call_cost,
+                            },
+                            Stmt::Store { .. } => 1,
+                            Stmt::CallVoid { .. } => call_cost,
+                            Stmt::Prefetch { .. } => 1,
+                            Stmt::CounterInc { .. } => spec.counter_cost,
+                        };
+                        prev_def = def.map(|d| (d, spec.result_latency(s)));
+                        std::mem::swap(&mut prev_uses, &mut uses_buf);
+                    }
+                    // A delay slot is fillable when the block has any
+                    // statement to hoist into it.
+                    let fillable = delay && !block.stmts.is_empty();
+                    let taken_extra = match &block.term {
+                        Terminator::Jump(t) => {
+                            const_cost += 1 + taken_cost(spec, f, *t, fillable);
+                            0
+                        }
+                        Terminator::Branch { on_true, .. } => {
+                            const_cost += 1;
+                            taken_cost(spec, f, *on_true, fillable)
+                        }
+                        Terminator::Return(_) => {
+                            const_cost += 1;
+                            0
+                        }
+                    };
+                    DecodedBlock {
+                        const_cost,
+                        taken_extra,
+                        site: ((fi as u64) << 32) ^ (bi as u64),
+                        spills: evs.as_slice().into(),
+                    }
+                })
+                .collect::<Box<[_]>>();
+            decoded.push(DecodedFunc { blocks });
+        }
+        PreparedVersion {
+            version,
+            spill_slot,
+            live_across_calls,
+            over_icache,
+            slot_base,
+            decoded,
+            params,
+        }
     }
 
     /// Total spill slots of the entry function (diagnostics).
@@ -120,6 +321,23 @@ impl PreparedVersion {
             .filter(|s| s.is_some())
             .count()
     }
+}
+
+/// Front-end cost of redirecting fetch to `target`.
+fn taken_cost(
+    spec: &MachineSpec,
+    f: &peak_ir::Function,
+    target: peak_ir::BlockId,
+    fillable: bool,
+) -> u64 {
+    let mut c = spec.taken_branch_cost;
+    if f.block(target).aligned {
+        c = c.saturating_sub(spec.aligned_discount);
+    }
+    if fillable {
+        c = c.saturating_sub(1);
+    }
+    c
 }
 
 /// Result of one simulated invocation.
@@ -180,7 +398,45 @@ pub struct ExecOptions {
     pub num_counters: usize,
 }
 
+/// Reusable execution buffers. One lives in each run harness so the
+/// steady-state invocation path allocates nothing: register files and
+/// call-argument vectors are pooled across invocations (and across the
+/// call tree within one), and the write-dedup set keeps its capacity.
+/// An invocation that fails mid-call drops the frames it held — error
+/// paths abandon the run anyway, and the pool simply refills.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    regs_pool: Vec<Vec<Value>>,
+    vals_pool: Vec<Vec<Value>>,
+    written: std::collections::HashSet<(u32, i64)>,
+}
+
+impl ExecScratch {
+    /// Fresh scratch (nothing allocated yet).
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// A zeroed register file of `n` slots, reusing pooled capacity.
+    fn take_regs(&mut self, n: usize) -> Vec<Value> {
+        let mut v = self.regs_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, Value::I64(0));
+        v
+    }
+
+    /// An empty call-argument buffer, reusing pooled capacity.
+    fn take_vals(&mut self) -> Vec<Value> {
+        let mut v = self.vals_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+}
+
 /// Execute one invocation of the prepared version's entry function.
+///
+/// Allocates its own transient [`ExecScratch`]; hot paths that execute
+/// many invocations should hold one and call [`execute_with_scratch`].
 pub fn execute(
     pv: &PreparedVersion,
     args: &[Value],
@@ -188,6 +444,21 @@ pub fn execute(
     amap: &AddressMap,
     state: &mut MachineState,
     opts: &ExecOptions,
+) -> Result<ExecResult, ExecError> {
+    let mut scratch = ExecScratch::new();
+    execute_with_scratch(pv, args, mem, amap, state, opts, &mut scratch)
+}
+
+/// [`execute`] with caller-owned scratch buffers (allocation-free in
+/// steady state).
+pub fn execute_with_scratch(
+    pv: &PreparedVersion,
+    args: &[Value],
+    mem: &mut MemoryImage,
+    amap: &AddressMap,
+    state: &mut MachineState,
+    opts: &ExecOptions,
+    scratch: &mut ExecScratch,
 ) -> Result<ExecResult, ExecError> {
     // Fault hooks: a crash aborts before any work; a perturbation episode
     // pollutes caches/predictor like a co-tenant time slice (no cycles
@@ -201,15 +472,18 @@ pub fn execute(
             plan.maybe_perturb(caches, predictor);
         }
     }
+    if opts.record_writes {
+        scratch.written.clear();
+    }
     let mut ctx = Ctx {
         pv,
         amap,
         state,
         counters: vec![0; opts.num_counters],
         writes: Vec::new(),
-        written: std::collections::HashSet::new(),
         record_writes: opts.record_writes,
         steps: 0,
+        scratch,
     };
     let mut cycles = 0u64;
     let ret = ctx.call(pv.version.func, args, mem, &mut cycles, 0)?;
@@ -228,9 +502,9 @@ struct Ctx<'a> {
     state: &'a mut MachineState,
     counters: Vec<u64>,
     writes: Vec<(MemId, i64, Value)>,
-    written: std::collections::HashSet<(u32, i64)>,
     record_writes: bool,
     steps: u64,
+    scratch: &'a mut ExecScratch,
 }
 
 impl<'a> Ctx<'a> {
@@ -245,118 +519,61 @@ impl<'a> Ctx<'a> {
         if depth > RECURSION_LIMIT {
             return Err(InterpError::RecursionLimit);
         }
-        let prog = &self.pv.version.program;
-        let f = prog.func(func);
-        let config = self.pv.version.config;
-        let spills = &self.pv.spill_slot[func.index()];
-        let slot_base = self.pv.slot_base[func.index()];
-        let spec_kind = self.state.spec.kind;
-        let _ = spec_kind;
-        let coalesce = config.enabled(Flag::RegAllocCoalesce);
-        let sched2 = config.enabled(Flag::ScheduleInsns2);
-        let rename = config.enabled(Flag::RenameRegisters);
-        let delay = config.enabled(Flag::DelayedBranch) && self.state.spec.has_delay_slot;
-        let caller_saves = config.enabled(Flag::CallerSaves);
-        let exposure = self.state.spec.stall_exposure_permille;
-        let icache_pen = if self.pv.over_icache { self.state.spec.icache_penalty } else { 0 };
+        let pv = self.pv;
+        let f = pv.version.program.func(func);
+        let df = &pv.decoded[func.index()];
+        let p = pv.params;
 
-        let mut regs: Vec<Value> = vec![Value::I64(0); f.num_vars()];
-        for (p, a) in f.params.iter().zip(args) {
-            regs[p.index()] = *a;
-        }
-        // Spill cost helper: access the stack slot through the cache.
-        macro_rules! spill_access {
-            ($self:ident, $slot:expr, $cycles:expr) => {{
-                let addr = $self.amap.spill_addr(slot_base + $slot);
-                let mut c = $self.state.caches.access(addr)
-                    + $self.state.spec.spill_extra_cycles;
-                if sched2 {
-                    c = c.saturating_sub(2); // post-RA scheduling hides part of the spill
-                }
-                c = c.max(1);
-                *$cycles += c;
-            }};
+        let mut regs = self.scratch.take_regs(f.num_vars());
+        for (prm, a) in f.params.iter().zip(args) {
+            regs[prm.index()] = *a;
         }
 
         let mut bb = f.entry;
-        // (defined var, its latency, uses of prev stmt) for the stall model.
-        let mut prev_def: Option<(VarId, u64)> = None;
-        let mut prev_touched: Vec<VarId> = Vec::new();
-        let mut uses_buf: Vec<VarId> = Vec::new();
         loop {
-            *cycles += icache_pen;
             let block = f.block(bb);
-            for s in &block.stmts {
-                self.steps += 1;
-                if self.steps > STEP_LIMIT {
-                    return Err(InterpError::StepLimit);
-                }
-                // Dependence stalls against the previous statement.
-                uses_buf.clear();
-                s.uses(&mut uses_buf);
-                if let Some((pd, lat)) = prev_def {
-                    if lat > 1 && uses_buf.contains(&pd) {
-                        *cycles += (lat - 1) * exposure / 1000;
+            let dblock = &df.blocks[bb.index()];
+            // All data-independent costs of this block, in one add.
+            *cycles += dblock.const_cost;
+            self.steps += block.stmts.len() as u64 + 1;
+            if self.steps > STEP_LIMIT {
+                return Err(InterpError::StepLimit);
+            }
+            // Cursor over the block's spill accesses (usually empty).
+            let mut evs = dblock.spills.iter();
+            let mut next_ev = evs.next();
+            for (si, s) in block.stmts.iter().enumerate() {
+                // Spill loads for used variables, before the body.
+                let key = (si as u32) << 1;
+                while let Some(e) = next_ev {
+                    if e.key != key {
+                        break;
                     }
-                }
-                if !rename {
-                    // False dependence (WAW/WAR) exposes a small stall on
-                    // machines without register renaming help.
-                    if let Some(d) = s.def() {
-                        if prev_touched.contains(&d) {
-                            *cycles += 1;
-                        }
-                    }
-                }
-                // Spill loads for used variables.
-                for &u in &uses_buf {
-                    if let Some(slot) = spills[u.index()] {
-                        spill_access!(self, slot, cycles);
-                    }
+                    self.spill_access(e.slot, cycles);
+                    next_ev = evs.next();
                 }
                 match s {
                     Stmt::Assign { dst, rv } => {
                         let v = match rv {
-                            Rvalue::Use(op) => {
-                                // Copy: possibly coalesced away.
-                                let val = self.operand(op, &regs);
-                                let free = coalesce
-                                    && spills[dst.index()].is_none()
-                                    && op
-                                        .as_var()
-                                        .is_none_or(|v| spills[v.index()].is_none());
-                                if !free {
-                                    *cycles += 1;
-                                }
-                                val
-                            }
+                            Rvalue::Use(op) => self.operand(op, &regs),
                             Rvalue::Unary(op, a) => {
-                                *cycles += self.state.spec.unop_cost(*op);
                                 peak_ir::interp::eval_unop(*op, self.operand(a, &regs))
                             }
-                            Rvalue::Binary(op, a, b) => {
-                                *cycles += self.state.spec.binop_cost(*op);
-                                peak_ir::interp::eval_binop(
-                                    *op,
-                                    self.operand(a, &regs),
-                                    self.operand(b, &regs),
-                                )?
-                            }
+                            Rvalue::Binary(op, a, b) => peak_ir::interp::eval_binop(
+                                *op,
+                                self.operand(a, &regs),
+                                self.operand(b, &regs),
+                            )?,
                             Rvalue::Load(mr) => {
                                 let (m, idx) = self.resolve(mr, &regs, mem)?;
-                                *cycles += 1 + self.state.caches.access(self.amap.addr(m, idx));
+                                *cycles += self.state.caches.access(self.amap.addr(m, idx));
                                 mem.load(m, idx)
                             }
-                            Rvalue::AddrOf(m, idx) => {
-                                *cycles += 1;
-                                Value::Ptr(PtrVal {
-                                    mem: *m,
-                                    offset: self.operand(idx, &regs).as_i64(),
-                                })
-                            }
+                            Rvalue::AddrOf(m, idx) => Value::Ptr(PtrVal {
+                                mem: *m,
+                                offset: self.operand(idx, &regs).as_i64(),
+                            }),
                             Rvalue::Select { cond, on_true, on_false } => {
-                                // cmov-style: fixed 2 cycles, no branch.
-                                *cycles += 2;
                                 if self.operand(cond, &regs).is_true() {
                                     self.operand(on_true, &regs)
                                 } else {
@@ -364,26 +581,31 @@ impl<'a> Ctx<'a> {
                                 }
                             }
                             Rvalue::Call { func: callee, args } => {
-                                let vals: Vec<Value> =
-                                    args.iter().map(|a| self.operand(a, &regs)).collect();
-                                *cycles += self.state.spec.call_overhead;
-                                *cycles += call_save_cost(
-                                    caller_saves,
-                                    self.pv.live_across_calls[func.index()],
-                                );
-                                self.call(*callee, &vals, mem, cycles, depth + 1)?
-                                    .expect("value call of void function")
+                                let mut vals = self.scratch.take_vals();
+                                for a in args {
+                                    vals.push(self.operand(a, &regs));
+                                }
+                                let r = self.call(*callee, &vals, mem, cycles, depth + 1)?;
+                                self.scratch.vals_pool.push(vals);
+                                r.expect("value call of void function")
                             }
                         };
                         regs[dst.index()] = v;
-                        if let Some(slot) = spills[dst.index()] {
-                            spill_access!(self, slot, cycles);
+                        // Spill store of the defined variable, after the
+                        // body (only when the def is spilled).
+                        let key = key | 1;
+                        while let Some(e) = next_ev {
+                            if e.key != key {
+                                break;
+                            }
+                            self.spill_access(e.slot, cycles);
+                            next_ev = evs.next();
                         }
                     }
                     Stmt::Store { dst, src } => {
                         let (m, idx) = self.resolve(dst, &regs, mem)?;
-                        *cycles += 1 + self.state.caches.access(self.amap.addr(m, idx));
-                        if self.record_writes && self.written.insert((m.0, idx)) {
+                        *cycles += self.state.caches.access(self.amap.addr(m, idx));
+                        if self.record_writes && self.scratch.written.insert((m.0, idx)) {
                             // Inspector: log the pre-write value (undo log);
                             // the inspector code itself costs cycles.
                             self.writes.push((m, idx, mem.load(m, idx)));
@@ -393,15 +615,14 @@ impl<'a> Ctx<'a> {
                         mem.store(m, idx, v);
                     }
                     Stmt::CallVoid { func: callee, args } => {
-                        let vals: Vec<Value> =
-                            args.iter().map(|a| self.operand(a, &regs)).collect();
-                        *cycles += self.state.spec.call_overhead;
-                        *cycles +=
-                            call_save_cost(caller_saves, self.pv.live_across_calls[func.index()]);
+                        let mut vals = self.scratch.take_vals();
+                        for a in args {
+                            vals.push(self.operand(a, &regs));
+                        }
                         self.call(*callee, &vals, mem, cycles, depth + 1)?;
+                        self.scratch.vals_pool.push(vals);
                     }
                     Stmt::Prefetch { addr } => {
-                        *cycles += 1;
                         // Best-effort: ignore unresolvable/OOB addresses.
                         if let Ok((m, idx)) = self.resolve_unchecked(addr, &regs) {
                             let len = mem.buf(m).len() as i64;
@@ -411,65 +632,45 @@ impl<'a> Ctx<'a> {
                         }
                     }
                     Stmt::CounterInc { counter } => {
-                        *cycles += self.state.spec.counter_cost;
                         if counter.index() >= self.counters.len() {
                             self.counters.resize(counter.index() + 1, 0);
                         }
                         self.counters[counter.index()] += 1;
                     }
                 }
-                prev_touched.clear();
-                prev_touched.extend_from_slice(&uses_buf);
-                if let Some(d) = s.def() {
-                    prev_touched.push(d);
-                }
-                prev_def = s.def().map(|d| (d, self.state.spec.result_latency(s)));
             }
-            self.steps += 1;
-            if self.steps > STEP_LIMIT {
-                return Err(InterpError::StepLimit);
-            }
-            // Terminators.
-            let fillable = delay && !block.stmts.is_empty();
+            // Terminators (base cost already in `const_cost`).
             match &block.term {
                 Terminator::Jump(t) => {
-                    *cycles += 1 + self.taken_cost(f, *t, fillable);
                     bb = *t;
-                    prev_def = None;
-                    prev_touched.clear();
                 }
                 Terminator::Branch { cond, on_true, on_false } => {
-                    *cycles += 1;
                     let taken = self.operand(cond, &regs).is_true();
-                    let site = ((func.0 as u64) << 32) ^ (bb.0 as u64);
-                    if self.state.predictor.mispredicted(site, taken) {
-                        *cycles += self.state.spec.mispredict_penalty;
+                    if self.state.predictor.mispredicted(dblock.site, taken) {
+                        *cycles += p.mispredict_penalty;
                     }
                     if taken {
-                        *cycles += self.taken_cost(f, *on_true, fillable);
+                        *cycles += dblock.taken_extra;
                     }
                     bb = if taken { *on_true } else { *on_false };
-                    prev_def = None;
-                    prev_touched.clear();
                 }
                 Terminator::Return(v) => {
-                    *cycles += 1;
-                    return Ok(v.as_ref().map(|op| self.operand(op, &regs)));
+                    let ret = v.as_ref().map(|op| self.operand(op, &regs));
+                    self.scratch.regs_pool.push(regs);
+                    return Ok(ret);
                 }
             }
         }
     }
 
-    /// Front-end cost of redirecting fetch to `target`.
-    fn taken_cost(&self, f: &peak_ir::Function, target: peak_ir::BlockId, fillable: bool) -> u64 {
-        let mut c = self.state.spec.taken_branch_cost;
-        if f.block(target).aligned {
-            c = c.saturating_sub(self.state.spec.aligned_discount);
-        }
-        if fillable {
-            c = c.saturating_sub(1);
-        }
-        c
+    /// Spill-slot access: through the cache, plus the machine's spill
+    /// overhead, minus what post-RA scheduling hides; at least 1 cycle.
+    #[inline]
+    fn spill_access(&mut self, slot: u32, cycles: &mut u64) {
+        let addr = self.amap.spill_addr(slot);
+        let mut c = self.state.caches.access(addr) + self.pv.params.spill_extra;
+        c = c.saturating_sub(self.pv.params.spill_sub);
+        *cycles += c.max(1);
     }
 
     #[inline]
@@ -679,5 +880,83 @@ mod tests {
                 .unwrap()
                 .true_cycles;
         assert!(c_p4 > c_sp, "spill traffic shows: p4={c_p4} sparc={c_sp}");
+    }
+
+    /// Scratch reuse must not change results: same kernel, same state
+    /// evolution, shared scratch across invocations.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let spec = MachineSpec::pentium_iv();
+        let (pv, amap) = prep(OptConfig::o3(), &spec);
+        let mut s_fresh = MachineState::noiseless(spec.clone());
+        let mut s_shared = MachineState::noiseless(spec);
+        let mut scratch = ExecScratch::new();
+        for n in [10i64, 200, 1000, 200, 10] {
+            let mut mem1 = MemoryImage::new(&pv.version.program);
+            let mut mem2 = MemoryImage::new(&pv.version.program);
+            let a = pv.version.program.mem_by_name("a").unwrap();
+            for i in 0..4096 {
+                mem1.store(a, i, Value::F64(2.0));
+                mem2.store(a, i, Value::F64(2.0));
+            }
+            let r1 = execute(
+                &pv,
+                &[Value::I64(n)],
+                &mut mem1,
+                &amap,
+                &mut s_fresh,
+                &ExecOptions::default(),
+            )
+            .unwrap();
+            let r2 = execute_with_scratch(
+                &pv,
+                &[Value::I64(n)],
+                &mut mem2,
+                &amap,
+                &mut s_shared,
+                &ExecOptions::default(),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(r1.ret, r2.ret);
+            assert_eq!(r1.true_cycles, r2.true_cycles);
+        }
+    }
+
+    /// The write-undo log is scoped to one invocation even when the
+    /// dedup set is reused via scratch.
+    #[test]
+    fn record_writes_dedup_resets_per_invocation() {
+        let mut prog = Program::new();
+        let a = prog.add_mem("a", Type::I64, 16);
+        let mut b = FunctionBuilder::new("w", None);
+        let n = b.param("n", Type::I64);
+        let i = b.var("i", Type::I64);
+        b.for_loop(i, 0i64, n, 1, |b| {
+            b.store(peak_ir::MemRef::global(a, i), i);
+        });
+        b.ret(None);
+        let f = prog.add_func(b.finish());
+        let cv = peak_opt::optimize(&prog, f, &OptConfig::o0());
+        let spec = MachineSpec::sparc_ii();
+        let amap = AddressMap::new(&[16]);
+        let pv = PreparedVersion::prepare(cv, &spec);
+        let mut state = MachineState::noiseless(spec);
+        let mut mem = MemoryImage::new(&pv.version.program);
+        let mut scratch = ExecScratch::new();
+        let opts = ExecOptions { record_writes: true, num_counters: 0 };
+        for _ in 0..3 {
+            let out = execute_with_scratch(
+                &pv,
+                &[Value::I64(4)],
+                &mut mem,
+                &amap,
+                &mut state,
+                &opts,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(out.writes.len(), 4, "each invocation logs its own first-writes");
+        }
     }
 }

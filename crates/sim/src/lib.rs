@@ -31,7 +31,10 @@ pub mod timer;
 
 pub use branch::BranchPredictor;
 pub use cache::{AddressMap, Cache, Hierarchy};
-pub use exec::{execute, ExecError, ExecOptions, ExecResult, MachineState, PreparedVersion};
+pub use exec::{
+    execute, execute_with_scratch, ExecError, ExecOptions, ExecResult, ExecScratch, MachineState,
+    PreparedVersion,
+};
 pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use machine::{CacheParams, MachineKind, MachineSpec};
 pub use metrics::SimMetrics;
