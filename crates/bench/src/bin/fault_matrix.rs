@@ -9,8 +9,11 @@
 //!
 //! `--trace PATH` writes a JSONL telemetry trace (rating outcomes, fault
 //! firings per run, supervisor degrades/retries) readable with the
-//! `peak-trace` binary. The sweep is single-threaded, so events stream
-//! straight to the file in execution order. Adding `--trace-wall`
+//! `peak-trace` binary. Sweep cells run in parallel on the shared job
+//! pool; each cell buffers its events locally and the buffers are
+//! spliced into the trace file in cell order (so the trace is identical
+//! at any thread count; event `seq` restarts per cell). The crash
+//! scenario appends its events after the sweep. Adding `--trace-wall`
 //! stamps `wall_ns` self-profiling fields so `peak-trace summary`
 //! reports per-method rating overhead — at the cost of trace
 //! byte-reproducibility (see DESIGN.md §9).
@@ -85,22 +88,14 @@ fn main() {
     let base = OptConfig::o3();
     let trace_path = arg_value(&args, "--trace");
     let trace_wall = args.iter().any(|a| a == "--trace-wall");
-    // Single-threaded sweep: events can stream straight to the file.
-    let (tracer, trace_sink) = match &trace_path {
-        Some(path) => {
-            let sink: Arc<JsonlSink> =
-                Arc::new(JsonlSink::create(std::path::Path::new(path)).expect("create trace file"));
-            let mut tracer = Tracer::to_sink(sink.clone() as Arc<dyn TraceSink>).with_context(vec![
-                ("benchmark".to_owned(), Json::Str(workload.name().to_owned())),
-                ("machine".to_owned(), Json::Str(kind.name().to_owned())),
-            ]);
-            if trace_wall {
-                tracer = tracer.with_wall_clock();
-            }
-            (tracer, Some(sink))
-        }
-        None => (Tracer::disabled(), None),
-    };
+    let tracing = trace_path.is_some();
+    let trace_sink: Option<Arc<JsonlSink>> = trace_path.as_ref().map(|path| {
+        Arc::new(JsonlSink::create(std::path::Path::new(path)).expect("create trace file"))
+    });
+    let trace_ctx = vec![
+        ("benchmark".to_owned(), Json::Str(workload.name().to_owned())),
+        ("machine".to_owned(), Json::Str(kind.name().to_owned())),
+    ];
 
     println!(
         "Fault matrix — rating-accuracy degradation under injected faults ({}, {})",
@@ -121,49 +116,96 @@ fn main() {
         methods.push(Method::Whl);
     }
 
-    let mut cells: Vec<Cell> = Vec::new();
-    for &method in &methods {
-        for &intensity in INTENSITIES {
-            let mut setup = TuningSetup::new(workload.as_ref(), spec.clone(), Dataset::Train);
-            setup.set_tracer(tracer.clone());
-            if intensity > 0.0 {
-                setup.set_faults(Some(spec.fault_profile(intensity, SCENARIO_SEED)));
+    // Sweep cells are independent (method × intensity): run them as jobs
+    // on the shared work-stealing pool (`PEAK_THREADS` overrides the
+    // size). `Pool::run` returns results in job order, so stdout and
+    // JSON are byte-identical at any thread count; each cell buffers its
+    // trace events locally and the buffers are spliced in cell order.
+    let pool = peak_core::Pool::from_env();
+    let sweep: Vec<(Method, f64)> = methods
+        .iter()
+        .flat_map(|&m| INTENSITIES.iter().map(move |&i| (m, i)))
+        .collect();
+    let jobs: Vec<_> = sweep
+        .iter()
+        .map(|&(method, intensity)| {
+            let workload = workload.as_ref();
+            let spec = &spec;
+            let trace_ctx = &trace_ctx;
+            move || {
+                let (tracer, sink) = if tracing {
+                    let sink = Arc::new(peak_obs::BufferSink::new());
+                    let mut tracer =
+                        Tracer::to_sink(sink.clone()).with_context(trace_ctx.clone());
+                    if trace_wall {
+                        tracer = tracer.with_wall_clock();
+                    }
+                    (tracer, Some(sink))
+                } else {
+                    (Tracer::disabled(), None)
+                };
+                let mut setup = TuningSetup::new(workload, spec.clone(), Dataset::Train);
+                setup.set_tracer(tracer.clone());
+                if intensity > 0.0 {
+                    setup.set_faults(Some(spec.fault_profile(intensity, SCENARIO_SEED)));
+                }
+                if tracer.enabled() {
+                    event!(
+                        tracer,
+                        "matrix.cell",
+                        method = method.name(),
+                        intensity = intensity,
+                    );
+                }
+                let cell = rate(&mut setup, method, base, &[base]).map(|out| Cell {
+                    method,
+                    intensity,
+                    error_pct: (out.improvements[0] - 1.0).abs() * 100.0,
+                    samples: out.samples,
+                    trimmed: out.trimmed,
+                    dropouts: out.dropouts,
+                    crashes: out.crashes,
+                    unconverged: out.unconverged,
+                });
+                (cell, sink.map(|s| s.drain()).unwrap_or_default())
             }
-            if tracer.enabled() {
-                event!(
-                    tracer,
-                    "matrix.cell",
-                    method = method.name(),
-                    intensity = intensity,
-                );
-            }
-            let Some(out) = rate(&mut setup, method, base, &[base]) else {
-                continue;
-            };
-            let cell = Cell {
-                method,
-                intensity,
-                error_pct: (out.improvements[0] - 1.0).abs() * 100.0,
-                samples: out.samples,
-                trimmed: out.trimmed,
-                dropouts: out.dropouts,
-                crashes: out.crashes,
-                unconverged: out.unconverged,
-            };
-            println!(
-                "{:<6} {:>9.1} {:>10.3} {:>8} {:>8} {:>9} {:>8} {:>12}",
-                cell.method.name(),
-                cell.intensity,
-                cell.error_pct,
-                cell.samples,
-                cell.trimmed,
-                cell.dropouts,
-                cell.crashes,
-                cell.unconverged
-            );
-            cells.push(cell);
+        })
+        .collect();
+    let results: Vec<(Option<Cell>, Vec<String>)> = pool.run(jobs);
+    if let Some(sink) = &trace_sink {
+        for (_, lines) in &results {
+            sink.append_lines(lines.iter());
         }
     }
+    let mut cells: Vec<Cell> = Vec::new();
+    for (cell, _) in results {
+        let Some(cell) = cell else { continue };
+        println!(
+            "{:<6} {:>9.1} {:>10.3} {:>8} {:>8} {:>9} {:>8} {:>12}",
+            cell.method.name(),
+            cell.intensity,
+            cell.error_pct,
+            cell.samples,
+            cell.trimmed,
+            cell.dropouts,
+            cell.crashes,
+            cell.unconverged
+        );
+        cells.push(cell);
+    }
+    // The crash scenario below runs serially and streams its events
+    // straight to the trace file, after the spliced sweep buffers.
+    let tracer = match &trace_sink {
+        Some(sink) => {
+            let mut tracer = Tracer::to_sink(sink.clone() as Arc<dyn TraceSink>)
+                .with_context(trace_ctx.clone());
+            if trace_wall {
+                tracer = tracer.with_wall_clock();
+            }
+            tracer
+        }
+        None => Tracer::disabled(),
+    };
 
     // Crash + jitter scenario: a deterministic version crash on the 6th
     // TS execution of every run plus intensity-1.0 jitter. Per-method

@@ -15,7 +15,7 @@
 //! binary. Each parallel cell buffers its events; buffers are written in
 //! job order so the trace is deterministic regardless of scheduling.
 
-use peak_bench::{figure7_cell_traced, figure7_method_list, normalize_tuning_times, Figure7Cell};
+use peak_bench::{figure7_cell_pooled, figure7_method_list, normalize_tuning_times, Figure7Cell};
 use peak_core::consultant::Method;
 use peak_core::VersionCache;
 use peak_obs::{BufferSink, JsonlSink, TraceSink, Tracer};
@@ -70,38 +70,41 @@ fn main() {
     }
     let trace_path = arg_value(&args, "--trace");
     let tracing = trace_path.is_some();
-    eprintln!("figure7: {} cells (parallel)", jobs.len());
-    // Parallel evaluation; cells are fully independent. With `--trace`,
-    // each cell buffers its events locally; buffers are spliced into the
-    // trace file in job order after the join.
-    let results: Vec<(Figure7Cell, Vec<String>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|(name, kind, method, ds)| {
-                scope.spawn(move || {
-                    let t0 = std::time::Instant::now();
-                    let (tracer, sink) = if tracing {
-                        let sink = Arc::new(BufferSink::new());
-                        (Tracer::to_sink(sink.clone()), Some(sink))
-                    } else {
-                        (Tracer::disabled(), None)
-                    };
-                    let cell = figure7_cell_traced(name, *kind, *method, *ds, tracer);
-                    eprintln!(
-                        "  {name:<7} {:<10} {:<4} {:<5}  {:+6.1}%  ({} ratings, {:.1}s)",
-                        kind.name(),
-                        method.name(),
-                        cell.report.tuned_on,
-                        cell.report.improvement_pct,
-                        cell.report.search.ratings,
-                        t0.elapsed().as_secs_f64(),
-                    );
-                    (cell, sink.map(|s| s.drain()).unwrap_or_default())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    });
+    let pool = peak_core::Pool::from_env();
+    eprintln!("figure7: {} cells (pool: {} threads)", jobs.len(), pool.threads());
+    // Parallel evaluation on the shared work-stealing pool; cells are
+    // fully independent jobs and `Pool::run` returns results in job
+    // order. With `--trace`, each cell buffers its events locally;
+    // buffers are spliced into the trace file in job order after the
+    // pool drains. Each cell also re-uses the pool (via its shared
+    // helper budget) to pre-compile IE candidate frontiers.
+    let cell_jobs: Vec<_> = jobs
+        .iter()
+        .map(|(name, kind, method, ds)| {
+            let pool = pool.clone();
+            move || {
+                let t0 = std::time::Instant::now();
+                let (tracer, sink) = if tracing {
+                    let sink = Arc::new(BufferSink::new());
+                    (Tracer::to_sink(sink.clone()), Some(sink))
+                } else {
+                    (Tracer::disabled(), None)
+                };
+                let cell = figure7_cell_pooled(name, *kind, *method, *ds, tracer, &pool);
+                eprintln!(
+                    "  {name:<7} {:<10} {:<4} {:<5}  {:+6.1}%  ({} ratings, {:.1}s)",
+                    kind.name(),
+                    method.name(),
+                    cell.report.tuned_on,
+                    cell.report.improvement_pct,
+                    cell.report.search.ratings,
+                    t0.elapsed().as_secs_f64(),
+                );
+                (cell, sink.map(|s| s.drain()).unwrap_or_default())
+            }
+        })
+        .collect();
+    let results: Vec<(Figure7Cell, Vec<String>)> = pool.run(cell_jobs);
     let mut cells = Vec::with_capacity(results.len());
     if let Some(path) = &trace_path {
         let sink = JsonlSink::create(std::path::Path::new(path)).expect("create trace file");

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p peak-bench --bin hotpath \
-//!     [-- --machine sparc|p4] [--bench NAME] [--json PATH] [--min-ms N]
+//!     [-- --machine sparc|p4] [--bench NAME] [--json PATH] [--min-ms N] [--search]
 //! ```
 //!
 //! Emits `BENCH_hotpath.json` (stable schema, one record per
@@ -12,6 +12,13 @@
 //! `compiles_per_sec`, `cache_hit_rate`, plus the raw counts/durations
 //! behind the rates. Rates are wall-clock and machine-dependent; the
 //! *schema* and the cache-hit-rate are what CI pins down.
+//!
+//! `--search` additionally runs the scheduler scaling benchmark and
+//! emits `BENCH_search.json`: the full Table-1 sweep and a capped
+//! parallel Iterative-Elimination search, each at 1, 2, and the default
+//! thread count, reporting wall seconds per leg, the default-vs-1
+//! speedup, and whether the outputs were byte-identical across thread
+//! counts (they must be — the pool is deterministic by construction).
 
 use peak_core::{RunHarness, VersionCache};
 use peak_opt::{Flag, OptConfig, ALL_FLAGS};
@@ -209,6 +216,135 @@ fn main() {
         .and_then(|mut f| f.write_all((json.pretty() + "\n").as_bytes()))
         .expect("write json");
     println!();
+    println!("wrote {json_path}");
+    if args.iter().any(|a| a == "--search") {
+        let search_json =
+            arg_value(&args, "--search-json").unwrap_or_else(|| "BENCH_search.json".into());
+        search_bench(&search_json);
+    }
+}
+
+/// Render the full Table-1 sweep (all workloads, SPARC-II) on `pool` and
+/// return the rendered rows — the same per-benchmark fan-out `table1`
+/// runs, minus the I/O.
+fn table1_rows(pool: &peak_core::Pool) -> Vec<String> {
+    let workloads = peak_workloads::all_workloads();
+    let spec = MachineSpec::sparc_ii();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let spec = &spec;
+            move || {
+                peak_core::consistency_rows(w.as_ref(), spec)
+                    .iter()
+                    .map(peak_bench::render_consistency_row)
+                    .collect::<Vec<String>>()
+            }
+        })
+        .collect();
+    pool.run(jobs).into_iter().flatten().collect()
+}
+
+/// Scheduler scaling benchmark behind `--search`: time the Table-1 sweep
+/// and a 2-round parallel IE search at 1, 2, and the default thread
+/// count. The global version cache is cleared before every leg so each
+/// one pays (and, at >1 threads, parallelizes) the same compile work.
+fn search_bench(json_path: &str) {
+    use peak_core::consultant::Method;
+    use peak_core::{iterative_elimination_parallel_capped, Pool, TuningSetup};
+
+    const SEARCH_ROUNDS: usize = 2;
+    let default_threads = peak_core::default_threads();
+    let mut ks: Vec<usize> = Vec::new();
+    for k in [1, 2, default_threads] {
+        if !ks.contains(&k) {
+            ks.push(k);
+        }
+    }
+    println!();
+    println!("search scaling — thread counts {ks:?} (default {default_threads})");
+
+    let mut t1_legs: Vec<(usize, f64)> = Vec::new();
+    let mut t1_outputs: Vec<String> = Vec::new();
+    for &k in &ks {
+        VersionCache::global().clear();
+        let pool = peak_core::Pool::with_threads(k);
+        let start = Instant::now();
+        let rows = table1_rows(&pool);
+        let secs = start.elapsed().as_secs_f64();
+        println!("  table1 sweep   threads={k:<2}  {secs:7.2}s  ({} rows)", rows.len());
+        t1_legs.push((k, secs));
+        t1_outputs.push(rows.join("\n"));
+    }
+    let t1_identical = t1_outputs.windows(2).all(|w| w[0] == w[1]);
+    let t1_speedup = t1_legs[0].1 / t1_legs.last().unwrap().1.max(1e-9);
+
+    let spec = MachineSpec::sparc_ii();
+    let swim = peak_workloads::workload_by_name("swim").expect("swim workload");
+    let mut se_legs: Vec<(usize, f64, peak_core::SearchResult)> = Vec::new();
+    for &k in &ks {
+        VersionCache::global().clear();
+        let pool = Pool::with_threads(k);
+        let mut setup = TuningSetup::new(swim.as_ref(), spec.clone(), Dataset::Train);
+        let start = Instant::now();
+        let result =
+            iterative_elimination_parallel_capped(&mut setup, Method::Cbr, &pool, SEARCH_ROUNDS);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "  parallel IE    threads={k:<2}  {secs:7.2}s  ({} ratings, {} runs)",
+            result.ratings, result.runs
+        );
+        se_legs.push((k, secs, result));
+    }
+    let se_identical = se_legs.windows(2).all(|w| {
+        let (a, b) = (&w[0].2, &w[1].2);
+        a.disabled_flags == b.disabled_flags
+            && a.ratings == b.ratings
+            && a.tuning_cycles == b.tuning_cycles
+            && a.runs == b.runs
+            && a.invocations == b.invocations
+    });
+    let se_speedup = se_legs[0].1 / se_legs.last().unwrap().1.max(1e-9);
+
+    let leg_json = |threads: usize, secs: f64| {
+        Json::obj(vec![("threads", Json::U(threads as u64)), ("secs", Json::F(secs))])
+    };
+    let doc = Json::obj(vec![
+        ("default_threads", Json::U(default_threads as u64)),
+        (
+            "table1_scaling",
+            Json::Arr(t1_legs.iter().map(|&(k, s)| leg_json(k, s)).collect()),
+        ),
+        ("table1_identical", Json::Bool(t1_identical)),
+        ("table1_speedup_default_vs_1", Json::F(t1_speedup)),
+        ("search_rounds", Json::U(SEARCH_ROUNDS as u64)),
+        (
+            "search_scaling",
+            Json::Arr(
+                se_legs
+                    .iter()
+                    .map(|(k, s, r)| {
+                        Json::obj(vec![
+                            ("threads", Json::U(*k as u64)),
+                            ("secs", Json::F(*s)),
+                            ("secs_per_round", Json::F(*s / SEARCH_ROUNDS as f64)),
+                            ("ratings", Json::U(r.ratings as u64)),
+                            ("runs", Json::U(r.runs as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("search_identical", Json::Bool(se_identical)),
+        ("search_speedup_default_vs_1", Json::F(se_speedup)),
+    ]);
+    std::fs::File::create(json_path)
+        .and_then(|mut f| f.write_all((doc.pretty() + "\n").as_bytes()))
+        .expect("write search json");
+    println!(
+        "  table1 identical: {t1_identical}, speedup {t1_speedup:.2}x; \
+         search identical: {se_identical}, speedup {se_speedup:.2}x"
+    );
     println!("wrote {json_path}");
 }
 

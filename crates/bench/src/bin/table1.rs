@@ -53,48 +53,46 @@ fn main() {
         .into_iter()
         .filter(|w| only.as_deref().is_none_or(|o| w.name().eq_ignore_ascii_case(o)))
         .collect();
-    // Parallel across benchmarks: each cell is independent. With
-    // `--trace`, each worker buffers its events locally; buffers are
-    // spliced into the trace file in benchmark order after the join so
-    // the trace is deterministic regardless of scheduling.
+    // Parallel across benchmarks on the shared work-stealing pool
+    // (`PEAK_THREADS` overrides the size): each cell is an independent
+    // job, and `Pool::run` returns results in job order, so stdout, JSON,
+    // and trace bytes are identical at any thread count. With `--trace`,
+    // each job buffers its events locally; buffers are spliced into the
+    // trace file in benchmark order after the pool drains.
     let tracing = trace_path.is_some();
-    let mut all_rows: Vec<(usize, Vec<peak_core::ConsistencyRow>, Vec<String>)> =
-        std::thread::scope(|scope| {
+    let pool = peak_core::Pool::from_env();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
             let spec = &spec;
-            let handles: Vec<_> = workloads
-                .iter()
-                .enumerate()
-                .map(|(i, w)| {
-                    scope.spawn(move || {
-                        let (tracer, sink) = if tracing {
-                            let sink = Arc::new(BufferSink::new());
-                            let tracer = Tracer::to_sink(sink.clone()).with_context(vec![
-                                ("benchmark".to_owned(), Json::Str(w.name().to_owned())),
-                                ("machine".to_owned(), Json::Str(spec.kind.name().to_owned())),
-                            ]);
-                            (tracer, Some(sink))
-                        } else {
-                            (Tracer::disabled(), None)
-                        };
-                        let rows = consistency_rows_traced(w.as_ref(), spec, &tracer);
-                        let lines = sink.map(|s| s.drain()).unwrap_or_default();
-                        (i, rows, lines)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        });
-    all_rows.sort_by_key(|(i, _, _)| *i);
+            move || {
+                let (tracer, sink) = if tracing {
+                    let sink = Arc::new(BufferSink::new());
+                    let tracer = Tracer::to_sink(sink.clone()).with_context(vec![
+                        ("benchmark".to_owned(), Json::Str(w.name().to_owned())),
+                        ("machine".to_owned(), Json::Str(spec.kind.name().to_owned())),
+                    ]);
+                    (tracer, Some(sink))
+                } else {
+                    (Tracer::disabled(), None)
+                };
+                let rows = consistency_rows_traced(w.as_ref(), spec, &tracer);
+                let lines = sink.map(|s| s.drain()).unwrap_or_default();
+                (rows, lines)
+            }
+        })
+        .collect();
+    let all_rows: Vec<(Vec<peak_core::ConsistencyRow>, Vec<String>)> = pool.run(jobs);
     if let Some(path) = &trace_path {
         let sink = JsonlSink::create(std::path::Path::new(path)).expect("create trace file");
-        for (_, _, lines) in &all_rows {
+        for (_, lines) in &all_rows {
             sink.append_lines(lines.iter());
         }
         sink.flush();
         eprintln!("trace: wrote {path}");
     }
     let mut flat = Vec::new();
-    for (_, rows, _) in all_rows {
+    for (rows, _) in all_rows {
         for row in rows {
             println!("{}", render_consistency_row(&row));
             flat.push(row);

@@ -76,6 +76,22 @@ pub fn figure7_cell_traced(
     tuned_on: Dataset,
     tracer: Tracer,
 ) -> Figure7Cell {
+    figure7_cell_pooled(name, kind, method, tuned_on, tracer, &peak_core::Pool::with_threads(1))
+}
+
+/// [`figure7_cell_traced`] with a job pool installed for candidate-frontier
+/// pre-compilation. Warm-up is pure, so the cell's report and trace are
+/// byte-identical at any pool size; the pool only moves compile work off
+/// the rating path (and lets an otherwise-idle sibling worker help, via
+/// the pool's shared helper budget).
+pub fn figure7_cell_pooled(
+    name: &str,
+    kind: MachineKind,
+    method: Method,
+    tuned_on: Dataset,
+    tracer: Tracer,
+    pool: &peak_core::Pool,
+) -> Figure7Cell {
     let workload = peak_workloads::workload_by_name(name).expect("known workload");
     let spec = MachineSpec::of(kind);
     let tracer = if tracer.enabled() {
@@ -93,7 +109,8 @@ pub fn figure7_cell_traced(
     } else {
         tracer
     };
-    let report = peak_core::tune_traced(workload.as_ref(), &spec, method, tuned_on, tracer);
+    let report =
+        peak_core::tune_traced_pooled(workload.as_ref(), &spec, method, tuned_on, tracer, pool);
     Figure7Cell { report, tuning_time_vs_whl: None }
 }
 

@@ -12,6 +12,8 @@
 //! * [`context`] — context keys and run-time-constant elimination;
 //! * [`search`] — Iterative Elimination over the 38-flag space (plus
 //!   exhaustive and random search for ablations);
+//! * [`sched`] — deterministic work-stealing job pool behind the
+//!   experiment drivers and the parallel candidate frontier;
 //! * [`tuner`] — offline tuning end-to-end + production measurement
 //!   (Figure 7);
 //! * [`consistency`] — the Table 1 experiment;
@@ -36,6 +38,7 @@ pub mod harness;
 pub mod linreg;
 pub mod mbr;
 pub mod rating;
+pub mod sched;
 pub mod search;
 pub mod stats;
 pub mod ts_select;
@@ -50,6 +53,10 @@ pub use degrade::{DegradeEvent, DegradeTrigger, RatingSupervisor, SupervisorConf
 pub use harness::RunHarness;
 pub use mbr::MbrModel;
 pub use rating::{rate, rate_with, RateOptions, RateOutcome, TuningSetup};
-pub use search::{exhaustive, iterative_elimination, random_search, SearchResult};
-pub use tuner::{production_time, tune, tune_traced, TuneReport, Tuner};
+pub use sched::{default_threads, Pool, PoolStats};
+pub use search::{
+    exhaustive, iterative_elimination, iterative_elimination_parallel,
+    iterative_elimination_parallel_capped, random_search, SearchResult,
+};
+pub use tuner::{production_time, tune, tune_traced, tune_traced_pooled, TuneReport, Tuner};
 pub use version_cache::{CacheStats, VersionCache, VersionKey};

@@ -8,6 +8,7 @@
 
 use crate::consultant::{Consultation, Method};
 use crate::harness::RunHarness;
+use crate::sched::Pool;
 use crate::stats::Window;
 use crate::version_cache::{VersionCache, VersionKey};
 use peak_obs::{event, Tracer};
@@ -20,18 +21,29 @@ use peak_workloads::{Dataset, Workload};
 use std::sync::Arc;
 
 /// Shared tuning state: version cache, run/cycle accounting.
+///
+/// Split for parallel rating: the *immutable* inputs (workload
+/// reference, machine spec, `Arc`'d consultant output, dataset, fault
+/// scenario) are cheap to share across rating jobs, while the *scratch*
+/// (run-seed cursor, cycle/run/invocation accounting, tracer) is
+/// per-job. [`TuningSetup::fork_for_job`] clones the shared part into a
+/// fresh scratch with a caller-chosen seed base, and
+/// [`TuningSetup::absorb_scratch`] folds a finished job's accounting
+/// back in — always in job-index order, so totals are bit-identical at
+/// any thread count.
 pub struct TuningSetup<'w> {
     /// Workload under tuning.
     pub workload: &'w dyn Workload,
     /// Target machine.
     pub spec: MachineSpec,
-    /// Consultant output for this TS.
-    pub consult: Consultation,
+    /// Consultant output for this TS (shared across rating jobs).
+    pub consult: Arc<Consultation>,
     /// Dataset used for tuning runs.
     pub ds: Dataset,
     next_seed: u64,
     fault_config: Option<FaultConfig>,
     tracer: Tracer,
+    pool: Pool,
     /// True cycles consumed by tuning runs so far.
     pub tuning_cycles: u64,
     /// Application runs started so far.
@@ -43,7 +55,19 @@ pub struct TuningSetup<'w> {
 impl<'w> TuningSetup<'w> {
     /// Create a tuning setup (runs the consultant).
     pub fn new(workload: &'w dyn Workload, spec: MachineSpec, ds: Dataset) -> Self {
-        let consult = crate::consultant::consult(workload, &spec);
+        let consult = Arc::new(crate::consultant::consult(workload, &spec));
+        Self::with_consultation(workload, spec, ds, consult)
+    }
+
+    /// Create a tuning setup reusing an existing consultant output
+    /// (parallel rating jobs share one [`Consultation`] instead of
+    /// re-running the §3 analysis per job).
+    pub fn with_consultation(
+        workload: &'w dyn Workload,
+        spec: MachineSpec,
+        ds: Dataset,
+        consult: Arc<Consultation>,
+    ) -> Self {
         TuningSetup {
             workload,
             spec,
@@ -52,10 +76,102 @@ impl<'w> TuningSetup<'w> {
             next_seed: 1,
             fault_config: None,
             tracer: Tracer::disabled(),
+            pool: Pool::with_threads(1),
             tuning_cycles: 0,
             runs_used: 0,
             invocations_used: 0,
         }
+    }
+
+    /// The shared consultant output.
+    pub fn consultation(&self) -> Arc<Consultation> {
+        self.consult.clone()
+    }
+
+    /// Install a job pool. The search layer uses it to pre-compile each
+    /// round's candidate frontier in parallel ([`TuningSetup::warm_frontier`]);
+    /// warm-up is pure (compilation is deterministic and cached), so
+    /// installing a pool never changes a single rated cycle. The default
+    /// single-thread pool makes warm-up a no-op.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
+
+    /// The installed pool (single-threaded unless [`TuningSetup::set_pool`]
+    /// was called).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Clone the shared (immutable) part into a fresh per-job scratch:
+    /// zero accounting and a run-seed cursor starting at `seed_base`.
+    /// The scratch gets a **disabled** tracer — parallel jobs must not
+    /// interleave events into the parent's stream; callers that trace
+    /// per-job give the fork its own buffered tracer via
+    /// [`TuningSetup::set_tracer`] and splice in job order — and a
+    /// single-thread pool (jobs do not re-fan-out).
+    pub fn fork_for_job(&self, seed_base: u64) -> TuningSetup<'w> {
+        TuningSetup {
+            workload: self.workload,
+            spec: self.spec.clone(),
+            consult: self.consult.clone(),
+            ds: self.ds,
+            next_seed: seed_base,
+            fault_config: self.fault_config.clone(),
+            tracer: Tracer::disabled(),
+            pool: Pool::with_threads(1),
+            tuning_cycles: 0,
+            runs_used: 0,
+            invocations_used: 0,
+        }
+    }
+
+    /// Fold a finished job's accounting back into this setup. Call in
+    /// job-index order so totals are reproducible at any thread count
+    /// (addition over `u64`/`usize` is associative, but keeping one
+    /// canonical order keeps the discipline visible and future-proof).
+    pub fn absorb_scratch(&mut self, scratch: &TuningSetup<'_>) {
+        self.tuning_cycles += scratch.tuning_cycles;
+        self.runs_used += scratch.runs_used;
+        self.invocations_used += scratch.invocations_used;
+    }
+
+    /// Pre-compile every configuration in `cfgs` (the next rating call's
+    /// candidate frontier) through the process-wide [`VersionCache`] on
+    /// the installed pool. Concurrent warm-ups of the same key compile
+    /// once (in-flight de-duplication). No-op on a single-thread pool:
+    /// the serial path compiles lazily in the same order anyway.
+    pub fn warm_frontier(&self, cfgs: &[OptConfig], instrumented: bool) {
+        if self.pool.threads() <= 1 || cfgs.is_empty() {
+            return;
+        }
+        if instrumented && self.consult.mbr.is_none() {
+            return;
+        }
+        let requests: Vec<_> = cfgs
+            .iter()
+            .map(|&cfg| {
+                let key = if instrumented {
+                    VersionKey::instrumented(self.workload, cfg, self.spec.kind)
+                } else {
+                    VersionKey::plain(self.workload, cfg, self.spec.kind)
+                };
+                let workload = self.workload;
+                let consult = self.consult.clone();
+                let compile = move || {
+                    let (prog, ts) = if instrumented {
+                        let m =
+                            consult.mbr.as_ref().expect("instrumented version needs MBR model");
+                        (&m.instrumented, m.ts)
+                    } else {
+                        (workload.program(), workload.ts())
+                    };
+                    peak_opt::optimize(prog, ts, &cfg)
+                };
+                (key, compile)
+            })
+            .collect();
+        VersionCache::global().warm(&self.pool, &self.spec, requests);
     }
 
     /// Install (or clear) a fault scenario: every subsequent run gets a

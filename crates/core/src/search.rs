@@ -9,6 +9,7 @@
 
 use crate::consultant::Method;
 use crate::rating::{rate, RateOutcome, TuningSetup};
+use crate::sched::Pool;
 use peak_obs::event;
 use peak_opt::{Flag, OptConfig};
 use peak_util::{Json, ToJson};
@@ -116,6 +117,14 @@ pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> Sea
             break;
         }
         let candidates: Vec<OptConfig> = flags.iter().map(|&f| base.without(f)).collect();
+        // Pre-compile the round's frontier through the shared version
+        // cache on the setup's pool. Compilation is pure and cached, so
+        // this cannot change a single rated cycle — it only moves the
+        // compile work off the rating path (and parallelizes it when a
+        // multi-thread pool is installed).
+        let mut warm = candidates.clone();
+        warm.push(base);
+        setup.warm_frontier(&warm, matches!(method, Method::Mbr));
         let (out, used) = if matches!(method, Method::Whl | Method::Avg) {
             // Baselines rate directly without the consultant fallback.
             (
@@ -128,6 +137,243 @@ pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> Sea
         last_method = used;
         ratings += candidates.len();
         // Remove the flag whose removal helps most.
+        let bestidx = (0..candidates.len())
+            .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
+        let removed = match bestidx {
+            Some(i) if out.improvements[i] >= MIN_GAIN => Some(flags[i].name()),
+            _ => None,
+        };
+        {
+            let tracer = setup.tracer();
+            if tracer.enabled() {
+                event!(
+                    tracer,
+                    "search.round",
+                    round = round as u64,
+                    method = used.name(),
+                    best_improvement = bestidx.map(|i| out.improvements[i]).unwrap_or(1.0),
+                    removed_flag = removed,
+                    switches = switches as u64,
+                );
+            }
+        }
+        match bestidx {
+            Some(i) if removed.is_some() => {
+                base = candidates[i];
+            }
+            _ => break,
+        }
+    }
+    SearchResult {
+        best: base,
+        disabled_flags: base.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
+        method: last_method,
+        switches,
+        ratings,
+        tuning_cycles: setup.tuning_cycles,
+        runs: setup.runs_used,
+        invocations: setup.invocations_used,
+    }
+}
+
+/// Seed base for one (round, method-attempt) frontier; each candidate
+/// job offsets by [`JOB_SEED_STRIDE`]. A rating call starts at most
+/// [`MAX_RUNS_PER_RATING`](crate::rating) ≤ 60 runs (one seed increment
+/// each), so strides of 1024 keep every job's run-seed range disjoint
+/// and — more importantly — *fixed*, independent of scheduling.
+fn frontier_seed_base(round: usize, attempt: usize) -> u64 {
+    1 + ((round as u64 * 8 + attempt as u64) << 16)
+}
+const JOB_SEED_STRIDE: u64 = 1024;
+
+/// Rate a candidate frontier with per-candidate parallel jobs: candidate
+/// `j` is rated in its own forked scratch setup (deterministically
+/// seeded from `seed_base + j·stride`) against a fresh measurement of
+/// the base, and the outcomes are merged in candidate order. Returns
+/// `None` when `method` is structurally inapplicable (mirrors [`rate`]).
+///
+/// This is a *restructured* protocol, not a parallelization of the
+/// serial one: serial rating interleaves all candidates inside shared
+/// application runs (joint window picking, shared machine state), which
+/// is inherently sequential. Decomposing per candidate re-measures the
+/// base in every job (~2× the measurements on small frontiers) but
+/// makes each job independent — so the merged result is bit-identical
+/// at **any** thread count, which the differential tests pin down.
+fn rate_frontier_parallel(
+    setup: &mut TuningSetup<'_>,
+    pool: &Pool,
+    method: Method,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    seed_base: u64,
+) -> Option<RateOutcome> {
+    match method {
+        Method::Cbr if setup.consult.cbr.is_none() => return None,
+        Method::Mbr if setup.consult.mbr.is_none() => return None,
+        _ => {}
+    }
+    struct JobResult {
+        improvement: f64,
+        var: f64,
+        unconverged: usize,
+        samples: usize,
+        trimmed: usize,
+        dropouts: u64,
+        crashes: u64,
+        tuning_cycles: u64,
+        runs_used: usize,
+        invocations_used: u64,
+    }
+    let results: Vec<JobResult> = {
+        let shared: &TuningSetup<'_> = setup;
+        pool.map(candidates.len(), |j| {
+            let mut scratch = shared.fork_for_job(seed_base + j as u64 * JOB_SEED_STRIDE);
+            let out = rate(&mut scratch, method, base, &[candidates[j]])
+                .expect("applicability checked before fan-out");
+            JobResult {
+                improvement: out.improvements[0],
+                var: out.vars[0],
+                unconverged: out.unconverged,
+                samples: out.samples,
+                trimmed: out.trimmed,
+                dropouts: out.dropouts,
+                crashes: out.crashes,
+                tuning_cycles: scratch.tuning_cycles,
+                runs_used: scratch.runs_used,
+                invocations_used: scratch.invocations_used,
+            }
+        })
+    };
+    // Merge in candidate order (the pool already returns index-ordered
+    // results; the fold below keeps the canonical order explicit).
+    let mut merged = RateOutcome {
+        improvements: Vec::with_capacity(candidates.len()),
+        vars: Vec::with_capacity(candidates.len()),
+        unconverged: 0,
+        method,
+        samples: 0,
+        trimmed: 0,
+        dropouts: 0,
+        crashes: 0,
+    };
+    for r in &results {
+        merged.improvements.push(r.improvement);
+        merged.vars.push(r.var);
+        merged.unconverged += r.unconverged;
+        merged.samples += r.samples;
+        merged.trimmed += r.trimmed;
+        merged.dropouts += r.dropouts;
+        merged.crashes += r.crashes;
+        setup.tuning_cycles += r.tuning_cycles;
+        setup.runs_used += r.runs_used;
+        setup.invocations_used += r.invocations_used;
+    }
+    Some(merged)
+}
+
+/// Frontier-level method fallback: the §3 switch decision is made
+/// *jointly* over the merged frontier outcome (same unconverged-fraction
+/// rule as [`rate_with_fallback`]), after all candidate jobs of the
+/// attempt have completed.
+fn rate_frontier_with_fallback(
+    setup: &mut TuningSetup<'_>,
+    pool: &Pool,
+    preferred: Method,
+    base: OptConfig,
+    candidates: &[OptConfig],
+    switches: &mut u32,
+    round: usize,
+) -> (RateOutcome, Method) {
+    let order = setup.consult.order.clone();
+    let mut try_list = vec![preferred];
+    let start = order.iter().position(|&m| m == preferred).map_or(0, |i| i + 1);
+    for &m in &order[start.min(order.len())..] {
+        if !try_list.contains(&m) {
+            try_list.push(m);
+        }
+    }
+    let mut last: Option<RateOutcome> = None;
+    for (attempt, &m) in try_list.iter().enumerate() {
+        let seed = frontier_seed_base(round, attempt);
+        if let Some(out) = rate_frontier_parallel(setup, pool, m, base, candidates, seed) {
+            let frac_bad = out.unconverged as f64 / (candidates.len().max(1) as f64);
+            if frac_bad <= SWITCH_FRACTION {
+                return (out, m);
+            }
+            last = Some(out);
+            *switches += 1;
+        }
+    }
+    let m = *order.last().expect("RBR always applicable");
+    match last {
+        Some(out) => (out, m),
+        None => {
+            let seed = frontier_seed_base(round, try_list.len());
+            let out = rate_frontier_parallel(setup, pool, m, base, candidates, seed)
+                .expect("RBR always rates");
+            (out, m)
+        }
+    }
+}
+
+/// Iterative Elimination with a parallel candidate frontier: each round
+/// pre-compiles the whole frontier through the shared [`VersionCache`]
+/// (in-flight de-duplicated) and rates every candidate concurrently on
+/// `pool`, each candidate in its own deterministically-seeded scratch
+/// [`TuningSetup`]. Results are merged in candidate order, so the
+/// returned [`SearchResult`] — flags, ratings count, tuning cycles, run
+/// and invocation accounting — is **bit-identical at any thread count**
+/// (`Pool::with_threads(1)` is the serial reference).
+///
+/// Note this is a restructured search, not a drop-in replacement for
+/// [`iterative_elimination`]: per-candidate decomposition changes the
+/// measurement protocol (see [`rate_frontier_parallel`]), so its numbers
+/// differ from the serial interleaved protocol's. The Figure 7 / Table 1
+/// pipelines keep the serial protocol; this entry point is for
+/// throughput-bound consumers (`BENCH_search`, future sharded drivers).
+pub fn iterative_elimination_parallel(
+    setup: &mut TuningSetup<'_>,
+    method: Method,
+    pool: &Pool,
+) -> SearchResult {
+    iterative_elimination_parallel_capped(setup, method, pool, MAX_IE_ROUNDS)
+}
+
+/// [`iterative_elimination_parallel`] with an explicit round cap
+/// (`max_rounds ≤` [`MAX_IE_ROUNDS`] is not enforced — benches use small
+/// caps to bound latency measurements).
+pub fn iterative_elimination_parallel_capped(
+    setup: &mut TuningSetup<'_>,
+    method: Method,
+    pool: &Pool,
+    max_rounds: usize,
+) -> SearchResult {
+    setup.set_pool(pool.clone());
+    let mut base = OptConfig::o3();
+    let mut ratings = 0usize;
+    let mut switches = 0u32;
+    let mut last_method = method;
+    for round in 0..max_rounds {
+        let flags: Vec<Flag> = base.enabled_flags();
+        if flags.is_empty() {
+            break;
+        }
+        let candidates: Vec<OptConfig> = flags.iter().map(|&f| base.without(f)).collect();
+        let mut warm = candidates.clone();
+        warm.push(base);
+        setup.warm_frontier(&warm, matches!(method, Method::Mbr));
+        let (out, used) = if matches!(method, Method::Whl | Method::Avg) {
+            let seed = frontier_seed_base(round, 0);
+            (
+                rate_frontier_parallel(setup, pool, method, base, &candidates, seed)
+                    .expect("baseline method rates"),
+                method,
+            )
+        } else {
+            rate_frontier_with_fallback(setup, pool, method, base, &candidates, &mut switches, round)
+        };
+        last_method = used;
+        ratings += candidates.len();
         let bestidx = (0..candidates.len())
             .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
         let removed = match bestidx {

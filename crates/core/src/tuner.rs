@@ -10,6 +10,7 @@ use crate::checkpoint::TunerCheckpoint;
 use crate::consultant::Method;
 use crate::degrade::{DegradeEvent, RatingSupervisor, SupervisorConfig};
 use crate::rating::{rate, TuningSetup};
+use crate::sched::Pool;
 use crate::search::{iterative_elimination, SearchResult};
 use crate::version_cache::VersionCache;
 use peak_obs::{event, Tracer};
@@ -97,8 +98,26 @@ pub fn tune_traced(
     tuned_on: Dataset,
     tracer: Tracer,
 ) -> TuneReport {
+    tune_traced_pooled(workload, spec, method, tuned_on, tracer, &Pool::with_threads(1))
+}
+
+/// [`tune_traced`] with a job pool installed on the tuning setup: each
+/// IE round's candidate frontier is pre-compiled in parallel through the
+/// shared [`VersionCache`]. Warm-up is pure (compilation is
+/// deterministic and cached), so every output — ratings, flags, cycles,
+/// traces — is byte-identical to [`tune_traced`] at any pool size; only
+/// wall-clock time changes.
+pub fn tune_traced_pooled(
+    workload: &dyn Workload,
+    spec: &MachineSpec,
+    method: Method,
+    tuned_on: Dataset,
+    tracer: Tracer,
+    pool: &Pool,
+) -> TuneReport {
     let mut setup = TuningSetup::new(workload, spec.clone(), tuned_on);
     setup.set_tracer(tracer);
+    setup.set_pool(pool.clone());
     let search = iterative_elimination(&mut setup, method);
     let baseline_cycles = production_time(workload, spec, OptConfig::o3(), Dataset::Ref);
     let tuned_cycles = production_time(workload, spec, search.best, Dataset::Ref);
@@ -188,6 +207,13 @@ impl<'w> Tuner<'w> {
     /// through it. The default disabled tracer changes nothing.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.setup.set_tracer(tracer);
+    }
+
+    /// Install a job pool on the underlying [`TuningSetup`]: each round's
+    /// candidate frontier is pre-compiled in parallel before rating.
+    /// Pure warm-up — results and checkpoints stay bit-identical.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.setup.set_pool(pool);
     }
 
     /// Write a checkpoint to `path` after every rating step (and one
@@ -299,6 +325,10 @@ impl<'w> Tuner<'w> {
         };
         let candidates: Vec<OptConfig> =
             flags.iter().map(|&f| self.base.without(f)).collect();
+        // Pre-compile the frontier (pure; see `TuningSetup::warm_frontier`).
+        let mut warm = candidates.clone();
+        warm.push(self.base);
+        self.setup.warm_frontier(&warm, matches!(self.method, Method::Mbr));
         let (out, used) = if matches!(self.method, Method::Whl | Method::Avg) {
             // Baselines rate directly; the cascade has nowhere to go.
             (

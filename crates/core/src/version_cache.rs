@@ -16,21 +16,28 @@
 //! Tuning Initiative build their tuning-time wins on.
 //!
 //! The cache is process-wide ([`VersionCache::global`]) because the
-//! experiment drivers (`table1`, `figure7`) fan benchmarks out across
-//! threads and repeat configurations across cells, rating retries, the
-//! CBR→MBR→RBR→WHL cascade, and checkpoint resume. Compilation happens
-//! outside the map lock; two threads racing on the same key at worst
-//! compile it twice and then share one copy. Entries are never evicted —
-//! the whole 38-flag search space for every Table 1 workload is a few
-//! hundred small IR programs — but [`VersionCache::clear`] exists for
-//! long-lived embedders.
+//! experiment drivers (`table1`, `figure7`) fan benchmarks out across a
+//! shared [`Pool`] and repeat configurations across cells, rating
+//! retries, the CBR→MBR→RBR→WHL cascade, and checkpoint resume.
+//! Compilation happens outside the map lock behind an **in-flight
+//! gate**: the first thread to miss a key installs a building slot and
+//! compiles; concurrent requesters of the same key block on the gate and
+//! share the one artifact, so racing workers never compile the same
+//! config twice (the `compiles` counter is exact). [`VersionCache::warm`]
+//! exposes that as a bulk pre-compilation API: the search layer hands a
+//! round's whole candidate frontier to the pool and rating then runs
+//! against a hot cache. Entries are never evicted — the whole 38-flag
+//! search space for every Table 1 workload is a few hundred small IR
+//! programs — but [`VersionCache::clear`] exists for long-lived
+//! embedders.
 
+use crate::sched::Pool;
 use peak_opt::{CompiledVersion, OptConfig};
 use peak_sim::{MachineKind, MachineSpec, PreparedVersion};
 use peak_workloads::Workload;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Identity of one compiled + prepared version.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -68,14 +75,22 @@ impl VersionKey {
     }
 }
 
-/// Hit/miss counters of a cache (monotonic; snapshot with
+/// Counter snapshot of a cache (monotonic; taken with
 /// [`VersionCache::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
-    /// Lookups that compiled and prepared a fresh version.
+    /// Lookups that did not find a ready version (each triggers or waits
+    /// for exactly one compile).
     pub misses: u64,
+    /// Compile+prepare executions actually performed. With the in-flight
+    /// gate this counts *unique work*: `misses - compiles` lookups were
+    /// coalesced onto a concurrent compile of the same key.
+    pub compiles: u64,
+    /// Missing lookups that blocked on another thread's in-flight
+    /// compile instead of compiling themselves.
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -94,16 +109,66 @@ impl CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            compiles: self.compiles.saturating_sub(earlier.compiles),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
         }
     }
 }
 
-/// A compile/prepare cache: `VersionKey` → `Arc<PreparedVersion>`.
-#[derive(Debug, Default)]
+/// In-flight gate: the slot a missing key holds while its first
+/// requester compiles. Waiters block on the condvar; on panic the
+/// builder marks the gate failed and waiters retry the full lookup.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+enum GateState {
+    Pending,
+    Ready(Arc<PreparedVersion>),
+    Failed,
+}
+
+enum Slot {
+    Ready(Arc<PreparedVersion>),
+    Building(Arc<Gate>),
+}
+
+/// Removes the building slot and fails the gate if the compile panics,
+/// so waiters retry instead of hanging.
+struct BuildGuard<'a> {
+    cache: &'a VersionCache,
+    key: VersionKey,
+    gate: Arc<Gate>,
+    done: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        self.cache.map.lock().expect("version cache lock").remove(&self.key);
+        *self.gate.state.lock().expect("gate lock") = GateState::Failed;
+        self.gate.cv.notify_all();
+    }
+}
+
+/// A compile/prepare cache: `VersionKey` → `Arc<PreparedVersion>`, with
+/// in-flight de-duplication of concurrent compiles.
+#[derive(Default)]
 pub struct VersionCache {
-    map: Mutex<HashMap<VersionKey, Arc<PreparedVersion>>>,
+    map: Mutex<HashMap<VersionKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    compiles: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl std::fmt::Debug for VersionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionCache").field("stats", &self.stats()).finish()
+    }
 }
 
 impl VersionCache {
@@ -122,6 +187,10 @@ impl VersionCache {
     /// Return the prepared version for `key`, compiling it with `compile`
     /// and [`PreparedVersion::prepare`] on first use. `spec.kind` must
     /// match `key.machine` — the prepared artifact is machine-specific.
+    ///
+    /// Concurrent calls with the same key compile **once**: the first
+    /// requester compiles outside the map lock while later ones wait on
+    /// the in-flight gate and share the artifact.
     pub fn get_or_prepare(
         &self,
         key: VersionKey,
@@ -129,20 +198,70 @@ impl VersionCache {
         compile: impl FnOnce() -> CompiledVersion,
     ) -> Arc<PreparedVersion> {
         debug_assert_eq!(spec.kind, key.machine, "key/spec machine mismatch");
-        if let Some(v) = self.map.lock().expect("version cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
+        let mut compile = Some(compile);
+        loop {
+            let found: Option<Result<Arc<PreparedVersion>, Arc<Gate>>> = {
+                let mut map = self.map.lock().expect("version cache lock");
+                let probe = match map.get(&key) {
+                    Some(Slot::Ready(v)) => Some(Ok(v.clone())),
+                    Some(Slot::Building(gate)) => Some(Err(gate.clone())),
+                    None => None,
+                };
+                if probe.is_none() {
+                    let gate = Arc::new(Gate {
+                        state: Mutex::new(GateState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key.clone(), Slot::Building(gate.clone()));
+                    drop(map);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return self.build(key, spec, gate, compile.take().expect("compile fn"));
+                }
+                probe
+            };
+            let gate = match found.expect("probe populated") {
+                Ok(v) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return v;
+                }
+                Err(gate) => gate,
+            };
+            // Someone else is compiling this key: wait on the gate.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut state = gate.state.lock().expect("gate lock");
+            loop {
+                match &*state {
+                    GateState::Ready(v) => return v.clone(),
+                    GateState::Failed => break, // builder died: retry the lookup
+                    GateState::Pending => {
+                        state = gate.cv.wait(state).expect("gate wait");
+                    }
+                }
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Compile outside the lock: compilation dominates, and a racing
-        // duplicate compile of the same deterministic inputs is harmless.
+    }
+
+    fn build(
+        &self,
+        key: VersionKey,
+        spec: &MachineSpec,
+        gate: Arc<Gate>,
+        compile: impl FnOnce() -> CompiledVersion,
+    ) -> Arc<PreparedVersion> {
+        let mut guard = BuildGuard { cache: self, key, gate, done: false };
+        // Compile outside the map lock: compilation dominates, and the
+        // building slot keeps racing requesters parked on the gate.
+        self.compiles.fetch_add(1, Ordering::Relaxed);
         let pv = Arc::new(PreparedVersion::prepare(compile(), spec));
         self.map
             .lock()
             .expect("version cache lock")
-            .entry(key)
-            .or_insert(pv)
-            .clone()
+            .insert(guard.key.clone(), Slot::Ready(pv.clone()));
+        *guard.gate.state.lock().expect("gate lock") = GateState::Ready(pv.clone());
+        guard.gate.cv.notify_all();
+        guard.done = true;
+        pv
     }
 
     /// Shorthand: compile (or fetch) the plain TS of `workload` under
@@ -158,7 +277,26 @@ impl VersionCache {
         })
     }
 
-    /// Cached versions currently held.
+    /// Bulk pre-compilation: push every `(key, compile)` request through
+    /// the cache on `pool`, in parallel. Purely a warm-up — results land
+    /// in the cache (shared, deduplicated in flight) and later
+    /// [`VersionCache::get_or_prepare`] calls hit. Safe to call with
+    /// keys that are already cached (they count as hits and cost one map
+    /// probe).
+    pub fn warm<F>(&self, pool: &Pool, spec: &MachineSpec, requests: Vec<(VersionKey, F)>)
+    where
+        F: FnOnce() -> CompiledVersion + Send,
+    {
+        let slots: Vec<Mutex<Option<(VersionKey, F)>>> =
+            requests.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        pool.map(slots.len(), |i| {
+            let (key, compile) =
+                slots[i].lock().expect("warm slot").take().expect("warm request taken once");
+            let _ = self.get_or_prepare(key, spec, compile);
+        });
+    }
+
+    /// Cached versions currently held (ready or in flight).
     pub fn len(&self) -> usize {
         self.map.lock().expect("version cache lock").len()
     }
@@ -168,15 +306,18 @@ impl VersionCache {
         self.len() == 0
     }
 
-    /// Snapshot the hit/miss counters.
+    /// Snapshot the hit/miss/compile counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
-    /// Drop every cached version (counters keep running).
+    /// Drop every cached version (counters keep running). In-flight
+    /// builds complete against their gates and re-insert themselves.
     pub fn clear(&self) {
         self.map.lock().expect("version cache lock").clear();
     }
@@ -197,6 +338,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same key shares one artifact");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.compiles, s.coalesced), (1, 0));
         assert_eq!(cache.len(), 1);
     }
 
@@ -211,6 +353,7 @@ mod tests {
         let _ = cache.prepare_workload(&w, &sparc, OptConfig::o0());
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().compiles, 3);
         assert_ne!(
             VersionKey::plain(&w, OptConfig::o3(), MachineKind::SparcII),
             VersionKey::instrumented(&w, OptConfig::o3(), MachineKind::SparcII),
@@ -232,5 +375,103 @@ mod tests {
         assert_eq!(cached.slot_base, fresh.slot_base);
         assert_eq!(cached.live_across_calls, fresh.live_across_calls);
         assert_eq!(cached.over_icache, fresh.over_icache);
+    }
+
+    /// Satellite of the scheduler work: under real thread contention,
+    /// every unique key compiles exactly once — racing requesters either
+    /// hit a ready slot or coalesce onto the in-flight build.
+    #[test]
+    fn contended_lookups_compile_each_key_once() {
+        const THREADS: usize = 8;
+        let cache = Arc::new(VersionCache::new());
+        let w = Arc::new(SwimCalc3::new());
+        let spec = MachineSpec::sparc_ii();
+        let cfgs =
+            [OptConfig::o3(), OptConfig::o0(), OptConfig::o3().without(peak_opt::Flag::LoopUnroll)];
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            let w = w.clone();
+            let spec = spec.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                // Different starting offsets per thread maximize overlap
+                // on distinct keys at the same instant.
+                for i in 0..cfgs.len() {
+                    let cfg = cfgs[(t + i) % cfgs.len()];
+                    let _ = cache.prepare_workload(w.as_ref(), &spec, cfg);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("lookup thread");
+        }
+        let s = cache.stats();
+        assert_eq!(s.compiles, cfgs.len() as u64, "each unique key compiles exactly once: {s:?}");
+        assert_eq!(
+            s.hits + s.misses,
+            (THREADS * cfgs.len()) as u64,
+            "every lookup accounted: {s:?}"
+        );
+        assert_eq!(
+            s.misses,
+            s.compiles + s.coalesced,
+            "misses split exactly into builders and coalesced waiters: {s:?}"
+        );
+        assert_eq!(cache.len(), cfgs.len());
+    }
+
+    /// The bulk warm-up API dedupes duplicate keys in the request list
+    /// itself and leaves the cache hot for subsequent lookups.
+    #[test]
+    fn warm_bulk_precompile_dedupes_and_hits_after() {
+        let cache = VersionCache::new();
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let pool = Pool::with_threads(4);
+        // Frontier with a duplicate: o3 appears twice.
+        let cfgs = [OptConfig::o3(), OptConfig::o0(), OptConfig::o3()];
+        let requests: Vec<_> = cfgs
+            .iter()
+            .map(|&cfg| {
+                let key = VersionKey::plain(&w, cfg, spec.kind);
+                let (prog, ts) = (w.program(), w.ts());
+                (key, move || peak_opt::optimize(prog, ts, &cfg))
+            })
+            .collect();
+        cache.warm(&pool, &spec, requests);
+        let s = cache.stats();
+        assert_eq!(s.compiles, 2, "duplicate key compiles once: {s:?}");
+        assert_eq!(cache.len(), 2);
+        let before = cache.stats();
+        let _ = cache.prepare_workload(&w, &spec, OptConfig::o3());
+        let _ = cache.prepare_workload(&w, &spec, OptConfig::o0());
+        let d = cache.stats().delta(&before);
+        assert_eq!((d.hits, d.misses), (2, 0), "warmed keys hit: {d:?}");
+    }
+
+    #[test]
+    fn failed_build_unblocks_waiters_and_retries() {
+        let cache = Arc::new(VersionCache::new());
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        let key = VersionKey::plain(&w, OptConfig::o3(), spec.kind);
+        // First builder panics mid-compile…
+        let c2 = cache.clone();
+        let k2 = key.clone();
+        let s2 = spec.clone();
+        let panicked = std::thread::spawn(move || {
+            let _ = c2.get_or_prepare(k2, &s2, || panic!("injected compile failure"));
+        })
+        .join();
+        assert!(panicked.is_err(), "builder thread must have panicked");
+        // …and the key is usable again: the next lookup compiles fresh.
+        let v = cache.get_or_prepare(key, &spec, || {
+            peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3())
+        });
+        assert_eq!(cache.len(), 1);
+        assert!(v.version.code_size > 0);
     }
 }

@@ -102,8 +102,15 @@ pub fn run(f: &mut Function, prog: &Program, strict_aliasing: bool) -> bool {
                 }
             }
         }
-        let mut ordered: Vec<&Cand> = cands.values().filter(|c| c.count >= 2).collect();
-        ordered.sort_by_key(|c| std::cmp::Reverse(c.count));
+        // Deterministic order: the map's iteration order is seeded per
+        // process, and count ties would otherwise promote (and number
+        // temporaries) in that random order — the source of the old
+        // ART×Pentium-IV run-to-run cycle wobble. Tie-break on the
+        // address signature for a total, process-independent order.
+        let mut ordered: Vec<(&String, &Cand)> =
+            cands.iter().filter(|(_, c)| c.count >= 2).collect();
+        ordered.sort_by_key(|(sig, c)| (std::cmp::Reverse(c.count), sig.as_str()));
+        let ordered: Vec<&Cand> = ordered.into_iter().map(|(_, c)| c).collect();
         let passing: Vec<(MemRef, bool)> = ordered
             .iter()
             .filter(|c| {
