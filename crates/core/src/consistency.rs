@@ -203,7 +203,7 @@ fn mbr_row(
     let pv = VersionCache::global().get_or_prepare(
         VersionKey::instrumented(workload, OptConfig::o3(), spec.kind),
         spec,
-        || peak_opt::optimize(&model.instrumented, model.ts, &OptConfig::o3()),
+        || crate::compile::compile_validated(&model.instrumented, model.ts, &OptConfig::o3()),
     );
     let opts = ExecOptions { record_writes: false, num_counters: model.num_counters };
     let mut times: Vec<f64> = Vec::new();

@@ -225,7 +225,7 @@ fn profile_mbr_quality(
     let pv = VersionCache::global().get_or_prepare(
         VersionKey::instrumented(workload, cfg, spec.kind),
         spec,
-        || peak_opt::optimize(&model.instrumented, model.ts, &cfg),
+        || crate::compile::compile_validated(&model.instrumented, model.ts, &cfg),
     );
     let mut h = RunHarness::new(workload, Dataset::Train, spec, 0xbeef);
     let opts = peak_sim::ExecOptions { record_writes: false, num_counters: model.num_counters };

@@ -30,6 +30,7 @@
 
 pub mod adaptive;
 pub mod checkpoint;
+pub mod compile;
 pub mod consistency;
 pub mod consultant;
 pub mod context;
@@ -47,6 +48,10 @@ pub mod version_cache;
 
 pub use adaptive::{AdaptiveOutcome, AdaptiveTuner};
 pub use checkpoint::TunerCheckpoint;
+pub use compile::{
+    compile_validated, incident_count, incidents, record_incident, set_validation_level,
+    take_incidents, validation_level, ValidationIncident,
+};
 pub use consistency::{consistency_rows, consistency_rows_traced, ConsistencyRow, WINDOW_SIZES};
 pub use consultant::{consult, Consultation, Method};
 pub use degrade::{DegradeEvent, DegradeTrigger, RatingSupervisor, SupervisorConfig};

@@ -166,7 +166,7 @@ impl<'w> TuningSetup<'w> {
                     } else {
                         (workload.program(), workload.ts())
                     };
-                    peak_opt::optimize(prog, ts, &cfg)
+                    crate::compile::compile_validated(prog, ts, &cfg)
                 };
                 (key, compile)
             })
@@ -235,7 +235,7 @@ impl<'w> TuningSetup<'w> {
             } else {
                 (self.workload.program(), self.workload.ts())
             };
-            peak_opt::optimize(prog, ts, &cfg)
+            crate::compile::compile_validated(prog, ts, &cfg)
         })
     }
 

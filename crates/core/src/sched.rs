@@ -393,10 +393,78 @@ mod tests {
         }
     }
 
+    /// Serializes tests that mutate `PEAK_THREADS`: the environment is
+    /// process-global and the test harness runs tests in parallel.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn env_parsing_defaults() {
-        // Not touching the real env (tests run in parallel); just the
-        // available-parallelism fallback path must be ≥ 1.
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var(THREADS_ENV);
+        // The available-parallelism fallback path must be ≥ 1.
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_single_thread_and_invalid_values() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var(THREADS_ENV, "1");
+        assert_eq!(default_threads(), 1);
+        let pool = Pool::from_env();
+        assert_eq!(pool.threads(), 1);
+        // PEAK_THREADS=1 is the exact serial reference: inline, ordered.
+        let order = Mutex::new(Vec::new());
+        let _ = pool.map(5, |i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool.stats().inline_jobs, 5);
+
+        std::env::set_var(THREADS_ENV, "7");
+        assert_eq!(default_threads(), 7);
+        // Invalid values fall back to available parallelism (≥ 1).
+        for bad in ["0", "-3", "lots", ""] {
+            std::env::set_var(THREADS_ENV, bad);
+            assert!(default_threads() >= 1, "{bad:?}");
+        }
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn empty_job_lists_complete_and_return_empty() {
+        for threads in [1, 2, 64] {
+            let pool = Pool::with_threads(threads);
+            let out: Vec<usize> = pool.map(0, |i| i);
+            assert!(out.is_empty(), "threads={threads}");
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = Vec::new();
+            let out = pool.run(jobs);
+            assert!(out.is_empty(), "threads={threads}");
+            let s = pool.stats();
+            assert_eq!(s.jobs, 0, "threads={threads}");
+            assert_eq!(s.batches, 2, "threads={threads}");
+            // An empty batch must not leak budget tokens: a later real
+            // batch still completes.
+            assert_eq!(pool.map(3, |i| i), vec![0, 1, 2], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_matches_serial_bit_for_bit() {
+        // Far more threads than jobs (and than cores): results must be
+        // byte-identical to the serial pool, including order-sensitive
+        // float accumulation.
+        let work = |i: usize| -> u64 {
+            let mut acc = 0.1_f64;
+            for k in 0..=i {
+                acc = acc * 1.5 + (k as f64) * 0.3;
+            }
+            acc.to_bits()
+        };
+        let golden: Vec<u64> = Pool::with_threads(1).map(5, work);
+        for threads in [48, 64, 128] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(pool.map(5, work), golden, "threads={threads}");
+            // Also with a single job, and repeated batches on one pool.
+            assert_eq!(pool.map(1, work), golden[..1], "threads={threads}");
+            assert_eq!(pool.map(5, work), golden, "threads={threads}");
+        }
     }
 }

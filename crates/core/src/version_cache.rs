@@ -273,7 +273,7 @@ impl VersionCache {
         cfg: OptConfig,
     ) -> Arc<PreparedVersion> {
         self.get_or_prepare(VersionKey::plain(workload, cfg, spec.kind), spec, || {
-            peak_opt::optimize(workload.program(), workload.ts(), &cfg)
+            crate::compile::compile_validated(workload.program(), workload.ts(), &cfg)
         })
     }
 

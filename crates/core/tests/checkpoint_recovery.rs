@@ -1,0 +1,136 @@
+//! Checkpoint error paths: a damaged, truncated, or foreign checkpoint
+//! file must surface as a structured `io::Error` — never a panic — and
+//! the tuner must be able to start fresh (and overwrite the bad file)
+//! after any failed resume.
+
+use peak_core::{Method, Tuner, TunerCheckpoint};
+use peak_sim::MachineSpec;
+use peak_workloads::swim::SwimCalc3;
+use peak_workloads::Dataset;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("peak-checkpoint-recovery-{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A checkpoint as an uninterrupted tuner would write it.
+fn valid_checkpoint_text() -> String {
+    let w = SwimCalc3::new();
+    let dir = scratch_dir("valid");
+    let path = dir.join("cp.json");
+    let mut t = Tuner::new(&w, MachineSpec::sparc_ii(), Method::Cbr, Dataset::Train);
+    t.checkpoint_to(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    text
+}
+
+#[test]
+fn load_missing_file_is_not_found() {
+    let path = scratch_dir("missing").join("does-not-exist.json");
+    let err = TunerCheckpoint::load(&path).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::NotFound);
+}
+
+#[test]
+fn load_empty_file_is_invalid_data() {
+    let path = scratch_dir("empty").join("cp.json");
+    std::fs::write(&path, "").unwrap();
+    let err = TunerCheckpoint::load(&path).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_truncated_checkpoint_is_invalid_data() {
+    let text = valid_checkpoint_text();
+    let path = scratch_dir("truncated").join("cp.json");
+    // Cut the file at several points; every prefix must fail with
+    // InvalidData (or parse to the full document, which a strict prefix
+    // of a valid JSON object never does).
+    for frac in [1, 2, 3, 9] {
+        let cut = text.len() * frac / 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let err = TunerCheckpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "cut at {cut}: {err}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_binary_garbage_is_invalid_data() {
+    let path = scratch_dir("garbage").join("cp.json");
+    std::fs::write(&path, [0xFFu8, 0x00, 0x9A, 0x42, 0x7B, 0x22]).unwrap();
+    let err = TunerCheckpoint::load(&path).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_wrong_json_shape_is_invalid_data() {
+    let path = scratch_dir("shape").join("cp.json");
+    // Valid JSON, but not a tuner checkpoint.
+    std::fs::write(&path, r#"{"benchmark": "SWIM", "round": "three"}"#).unwrap();
+    let err = TunerCheckpoint::load(&path).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+    assert!(err.to_string().contains("not a tuner checkpoint"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_from_corrupt_file_fails_then_fresh_start_overwrites() {
+    let w = SwimCalc3::new();
+    let spec = MachineSpec::sparc_ii();
+    let path = scratch_dir("restart").join("cp.json");
+    std::fs::write(&path, "{ this is not json").unwrap();
+
+    // Resume must fail with a structured error, not panic.
+    let err = match Tuner::resume(&w, spec.clone(), &path) {
+        Ok(_) => panic!("resume from corrupt file succeeded"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+
+    // The documented recovery: start fresh and checkpoint over the bad
+    // file. The overwrite is atomic (tmp + rename), after which resume
+    // works again.
+    let mut fresh = Tuner::new(&w, spec.clone(), Method::Cbr, Dataset::Train);
+    fresh.checkpoint_to(&path).unwrap();
+    let resumed = Tuner::resume(&w, spec, &path);
+    assert!(resumed.is_ok(), "{:?}", resumed.err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_unknown_dataset() {
+    let w = SwimCalc3::new();
+    let spec = MachineSpec::sparc_ii();
+    let path = scratch_dir("dataset").join("cp.json");
+    let text = valid_checkpoint_text().replace("\"train\"", "\"lunar\"");
+    std::fs::write(&path, text).unwrap();
+    let err = match Tuner::resume(&w, spec, &path) {
+        Ok(_) => panic!("resume with unknown dataset succeeded"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+    assert!(err.to_string().contains("dataset"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_wrong_machine() {
+    let w = SwimCalc3::new();
+    let path = scratch_dir("machine").join("cp.json");
+    let mut t = Tuner::new(&w, MachineSpec::sparc_ii(), Method::Cbr, Dataset::Train);
+    t.checkpoint_to(&path).unwrap();
+    let err = match Tuner::resume(&w, MachineSpec::pentium_iv(), &path) {
+        Ok(_) => panic!("resume with wrong machine succeeded"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+    assert!(err.to_string().contains("machine"), "{err}");
+    std::fs::remove_file(&path).ok();
+}

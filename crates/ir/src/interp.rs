@@ -8,7 +8,51 @@
 
 use crate::program::{MemoryImage, Program};
 use crate::stmt::{MemBase, MemRef, Rvalue, Stmt, Terminator};
-use crate::types::{BinOp, FuncId, Operand, PtrVal, UnOp, Value};
+use crate::types::{BinOp, FuncId, MemId, Operand, PtrVal, UnOp, Value};
+
+/// Observation trace captured during one interpreted call: the ordered
+/// externally-visible events (memory stores and function calls) that the
+/// translation-validation oracle compares across optimization passes.
+///
+/// Capture is bounded by `limit` per event stream; once exceeded the
+/// stream stops growing and `truncated` is set, so comparisons fall back
+/// to final-state-only checks instead of unbounded memory use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsTrace {
+    /// Ordered `(region, element index, value)` store events.
+    pub stores: Vec<(MemId, i64, Value)>,
+    /// Ordered `(callee, argument values)` call events.
+    pub calls: Vec<(FuncId, Vec<Value>)>,
+    /// Per-stream event cap.
+    pub limit: usize,
+    /// Set when either stream hit `limit` and stopped recording.
+    pub truncated: bool,
+}
+
+impl ObsTrace {
+    /// Empty trace with the given per-stream event cap.
+    pub fn new(limit: usize) -> Self {
+        ObsTrace { stores: Vec::new(), calls: Vec::new(), limit, truncated: false }
+    }
+
+    #[inline]
+    fn record_store(&mut self, mem: MemId, idx: i64, val: Value) {
+        if self.stores.len() < self.limit {
+            self.stores.push((mem, idx, val));
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    #[inline]
+    fn record_call(&mut self, func: FuncId, args: &[Value]) {
+        if self.calls.len() < self.limit {
+            self.calls.push((func, args.to_vec()));
+        } else {
+            self.truncated = true;
+        }
+    }
+}
 
 /// Why execution stopped abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +135,31 @@ impl Interp {
         args: &[Value],
         mem: &mut MemoryImage,
     ) -> Result<ExecOutcome, ExecError> {
+        self.run_traced(prog, func, args, mem, None)
+    }
+
+    /// [`Interp::run`] with an [`ObsTrace`] attached: every store and call
+    /// executed (across callees) is recorded in order. The trace is also
+    /// filled on error, up to the point of the trap.
+    pub fn run_observed(
+        &self,
+        prog: &Program,
+        func: FuncId,
+        args: &[Value],
+        mem: &mut MemoryImage,
+        trace: &mut ObsTrace,
+    ) -> Result<ExecOutcome, ExecError> {
+        self.run_traced(prog, func, args, mem, Some(trace))
+    }
+
+    fn run_traced(
+        &self,
+        prog: &Program,
+        func: FuncId,
+        args: &[Value],
+        mem: &mut MemoryImage,
+        obs: Option<&mut ObsTrace>,
+    ) -> Result<ExecOutcome, ExecError> {
         let mut steps = 0u64;
         let mut counters = vec![0u64; self.num_counters];
         let mut block_entries = vec![0u64; prog.func(func).num_blocks()];
@@ -102,6 +171,7 @@ impl Interp {
             &mut steps,
             &mut counters,
             Some(&mut block_entries),
+            obs,
             0,
         )?;
         Ok(ExecOutcome { ret, steps, block_entries, counters })
@@ -117,6 +187,7 @@ impl Interp {
         steps: &mut u64,
         counters: &mut Vec<u64>,
         mut top_entries: Option<&mut Vec<u64>>,
+        mut obs: Option<&mut ObsTrace>,
         depth: usize,
     ) -> Result<Option<Value>, ExecError> {
         if depth > self.recursion_limit {
@@ -142,19 +213,35 @@ impl Interp {
                 match s {
                     Stmt::Assign { dst, rv } => {
                         let v = self.eval_rvalue(
-                            prog, rv, &frame, mem, steps, counters, depth,
+                            prog, rv, &frame, mem, steps, counters, obs.as_deref_mut(), depth,
                         )?;
                         frame.regs[dst.index()] = v;
                     }
                     Stmt::Store { dst, src } => {
                         let (m, idx) = self.resolve(prog, dst, &frame, mem)?;
                         let v = self.operand(src, &frame);
+                        if let Some(t) = obs.as_deref_mut() {
+                            t.record_store(m, idx, v);
+                        }
                         mem.store(m, idx, v);
                     }
                     Stmt::CallVoid { func: callee, args } => {
                         let vals: Vec<Value> =
                             args.iter().map(|a| self.operand(a, &frame)).collect();
-                        self.call(prog, *callee, &vals, mem, steps, counters, None, depth + 1)?;
+                        if let Some(t) = obs.as_deref_mut() {
+                            t.record_call(*callee, &vals);
+                        }
+                        self.call(
+                            prog,
+                            *callee,
+                            &vals,
+                            mem,
+                            steps,
+                            counters,
+                            None,
+                            obs.as_deref_mut(),
+                            depth + 1,
+                        )?;
                     }
                     Stmt::Prefetch { .. } => {
                         // Semantically a no-op; only the simulator models it.
@@ -224,6 +311,7 @@ impl Interp {
         mem: &mut MemoryImage,
         steps: &mut u64,
         counters: &mut Vec<u64>,
+        mut obs: Option<&mut ObsTrace>,
         depth: usize,
     ) -> Result<Value, ExecError> {
         Ok(match rv {
@@ -249,7 +337,10 @@ impl Interp {
             }
             Rvalue::Call { func, args } => {
                 let vals: Vec<Value> = args.iter().map(|a| self.operand(a, frame)).collect();
-                self.call(prog, *func, &vals, mem, steps, counters, None, depth + 1)?
+                if let Some(t) = obs.as_deref_mut() {
+                    t.record_call(*func, &vals);
+                }
+                self.call(prog, *func, &vals, mem, steps, counters, None, obs, depth + 1)?
                     .expect("value call of void function")
             }
         })

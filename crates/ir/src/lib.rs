@@ -14,7 +14,11 @@
 //!   dataflow machinery,
 //! * [`interp`] — a reference interpreter defining IR semantics (the
 //!   oracle against which `peak-opt` passes are property-tested),
-//! * [`validate`] — structural/type well-formedness checking.
+//! * [`validate`] — structural/type well-formedness checking,
+//! * [`verify`] — the translation-validation layer: stage-to-stage
+//!   structural invariants (CFG/terminator consistency, loop-header
+//!   invariants, definite initialization) and the observation model the
+//!   per-pass semantic oracle in `peak-opt` compares.
 //!
 //! The optimizing compiler lives in `peak-opt`; the cycle-cost machine
 //! simulator in `peak-sim`; the tuning system itself in `peak-core`.
@@ -38,13 +42,14 @@ pub mod stmt;
 pub mod trip_count;
 pub mod types;
 pub mod validate;
+pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use cfg::{Cfg, Dominators};
 pub use context_vars::{context_set, ContextAnalysis, ContextSource};
 pub use func::{Block, Function, VarInfo};
 pub use instrument::{instrument_block_counts, strip_counters, CountSource, CounterPlan};
-pub use interp::{ExecError, ExecOutcome, Interp};
+pub use interp::{ExecError, ExecOutcome, Interp, ObsTrace};
 pub use liveness::{mem_effects, Liveness, MemEffects};
 pub use loops::{Loop, LoopForest};
 pub use parse::{parse_program, ParseError};
@@ -57,3 +62,7 @@ pub use types::{
     BinOp, BlockId, CounterId, FuncId, MemId, Operand, PtrVal, Type, UnOp, Value, VarId,
 };
 pub use validate::{validate_function, validate_program, ValidateError};
+pub use verify::{
+    compare_observations, observe, values_eq, verify_function, verify_program, ObsLevel,
+    Observation, VerifyError, VerifyOptions, DEFAULT_TRACE_LIMIT,
+};

@@ -10,6 +10,9 @@
 //!   [`CompiledVersion`],
 //! * [`regalloc`] — register-pressure/spill analysis parameterized by the
 //!   target machine's register file (consumed by `peak-sim`),
+//! * [`validate`] — translation validation: per-pass structural
+//!   verification and the semantic oracle behind
+//!   [`optimize_checked`](pipeline::optimize_checked),
 //! * [`util`] — shared pass machinery.
 
 #![warn(missing_docs)]
@@ -19,7 +22,12 @@ pub mod passes;
 pub mod pipeline;
 pub mod regalloc;
 pub mod util;
+pub mod validate;
 
 pub use config::{Flag, OptConfig, ALL_FLAGS, NUM_FLAGS};
-pub use pipeline::{optimize, CompiledVersion};
+pub use pipeline::{optimize, optimize_checked, CompiledVersion};
 pub use regalloc::{allocate, RegBudget, SpillInfo};
+pub use validate::{
+    default_level, FailureKind, PassId, ValidationFailure, ValidationLevel, Validator,
+    VALIDATE_ENV,
+};

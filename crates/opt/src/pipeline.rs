@@ -1,9 +1,17 @@
 //! The optimization pipeline: runs the passes enabled by an [`OptConfig`]
 //! in a GCC-3.3-like order and produces a [`CompiledVersion`].
+//!
+//! Every pass invocation reports to a [`Validator`]; [`optimize`] runs
+//! with validation off (the release rating path), while
+//! [`optimize_checked`] verifies structural invariants — and, at
+//! [`ValidationLevel::Full`], semantic equivalence on the reference
+//! interpreter — after each pass, blaming the exact invocation that broke
+//! the program.
 
 use crate::config::{Flag, OptConfig};
 use crate::passes;
 use crate::util::reachable_size;
+use crate::validate::{PassId, ValidationFailure, ValidationLevel, Validator};
 use peak_ir::{FuncId, Program};
 
 /// One compiled version of a tuning section: the transformed program, the
@@ -30,12 +38,35 @@ const FIXPOINT_LIMIT: usize = 12;
 /// compiled separately, like the paper's per-TS compilation).
 pub fn optimize(prog: &Program, func: FuncId, config: &OptConfig) -> CompiledVersion {
     let mut p = prog.clone();
-    run_pipeline(&mut p, func, config);
+    let mut v = Validator::off(func, config);
+    run_pipeline(&mut p, func, config, &mut v)
+        .expect("validation is off; the pipeline cannot fail");
     debug_assert_eq!(
         peak_ir::validate_program(&p).map_err(|e| e.to_string()),
         Ok(()),
         "pipeline produced invalid IR under {config}"
     );
+    finish(p, func, config)
+}
+
+/// [`optimize`] with translation validation at `level`: after every pass
+/// that changed the IR, structural invariants are re-verified and (at
+/// [`ValidationLevel::Full`]) the semantic oracle compares pre- and
+/// post-pass observations. On failure the partially-optimized program is
+/// discarded and the offending pass reported.
+pub fn optimize_checked(
+    prog: &Program,
+    func: FuncId,
+    config: &OptConfig,
+    level: ValidationLevel,
+) -> Result<CompiledVersion, ValidationFailure> {
+    let mut p = prog.clone();
+    let mut v = Validator::new(&p, func, config, level)?;
+    run_pipeline(&mut p, func, config, &mut v)?;
+    Ok(finish(p, func, config))
+}
+
+fn finish(p: Program, func: FuncId, config: &OptConfig) -> CompiledVersion {
     let mut code_size = reachable_size(p.func(func));
     // Alignment padding: aligned blocks cost a few padding slots.
     let aligned = p
@@ -47,85 +78,125 @@ pub fn optimize(prog: &Program, func: FuncId, config: &OptConfig) -> CompiledVer
     CompiledVersion { program: p, func, config: *config, code_size }
 }
 
-fn scalar_cleanup_round(p: &mut Program, func: FuncId, config: &OptConfig) -> bool {
+fn scalar_cleanup_round(
+    p: &mut Program,
+    func: FuncId,
+    config: &OptConfig,
+    v: &mut Validator,
+) -> Result<bool, ValidationFailure> {
     let mut changed = false;
     let strict = config.enabled(Flag::StrictAliasing);
     if config.enabled(Flag::ConstantFolding) {
-        changed |= passes::fold::run(p.func_mut(func));
+        let ch = passes::fold::run(p.func_mut(func));
+        v.after_pass(p, PassId::Fold, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::ConstantPropagation) {
-        changed |= passes::cprop::run_const(p.func_mut(func));
+        let ch = passes::cprop::run_const(p.func_mut(func));
+        v.after_pass(p, PassId::CPropConst, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::CopyPropagation) {
-        changed |= passes::cprop::run_copy(p.func_mut(func));
+        let ch = passes::cprop::run_copy(p.func_mut(func));
+        v.after_pass(p, PassId::CPropCopy, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::AlgebraicSimplification) {
-        changed |= passes::algebraic::run(p.func_mut(func));
+        let ch = passes::algebraic::run(p.func_mut(func));
+        v.after_pass(p, PassId::Algebraic, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::Reassociation) {
-        changed |= passes::reassoc::run(p.func_mut(func));
+        let ch = passes::reassoc::run(p.func_mut(func));
+        v.after_pass(p, PassId::Reassoc, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::Peephole) {
-        changed |= passes::peephole::run(p.func_mut(func));
+        let ch = passes::peephole::run(p.func_mut(func));
+        v.after_pass(p, PassId::Peephole, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::CseLocal) {
         let snapshot = p.clone();
-        changed |= passes::cse::run(p.func_mut(func), &snapshot);
+        let ch = passes::cse::run(p.func_mut(func), &snapshot);
+        v.after_pass(p, PassId::CseLocal, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::Gcse) {
-        changed |= passes::gcse::run(p.func_mut(func));
+        let ch = passes::gcse::run(p.func_mut(func));
+        v.after_pass(p, PassId::Gcse, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::StoreForwarding) {
         let snapshot = p.clone();
-        changed |= passes::store_forward::run(p.func_mut(func), &snapshot, strict);
+        let ch = passes::store_forward::run(p.func_mut(func), &snapshot, strict);
+        v.after_pass(p, PassId::StoreForward, ch)?;
+        changed |= ch;
     }
     if config.enabled(Flag::JumpThreading) {
-        changed |= passes::jumpthread::run(p.func_mut(func));
+        let ch = passes::jumpthread::run(p.func_mut(func));
+        v.after_pass(p, PassId::JumpThread, ch)?;
+        changed |= ch;
     }
-    changed
+    Ok(changed)
 }
 
-fn run_pipeline(p: &mut Program, func: FuncId, config: &OptConfig) {
+fn run_pipeline(
+    p: &mut Program,
+    func: FuncId,
+    config: &OptConfig,
+    v: &mut Validator,
+) -> Result<(), ValidationFailure> {
     let strict = config.enabled(Flag::StrictAliasing);
     // 1. Inlining first: exposes everything downstream.
     if config.enabled(Flag::InlineSmall) {
-        passes::inline::run(p, func, passes::inline::SMALL_THRESHOLD);
+        let ch = passes::inline::run(p, func, passes::inline::SMALL_THRESHOLD);
+        v.after_pass(p, PassId::InlineSmall, ch)?;
     }
     if config.enabled(Flag::InlineAggressive) {
-        passes::inline::run(p, func, passes::inline::AGGRESSIVE_THRESHOLD);
+        let ch = passes::inline::run(p, func, passes::inline::AGGRESSIVE_THRESHOLD);
+        v.after_pass(p, PassId::InlineAggressive, ch)?;
     }
     // 2. Scalar cleanup to fixpoint.
     for _ in 0..3 {
-        if !scalar_cleanup_round(p, func, config) {
+        if !scalar_cleanup_round(p, func, config, v)? {
             break;
         }
     }
     if config.enabled(Flag::ReciprocalMath) {
-        passes::reciprocal::run(p.func_mut(func));
+        let ch = passes::reciprocal::run(p.func_mut(func));
+        v.after_pass(p, PassId::Reciprocal, ch)?;
     }
     // 3. Loop optimizations.
     if config.enabled(Flag::LoopInvariantCodeMotion) {
         let snapshot = p.clone();
-        passes::licm::run(p.func_mut(func), &snapshot);
+        let ch = passes::licm::run(p.func_mut(func), &snapshot);
+        v.after_pass(p, PassId::Licm, ch)?;
     }
     if config.enabled(Flag::RegisterPromotion) {
         for _ in 0..FIXPOINT_LIMIT {
             let snapshot = p.clone();
-            if !passes::regpromote::run(p.func_mut(func), &snapshot, strict) {
+            let ch = passes::regpromote::run(p.func_mut(func), &snapshot, strict);
+            v.after_pass(p, PassId::RegPromote, ch)?;
+            if !ch {
                 break;
             }
         }
     }
     if config.enabled(Flag::LoopUnswitch) {
         for _ in 0..FIXPOINT_LIMIT {
-            if !passes::unswitch::run(p.func_mut(func)) {
+            let ch = passes::unswitch::run(p.func_mut(func));
+            v.after_pass(p, PassId::Unswitch, ch)?;
+            if !ch {
                 break;
             }
         }
     }
     if config.enabled(Flag::LoopFusion) {
         for _ in 0..FIXPOINT_LIMIT {
-            if !passes::fusion::run(p.func_mut(func)) {
+            let ch = passes::fusion::run(p.func_mut(func));
+            v.after_pass(p, PassId::Fusion, ch)?;
+            if !ch {
                 break;
             }
         }
@@ -134,68 +205,86 @@ fn run_pipeline(p: &mut Program, func: FuncId, config: &OptConfig) {
     // destroy the canonical counted-loop shape it recognizes (the cloned
     // units carry the inserted prefetches along).
     if config.enabled(Flag::PrefetchLoopArrays) {
-        passes::prefetch::run(p.func_mut(func));
+        let ch = passes::prefetch::run(p.func_mut(func));
+        v.after_pass(p, PassId::Prefetch, ch)?;
     }
     if config.enabled(Flag::LoopPeel) {
         for _ in 0..FIXPOINT_LIMIT {
-            if !passes::unroll::run_peel(p.func_mut(func)) {
+            let ch = passes::unroll::run_peel(p.func_mut(func));
+            v.after_pass(p, PassId::Peel, ch)?;
+            if !ch {
                 break;
             }
         }
     }
     if config.enabled(Flag::LoopUnrollSmall) {
         for _ in 0..FIXPOINT_LIMIT {
-            if !passes::unroll::run_full(p.func_mut(func)) {
+            let ch = passes::unroll::run_full(p.func_mut(func));
+            v.after_pass(p, PassId::UnrollSmall, ch)?;
+            if !ch {
                 break;
             }
         }
     }
     if config.enabled(Flag::LoopUnroll) {
         for _ in 0..FIXPOINT_LIMIT {
-            if !passes::unroll::run(p.func_mut(func)) {
+            let ch = passes::unroll::run(p.func_mut(func));
+            v.after_pass(p, PassId::Unroll, ch)?;
+            if !ch {
                 break;
             }
         }
     }
     if config.enabled(Flag::StrengthReduction) {
-        passes::strength::run(p.func_mut(func));
+        let ch = passes::strength::run(p.func_mut(func));
+        v.after_pass(p, PassId::Strength, ch)?;
         if config.enabled(Flag::InductionVariableElimination) {
-            passes::strength::run_ive(p.func_mut(func));
+            let ch = passes::strength::run_ive(p.func_mut(func));
+            v.after_pass(p, PassId::StrengthIve, ch)?;
         }
     }
     // 4. Second scalar cleanup (loop passes expose new redundancy).
     for _ in 0..2 {
-        if !scalar_cleanup_round(p, func, config) {
+        if !scalar_cleanup_round(p, func, config, v)? {
             break;
         }
     }
     // 5. Control-flow shaping.
     if config.enabled(Flag::IfConversion) {
-        passes::ifconv::run(p.func_mut(func));
+        let ch = passes::ifconv::run(p.func_mut(func));
+        v.after_pass(p, PassId::IfConv, ch)?;
     }
     if config.enabled(Flag::TailDuplication) {
-        passes::taildup::run(p.func_mut(func));
+        let ch = passes::taildup::run(p.func_mut(func));
+        v.after_pass(p, PassId::TailDup, ch)?;
     }
     if config.enabled(Flag::BranchReorder) {
-        passes::branch_reorder::run(p.func_mut(func));
+        let ch = passes::branch_reorder::run(p.func_mut(func));
+        v.after_pass(p, PassId::BranchReorder, ch)?;
     }
     // 6. Cleanups.
     if config.enabled(Flag::DeadStoreElimination) {
-        passes::dse::run(p.func_mut(func));
+        let ch = passes::dse::run(p.func_mut(func));
+        v.after_pass(p, PassId::Dse, ch)?;
     }
     if config.enabled(Flag::DeadCodeElimination) {
-        passes::dce::run(p.func_mut(func));
+        let ch = passes::dce::run(p.func_mut(func));
+        v.after_pass(p, PassId::Dce, ch)?;
     }
     // 7. Scheduling and layout.
     if config.enabled(Flag::ScheduleInsns) {
-        passes::schedule::run(p.func_mut(func));
+        let ch = passes::schedule::run(p.func_mut(func));
+        v.after_pass(p, PassId::Schedule, ch)?;
     }
     if config.enabled(Flag::AlignLoops) {
-        passes::align::run_align_loops(p.func_mut(func));
+        let ch = passes::align::run_align_loops(p.func_mut(func));
+        v.after_pass(p, PassId::AlignLoops, ch)?;
     }
     if config.enabled(Flag::AlignJumps) {
-        passes::align::run_align_jumps(p.func_mut(func));
+        let ch = passes::align::run_align_jumps(p.func_mut(func));
+        v.after_pass(p, PassId::AlignJumps, ch)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -326,5 +415,25 @@ mod tests {
             &OptConfig::o3().without(Flag::LoopUnroll).without(Flag::LoopPeel),
         );
         assert!(with.code_size > without.code_size);
+    }
+
+    #[test]
+    fn checked_o3_passes_full_validation() {
+        let (prog, f) = kernel();
+        let v = optimize_checked(&prog, f, &OptConfig::o3(), ValidationLevel::Full)
+            .expect("O3 on the kernel must validate cleanly");
+        // The checked compile must produce the identical artifact.
+        let plain = optimize(&prog, f, &OptConfig::o3());
+        assert_eq!(v.program.func(v.func), plain.program.func(plain.func));
+        assert_eq!(v.code_size, plain.code_size);
+    }
+
+    #[test]
+    fn checked_every_single_flag_passes_full_validation() {
+        let (prog, f) = kernel();
+        for flag in crate::config::ALL_FLAGS {
+            optimize_checked(&prog, f, &OptConfig::o0().with(flag, true), ValidationLevel::Full)
+                .unwrap_or_else(|e| panic!("flag {flag}: {e}"));
+        }
     }
 }

@@ -1,0 +1,178 @@
+//! Regression-corpus replay: every `tests/corpus/*.ir` entry — written by
+//! the `passfuzz` differential-fuzz fleet when it finds and shrinks a
+//! divergence, or promoted by hand from other failure sources — is
+//! re-validated on every `cargo test` run:
+//!
+//! 1. the translation-validation oracle (`optimize_checked` at
+//!    [`ValidationLevel::Full`]) must accept the pipeline on the entry's
+//!    recorded flag configuration;
+//! 2. the optimized program must match the reference interpreter on the
+//!    entry's recorded arguments (return value and final memory);
+//! 3. the cycle simulator must agree with the interpreter on the entry's
+//!    recorded machine model.
+//!
+//! Corpus files are textual IR prefixed with `#` metadata headers (the IR
+//! parser skips `#` lines, so `parse_program` on the whole file yields
+//! the program):
+//!
+//! ```text
+//! # seed: 42                      (informational)
+//! # config_bits: 0x0123456789abcdef
+//! # machine: sparc | p4
+//! # args: <i64> <i64> <f64-bits-hex>
+//! # check: oracle | interp-diff | machine-diff | regression
+//! mem r0: i64[16]
+//! ...
+//! ```
+
+use peak_ir::{parse_program, values_eq, FuncId, Program, Value};
+use peak_opt::{OptConfig, ValidationLevel};
+use peak_sim::{AddressMap, ExecOptions, MachineSpec, MachineState, PreparedVersion};
+use peak_workloads::fuzzgen;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+struct Entry {
+    name: String,
+    prog: Program,
+    func: FuncId,
+    cfg: OptConfig,
+    machine: MachineSpec,
+    args: [Value; 3],
+}
+
+fn parse_hex_u64(s: &str) -> u64 {
+    let t = s.trim().trim_start_matches("0x");
+    u64::from_str_radix(t, 16).unwrap_or_else(|e| panic!("bad hex {s:?}: {e}"))
+}
+
+fn parse_entry(path: &Path) -> Entry {
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut headers: HashMap<String, String> = HashMap::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix('#') else { continue };
+        if let Some((k, v)) = rest.split_once(':') {
+            headers
+                .entry(k.trim().to_string())
+                .or_insert_with(|| v.trim().to_string());
+        }
+    }
+    let bits = parse_hex_u64(
+        headers
+            .get("config_bits")
+            .unwrap_or_else(|| panic!("{name}: missing '# config_bits:' header")),
+    );
+    let machine = match headers.get("machine").map(String::as_str) {
+        Some("p4") => MachineSpec::pentium_iv(),
+        _ => MachineSpec::sparc_ii(),
+    };
+    let args_raw = headers
+        .get("args")
+        .unwrap_or_else(|| panic!("{name}: missing '# args:' header"));
+    let parts: Vec<&str> = args_raw.split_whitespace().collect();
+    assert_eq!(parts.len(), 3, "{name}: args must be '<i64> <i64> <f64-bits>'");
+    let args = [
+        Value::I64(parts[0].parse().unwrap()),
+        Value::I64(parts[1].parse().unwrap()),
+        Value::F64(f64::from_bits(parse_hex_u64(parts[2]))),
+    ];
+    let prog = parse_program(&text).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+    peak_ir::validate_program(&prog).unwrap_or_else(|e| panic!("{name}: invalid IR: {e}"));
+    let func = prog
+        .func_by_name("gen")
+        .unwrap_or_else(|| panic!("{name}: no function named 'gen'"));
+    Entry { name, prog, func, cfg: OptConfig::from_bits(bits), machine, args }
+}
+
+fn replay(e: &Entry) {
+    // Check 1: full translation validation of the recorded pipeline.
+    let cv = peak_opt::optimize_checked(&e.prog, e.func, &e.cfg, ValidationLevel::Full)
+        .unwrap_or_else(|f| panic!("{}: oracle rejects pipeline: {f}", e.name));
+
+    // Check 2: interpreter equivalence on the recorded arguments.
+    let (r1, m1) = fuzzgen::run_reference(&e.prog, e.func, &e.args);
+    let (r2, m2) = fuzzgen::run_reference(&cv.program, cv.func, &e.args);
+    match (&r1, &r2) {
+        (Some(a), Some(b)) if values_eq(a, b) => {}
+        (None, None) => {}
+        _ => panic!("{}: interp-diff: return {r1:?} vs {r2:?} (config {})", e.name, e.cfg),
+    }
+    assert_eq!(m1, m2, "{}: interp-diff: final memory (config {})", e.name, e.cfg);
+
+    // Check 3: the cycle simulator agrees with the interpreter.
+    let pv = PreparedVersion::prepare(cv, &e.machine);
+    let mem_lens: Vec<usize> = e.prog.mems.iter().map(|m| m.len).collect();
+    let amap = AddressMap::new(&mem_lens);
+    let mut mem = fuzzgen::init_memory(&e.prog);
+    let mut state = MachineState::noiseless(e.machine.clone());
+    let res = peak_sim::execute(&pv, &e.args, &mut mem, &amap, &mut state, &ExecOptions::default())
+        .unwrap_or_else(|err| panic!("{}: machine-diff: simulator trapped: {err}", e.name));
+    match (&r1, &res.ret) {
+        (Some(a), Some(b)) if values_eq(a, b) => {}
+        (None, None) => {}
+        _ => panic!(
+            "{}: machine-diff: return interp {r1:?} vs machine {:?}",
+            e.name, res.ret
+        ),
+    }
+    assert_eq!(m1, mem, "{}: machine-diff: final memory", e.name);
+}
+
+/// Every corpus entry replays clean. The corpus must never be empty —
+/// silently replaying nothing would pass vacuously.
+#[test]
+fn corpus_replays_clean() {
+    let dir = corpus_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|d| d.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ir"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "regression corpus is empty");
+    for p in &paths {
+        replay(&parse_entry(p));
+    }
+    println!("corpus: {} entries replayed clean", paths.len());
+}
+
+/// Regenerate the hand-promoted builtin corpus entries (run with
+/// `cargo test -p peak-opt --test corpus_replay -- --ignored regen`).
+/// Keeping generation in-tree means the entry tracks the generator's
+/// textual format instead of rotting.
+#[test]
+#[ignore = "writes tests/corpus; run explicitly to regenerate builtins"]
+fn regen_builtin_corpus() {
+    use fuzzgen::GStmt;
+    // Promoted from proptest_equivalence.proptest-regressions: two
+    // back-to-back counted loops (store into r1, then load from r0)
+    // under config bits 1815793212044066816.
+    let stmts = vec![
+        GStmt::Loop(3, vec![GStmt::Store(1, 1, 0)]),
+        GStmt::Loop(3, vec![GStmt::Load(0, 0, 0)]),
+        GStmt::IntOp(0, 0, 0, 0),
+    ];
+    let bits: u64 = 1_815_793_212_044_066_816;
+    let (prog, _) = fuzzgen::build_program(&stmts);
+    let mut text = String::new();
+    text.push_str("# builtin regression (promoted from proptest_equivalence.proptest-regressions)\n");
+    text.push_str("# regenerate: cargo test -p peak-opt --test corpus_replay -- --ignored regen\n");
+    text.push_str(&format!("# config_bits: {bits:#018x}\n"));
+    text.push_str("# machine: sparc\n");
+    text.push_str(&format!("# args: 0 0 {:#018x}\n", 0.0f64.to_bits()));
+    text.push_str("# check: regression\n");
+    text.push_str("# detail: store loop into r1 followed by load loop from r0; final memory diverged historically\n");
+    text.push_str(&fuzzgen::render_program(&prog));
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("builtin_loop_store_load.ir");
+    std::fs::write(&path, text).unwrap();
+    // The freshly written entry must replay clean right now.
+    replay(&parse_entry(&path));
+    println!("wrote {}", path.display());
+}

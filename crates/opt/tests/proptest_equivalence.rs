@@ -3,47 +3,18 @@
 //! same results (return value AND final memory image) as the reference
 //! interpreter on the original program.
 //!
-//! The generator produces structured programs (straight-line arithmetic,
-//! bounded counted loops, branches, masked in-bounds memory accesses) so
-//! every generated program terminates and never traps — the domain where
-//! every -O3 transformation must be exact.
+//! The program domain lives in `peak_workloads::fuzzgen` (shared with the
+//! `passfuzz` differential-fuzz fleet): structured programs
+//! (straight-line arithmetic, bounded counted loops, branches, masked
+//! in-bounds memory accesses) where every generated program terminates
+//! and never traps — the domain where every -O3 transformation must be
+//! exact. Here proptest drives the `GStmt` space; `passfuzz` drives it
+//! from raw seeds.
 
-use peak_ir::{
-    BinOp, FuncId, FunctionBuilder, Interp, MemRef, MemoryImage, Operand, Program, Type, UnOp,
-    Value,
-};
+use peak_ir::{FuncId, MemoryImage, Program, Value};
 use peak_opt::{optimize, OptConfig};
+use peak_workloads::fuzzgen::{build_program, run_reference, GStmt, NF, NI};
 use proptest::prelude::*;
-
-/// Region length; all indexes are masked with `& (REGION_LEN-1)`.
-const REGION_LEN: usize = 16;
-/// Integer variable pool size.
-const NI: usize = 5;
-/// Float variable pool size.
-const NF: usize = 3;
-
-/// A generated statement.
-#[derive(Debug, Clone)]
-enum GStmt {
-    /// ivar[d] = ivar[a] op ivar[b]
-    IntOp(u8, usize, usize, usize),
-    /// fvar[d] = fvar[a] op fvar[b]
-    FloatOp(u8, usize, usize, usize),
-    /// ivar[d] = unop ivar[a]
-    IntUn(u8, usize, usize),
-    /// ivar[d] = mem[ivar[a] & mask]
-    Load(usize, usize, usize), // region, dst, idx var
-    /// mem[ivar[a] & mask] = ivar[s]
-    Store(usize, usize, usize), // region, src, idx var
-    /// if ivar[c] > 0 { body }
-    If(usize, Vec<GStmt>),
-    /// for t in 0..k { body }  (k ≤ 6)
-    Loop(u8, Vec<GStmt>),
-    /// ivar[d] = ptr[ivar[i] & 7]  (pointer into region r at offset off)
-    PtrLoad(usize, u8, usize, usize), // region, base offset 0..8, dst, idx
-    /// ptr[ivar[i] & 7] = ivar[s]
-    PtrStore(usize, u8, usize, usize), // region, base offset, src, idx
-}
 
 fn leaf_stmt() -> impl Strategy<Value = GStmt> {
     prop_oneof![
@@ -78,122 +49,8 @@ fn program_strategy() -> impl Strategy<Value = Vec<GStmt>> {
     prop::collection::vec(stmt(2), 3..14)
 }
 
-fn int_op(code: u8) -> BinOp {
-    [
-        BinOp::Add,
-        BinOp::Sub,
-        BinOp::Mul,
-        BinOp::And,
-        BinOp::Or,
-        BinOp::Xor,
-        BinOp::Min,
-        BinOp::Max,
-    ][code as usize]
-}
-
-fn float_op(code: u8) -> BinOp {
-    [BinOp::FAdd, BinOp::FSub, BinOp::FMul][code as usize]
-}
-
-fn int_un(code: u8) -> UnOp {
-    [UnOp::Neg, UnOp::Not][code as usize]
-}
-
-fn emit(b: &mut FunctionBuilder, ivars: &[peak_ir::VarId], fvars: &[peak_ir::VarId],
-        regions: &[peak_ir::MemId], stmts: &[GStmt], loop_depth: u32) {
-    for s in stmts {
-        match s {
-            GStmt::IntOp(o, d, a, c) => {
-                b.binary_into(ivars[*d], int_op(*o), ivars[*a], ivars[*c]);
-            }
-            GStmt::FloatOp(o, d, a, c) => {
-                b.binary_into(fvars[*d], float_op(*o), fvars[*a], fvars[*c]);
-            }
-            GStmt::IntUn(o, d, a) => {
-                let t = b.unary(int_un(*o), ivars[*a]);
-                b.copy(ivars[*d], t);
-            }
-            GStmt::Load(r, d, i) => {
-                let idx = b.binary(BinOp::And, ivars[*i], (REGION_LEN as i64) - 1);
-                b.load_into(ivars[*d], MemRef::global(regions[*r], idx));
-            }
-            GStmt::Store(r, s, i) => {
-                let idx = b.binary(BinOp::And, ivars[*i], (REGION_LEN as i64) - 1);
-                b.store(MemRef::global(regions[*r], idx), ivars[*s]);
-            }
-            GStmt::If(c, body) => {
-                let cond = b.binary(BinOp::Gt, ivars[*c], 0i64);
-                b.if_then(cond, |b| emit(b, ivars, fvars, regions, body, loop_depth));
-            }
-            GStmt::Loop(k, body) => {
-                if loop_depth >= 2 {
-                    emit(b, ivars, fvars, regions, body, loop_depth);
-                    continue;
-                }
-                // Fresh iteration variable per loop site.
-                let iv = b.temp(Type::I64);
-                b.for_loop(iv, 0i64, *k as i64, 1, |b| {
-                    emit(b, ivars, fvars, regions, body, loop_depth + 1);
-                });
-            }
-            GStmt::PtrLoad(r, off, d, i) => {
-                // Pointer with a precise points-to target; index masked so
-                // base offset (≤7) + index (≤7) stays in bounds.
-                let p = b.addr_of(regions[*r], *off as i64);
-                let idx = b.binary(BinOp::And, ivars[*i], 7i64);
-                b.load_into(ivars[*d], MemRef::ptr(p, idx));
-            }
-            GStmt::PtrStore(r, off, s, i) => {
-                let p = b.addr_of(regions[*r], *off as i64);
-                let idx = b.binary(BinOp::And, ivars[*i], 7i64);
-                b.store(MemRef::ptr(p, idx), ivars[*s]);
-            }
-        }
-    }
-}
-
-fn build_program(stmts: &[GStmt]) -> (Program, FuncId) {
-    let mut prog = Program::new();
-    let r0 = prog.add_mem("r0", Type::I64, REGION_LEN);
-    let r1 = prog.add_mem("r1", Type::I64, REGION_LEN);
-    let mut b = FunctionBuilder::new("gen", Some(Type::I64));
-    let p0 = b.param("p0", Type::I64);
-    let p1 = b.param("p1", Type::I64);
-    let pf = b.param("pf", Type::F64);
-    let mut ivars = vec![p0, p1];
-    for j in 2..NI {
-        let v = b.var(format!("iv{j}"), Type::I64);
-        b.copy(v, (j as i64) * 3 - 7);
-        ivars.push(v);
-    }
-    let mut fvars = vec![pf];
-    for j in 1..NF {
-        let v = b.var(format!("fv{j}"), Type::F64);
-        b.copy(v, j as f64 * 0.5 - 0.3);
-        fvars.push(v);
-    }
-    emit(&mut b, &ivars, &fvars, &[r0, r1], stmts, 0);
-    // Fold everything observable into the return value; floats are also
-    // stored so memory comparison covers them.
-    let fbits = b.unary(UnOp::FToInt, fvars[1]);
-    let mixed = b.binary(BinOp::Xor, ivars[2], fbits);
-    let mixed2 = b.binary(BinOp::Add, mixed, ivars[3]);
-    b.store(MemRef::global(r0, 0i64), mixed2);
-    b.ret(Some(Operand::Var(mixed2)));
-    let f = prog.add_func(b.finish());
-    (prog, f)
-}
-
 fn run_interp(prog: &Program, f: FuncId, args: &[Value]) -> (Option<Value>, MemoryImage) {
-    let mut mem = MemoryImage::new(prog);
-    for i in 0..REGION_LEN as i64 {
-        mem.store(peak_ir::MemId(0), i, Value::I64(i * 11 - 5));
-        mem.store(peak_ir::MemId(1), i, Value::I64(100 - i));
-    }
-    let out = Interp::default()
-        .run(prog, f, args, &mut mem)
-        .expect("generated programs never trap");
-    (out.ret, mem)
+    run_reference(prog, f, args)
 }
 
 proptest! {
@@ -244,13 +101,63 @@ proptest! {
         let args = [Value::I64(3), Value::I64(-2), Value::F64(0.7)];
         let mut m1 = MemoryImage::new(&prog);
         let mut m2 = MemoryImage::new(&cv.program);
-        let s1 = Interp::default().run(&prog, f, &args, &mut m1).unwrap().steps;
-        let s2 = Interp::default().run(&cv.program, cv.func, &args, &mut m2).unwrap().steps;
+        let s1 = peak_ir::Interp::default().run(&prog, f, &args, &mut m1).unwrap().steps;
+        let s2 = peak_ir::Interp::default().run(&cv.program, cv.func, &args, &mut m2).unwrap().steps;
         // Unrolling trades branches for straight-line work but must not
         // multiply the total statement count.
         prop_assert!(s2 <= s1 * 2 + 16, "steps {} -> {}", s1, s2);
     }
 }
 
-// Persist failing cases so regressions replay deterministically.
-// (proptest finds the file via this marker in the test root.)
+// ---------------------------------------------------------------------------
+// Named regressions: seeds proptest once found, promoted to deterministic
+// tests so they run on every `cargo test` invocation regardless of the
+// proptest-regressions replay file.
+// ---------------------------------------------------------------------------
+
+/// Shrunk from `proptest_equivalence.proptest-regressions`: two
+/// back-to-back counted loops (a store loop into r1 then a load loop from
+/// r0) under config bits `1815793212044066816` historically produced a
+/// wrong final memory image — the store loop's effect was lost when the
+/// later passes reasoned about the loads.
+#[test]
+fn regression_loop_store_then_loop_load() {
+    let stmts = vec![
+        GStmt::Loop(3, vec![GStmt::Store(1, 1, 0)]),
+        GStmt::Loop(3, vec![GStmt::Load(0, 0, 0)]),
+        GStmt::IntOp(0, 0, 0, 0),
+    ];
+    let cfg = OptConfig::from_bits(1_815_793_212_044_066_816);
+    let (prog, f) = build_program(&stmts);
+    peak_ir::validate_program(&prog).unwrap();
+    let cv = optimize(&prog, f, &cfg);
+    peak_ir::validate_program(&cv.program).unwrap();
+    let args = [Value::I64(0), Value::I64(0), Value::F64(0.0)];
+    let (r1, m1) = run_interp(&prog, f, &args);
+    let (r2, m2) = run_interp(&cv.program, cv.func, &args);
+    assert_eq!(r1, r2, "config {cfg}");
+    assert_eq!(m1, m2, "config {cfg}");
+    // The same case must also survive the full translation-validation
+    // oracle at the strictest level.
+    peak_opt::optimize_checked(&prog, f, &cfg, peak_opt::ValidationLevel::Full)
+        .expect("regression case passes full validation");
+}
+
+/// The same regression shape under -O3 (all flags), pinning both the
+/// plain pipeline and the checked pipeline.
+#[test]
+fn regression_loop_store_then_loop_load_o3() {
+    let stmts = vec![
+        GStmt::Loop(3, vec![GStmt::Store(1, 1, 0)]),
+        GStmt::Loop(3, vec![GStmt::Load(0, 0, 0)]),
+        GStmt::IntOp(0, 0, 0, 0),
+    ];
+    let (prog, f) = build_program(&stmts);
+    let cv = peak_opt::optimize_checked(&prog, f, &OptConfig::o3(), peak_opt::ValidationLevel::Full)
+        .expect("O3 passes full validation on the regression shape");
+    let args = [Value::I64(0), Value::I64(0), Value::F64(0.0)];
+    let (r1, m1) = run_interp(&prog, f, &args);
+    let (r2, m2) = run_interp(&cv.program, cv.func, &args);
+    assert_eq!(r1, r2);
+    assert_eq!(m1, m2);
+}

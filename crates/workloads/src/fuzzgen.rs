@@ -1,0 +1,426 @@
+//! # Deterministic seeded IR program generator for differential fuzzing
+//!
+//! The shared generator behind the `passfuzz` differential-fuzz fleet and
+//! the property-based equivalence tests: structured random programs
+//! (straight-line int/float arithmetic, bounded counted loops, guards,
+//! masked in-bounds memory accesses, pointer accesses with precise
+//! points-to targets) over a fixed two-region memory layout. Every
+//! generated program terminates and never traps, so the whole `-O3`
+//! pipeline must preserve its semantics *exactly*.
+//!
+//! Determinism is the point: a program is identified by a single `u64`
+//! seed (expanded with splitmix64), so a failing case is reproducible
+//! from one number, shrinkable at the [`GStmt`] level, and replayable in
+//! CI without storing the full IR.
+
+use peak_ir::{
+    BinOp, FuncId, FunctionBuilder, Interp, MemId, MemRef, MemoryImage, Operand, Program, Type,
+    UnOp, Value, VarId,
+};
+
+/// Region length; all global indexes are masked with `& (REGION_LEN-1)`.
+pub const REGION_LEN: usize = 16;
+/// Integer variable pool size (vars 0/1 are the I64 params).
+pub const NI: usize = 5;
+/// Float variable pool size (var 0 is the F64 param).
+pub const NF: usize = 3;
+
+/// A generated statement over the fixed variable pools and regions.
+///
+/// Indices are always taken modulo the pool size when emitted, so any
+/// byte soup decodes to a valid statement — which keeps shrinking simple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GStmt {
+    /// `ivar[d] = ivar[a] op ivar[b]`
+    IntOp(u8, usize, usize, usize),
+    /// `fvar[d] = fvar[a] op fvar[b]`
+    FloatOp(u8, usize, usize, usize),
+    /// `ivar[d] = unop ivar[a]`
+    IntUn(u8, usize, usize),
+    /// `ivar[d] = region[r][ivar[i] & mask]`
+    Load(usize, usize, usize),
+    /// `region[r][ivar[i] & mask] = ivar[s]`
+    Store(usize, usize, usize),
+    /// `if ivar[c] > 0 { body }`
+    If(usize, Vec<GStmt>),
+    /// `for t in 0..k { body }` (2 ≤ k < 6; nesting capped at 2)
+    Loop(u8, Vec<GStmt>),
+    /// `ivar[d] = ptr[ivar[i] & 7]` (pointer into region `r` at offset `off`)
+    PtrLoad(usize, u8, usize, usize),
+    /// `ptr[ivar[i] & 7] = ivar[s]`
+    PtrStore(usize, u8, usize, usize),
+}
+
+/// Minimal splitmix64 PRNG — the same expander the battery generator and
+/// workload memory fills use, so one seed pins the whole scenario.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0). Modulo bias is irrelevant here —
+    /// all ranges are tiny relative to 2^64.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+fn gen_leaf(rng: &mut SplitMix64) -> GStmt {
+    match rng.below(7) {
+        0 => GStmt::IntOp(
+            rng.below(8) as u8,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+        ),
+        1 => GStmt::FloatOp(
+            rng.below(3) as u8,
+            rng.below(NF as u64) as usize,
+            rng.below(NF as u64) as usize,
+            rng.below(NF as u64) as usize,
+        ),
+        2 => GStmt::IntUn(
+            rng.below(2) as u8,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+        ),
+        3 => GStmt::Load(
+            rng.below(2) as usize,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+        ),
+        4 => GStmt::Store(
+            rng.below(2) as usize,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+        ),
+        5 => GStmt::PtrLoad(
+            rng.below(2) as usize,
+            rng.below(8) as u8,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+        ),
+        _ => GStmt::PtrStore(
+            rng.below(2) as usize,
+            rng.below(8) as u8,
+            rng.below(NI as u64) as usize,
+            rng.below(NI as u64) as usize,
+        ),
+    }
+}
+
+fn gen_stmt(rng: &mut SplitMix64, depth: u32) -> GStmt {
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    // Weights 4 : 1 : 1 (leaf : if : loop), mirroring the proptest
+    // strategy so both explore the same program distribution.
+    match rng.below(6) {
+        0..=3 => gen_leaf(rng),
+        4 => {
+            let c = rng.below(NI as u64) as usize;
+            let n = 1 + rng.below(3) as usize;
+            let body = (0..n).map(|_| gen_stmt(rng, depth - 1)).collect();
+            GStmt::If(c, body)
+        }
+        _ => {
+            let k = 2 + rng.below(4) as u8;
+            let n = 1 + rng.below(3) as usize;
+            let body = (0..n).map(|_| gen_stmt(rng, depth - 1)).collect();
+            GStmt::Loop(k, body)
+        }
+    }
+}
+
+/// Generate the statement list for `seed`: 3..14 statements, each with
+/// structural depth ≤ 2.
+pub fn gen_stmts(seed: u64) -> Vec<GStmt> {
+    let mut rng = SplitMix64::new(seed);
+    let n = 3 + rng.below(11) as usize;
+    (0..n).map(|_| gen_stmt(&mut rng, 2)).collect()
+}
+
+fn int_op(code: u8) -> BinOp {
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Min,
+        BinOp::Max,
+    ][code as usize % 8]
+}
+
+fn float_op(code: u8) -> BinOp {
+    [BinOp::FAdd, BinOp::FSub, BinOp::FMul][code as usize % 3]
+}
+
+fn int_un(code: u8) -> UnOp {
+    [UnOp::Neg, UnOp::Not][code as usize % 2]
+}
+
+fn emit(
+    b: &mut FunctionBuilder,
+    ivars: &[VarId],
+    fvars: &[VarId],
+    regions: &[MemId],
+    stmts: &[GStmt],
+    loop_depth: u32,
+) {
+    for s in stmts {
+        match s {
+            GStmt::IntOp(o, d, a, c) => {
+                b.binary_into(ivars[*d % NI], int_op(*o), ivars[*a % NI], ivars[*c % NI]);
+            }
+            GStmt::FloatOp(o, d, a, c) => {
+                b.binary_into(fvars[*d % NF], float_op(*o), fvars[*a % NF], fvars[*c % NF]);
+            }
+            GStmt::IntUn(o, d, a) => {
+                let t = b.unary(int_un(*o), ivars[*a % NI]);
+                b.copy(ivars[*d % NI], t);
+            }
+            GStmt::Load(r, d, i) => {
+                let idx = b.binary(BinOp::And, ivars[*i % NI], (REGION_LEN as i64) - 1);
+                b.load_into(ivars[*d % NI], MemRef::global(regions[*r % 2], idx));
+            }
+            GStmt::Store(r, s, i) => {
+                let idx = b.binary(BinOp::And, ivars[*i % NI], (REGION_LEN as i64) - 1);
+                b.store(MemRef::global(regions[*r % 2], idx), ivars[*s % NI]);
+            }
+            GStmt::If(c, body) => {
+                let cond = b.binary(BinOp::Gt, ivars[*c % NI], 0i64);
+                b.if_then(cond, |b| emit(b, ivars, fvars, regions, body, loop_depth));
+            }
+            GStmt::Loop(k, body) => {
+                if loop_depth >= 2 {
+                    emit(b, ivars, fvars, regions, body, loop_depth);
+                    continue;
+                }
+                // Fresh iteration variable per loop site.
+                let iv = b.temp(Type::I64);
+                b.for_loop(iv, 0i64, (*k).clamp(2, 5) as i64, 1, |b| {
+                    emit(b, ivars, fvars, regions, body, loop_depth + 1);
+                });
+            }
+            GStmt::PtrLoad(r, off, d, i) => {
+                // Pointer with a precise points-to target; index masked so
+                // base offset (≤7) + index (≤7) stays in bounds.
+                let p = b.addr_of(regions[*r % 2], (*off % 8) as i64);
+                let idx = b.binary(BinOp::And, ivars[*i % NI], 7i64);
+                b.load_into(ivars[*d % NI], MemRef::ptr(p, idx));
+            }
+            GStmt::PtrStore(r, off, s, i) => {
+                let p = b.addr_of(regions[*r % 2], (*off % 8) as i64);
+                let idx = b.binary(BinOp::And, ivars[*i % NI], 7i64);
+                b.store(MemRef::ptr(p, idx), ivars[*s % NI]);
+            }
+        }
+    }
+}
+
+/// Build the complete test program for a statement list: two `i64[16]`
+/// regions, params `(p0: i64, p1: i64, pf: f64)`, the generated body, and
+/// an epilogue that folds integer and float state into the return value
+/// and stores it so memory comparison observes it too.
+pub fn build_program(stmts: &[GStmt]) -> (Program, FuncId) {
+    let mut prog = Program::new();
+    let r0 = prog.add_mem("r0", Type::I64, REGION_LEN);
+    let r1 = prog.add_mem("r1", Type::I64, REGION_LEN);
+    let mut b = FunctionBuilder::new("gen", Some(Type::I64));
+    let p0 = b.param("p0", Type::I64);
+    let p1 = b.param("p1", Type::I64);
+    let pf = b.param("pf", Type::F64);
+    let mut ivars = vec![p0, p1];
+    for j in 2..NI {
+        let v = b.var(format!("iv{j}"), Type::I64);
+        b.copy(v, (j as i64) * 3 - 7);
+        ivars.push(v);
+    }
+    let mut fvars = vec![pf];
+    for j in 1..NF {
+        let v = b.var(format!("fv{j}"), Type::F64);
+        b.copy(v, j as f64 * 0.5 - 0.3);
+        fvars.push(v);
+    }
+    emit(&mut b, &ivars, &fvars, &[r0, r1], stmts, 0);
+    // Fold everything observable into the return value; floats are also
+    // stored so memory comparison covers them.
+    let fbits = b.unary(UnOp::FToInt, fvars[1]);
+    let mixed = b.binary(BinOp::Xor, ivars[2], fbits);
+    let mixed2 = b.binary(BinOp::Add, mixed, ivars[3]);
+    b.store(MemRef::global(r0, 0i64), mixed2);
+    b.ret(Some(Operand::Var(mixed2)));
+    let f = prog.add_func(b.finish());
+    (prog, f)
+}
+
+/// The canonical initial memory image for generated programs:
+/// `r0[i] = i*11 - 5`, `r1[i] = 100 - i`.
+pub fn init_memory(prog: &Program) -> MemoryImage {
+    let mut mem = MemoryImage::new(prog);
+    for i in 0..REGION_LEN as i64 {
+        mem.store(MemId(0), i, Value::I64(i * 11 - 5));
+        mem.store(MemId(1), i, Value::I64(100 - i));
+    }
+    mem
+}
+
+/// Deterministic argument vector for `seed`: `p0, p1 ∈ [-40, 40)`,
+/// `pf ∈ [-2.0, 2.0)` on a 1/64 grid (exactly representable).
+pub fn gen_args(seed: u64) -> [Value; 3] {
+    let mut rng = SplitMix64::new(seed ^ 0xA46_5EED);
+    let a = rng.below(80) as i64 - 40;
+    let b = rng.below(80) as i64 - 40;
+    let x = (rng.below(256) as i64 - 128) as f64 / 64.0;
+    [Value::I64(a), Value::I64(b), Value::F64(x)]
+}
+
+/// Run the program on the reference interpreter from the canonical
+/// initial memory; generated programs never trap.
+pub fn run_reference(prog: &Program, f: FuncId, args: &[Value]) -> (Option<Value>, MemoryImage) {
+    let mut mem = init_memory(prog);
+    let out = Interp::default()
+        .run(prog, f, args, &mut mem)
+        .expect("generated programs never trap");
+    (out.ret, mem)
+}
+
+/// Render a program to the textual IR format (memory declarations plus
+/// every function); `peak_ir::parse_program` round-trips the result.
+pub fn render_program(prog: &Program) -> String {
+    let mut text = String::new();
+    for m in &prog.mems {
+        text.push_str(&format!("mem {}: {}[{}]\n", m.name, m.elem, m.len));
+    }
+    for f in &prog.funcs {
+        text.push_str(&format!("{f}\n"));
+    }
+    text
+}
+
+/// One greedy shrinking round: every candidate statement list strictly
+/// smaller (by node count) than `stmts` reachable by one edit — dropping
+/// a statement, hoisting a container's body in its place, or shrinking
+/// inside a container. Ordered roughly most-aggressive first so greedy
+/// search converges quickly.
+pub fn shrink_candidates(stmts: &[GStmt]) -> Vec<Vec<GStmt>> {
+    let mut out = Vec::new();
+    // Drop each statement.
+    for i in 0..stmts.len() {
+        let mut c = stmts.to_vec();
+        c.remove(i);
+        out.push(c);
+    }
+    for (i, s) in stmts.iter().enumerate() {
+        let bodies: Option<&Vec<GStmt>> = match s {
+            GStmt::If(_, body) | GStmt::Loop(_, body) => Some(body),
+            _ => None,
+        };
+        if let Some(body) = bodies {
+            // Replace the container by its body (removes the guard/loop).
+            let mut c = stmts.to_vec();
+            c.splice(i..=i, body.iter().cloned());
+            out.push(c);
+            // Shrink within the body, keeping the container.
+            for smaller in shrink_candidates(body) {
+                let mut c = stmts.to_vec();
+                c[i] = match s {
+                    GStmt::If(v, _) => GStmt::If(*v, smaller),
+                    GStmt::Loop(k, _) => GStmt::Loop(*k, smaller),
+                    _ => unreachable!(),
+                };
+                out.push(c);
+            }
+        }
+    }
+    // Empty If/Loop bodies are not emittable (builder bodies must be
+    // non-empty is not required, but an empty body is useless); drop them.
+    out.retain(|c| {
+        fn ok(s: &GStmt) -> bool {
+            match s {
+                GStmt::If(_, b) | GStmt::Loop(_, b) => !b.is_empty() && b.iter().all(ok),
+                _ => true,
+            }
+        }
+        c.iter().all(ok)
+    });
+    out
+}
+
+/// Total `GStmt` node count (containers count themselves plus their
+/// bodies) — the measure greedy shrinking minimises.
+pub fn node_count(stmts: &[GStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            GStmt::If(_, b) | GStmt::Loop(_, b) => 1 + node_count(b),
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(gen_stmts(seed), gen_stmts(seed));
+            assert_eq!(gen_args(seed), gen_args(seed));
+        }
+        assert_ne!(gen_stmts(1), gen_stmts(2));
+    }
+
+    #[test]
+    fn generated_programs_validate_and_run() {
+        for seed in 0..50u64 {
+            let stmts = gen_stmts(seed);
+            let (prog, f) = build_program(&stmts);
+            peak_ir::validate_program(&prog).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let args = gen_args(seed);
+            let (ret, _mem) = run_reference(&prog, f, &args);
+            assert!(ret.is_some(), "seed {seed}: no return value");
+        }
+    }
+
+    #[test]
+    fn rendered_programs_reparse() {
+        for seed in 0..10u64 {
+            let (prog, _) = build_program(&gen_stmts(seed));
+            let text = render_program(&prog);
+            let reparsed = peak_ir::parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(text, render_program(&reparsed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let stmts = gen_stmts(7);
+        let n = node_count(&stmts);
+        for c in shrink_candidates(&stmts) {
+            assert!(node_count(&c) < n);
+            // Every candidate must still build into a valid program.
+            let (prog, _) = build_program(&c);
+            peak_ir::validate_program(&prog).unwrap();
+        }
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod fuzzgen;
 
 pub mod applu;
 pub mod apsi;
