@@ -268,7 +268,65 @@ fn main() {
         sink.flush();
         eprintln!("trace: wrote {path}");
     }
+
+    // ── Robustness gate ─────────────────────────────────────────────
+    // CI fails (non-zero exit) on robustness regressions: a cell that
+    // produced no rating at all, non-finite or wildly degraded errors,
+    // or faults firing in the clean (intensity 0.0) control cells. The
+    // crash scenario legitimately walks the cascade to WHL — that is
+    // the mechanism working — but it too must end with a usable rating.
+    let mut violations: Vec<String> = Vec::new();
+    if cells.len() != sweep.len() {
+        violations
+            .push(format!("{} of {} sweep cells produced no rating", sweep.len() - cells.len(), sweep.len()));
+    }
+    for cell in &cells {
+        let tag = format!("{}@{:.1}", cell.method.name(), cell.intensity);
+        if !cell.error_pct.is_finite() {
+            violations.push(format!("{tag}: non-finite rating error"));
+        } else if cell.error_pct > FAULTED_MAX_ERR_PCT {
+            violations.push(format!(
+                "{tag}: error {:.3}% exceeds ceiling {FAULTED_MAX_ERR_PCT}%",
+                cell.error_pct
+            ));
+        }
+        if cell.intensity == 0.0 {
+            if cell.dropouts > 0 || cell.crashes > 0 {
+                violations.push(format!(
+                    "{tag}: faults fired in the clean control ({} dropouts, {} crashes)",
+                    cell.dropouts, cell.crashes
+                ));
+            }
+            if cell.error_pct > CLEAN_MAX_ERR_PCT {
+                violations.push(format!(
+                    "{tag}: clean-control error {:.3}% exceeds {CLEAN_MAX_ERR_PCT}%",
+                    cell.error_pct
+                ));
+            }
+        }
+    }
+    let crash_err = (out.improvements[0] - 1.0).abs() * 100.0;
+    if !crash_err.is_finite() || crash_err > FAULTED_MAX_ERR_PCT {
+        violations.push(format!(
+            "crash scenario: terminal rating error {crash_err:.3}% unusable (ceiling {FAULTED_MAX_ERR_PCT}%)"
+        ));
+    }
+    println!();
+    if violations.is_empty() {
+        println!("ROBUSTNESS: OK ({} cells + crash scenario within bounds)", cells.len());
+    } else {
+        println!("ROBUSTNESS: FAIL");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
 }
+
+/// Clean control cells (intensity 0.0) must self-rate -O3 within this.
+const CLEAN_MAX_ERR_PCT: f64 = 5.0;
+/// No cell — faulted or not — may degrade past this and still pass.
+const FAULTED_MAX_ERR_PCT: f64 = 15.0;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())

@@ -116,12 +116,14 @@ impl TunerCheckpoint {
         })
     }
 
-    /// Write the checkpoint atomically (write temp file, then rename) so
-    /// a kill mid-save never leaves a truncated checkpoint behind.
+    /// Write the checkpoint atomically *and durably*: the temp file is
+    /// fsynced before the rename and the parent directory after it
+    /// ([`peak_util::write_durable`]), so a kill mid-save never leaves a
+    /// truncated checkpoint behind and a power loss after a successful
+    /// save never rolls it back. The serve knowledge store shares the
+    /// same helper for its segment files.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json().pretty())?;
-        std::fs::rename(&tmp, path)
+        peak_util::write_durable(path, self.to_json().pretty().as_bytes())
     }
 
     /// Load a checkpoint from disk.

@@ -20,6 +20,8 @@
 //! * [`adaptive`] — the §6 online/adaptive scenario (per-context winners);
 //! * [`degrade`] — rating supervisor: retry-with-backoff and the
 //!   CBR → MBR → RBR → WHL degradation cascade under injected faults;
+//! * [`job`] — the tuning-job unit behind the `peak-serve` daemon:
+//!   panic-isolated, cooperatively cancellable, warm-startable;
 //! * [`checkpoint`] — serializable tuner state for kill/resume;
 //! * [`harness`] — simulated application runs with version swapping;
 //! * [`stats`], [`linreg`] — EVAL/VAR windows, outlier elimination, least
@@ -36,6 +38,7 @@ pub mod consultant;
 pub mod context;
 pub mod degrade;
 pub mod harness;
+pub mod job;
 pub mod linreg;
 pub mod mbr;
 pub mod rating;
@@ -56,12 +59,19 @@ pub use consistency::{consistency_rows, consistency_rows_traced, ConsistencyRow,
 pub use consultant::{consult, Consultation, Method};
 pub use degrade::{DegradeEvent, DegradeTrigger, RatingSupervisor, SupervisorConfig};
 pub use harness::RunHarness;
+pub use job::{
+    classify_panic, machine_spec_by_name, method_by_name, run_tuning_job, CancelToken, Cancelled,
+    JobError, TuningJobSpec,
+};
 pub use mbr::MbrModel;
 pub use rating::{rate, rate_with, RateOptions, RateOutcome, TuningSetup};
 pub use sched::{default_threads, Pool, PoolStats};
 pub use search::{
-    exhaustive, iterative_elimination, iterative_elimination_parallel,
+    exhaustive, iterative_elimination, iterative_elimination_from, iterative_elimination_parallel,
     iterative_elimination_parallel_capped, random_search, SearchResult,
 };
-pub use tuner::{production_time, tune, tune_traced, tune_traced_pooled, TuneReport, Tuner};
+pub use tuner::{
+    production_time, tune, tune_traced, tune_traced_pooled, tune_with_options, TuneOptions,
+    TuneReport, Tuner,
+};
 pub use version_cache::{CacheStats, VersionCache, VersionKey};

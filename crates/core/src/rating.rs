@@ -8,6 +8,7 @@
 
 use crate::consultant::{Consultation, Method};
 use crate::harness::RunHarness;
+use crate::job::CancelToken;
 use crate::sched::Pool;
 use crate::stats::Window;
 use crate::version_cache::{VersionCache, VersionKey};
@@ -44,6 +45,7 @@ pub struct TuningSetup<'w> {
     fault_config: Option<FaultConfig>,
     tracer: Tracer,
     pool: Pool,
+    cancel: CancelToken,
     /// True cycles consumed by tuning runs so far.
     pub tuning_cycles: u64,
     /// Application runs started so far.
@@ -77,6 +79,7 @@ impl<'w> TuningSetup<'w> {
             fault_config: None,
             tracer: Tracer::disabled(),
             pool: Pool::with_threads(1),
+            cancel: CancelToken::new(),
             tuning_cycles: 0,
             runs_used: 0,
             invocations_used: 0,
@@ -120,6 +123,9 @@ impl<'w> TuningSetup<'w> {
             fault_config: self.fault_config.clone(),
             tracer: Tracer::disabled(),
             pool: Pool::with_threads(1),
+            // Forked jobs share the parent's cancel token: a deadline
+            // firing mid-frontier stops every candidate job cooperatively.
+            cancel: self.cancel.clone(),
             tuning_cycles: 0,
             runs_used: 0,
             invocations_used: 0,
@@ -186,6 +192,28 @@ impl<'w> TuningSetup<'w> {
         self.fault_config.as_ref()
     }
 
+    /// Install a cancellation token. Every subsequent run start (and IE
+    /// round boundary) becomes a cooperative cancellation point: when the
+    /// token fires, the next check unwinds with the
+    /// [`Cancelled`](crate::job::Cancelled) sentinel, to be caught at the
+    /// job boundary by [`crate::job::run_tuning_job`]. The default token
+    /// never fires, so uncancelled tuning is bit-identical.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// The installed cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Cooperative cancellation point: unwinds with the
+    /// [`Cancelled`](crate::job::Cancelled) sentinel when the installed
+    /// token has fired, else does nothing.
+    pub fn check_cancel(&self) {
+        self.cancel.check();
+    }
+
     /// Install a tracer: every subsequent run and rating call emits
     /// telemetry through it. The default disabled tracer leaves the
     /// tuning path bit-identical to an uninstrumented build.
@@ -239,8 +267,12 @@ impl<'w> TuningSetup<'w> {
         })
     }
 
-    /// Start a fresh application run (a new process).
+    /// Start a fresh application run (a new process). This is the
+    /// fine-grained cancellation point: a rating call starts at most
+    /// `MAX_RUNS_PER_RATING` runs, so a fired deadline interrupts tuning
+    /// within one application run's worth of work.
     pub fn new_run(&mut self) -> RunHarness<'w> {
+        self.cancel.check();
         self.runs_used += 1;
         self.next_seed += 1;
         let faults =

@@ -41,8 +41,17 @@
 use peak_obs::Tracer;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Poison-tolerant lock: the pool's mutexes guard plain data (token
+/// counts, job indices, result slots) whose invariants hold at every
+/// await point, so a panic inside a job must not wedge the pool for
+/// every later batch — the serve daemon runs panicking jobs behind
+/// `catch_unwind` and keeps scheduling on the same pool afterwards.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "PEAK_THREADS";
@@ -92,14 +101,30 @@ struct Budget {
 
 impl Budget {
     fn acquire_up_to(&self, want: usize) -> usize {
-        let mut free = self.free.lock().expect("budget lock");
+        let mut free = lock_ignore_poison(&self.free);
         let got = want.min(*free);
         *free -= got;
         got
     }
 
     fn release(&self, n: usize) {
-        *self.free.lock().expect("budget lock") += n;
+        *lock_ignore_poison(&self.free) += n;
+    }
+}
+
+/// Returns acquired helper tokens on drop, so a panicking job unwinding
+/// out of `map` cannot leak budget and starve every later batch down to
+/// serial execution.
+struct BudgetGuard<'a> {
+    budget: &'a Budget,
+    tokens: usize,
+}
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        if self.tokens > 0 {
+            self.budget.release(self.tokens);
+        }
     }
 }
 
@@ -200,11 +225,14 @@ impl Pool {
             return out;
         }
         let workers = helpers + 1;
+        // Tokens return on drop even if a job panics and unwinds out of
+        // the scope below.
+        let _guard = BudgetGuard { budget: &self.budget, tokens: helpers };
         // Deal jobs round-robin into per-worker deques.
         let deques: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for i in 0..n_jobs {
-            deques[i % workers].lock().expect("deque lock").push_back(i);
+            lock_ignore_poison(&deques[i % workers]).push_back(i);
         }
         let results: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -216,10 +244,11 @@ impl Pool {
             }
             self.worker_loop(0, workers, deques, results, f);
         });
-        self.budget.release(helpers);
         results
             .into_iter()
-            .map(|slot| slot.into_inner().expect("result lock").expect("job completed"))
+            .map(|slot| {
+                slot.into_inner().unwrap_or_else(|e| e.into_inner()).expect("job completed")
+            })
             .collect()
     }
 
@@ -233,7 +262,7 @@ impl Pool {
     {
         let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         self.map(slots.len(), |i| {
-            let job = slots[i].lock().expect("job lock").take().expect("job taken once");
+            let job = lock_ignore_poison(&slots[i]).take().expect("job taken once");
             job()
         })
     }
@@ -251,7 +280,7 @@ impl Pool {
     {
         loop {
             // Own deque first (front — submission order)…
-            let own = deques[id].lock().expect("deque lock").pop_front();
+            let own = lock_ignore_poison(&deques[id]).pop_front();
             let (job, stolen) = match own {
                 Some(i) => (Some(i), false),
                 None => {
@@ -260,7 +289,7 @@ impl Pool {
                     let mut found = None;
                     for off in 1..workers {
                         let victim = (id + off) % workers;
-                        if let Some(i) = deques[victim].lock().expect("deque lock").pop_back() {
+                        if let Some(i) = lock_ignore_poison(&deques[victim]).pop_back() {
                             found = Some(i);
                             break;
                         }
@@ -278,7 +307,7 @@ impl Pool {
             if id == 0 {
                 self.counters.inline_jobs.fetch_add(1, Ordering::Relaxed);
             }
-            *results[i].lock().expect("result lock") = Some(r);
+            *lock_ignore_poison(&results[i]) = Some(r);
         }
     }
 
@@ -443,6 +472,31 @@ mod tests {
             // An empty batch must not leak budget tokens: a later real
             // batch still completes.
             assert_eq!(pool.map(3, |i| i), vec![0, 1, 2], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job_without_leaking_budget() {
+        // The serve daemon isolates panicking jobs with catch_unwind but
+        // keeps scheduling on the same pool: a panic must neither poison
+        // the pool's locks nor leak helper tokens.
+        for threads in [1, 3] {
+            let pool = Pool::with_threads(threads);
+            for round in 0..3 {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    pool.map(6, |i| {
+                        if i == 4 {
+                            panic!("injected job failure (round {round})");
+                        }
+                        i * 3
+                    })
+                }));
+                assert!(r.is_err(), "threads={threads} round={round}");
+                // The pool still runs full batches afterwards — in
+                // parallel, with the full budget.
+                let out = pool.map(8, |i| i + 100);
+                assert_eq!(out, (100..108).collect::<Vec<_>>(), "threads={threads}");
+            }
         }
     }
 

@@ -105,13 +105,31 @@ pub fn rate_with_fallback(
     }
 }
 
-/// Iterative Elimination with the given (initial) rating method.
+/// Iterative Elimination with the given (initial) rating method,
+/// starting from -O3 (the paper's protocol).
 pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> SearchResult {
-    let mut base = OptConfig::o3();
+    iterative_elimination_from(setup, method, OptConfig::o3())
+}
+
+/// [`iterative_elimination`] from an explicit start configuration — the
+/// serve daemon's knowledge-store warm start seeds the search with a
+/// nearest-neighbour best config instead of -O3. With `start =
+/// OptConfig::o3()` this is exactly [`iterative_elimination`].
+///
+/// Each round boundary is a cooperative cancellation point
+/// ([`TuningSetup::check_cancel`]); with the default token this is
+/// a no-op.
+pub fn iterative_elimination_from(
+    setup: &mut TuningSetup<'_>,
+    method: Method,
+    start: OptConfig,
+) -> SearchResult {
+    let mut base = start;
     let mut ratings = 0usize;
     let mut switches = 0u32;
     let mut last_method = method;
     for round in 0..MAX_IE_ROUNDS {
+        setup.check_cancel();
         let flags: Vec<Flag> = base.enabled_flags();
         if flags.is_empty() {
             break;

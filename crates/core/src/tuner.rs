@@ -9,9 +9,10 @@
 use crate::checkpoint::TunerCheckpoint;
 use crate::consultant::Method;
 use crate::degrade::{DegradeEvent, RatingSupervisor, SupervisorConfig};
+use crate::job::CancelToken;
 use crate::rating::{rate, TuningSetup};
 use crate::sched::Pool;
-use crate::search::{iterative_elimination, SearchResult};
+use crate::search::{iterative_elimination_from, SearchResult};
 use crate::version_cache::VersionCache;
 use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
@@ -115,11 +116,43 @@ pub fn tune_traced_pooled(
     tracer: Tracer,
     pool: &Pool,
 ) -> TuneReport {
+    tune_with_options(workload, spec, method, tuned_on, tracer, pool, &TuneOptions::default())
+}
+
+/// Job-layer knobs for [`tune_with_options`]. The default — O3 start, a
+/// cancel token that never fires — makes it exactly
+/// [`tune_traced_pooled`].
+#[derive(Debug, Clone, Default)]
+pub struct TuneOptions {
+    /// IE start configuration (`None` = O3; the serve daemon's
+    /// knowledge-store warm start supplies a nearest-neighbour config).
+    pub start: Option<OptConfig>,
+    /// Cooperative cancellation token, checked at run starts, IE round
+    /// boundaries, and between the tuning and production phases.
+    pub cancel: CancelToken,
+}
+
+/// [`tune_traced_pooled`] with job-layer options (warm start +
+/// cancellation) — the entry point behind
+/// [`run_tuning_job`](crate::job::run_tuning_job).
+pub fn tune_with_options(
+    workload: &dyn Workload,
+    spec: &MachineSpec,
+    method: Method,
+    tuned_on: Dataset,
+    tracer: Tracer,
+    pool: &Pool,
+    options: &TuneOptions,
+) -> TuneReport {
     let mut setup = TuningSetup::new(workload, spec.clone(), tuned_on);
     setup.set_tracer(tracer);
     setup.set_pool(pool.clone());
-    let search = iterative_elimination(&mut setup, method);
+    setup.set_cancel(options.cancel.clone());
+    let start = options.start.unwrap_or_else(OptConfig::o3);
+    let search = iterative_elimination_from(&mut setup, method, start);
+    options.cancel.check();
     let baseline_cycles = production_time(workload, spec, OptConfig::o3(), Dataset::Ref);
+    options.cancel.check();
     let tuned_cycles = production_time(workload, spec, search.best, Dataset::Ref);
     let improvement_pct =
         (baseline_cycles as f64 / tuned_cycles.max(1) as f64 - 1.0) * 100.0;
@@ -494,7 +527,7 @@ mod tests {
         let w = SwimCalc3::new();
         let spec = MachineSpec::sparc_ii();
         let mut setup = TuningSetup::new(&w, spec.clone(), Dataset::Train);
-        let reference = iterative_elimination(&mut setup, Method::Cbr);
+        let reference = crate::search::iterative_elimination(&mut setup, Method::Cbr);
         let mut tuner = Tuner::new(&w, spec, Method::Cbr, Dataset::Train);
         let supervised = tuner.run();
         assert_eq!(supervised.best, reference.best);

@@ -115,6 +115,67 @@ fn crash_jitter_scenario_completes_via_cascade() {
 }
 
 #[test]
+fn combined_fault_types_in_one_run_degrade_gracefully_and_replay() {
+    // All three non-crash fault families firing together in a single
+    // run — timer spikes + heavy measurement dropout + cache/predictor
+    // state pollution — must walk the supervisor down the cascade (not
+    // panic, not hang, not emit NaN) and replay bit-identically.
+    let combined = |seed: u64| {
+        let mut fc = FaultConfig::none(seed);
+        // Timer spikes: frequent and large.
+        fc.spike_per_million = 200_000;
+        fc.spike_cycles = 5_000;
+        // Sustained jitter bursts on top.
+        fc.burst_per_million = 50_000;
+        fc.burst_len = (4, 12);
+        fc.burst_factor = 1.5;
+        // Dropout heavy enough to trip the supervisor's rate threshold.
+        fc.dropout_per_million = 400_000;
+        // State pollution: co-tenant cache/predictor perturbation.
+        fc.perturb_per_million = 300_000;
+        fc.perturb_lines = 64;
+        fc
+    };
+    let run = |seed: u64| {
+        let w = SwimCalc3::new();
+        let mut setup = TuningSetup::new(&w, MachineSpec::sparc_ii(), Dataset::Train);
+        setup.set_faults(Some(combined(seed)));
+        let base = OptConfig::o3();
+        let cand = [base.without(peak_opt::Flag::LoopUnroll), base];
+        let mut sup = RatingSupervisor::default();
+        let (out, used) = sup.rate(&mut setup, Method::Cbr, base, &cand);
+        (out.improvements.clone(), used, sup.events().to_vec())
+    };
+    let (imp, used, events) = run(0x0C0B);
+    assert!(imp.iter().all(|i| i.is_finite()), "combined faults must not corrupt ratings: {imp:?}");
+    assert!(
+        !events.is_empty(),
+        "the combined scenario must actually trigger the cascade (ended at {used:?})"
+    );
+    // Dropout is the designed tripwire for this mix; the cascade must
+    // attribute at least one step to it (spikes/pollution surface as
+    // unconverged windows when they dominate instead).
+    assert!(
+        events
+            .iter()
+            .all(|e| matches!(
+                e.trigger,
+                DegradeTrigger::DropoutRate
+                    | DegradeTrigger::Unconverged
+                    | DegradeTrigger::ContextExplosion
+            )),
+        "unexpected trigger in {events:?}"
+    );
+    // Bit-identical replay, and seed sensitivity stays panic-free.
+    let (imp2, used2, events2) = run(0x0C0B);
+    assert_eq!((&imp, used, &events), (&imp2, used2, &events2), "combined faults must replay");
+    for seed in [7u64, 8, 9] {
+        let (imp, _, _) = run(seed);
+        assert!(imp.iter().all(|i| i.is_finite()));
+    }
+}
+
+#[test]
 fn faulted_tuner_kill_resume_matches_uninterrupted_run() {
     let w = SwimCalc3::new();
     let spec = MachineSpec::sparc_ii();

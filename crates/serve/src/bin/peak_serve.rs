@@ -1,0 +1,123 @@
+//! `peak-serve` — run the tuning daemon, or talk to one.
+//!
+//! ```text
+//! peak-serve serve --socket PATH --store DIR \
+//!     [--workers N] [--queue-cap N] [--trace FILE]
+//! peak-serve send --socket PATH LINE [LINE ...]
+//! ```
+//!
+//! `serve` runs until a `shutdown` request arrives. `send` writes each
+//! LINE (a JSONL request) to the socket, waits for exactly one response
+//! per request, and prints the responses in arrival order.
+
+use peak_obs::{JsonlSink, Tracer};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => serve(&args[2..]),
+        Some("send") => send(&args[2..]),
+        _ => {
+            eprintln!("usage: peak-serve serve --socket PATH --store DIR [--workers N] [--queue-cap N] [--trace FILE]");
+            eprintln!("       peak-serve send --socket PATH LINE [LINE ...]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn required(args: &[String], key: &str) -> String {
+    arg_value(args, key).unwrap_or_else(|| {
+        eprintln!("error: missing required argument {key}");
+        std::process::exit(2);
+    })
+}
+
+fn serve(args: &[String]) {
+    let socket = required(args, "--socket");
+    let store = required(args, "--store");
+    let mut config = peak_serve::ServeConfig::new(&socket, &store);
+    if let Some(w) = arg_value(args, "--workers") {
+        config.workers = w.parse().unwrap_or_else(|_| {
+            eprintln!("error: --workers wants an integer, got {w:?}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(q) = arg_value(args, "--queue-cap") {
+        config.queue_cap = q.parse().unwrap_or_else(|_| {
+            eprintln!("error: --queue-cap wants an integer, got {q:?}");
+            std::process::exit(2);
+        });
+    }
+    let trace_path = arg_value(args, "--trace");
+    let tracer = match &trace_path {
+        Some(path) => {
+            let sink = JsonlSink::create(Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            });
+            Tracer::to_sink(Arc::new(sink))
+        }
+        None => Tracer::disabled(),
+    };
+    let handle = peak_serve::start(config, tracer).unwrap_or_else(|e| {
+        eprintln!("error: cannot start daemon on {socket}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("peak-serve: listening on {socket} (store {store})");
+    handle.wait();
+    eprintln!("peak-serve: stopped");
+    if let Some(path) = trace_path {
+        eprintln!("trace: wrote {path}");
+    }
+}
+
+fn send(args: &[String]) {
+    let socket = required(args, "--socket");
+    let lines: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--") && (i == 0 || args[i - 1] != "--socket")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    if lines.is_empty() {
+        eprintln!("error: nothing to send");
+        std::process::exit(2);
+    }
+    let mut stream = UnixStream::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {socket}: {e}");
+        std::process::exit(1);
+    });
+    let read_half = stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("error: cannot clone socket: {e}");
+        std::process::exit(1);
+    });
+    for line in &lines {
+        writeln!(stream, "{line}").expect("write request");
+    }
+    stream.flush().expect("flush requests");
+    let reader = BufReader::new(read_half);
+    let mut seen = 0;
+    for response in reader.lines() {
+        let response = response.unwrap_or_else(|e| {
+            eprintln!("error: connection lost after {seen} responses: {e}");
+            std::process::exit(1);
+        });
+        println!("{response}");
+        seen += 1;
+        if seen == lines.len() {
+            return;
+        }
+    }
+    eprintln!("error: daemon closed the connection after {seen} of {} responses", lines.len());
+    std::process::exit(1);
+}

@@ -1,0 +1,449 @@
+//! The tuning daemon: a Unix-socket JSONL server multiplexing tuning
+//! jobs onto the shared `peak-core` work-stealing pool.
+//!
+//! ## Crash-safety doctrine
+//!
+//! The daemon assumes every job wants to kill it and arranges not to
+//! die:
+//!
+//! * jobs run under `catch_unwind` (in [`peak_core::run_tuning_job`]) —
+//!   a panicking job answers `{"error":"panicked"}` after bounded
+//!   retries, and the pool's poison-tolerant locks plus drop-guard token
+//!   release keep the scheduler healthy for the next job;
+//! * malformed request lines answer `{"error":"malformed"}` (with the
+//!   line's `id` when salvageable) and never tear the connection;
+//! * admission control bounds the queue — beyond
+//!   [`ServeConfig::queue_cap`] pending jobs, new `tune` requests are
+//!   load-shed with `{"error":"overloaded"}` and a `serve.shed` trace
+//!   event instead of growing without bound;
+//! * deadlines fire the job's [`CancelToken`] from the shared
+//!   [`DeadlineWatchdog`]; cancellation is cooperative and answers
+//!   `{"error":"deadline_exceeded"}`;
+//! * graceful shutdown lets in-flight jobs finish and refuses queued and
+//!   new ones with `{"error":"shutdown"}`.
+//!
+//! Completed results persist into the [`KnowledgeStore`]; requests with
+//! `"warm_start":true` seed IE from the nearest stored neighbour
+//! (same machine, closest feature vector). Warm start is opt-in because
+//! a warm-started search is *not* bit-identical to the offline O3-start
+//! search — the default path is.
+
+use crate::features::FeatureVec;
+use crate::protocol::{error_response, ok_response, parse_request, salvage_id, Request, TuneRequest};
+use crate::store::{KnowledgeStore, StoreRecord};
+use crate::supervisor::{run_supervised, DeadlineWatchdog, RetryPolicy};
+use peak_core::sched::Pool;
+use peak_core::{method_by_name, CancelToken, JobError, TuningJobSpec};
+use peak_obs::{event, span, Tracer};
+use peak_util::{Json, ToJson};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path (unlinked and re-bound at startup).
+    pub socket: PathBuf,
+    /// Knowledge-store directory.
+    pub store_dir: PathBuf,
+    /// Worker threads executing tuning jobs.
+    pub workers: usize,
+    /// Max queued (not yet running) jobs before load-shedding.
+    pub queue_cap: usize,
+    /// Retry policy for panicked jobs.
+    pub retry: RetryPolicy,
+}
+
+impl ServeConfig {
+    /// Defaults: 2 workers, queue of 8, default retry policy.
+    pub fn new(socket: impl Into<PathBuf>, store_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            socket: socket.into(),
+            store_dir: store_dir.into(),
+            workers: 2,
+            queue_cap: 8,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Connection writer: responses from concurrent workers interleave
+/// whole-line-atomically.
+type Out = Arc<Mutex<UnixStream>>;
+
+struct QueuedJob {
+    id: String,
+    job: TuneRequest,
+    out: Out,
+}
+
+#[derive(Default)]
+struct Stats {
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    shed: AtomicU64,
+}
+
+struct Inner {
+    config: ServeConfig,
+    tracer: Tracer,
+    pool: Pool,
+    watchdog: DeadlineWatchdog,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    store: Mutex<KnowledgeStore>,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Handle to a running daemon.
+pub struct DaemonHandle {
+    inner: Arc<Inner>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// Request graceful shutdown (equivalent to a `shutdown` request).
+    pub fn stop(&self) {
+        initiate_shutdown(&self.inner);
+    }
+
+    /// Block until the daemon has fully stopped, then remove the socket.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.inner.config.socket);
+    }
+
+    /// The socket path the daemon is listening on.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.inner.config.socket
+    }
+}
+
+/// Cancellation unwinds are routine control flow (every blown deadline
+/// fires one); keep the default panic hook from spamming stderr with
+/// their backtraces. Real panics still print. Installed once per
+/// process, wrapping whatever hook was there.
+fn silence_cancelled_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<peak_core::Cancelled>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Start the daemon: bind the socket, open (and, where needed,
+/// quarantine) the knowledge store, spawn the accept loop and worker
+/// threads. Returns once the daemon is accepting connections.
+pub fn start(config: ServeConfig, tracer: Tracer) -> std::io::Result<DaemonHandle> {
+    silence_cancelled_panics();
+    let _ = std::fs::remove_file(&config.socket);
+    if let Some(parent) = config.socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let listener = UnixListener::bind(&config.socket)?;
+    let store = KnowledgeStore::open(&config.store_dir, tracer.clone())?;
+    event!(
+        tracer,
+        "serve.start",
+        socket = config.socket.display().to_string(),
+        workers = config.workers as u64,
+        queue_cap = config.queue_cap as u64,
+        store_records = store.len() as u64,
+        store_quarantined = store.quarantined() as u64,
+    );
+    let inner = Arc::new(Inner {
+        tracer,
+        pool: Pool::from_env(),
+        watchdog: DeadlineWatchdog::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        store: Mutex::new(store),
+        shutdown: AtomicBool::new(false),
+        stats: Stats::default(),
+        config,
+    });
+    let workers = (0..inner.config.workers.max(1))
+        .map(|k| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("peak-serve-worker-{k}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let accept_inner = inner.clone();
+    let accept = std::thread::Builder::new()
+        .name("peak-serve-accept".into())
+        .spawn(move || accept_loop(&accept_inner, &listener))
+        .expect("spawn accept thread");
+    Ok(DaemonHandle { inner, accept: Some(accept), workers })
+}
+
+fn initiate_shutdown(inner: &Arc<Inner>) {
+    if inner.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    event!(inner.tracer, "serve.shutdown");
+    inner.queue_cv.notify_all();
+    // Unblock the accept loop: it re-checks the flag per connection.
+    let _ = UnixStream::connect(&inner.config.socket);
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &UnixListener) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let conn_inner = inner.clone();
+                // Connection readers are detached: they exit on client
+                // EOF and never block shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("peak-serve-conn".into())
+                    .spawn(move || connection_loop(&conn_inner, stream));
+            }
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn respond(out: &Out, line: &str) {
+    let mut stream = lock_ok(out);
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+fn connection_loop(inner: &Arc<Inner>, stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let out: Out = Arc::new(Mutex::new(stream));
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(inner, &line, &out);
+    }
+}
+
+fn handle_line(inner: &Arc<Inner>, line: &str, out: &Out) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(reason) => {
+            let id = salvage_id(line);
+            respond(out, &error_response(id.as_deref(), "malformed", &reason, 0));
+            return;
+        }
+    };
+    match request {
+        Request::Ping { id } => {
+            respond(out, &ok_response(&id, vec![("pong", Json::Bool(true))]));
+        }
+        Request::Stats { id } => {
+            let (records, quarantined) = {
+                let store = lock_ok(&inner.store);
+                (store.len() as u64, store.quarantined() as u64)
+            };
+            respond(
+                out,
+                &ok_response(
+                    &id,
+                    vec![
+                        ("jobs_ok", inner.stats.jobs_ok.load(Ordering::Relaxed).to_json()),
+                        ("jobs_failed", inner.stats.jobs_failed.load(Ordering::Relaxed).to_json()),
+                        ("shed", inner.stats.shed.load(Ordering::Relaxed).to_json()),
+                        ("queue_depth", (lock_ok(&inner.queue).len() as u64).to_json()),
+                        ("store_records", records.to_json()),
+                        ("store_quarantined", quarantined.to_json()),
+                        ("workers", (inner.config.workers as u64).to_json()),
+                    ],
+                ),
+            );
+        }
+        Request::Shutdown { id } => {
+            respond(out, &ok_response(&id, vec![("stopping", Json::Bool(true))]));
+            initiate_shutdown(inner);
+        }
+        Request::Tune { id, job } => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                respond(out, &error_response(Some(&id), "shutdown", "daemon is shutting down", 0));
+                return;
+            }
+            let mut queue = lock_ok(&inner.queue);
+            if queue.len() >= inner.config.queue_cap {
+                drop(queue);
+                inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                event!(inner.tracer, "serve.shed", id = id.as_str(), benchmark = job.benchmark.as_str());
+                respond(
+                    out,
+                    &error_response(
+                        Some(&id),
+                        "overloaded",
+                        &format!("queue full ({} pending)", inner.config.queue_cap),
+                        0,
+                    ),
+                );
+                return;
+            }
+            queue.push_back(QueuedJob { id, job, out: out.clone() });
+            drop(queue);
+            inner.queue_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let queued = {
+            let mut queue = lock_ok(&inner.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Queued but never started: refuse, don't run.
+            respond(
+                &queued.out,
+                &error_response(Some(&queued.id), "shutdown", "daemon is shutting down", 0),
+            );
+            continue;
+        }
+        process_tune(inner, &queued);
+    }
+}
+
+fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
+    let id = &queued.id;
+    let req = &queued.job;
+    let t = &inner.tracer;
+    let _span = span!(t, "serve.job", id = id.as_str(), benchmark = req.benchmark.as_str());
+
+    // Resolve the method name here so bad names answer before any work.
+    let method = match &req.method {
+        None => None,
+        Some(name) => match method_by_name(name) {
+            Some(m) => Some(m),
+            None => {
+                inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                let e = JobError::UnknownMethod(name.clone());
+                respond(&queued.out, &error_response(Some(id), e.kind(), &e.to_string(), 0));
+                return;
+            }
+        },
+    };
+
+    // Feature vector of the requested section: the knowledge-store key,
+    // both for warm-start lookup and for persisting the result.
+    let features = peak_workloads::workload_by_name(&req.benchmark)
+        .map(|w| FeatureVec::of_workload(w.as_ref()));
+    let canonical_machine =
+        peak_core::machine_spec_by_name(&req.machine).map(|s| s.kind.name().to_owned());
+
+    let mut spec = TuningJobSpec::new(&req.benchmark, &req.machine);
+    spec.method = method;
+    spec.dataset = req.dataset;
+    let mut warm_started = false;
+    if req.warm_start {
+        if let (Some(f), Some(machine)) = (&features, &canonical_machine) {
+            if let Some(hit) = lock_ok(&inner.store).nearest(f, machine) {
+                spec.start_bits = Some(hit.best_bits);
+                warm_started = true;
+                event!(
+                    t,
+                    "serve.warmstart",
+                    id = id.as_str(),
+                    benchmark = req.benchmark.as_str(),
+                    neighbour = hit.benchmark.as_str(),
+                    distance = f.distance(&hit.features),
+                    start_bits = hit.best_bits,
+                );
+            }
+        }
+        // No neighbour / unknown names: silently fall back to the full
+        // O3-start sweep (a cold store must not fail jobs).
+    }
+
+    let outcome = run_supervised(
+        &spec,
+        req.inject,
+        req.deadline_ms,
+        &inner.config.retry,
+        &inner.watchdog,
+        CancelToken::new(),
+        t,
+        &inner.pool,
+    );
+    match outcome.result {
+        Ok(report) => {
+            inner.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            if let Some(f) = features {
+                let rec = StoreRecord {
+                    benchmark: report.benchmark.clone(),
+                    machine: report.machine.clone(),
+                    method: report.method.name().to_owned(),
+                    features: f,
+                    best_bits: report.search.best.bits(),
+                    improvement_pct: report.improvement_pct,
+                };
+                if let Err(e) = lock_ok(&inner.store).record(rec) {
+                    event!(t, "store.write_error", id = id.as_str(), error = e.to_string());
+                }
+            }
+            let mut extra = vec![("result", report.to_json())];
+            if outcome.retries > 0 {
+                extra.push(("retries", outcome.retries.to_json()));
+            }
+            if warm_started {
+                extra.push(("warm_started", Json::Bool(true)));
+            }
+            respond(&queued.out, &ok_response(id, extra));
+        }
+        Err(e) => {
+            inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let (kind, message) = if e == JobError::Cancelled && outcome.deadline_hit {
+                (
+                    "deadline_exceeded",
+                    format!("deadline of {}ms exceeded", req.deadline_ms.unwrap_or(0)),
+                )
+            } else {
+                (e.kind(), e.to_string())
+            };
+            respond(&queued.out, &error_response(Some(id), kind, &message, outcome.retries));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Program feature vectors: the knowledge store's key space.
+//!
+//! Cross-program warm starts (Cereda et al.'s collaborative filtering,
+//! PAPERS.md) need a notion of program similarity. We reuse the IR
+//! analyses the consultant already runs — CFG, dominators, loop forest —
+//! to summarize a tuning section's *shape*: block/statement counts, loop
+//! structure, memory-reference and call density, and the invocation
+//! volume of the training input. Nearest-neighbour distance is summed
+//! absolute difference in log-space (counts vary over orders of
+//! magnitude; log1p keeps small sections comparable to big ones).
+
+use peak_ir::{Cfg, Dominators, LoopForest, Rvalue, Stmt};
+use peak_util::{Json, ToJson};
+use peak_workloads::{Dataset, Workload};
+
+/// Shape summary of one tuning section (the knowledge-store key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureVec {
+    /// Basic blocks in the TS function.
+    pub blocks: u64,
+    /// Statements in the TS function.
+    pub stmts: u64,
+    /// Natural loops.
+    pub loops: u64,
+    /// Maximum loop nesting depth.
+    pub max_loop_depth: u64,
+    /// Memory loads (including prefetches' address computations).
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Call sites (void + value calls).
+    pub calls: u64,
+    /// Declared memory regions in the program.
+    pub regions: u64,
+    /// TS invocations per training run.
+    pub invocations: u64,
+}
+
+impl FeatureVec {
+    /// Extract the feature vector of a workload's tuning section.
+    pub fn of_workload(w: &dyn Workload) -> FeatureVec {
+        let prog = w.program();
+        let f = prog.func(w.ts());
+        let cfg = Cfg::build(f);
+        let dom = Dominators::build(f, &cfg);
+        let forest = LoopForest::build(f, &cfg, &dom);
+        let mut v = FeatureVec {
+            blocks: f.num_blocks() as u64,
+            loops: forest.loops.len() as u64,
+            max_loop_depth: forest.loops.iter().map(|l| l.depth as u64).max().unwrap_or(0),
+            regions: prog.mems.len() as u64,
+            invocations: w.invocations(Dataset::Train) as u64,
+            ..FeatureVec::default()
+        };
+        for b in f.block_ids() {
+            for s in &f.block(b).stmts {
+                v.stmts += 1;
+                match s {
+                    Stmt::Assign { rv, .. } => match rv {
+                        Rvalue::Load(_) => v.loads += 1,
+                        Rvalue::Call { .. } => v.calls += 1,
+                        _ => {}
+                    },
+                    Stmt::Store { .. } => v.stores += 1,
+                    Stmt::CallVoid { .. } => v.calls += 1,
+                    Stmt::Prefetch { .. } => v.loads += 1,
+                    Stmt::CounterInc { .. } => {}
+                }
+            }
+        }
+        v
+    }
+
+    /// The vector as ordered components (for distance and serialization).
+    fn components(&self) -> [u64; 9] {
+        [
+            self.blocks,
+            self.stmts,
+            self.loops,
+            self.max_loop_depth,
+            self.loads,
+            self.stores,
+            self.calls,
+            self.regions,
+            self.invocations,
+        ]
+    }
+
+    /// Log-space L1 distance: `Σ |ln(1+aᵢ) − ln(1+bᵢ)|`. Zero iff the
+    /// vectors are identical; insensitive to absolute scale.
+    pub fn distance(&self, other: &FeatureVec) -> f64 {
+        self.components()
+            .iter()
+            .zip(other.components().iter())
+            .map(|(&a, &b)| ((a as f64).ln_1p() - (b as f64).ln_1p()).abs())
+            .sum()
+    }
+
+    /// Parse the JSON written by [`ToJson`].
+    pub fn from_json(j: &Json) -> Option<FeatureVec> {
+        Some(FeatureVec {
+            blocks: j.get("blocks")?.as_u64()?,
+            stmts: j.get("stmts")?.as_u64()?,
+            loops: j.get("loops")?.as_u64()?,
+            max_loop_depth: j.get("max_loop_depth")?.as_u64()?,
+            loads: j.get("loads")?.as_u64()?,
+            stores: j.get("stores")?.as_u64()?,
+            calls: j.get("calls")?.as_u64()?,
+            regions: j.get("regions")?.as_u64()?,
+            invocations: j.get("invocations")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for FeatureVec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("blocks", self.blocks.to_json()),
+            ("stmts", self.stmts.to_json()),
+            ("loops", self.loops.to_json()),
+            ("max_loop_depth", self.max_loop_depth.to_json()),
+            ("loads", self.loads.to_json()),
+            ("stores", self.stores.to_json()),
+            ("calls", self.calls.to_json()),
+            ("regions", self.regions.to_json()),
+            ("invocations", self.invocations.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_a_nonempty_feature_vector() {
+        for w in peak_workloads::all_workloads() {
+            let v = FeatureVec::of_workload(w.as_ref());
+            // Not every TS has loops or calls (VORTEX's is branchy
+            // straight-line code), but blocks/statements/invocations
+            // always distinguish it.
+            assert!(v.blocks > 0 && v.stmts > 0 && v.invocations > 0, "{}: {v:?}", w.name());
+            assert_eq!(v.distance(&v), 0.0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn self_distance_is_minimal() {
+        // A workload's own vector must be its nearest neighbour.
+        let ws = peak_workloads::all_workloads();
+        let vecs: Vec<FeatureVec> = ws.iter().map(|w| FeatureVec::of_workload(w.as_ref())).collect();
+        for (i, v) in vecs.iter().enumerate() {
+            for (k, o) in vecs.iter().enumerate() {
+                if i != k {
+                    assert!(v.distance(o) >= v.distance(v), "{} vs {}", ws[i].name(), ws[k].name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = FeatureVec::of_workload(peak_workloads::workload_by_name("SWIM").unwrap().as_ref());
+        let back = FeatureVec::from_json(&peak_util::from_str(&v.to_json().compact()).unwrap());
+        assert_eq!(back, Some(v));
+    }
+}

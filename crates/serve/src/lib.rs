@@ -1,0 +1,46 @@
+//! # peak-serve — crash-safe tuning-as-a-service
+//!
+//! A long-lived daemon exposing the `peak-core` tuning job API
+//! ([`peak_core::run_tuning_job`]) over a Unix socket speaking JSONL.
+//! The paper's workflow (rate candidate optimizations, iteratively
+//! eliminate harmful ones, report the best configuration) becomes a
+//! service: submit `{"id":…,"kind":"tune","benchmark":…,"machine":…}`,
+//! read back one structured response per request.
+//!
+//! Layers:
+//!
+//! * [`protocol`] — request/response line format (parse, salvage,
+//!   respond);
+//! * [`supervisor`] — per-job deadlines (a shared watchdog thread firing
+//!   cooperative [`peak_core::CancelToken`]s), bounded retry with
+//!   exponential backoff, fault injection for the harnesses;
+//! * [`daemon`] — socket accept loop, bounded admission queue with
+//!   load-shedding, worker threads multiplexing jobs onto the
+//!   work-stealing [`peak_core::Pool`], graceful shutdown;
+//! * [`features`] / [`store`] — program feature vectors and the
+//!   CRC-framed, quarantine-on-corruption knowledge store that persists
+//!   completed ratings and warm-starts similar jobs.
+//!
+//! The robustness contract (pinned by `serve_storm` and the e2e tests):
+//! the daemon survives panicking jobs, malformed lines, blown deadlines,
+//! overload, and a corrupted store — every failure answers a structured
+//! error, and valid jobs' results stay bit-identical to offline tuning.
+//!
+//! See DESIGN.md §13 for the protocol field tables and store format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod features;
+pub mod protocol;
+pub mod store;
+pub mod supervisor;
+
+pub use daemon::{start, DaemonHandle, ServeConfig};
+pub use features::FeatureVec;
+pub use protocol::{
+    error_response, ok_response, parse_request, salvage_id, Inject, Request, TuneRequest,
+};
+pub use store::{KnowledgeStore, StoreRecord};
+pub use supervisor::{run_supervised, DeadlineWatchdog, JobOutcome, RetryPolicy};

@@ -1,0 +1,343 @@
+//! The on-disk knowledge store: completed tuning results keyed by
+//! program feature vectors, in the spirit of the Collective Tuning
+//! Initiative's shared repository (Fursin, PAPERS.md).
+//!
+//! ## Format
+//!
+//! `N_SHARDS` segment files (`shard-K.seg`) under the store directory;
+//! a record lives in the shard of its `(benchmark, machine)` hash. Each
+//! record is one line:
+//!
+//! ```text
+//! PEAKKS1 <crc32-hex8> <compact-json>
+//! ```
+//!
+//! where the CRC (CRC-32/ISO-HDLC, [`peak_util::crc32`]) covers exactly
+//! the JSON bytes. Segments are rewritten whole through
+//! [`peak_util::write_durable`] (temp + fsync + rename + dir fsync), the
+//! same helper the tuner checkpoint uses — so a crashed writer leaves
+//! either the old segment or the new one, never a mix.
+//!
+//! ## Corruption doctrine
+//!
+//! Startup *never* aborts on bad state. A segment that fails any check —
+//! zero-length file (torn create), bad magic, CRC mismatch (bit flip or
+//! truncated tail), unparseable or schema-invalid JSON (concurrent-
+//! writer tear) — is **quarantined**: renamed to `shard-K.quarantined-N`
+//! next to the live segment (preserved for forensics, never re-read) and
+//! skipped. The daemon starts clean with whatever healthy segments
+//! remain; warm-start queries against missing knowledge simply fall back
+//! to the full O3 sweep.
+
+use crate::features::FeatureVec;
+use peak_obs::{event, Tracer};
+use peak_util::{crc32, Json, ToJson};
+use std::path::{Path, PathBuf};
+
+/// Number of segment files.
+pub const N_SHARDS: usize = 8;
+
+/// Record magic: bump on any line-format change.
+pub const MAGIC: &str = "PEAKKS1";
+
+/// One completed tuning result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Machine name (must match for warm-start reuse).
+    pub machine: String,
+    /// Rating method that produced the result.
+    pub method: String,
+    /// Feature vector of the tuning section.
+    pub features: FeatureVec,
+    /// Best configuration found (flag bits).
+    pub best_bits: u64,
+    /// Production improvement over -O3, percent.
+    pub improvement_pct: f64,
+}
+
+impl ToJson for StoreRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("benchmark", self.benchmark.to_json()),
+            ("machine", self.machine.to_json()),
+            ("method", self.method.to_json()),
+            ("features", self.features.to_json()),
+            ("best_bits", self.best_bits.to_json()),
+            ("improvement_pct", self.improvement_pct.to_json()),
+        ])
+    }
+}
+
+impl StoreRecord {
+    /// Parse the JSON written by [`ToJson`].
+    pub fn from_json(j: &Json) -> Option<StoreRecord> {
+        Some(StoreRecord {
+            benchmark: j.get("benchmark")?.as_str()?.to_owned(),
+            machine: j.get("machine")?.as_str()?.to_owned(),
+            method: j.get("method")?.as_str()?.to_owned(),
+            features: FeatureVec::from_json(j.get("features")?)?,
+            best_bits: j.get("best_bits")?.as_u64()?,
+            improvement_pct: j.get("improvement_pct")?.as_f64()?,
+        })
+    }
+
+    /// The record's CRC-framed segment line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let json = self.to_json().compact();
+        format!("{MAGIC} {:08x} {json}", crc32(json.as_bytes()))
+    }
+
+    /// Parse one segment line, checking magic and CRC.
+    pub fn parse_line(line: &str) -> Result<StoreRecord, String> {
+        let rest = line.strip_prefix(MAGIC).ok_or("bad magic")?;
+        let rest = rest.strip_prefix(' ').ok_or("bad magic separator")?;
+        let (crc_hex, json_str) = rest.split_once(' ').ok_or("missing CRC separator")?;
+        let want =
+            u32::from_str_radix(crc_hex, 16).map_err(|_| format!("bad CRC field {crc_hex:?}"))?;
+        let got = crc32(json_str.as_bytes());
+        if got != want {
+            return Err(format!("CRC mismatch: line says {want:08x}, bytes hash to {got:08x}"));
+        }
+        let j = peak_util::from_str(json_str).map_err(|e| format!("invalid JSON: {e}"))?;
+        StoreRecord::from_json(&j).ok_or_else(|| "not a store record".to_owned())
+    }
+}
+
+/// FNV-1a over the (lowercased) benchmark+machine key → shard index.
+fn shard_of(benchmark: &str, machine: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in benchmark.bytes().chain([0u8]).chain(machine.bytes()) {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    (h % N_SHARDS as u64) as usize
+}
+
+fn shard_path(dir: &Path, k: usize) -> PathBuf {
+    dir.join(format!("shard-{k}.seg"))
+}
+
+/// Load one segment file; `Err` is the corruption reason.
+fn load_segment(path: &Path) -> Result<Vec<StoreRecord>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+    if bytes.is_empty() {
+        return Err("zero-length segment (torn create)".to_owned());
+    }
+    let text = String::from_utf8(bytes).map_err(|_| "not UTF-8".to_owned())?;
+    let mut records = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let rec =
+            StoreRecord::parse_line(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        records.push(rec);
+    }
+    if records.is_empty() {
+        return Err("no records".to_owned());
+    }
+    Ok(records)
+}
+
+/// The sharded, CRC-framed, quarantine-on-corruption knowledge store.
+pub struct KnowledgeStore {
+    dir: PathBuf,
+    shards: Vec<Vec<StoreRecord>>,
+    quarantined: usize,
+    tracer: Tracer,
+}
+
+impl KnowledgeStore {
+    /// Open (creating the directory if needed) and load every healthy
+    /// segment; corrupt segments are quarantined and skipped, each
+    /// logged with a `store.quarantine` event. Never fails on bad
+    /// *contents* — only on I/O errors creating the directory itself.
+    pub fn open(dir: &Path, tracer: Tracer) -> std::io::Result<KnowledgeStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = KnowledgeStore {
+            dir: dir.to_path_buf(),
+            shards: vec![Vec::new(); N_SHARDS],
+            quarantined: 0,
+            tracer,
+        };
+        for k in 0..N_SHARDS {
+            let path = shard_path(dir, k);
+            if !path.exists() {
+                continue;
+            }
+            match load_segment(&path) {
+                Ok(records) => store.shards[k] = records,
+                Err(reason) => store.quarantine(&path, k, &reason),
+            }
+        }
+        Ok(store)
+    }
+
+    /// Move a corrupt segment aside (`shard-K.quarantined-N`, first free
+    /// `N`) so it is preserved for forensics but never re-read.
+    fn quarantine(&mut self, path: &Path, shard: usize, reason: &str) {
+        let mut n = 0;
+        let dest = loop {
+            let cand = self.dir.join(format!("shard-{shard}.quarantined-{n}"));
+            if !cand.exists() {
+                break cand;
+            }
+            n += 1;
+        };
+        let renamed = std::fs::rename(path, &dest).is_ok();
+        if !renamed {
+            // Last resort: drop it so the next rewrite starts clean.
+            let _ = std::fs::remove_file(path);
+        }
+        self.quarantined += 1;
+        let t = &self.tracer;
+        event!(
+            t,
+            "store.quarantine",
+            shard = shard as u64,
+            reason = reason,
+            preserved = renamed,
+            dest = dest.display().to_string(),
+        );
+    }
+
+    /// Insert or update a record (keyed by benchmark+machine+method) and
+    /// durably rewrite its segment.
+    pub fn record(&mut self, rec: StoreRecord) -> std::io::Result<()> {
+        let k = shard_of(&rec.benchmark, &rec.machine);
+        let shard = &mut self.shards[k];
+        match shard.iter_mut().find(|r| {
+            r.benchmark == rec.benchmark && r.machine == rec.machine && r.method == rec.method
+        }) {
+            Some(slot) => *slot = rec,
+            None => shard.push(rec),
+        }
+        let mut bytes = String::new();
+        for r in shard.iter() {
+            bytes.push_str(&r.to_line());
+            bytes.push('\n');
+        }
+        peak_util::write_durable(&shard_path(&self.dir, k), bytes.as_bytes())
+    }
+
+    /// Nearest-neighbour lookup: the record on the same machine whose
+    /// feature vector is closest to `features`. Deterministic
+    /// tie-breaking (distance, then benchmark, then method). `None` when
+    /// the store holds nothing for this machine — the caller falls back
+    /// to the full O3 sweep.
+    pub fn nearest(&self, features: &FeatureVec, machine: &str) -> Option<&StoreRecord> {
+        self.shards
+            .iter()
+            .flatten()
+            .filter(|r| r.machine.eq_ignore_ascii_case(machine))
+            .min_by(|a, b| {
+                features
+                    .distance(&a.features)
+                    .total_cmp(&features.distance(&b.features))
+                    .then_with(|| a.benchmark.cmp(&b.benchmark))
+                    .then_with(|| a.method.cmp(&b.method))
+            })
+    }
+
+    /// Records currently loaded.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// True when no records are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Segments quarantined at startup.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_obs::Tracer;
+
+    fn rec(benchmark: &str, machine: &str, method: &str, bits: u64) -> StoreRecord {
+        StoreRecord {
+            benchmark: benchmark.to_owned(),
+            machine: machine.to_owned(),
+            method: method.to_owned(),
+            features: FeatureVec {
+                blocks: 10,
+                stmts: 80,
+                loops: 3,
+                max_loop_depth: 2,
+                loads: 20,
+                stores: 9,
+                calls: 1,
+                regions: 6,
+                invocations: 120,
+            },
+            best_bits: bits,
+            improvement_pct: 4.25,
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("peak-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn line_roundtrip_and_crc_rejects_flips() {
+        let r = rec("SWIM", "SPARC-II", "CBR", 0x3FF);
+        let line = r.to_line();
+        assert_eq!(StoreRecord::parse_line(&line).unwrap(), r);
+        // Flip one payload character: CRC must catch it.
+        let flipped = line.replace("SWIM", "SWIN");
+        assert!(StoreRecord::parse_line(&flipped).unwrap_err().contains("CRC mismatch"));
+        assert!(StoreRecord::parse_line("garbage").unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn record_persist_reload() {
+        let dir = tmpdir("persist");
+        let mut s = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+        s.record(rec("SWIM", "SPARC-II", "CBR", 1)).unwrap();
+        s.record(rec("ART", "Pentium-IV", "RBR", 2)).unwrap();
+        // Same key overwrites, different method coexists.
+        s.record(rec("SWIM", "SPARC-II", "CBR", 3)).unwrap();
+        s.record(rec("SWIM", "SPARC-II", "MBR", 4)).unwrap();
+        assert_eq!(s.len(), 3);
+        let back = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.quarantined(), 0);
+        let hit = back.nearest(&rec("SWIM", "x", "y", 0).features, "SPARC-II").unwrap();
+        assert_eq!((hit.best_bits, hit.method.as_str()), (3, "CBR"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nearest_respects_machine_and_falls_back_to_none() {
+        let dir = tmpdir("nearest");
+        let mut s = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+        s.record(rec("ART", "Pentium-IV", "RBR", 2)).unwrap();
+        let f = rec("ART", "x", "y", 0).features;
+        assert!(s.nearest(&f, "SPARC-II").is_none(), "wrong machine must not match");
+        assert!(s.nearest(&f, "pentium-iv").is_some(), "machine match is case-insensitive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_in_range() {
+        for (b, m) in [("SWIM", "SPARC-II"), ("ART", "Pentium-IV"), ("MGRID", "SPARC-II")] {
+            let k = shard_of(b, m);
+            assert!(k < N_SHARDS);
+            assert_eq!(k, shard_of(&b.to_lowercase(), &m.to_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end daemon tests over a real Unix socket: every abuse answers
+//! a structured response, and the daemon survives all of them.
+
+use peak_serve::{start, DaemonHandle, RetryPolicy, ServeConfig};
+use peak_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+struct TestDaemon {
+    handle: Option<DaemonHandle>,
+    dir: PathBuf,
+    socket: PathBuf,
+}
+
+impl TestDaemon {
+    fn start(name: &str, configure: impl FnOnce(&mut ServeConfig)) -> TestDaemon {
+        let dir = std::env::temp_dir().join(format!("peak-e2e-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("peak.sock");
+        let mut config = ServeConfig::new(&socket, dir.join("store"));
+        // Fast retries so panicking-job tests don't sit in backoff.
+        config.retry = RetryPolicy { max_retries: 2, base_backoff_ms: 1, factor: 2 };
+        configure(&mut config);
+        let handle = start(config, peak_obs::Tracer::disabled()).unwrap();
+        TestDaemon { handle: Some(handle), dir, socket }
+    }
+
+    fn connect(&self) -> UnixStream {
+        UnixStream::connect(&self.socket).unwrap()
+    }
+
+    /// Send request lines on one connection and read as many responses.
+    fn roundtrip(&self, lines: &[&str]) -> Vec<Json> {
+        let mut stream = self.connect();
+        for line in lines {
+            writeln!(stream, "{line}").unwrap();
+        }
+        stream.flush().unwrap();
+        let reader = BufReader::new(stream);
+        let responses: Vec<Json> = reader
+            .lines()
+            .take(lines.len())
+            .map(|l| peak_util::from_str(&l.unwrap()).expect("response must be valid JSON"))
+            .collect();
+        assert_eq!(responses.len(), lines.len(), "one response per request");
+        responses
+    }
+
+    fn shutdown(mut self) {
+        let handle = self.handle.take().unwrap();
+        handle.stop();
+        handle.wait();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl Drop for TestDaemon {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.stop();
+            handle.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn field<'j>(j: &'j Json, key: &str) -> &'j Json {
+    j.get(key).unwrap_or_else(|| panic!("missing {key:?} in {}", j.compact()))
+}
+
+fn str_field<'j>(j: &'j Json, key: &str) -> &'j str {
+    field(j, key).as_str().unwrap_or_else(|| panic!("{key:?} not a string in {}", j.compact()))
+}
+
+/// Find the response carrying a given id (responses may arrive out of
+/// submission order).
+fn by_id<'r>(responses: &'r [Json], id: &str) -> &'r Json {
+    responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("no response with id {id:?}"))
+}
+
+#[test]
+fn ping_and_stats_answer_immediately() {
+    let daemon = TestDaemon::start("ping", |_| {});
+    let responses =
+        daemon.roundtrip(&[r#"{"id":"p1","kind":"ping"}"#, r#"{"id":"s1","kind":"stats"}"#]);
+    let ping = by_id(&responses, "p1");
+    assert_eq!(str_field(ping, "status"), "ok");
+    assert_eq!(field(ping, "pong"), &Json::Bool(true));
+    let stats = by_id(&responses, "s1");
+    assert_eq!(str_field(stats, "status"), "ok");
+    assert_eq!(field(stats, "jobs_ok"), &Json::U(0));
+    assert_eq!(field(stats, "store_quarantined"), &Json::U(0));
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_lines_answer_structured_errors_and_spare_the_connection() {
+    let daemon = TestDaemon::start("malformed", |_| {});
+    let responses = daemon.roundtrip(&[
+        "this is not json",
+        r#"{"kind":"ping"}"#,
+        r#"{"id":"d1","kind":"dance"}"#,
+        r#"{"id":"t1","kind":"tune","benchmark":"SWIM"}"#,
+        r#"{"id":"p1","kind":"ping"}"#,
+    ]);
+    for r in &responses[..4] {
+        assert_eq!(str_field(r, "status"), "error");
+        assert_eq!(str_field(r, "error"), "malformed");
+    }
+    assert_eq!(str_field(&responses[0], "id"), "?", "unsalvageable id maps to ?");
+    assert_eq!(str_field(&responses[2], "id"), "d1", "salvageable id is echoed");
+    // The connection survived all four: the trailing ping answers ok.
+    assert_eq!(str_field(&responses[4], "status"), "ok");
+    daemon.shutdown();
+}
+
+#[test]
+fn unknown_names_answer_structured_spec_errors() {
+    let daemon = TestDaemon::start("unknown", |_| {});
+    let responses = daemon.roundtrip(&[
+        r#"{"id":"b","kind":"tune","benchmark":"NOPE","machine":"SPARC-II"}"#,
+        r#"{"id":"m","kind":"tune","benchmark":"SWIM","machine":"vax"}"#,
+        r#"{"id":"r","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","method":"best"}"#,
+    ]);
+    assert_eq!(str_field(by_id(&responses, "b"), "error"), "unknown_benchmark");
+    assert_eq!(str_field(by_id(&responses, "m"), "error"), "unknown_machine");
+    assert_eq!(str_field(by_id(&responses, "r"), "error"), "unknown_method");
+    daemon.shutdown();
+}
+
+#[test]
+fn panicking_job_is_retried_reported_and_does_not_kill_the_daemon() {
+    let daemon = TestDaemon::start("panic", |_| {});
+    let responses = daemon.roundtrip(&[
+        r#"{"id":"boom","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","inject":"panic"}"#,
+    ]);
+    let boom = &responses[0];
+    assert_eq!(str_field(boom, "status"), "error");
+    assert_eq!(str_field(boom, "error"), "panicked");
+    assert_eq!(field(boom, "retries"), &Json::U(2), "both retries consumed");
+    assert!(str_field(boom, "message").contains("injected panic"));
+    // Daemon and pool survived: a real job on a fresh connection works.
+    let responses = daemon.roundtrip(&[
+        r#"{"id":"real","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","method":"CBR"}"#,
+    ]);
+    let real = &responses[0];
+    assert_eq!(str_field(real, "status"), "ok", "{}", real.compact());
+    let result = field(real, "result");
+    assert_eq!(str_field(result, "benchmark"), "SWIM");
+    assert_eq!(str_field(result, "machine"), "SPARC-II");
+    assert!(field(result, "improvement_pct").as_f64().is_some());
+    daemon.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_is_attributed_and_fast() {
+    let daemon = TestDaemon::start("deadline", |_| {});
+    let start = std::time::Instant::now();
+    let responses = daemon.roundtrip(&[
+        r#"{"id":"slow","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","inject":"slow:60000","deadline_ms":50}"#,
+    ]);
+    let slow = &responses[0];
+    assert_eq!(str_field(slow, "status"), "error");
+    assert_eq!(str_field(slow, "error"), "deadline_exceeded");
+    assert!(str_field(slow, "message").contains("50ms"));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "deadline must cut the 60s sleep short"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_structured_responses() {
+    // One worker, queue of one: burst of slow jobs must shed.
+    let daemon = TestDaemon::start("overload", |c| {
+        c.workers = 1;
+        c.queue_cap = 1;
+    });
+    let lines: Vec<String> = (0..5)
+        .map(|k| {
+            format!(
+                r#"{{"id":"j{k}","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","inject":"slow:400","deadline_ms":500}}"#
+            )
+        })
+        .collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let responses = daemon.roundtrip(&refs);
+    let shed = responses
+        .iter()
+        .filter(|r| r.get("error").and_then(Json::as_str) == Some("overloaded"))
+        .count();
+    assert!(shed >= 1, "burst past the queue cap must shed: {responses:?}");
+    for r in &responses {
+        let status = str_field(r, "status");
+        assert!(status == "ok" || status == "error", "{}", r.compact());
+    }
+    // Still alive after the burst.
+    let ping = daemon.roundtrip(&[r#"{"id":"p","kind":"ping"}"#]);
+    assert_eq!(str_field(&ping[0], "status"), "ok");
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_refuses_new_work_and_stops() {
+    let daemon = TestDaemon::start("shutdown", |_| {});
+    let responses = daemon.roundtrip(&[r#"{"id":"bye","kind":"shutdown"}"#]);
+    assert_eq!(str_field(&responses[0], "status"), "ok");
+    assert_eq!(field(&responses[0], "stopping"), &Json::Bool(true));
+    // The daemon threads wind down; wait() must return.
+    daemon.shutdown();
+}
+
+#[test]
+fn warm_start_round_trips_through_the_store() {
+    let daemon = TestDaemon::start("warm", |_| {});
+    // Cold store: warm_start falls back to the O3 sweep (no marker).
+    let responses = daemon.roundtrip(&[
+        r#"{"id":"cold","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","method":"CBR","warm_start":true}"#,
+    ]);
+    let cold = &responses[0];
+    assert_eq!(str_field(cold, "status"), "ok", "{}", cold.compact());
+    assert!(cold.get("warm_started").is_none(), "cold store cannot warm-start");
+    // The result persisted; the same job again warm-starts from it.
+    let responses = daemon.roundtrip(&[
+        r#"{"id":"hot","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","method":"CBR","warm_start":true}"#,
+    ]);
+    let hot = &responses[0];
+    assert_eq!(str_field(hot, "status"), "ok", "{}", hot.compact());
+    assert_eq!(hot.get("warm_started"), Some(&Json::Bool(true)));
+    // Warm-starting from the *best* config must not lose quality.
+    let cold_pct = field(field(cold, "result"), "improvement_pct").as_f64().unwrap();
+    let hot_pct = field(field(hot, "result"), "improvement_pct").as_f64().unwrap();
+    assert!(
+        hot_pct >= cold_pct - 1e-9,
+        "warm start regressed: {hot_pct} < {cold_pct}"
+    );
+    daemon.shutdown();
+}

@@ -1,0 +1,170 @@
+//! Knowledge-store corruption drills: every way a segment file can rot
+//! on disk must be detected at open, quarantined (preserved, never
+//! re-read), and skipped — the store always comes up clean.
+
+use peak_obs::{BufferSink, Tracer};
+use peak_serve::{FeatureVec, KnowledgeStore, StoreRecord};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn rec(benchmark: &str, bits: u64) -> StoreRecord {
+    StoreRecord {
+        benchmark: benchmark.to_owned(),
+        machine: "SPARC-II".to_owned(),
+        method: "CBR".to_owned(),
+        features: FeatureVec {
+            blocks: 12,
+            stmts: 90,
+            loops: 4,
+            max_loop_depth: 2,
+            loads: 25,
+            stores: 10,
+            calls: 2,
+            regions: 5,
+            invocations: 900,
+        },
+        best_bits: bits,
+        improvement_pct: 3.5,
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("peak-corrupt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Build a store whose single record lives in a single segment file and
+/// return that segment's path.
+fn seeded_store(dir: &Path) -> PathBuf {
+    let mut s = KnowledgeStore::open(dir, Tracer::disabled()).unwrap();
+    s.record(rec("SWIM", 1)).unwrap();
+    drop(s);
+    let segs = segment_files(dir);
+    assert_eq!(segs.len(), 1);
+    segs.into_iter().next().unwrap()
+}
+
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    v.sort();
+    v
+}
+
+fn quarantine_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().unwrap().to_string_lossy().contains("quarantined"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Reopen and assert the corrupt segment was quarantined, not fatal.
+fn assert_quarantined(dir: &Path, survivors: usize) {
+    let sink = Arc::new(BufferSink::new());
+    let s = KnowledgeStore::open(dir, Tracer::to_sink(sink.clone())).unwrap();
+    assert_eq!(s.quarantined(), 1, "exactly one segment quarantined");
+    assert_eq!(s.len(), survivors, "healthy records survive");
+    assert_eq!(quarantine_files(dir).len(), 1, "quarantined file preserved on disk");
+    let trace = sink.drain().join("\n");
+    assert!(trace.contains("store.quarantine"), "quarantine must be traced: {trace}");
+    // And the quarantined file is not re-read: a second open is clean.
+    let again = KnowledgeStore::open(dir, Tracer::disabled()).unwrap();
+    assert_eq!(again.quarantined(), 0, "second open must not re-quarantine");
+    assert_eq!(again.len(), survivors);
+}
+
+#[test]
+fn truncated_segment_is_quarantined() {
+    let dir = tmpdir("truncate");
+    let seg = seeded_store(&dir);
+    let bytes = std::fs::read(&seg).unwrap();
+    // Cut mid-record: the torn tail line fails its CRC.
+    std::fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+    assert_quarantined(&dir, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_segment_is_quarantined() {
+    let dir = tmpdir("bitflip");
+    let seg = seeded_store(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    // Flip one bit inside the JSON payload of the first record.
+    let k = bytes.iter().position(|&b| b == b'{').unwrap() + 5;
+    bytes[k] ^= 0x01;
+    std::fs::write(&seg, &bytes).unwrap();
+    assert_quarantined(&dir, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_segment_file_is_quarantined() {
+    let dir = tmpdir("empty");
+    std::fs::write(dir.join("shard-3.seg"), b"").unwrap();
+    assert_quarantined(&dir, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_writer_tear_is_quarantined() {
+    let dir = tmpdir("tear");
+    let seg = seeded_store(&dir);
+    // A second writer's partial line interleaved at the end.
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes.extend_from_slice(b"PEAKKS1 00aa11bb {\"benchmark\":\"MG");
+    std::fs::write(&seg, &bytes).unwrap();
+    assert_quarantined(&dir, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn healthy_segments_survive_next_to_a_corrupt_one() {
+    let dir = tmpdir("mixed");
+    // Spread records until at least two distinct segments exist.
+    let mut s = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+    for (k, name) in
+        ["SWIM", "ART", "MGRID", "EQUAKE", "MESA", "APPLU", "APSI", "TWOLF"].iter().enumerate()
+    {
+        s.record(rec(name, k as u64)).unwrap();
+    }
+    let total = s.len();
+    drop(s);
+    let segs = segment_files(&dir);
+    assert!(segs.len() >= 2, "need at least two segments, got {segs:?}");
+    // Corrupt exactly one.
+    std::fs::write(&segs[0], b"PEAKKS1 deadbeef {\"not\":\"a record\"}\n").unwrap();
+    let reopened = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+    assert_eq!(reopened.quarantined(), 1);
+    assert!(reopened.len() < total, "the corrupt segment's records are gone");
+    assert!(!reopened.is_empty(), "the other segments' records survive");
+    // Warm-start lookup still works off the survivors...
+    assert!(reopened.nearest(&rec("SWIM", 0).features, "SPARC-II").is_some());
+    // ...and finds nothing for machines the survivors don't cover.
+    assert!(reopened.nearest(&rec("SWIM", 0).features, "Pentium-IV").is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rewriting_a_shard_after_quarantine_starts_fresh() {
+    let dir = tmpdir("rewrite");
+    let seg = seeded_store(&dir);
+    std::fs::write(&seg, b"junk\n").unwrap();
+    let mut s = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+    assert_eq!(s.quarantined(), 1);
+    // New results land in a fresh, valid segment.
+    s.record(rec("SWIM", 9)).unwrap();
+    drop(s);
+    let back = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+    assert_eq!(back.quarantined(), 0);
+    assert_eq!(back.len(), 1);
+    assert_eq!(back.nearest(&rec("SWIM", 0).features, "SPARC-II").unwrap().best_bits, 9);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,63 @@
+//! CRC-32 (ISO-HDLC / zlib polynomial) for knowledge-store record
+//! framing.
+//!
+//! The container has no registry access, so this is the standard
+//! table-driven implementation rather than a dependency on `crc32fast`.
+//! The parameters are the ubiquitous ones (polynomial `0xEDB88320`
+//! reflected, init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`), so values
+//! written here can be checked by any external zlib-compatible tool.
+
+/// Lazily built 256-entry lookup table for the reflected polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32/ISO-HDLC of `data` (the zlib `crc32()` value).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789" and a few anchors
+        // computable with zlib's crc32().
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let base = b"PEAKKS1 {\"bits\":42}".to_vec();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

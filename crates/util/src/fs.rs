@@ -1,0 +1,65 @@
+//! Durable file writes shared by the tuner checkpoint and the serve
+//! knowledge store.
+//!
+//! `write_durable` upgrades the classic write-temp-then-rename pattern
+//! to actually survive power loss: the temp file is fsynced before the
+//! rename (so the rename never exposes a file whose *contents* are still
+//! in the page cache), and the parent directory is fsynced after (so the
+//! rename itself — a directory mutation — is on stable storage). Without
+//! the second fsync a crash shortly after a "successful" save can roll
+//! the directory entry back to the old file or to nothing.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Durably replace the file at `path` with `bytes`:
+/// write `path.tmp` → fsync it → rename over `path` → fsync the parent
+/// directory. Crash-safe at every step: readers see either the old
+/// complete file or the new complete file, and once this returns `Ok`
+/// the new contents survive power loss.
+pub fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    fsync_parent_dir(path)
+}
+
+/// fsync the directory containing `path`, committing renames/creates of
+/// entries within it. A missing parent (bare relative filename) syncs
+/// `"."`.
+pub fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_durable_replaces_atomically() {
+        let dir = std::env::temp_dir().join("peak-util-fs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.json");
+        write_durable(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_durable(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        // No temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_parent_of_bare_filename_uses_cwd() {
+        fsync_parent_dir(Path::new("just-a-name.txt")).unwrap();
+    }
+}

@@ -9,8 +9,12 @@
 //! `1e-5 ≤ |v| < 1e16`, scientific otherwise) — so files regenerated here
 //! stay byte-compatible with the committed golden results.
 
+pub mod crc;
+pub mod fs;
 pub mod json;
 pub mod parse;
 
+pub use crc::crc32;
+pub use fs::{fsync_parent_dir, write_durable};
 pub use json::{to_string_compact, to_string_pretty, Json, ToJson};
 pub use parse::{from_str, ParseError};
