@@ -119,14 +119,8 @@ fn main() {
     }
     // Compile-cache effectiveness across the whole run (stderr only:
     // stdout stays byte-stable across cache-layer changes).
-    let vc = VersionCache::global().stats();
-    eprintln!(
-        "version cache: {} hits / {} lookups ({:.0}% hit rate, {} entries)",
-        vc.hits,
-        vc.hits + vc.misses,
-        vc.hit_rate() * 100.0,
-        VersionCache::global().len(),
-    );
+    let vc = VersionCache::global();
+    eprintln!("{}", vc.stats().render(vc.len()));
     normalize_tuning_times(&mut cells);
     // --- Figure 7 (a)/(b): improvement over -O3 ---
     for &kind in &kinds {

@@ -19,6 +19,13 @@
 //! thread count, reporting wall seconds per leg, the default-vs-1
 //! speedup, and whether the outputs were byte-identical across thread
 //! counts (they must be — the pool is deterministic by construction).
+//!
+//! `--obs` runs the metrics-overhead gate and emits `BENCH_obs.json`:
+//! interleaved metrics-on/metrics-off slices of the same fixed
+//! invocation workload, medians of each side, and the on-vs-off
+//! overhead percentage. Exits non-zero when the overhead exceeds the
+//! gate (default 2%) — instrumentation that taxes the hot path gets
+//! caught in CI, not in production.
 
 use peak_core::{RunHarness, VersionCache};
 use peak_opt::{Flag, OptConfig, ALL_FLAGS};
@@ -222,6 +229,111 @@ fn main() {
             arg_value(&args, "--search-json").unwrap_or_else(|| "BENCH_search.json".into());
         search_bench(&search_json);
     }
+    if args.iter().any(|a| a == "--obs") {
+        let obs_json = arg_value(&args, "--obs-json").unwrap_or_else(|| "BENCH_obs.json".into());
+        let gate_pct: f64 = arg_value(&args, "--obs-gate-pct")
+            .map_or(2.0, |v| v.parse().expect("--obs-gate-pct"));
+        if !obs_bench(&obs_json, gate_pct, min_ms) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Run exactly `count` TS invocations of `pv` and return wall seconds —
+/// the fixed-work slice both sides of the A/B comparison share.
+fn timed_fixed_invocations(
+    w: &dyn Workload,
+    spec: &MachineSpec,
+    pv: &PreparedVersion,
+    count: u64,
+) -> f64 {
+    let opts = ExecOptions::default();
+    let mut n = 0u64;
+    let mut seed = 7u64;
+    let start = Instant::now();
+    'outer: loop {
+        let mut h = RunHarness::new(w, Dataset::Train, spec, seed);
+        seed += 1;
+        while let Some(args) = h.next_args() {
+            let _ = h.execute(pv, &args, &opts);
+            n += 1;
+            if n >= count {
+                break 'outer;
+            }
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// The metrics-overhead gate behind `--obs`. Interleaves metrics-on and
+/// metrics-off slices of the same fixed invocation count (interleaving
+/// cancels thermal/frequency drift; medians shrug off outlier slices),
+/// writes `json_path`, and returns whether the median on-vs-off overhead
+/// stayed at or under `gate_pct`.
+fn obs_bench(json_path: &str, gate_pct: f64, min_ms: u64) -> bool {
+    use peak_obs::metrics;
+
+    const PAIRS: usize = 9;
+    let w = peak_workloads::workload_by_name("swim").expect("swim workload");
+    let spec = MachineSpec::sparc_ii();
+    let pv = PreparedVersion::prepare(
+        peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3()),
+        &spec,
+    );
+    // Calibrate the slice size so each of the 2×PAIRS slices runs for
+    // roughly min_ms/PAIRS — enough work that timer granularity is noise.
+    let warm_secs = timed_fixed_invocations(w.as_ref(), &spec, &pv, 4096);
+    let rate = 4096.0 / warm_secs.max(1e-9);
+    let slice = ((rate * (min_ms as f64 / 1000.0) / PAIRS as f64) as u64).max(4096);
+    let restore = metrics::enabled();
+    let mut on = Vec::with_capacity(PAIRS);
+    let mut off = Vec::with_capacity(PAIRS);
+    for pair in 0..PAIRS {
+        // Alternate which side goes first so slow-start/thermal drift
+        // within a pair cannot systematically favour one side.
+        let order = if pair % 2 == 0 { [false, true] } else { [true, false] };
+        for enabled in order {
+            metrics::set_enabled(enabled);
+            let secs = timed_fixed_invocations(w.as_ref(), &spec, &pv, slice);
+            if enabled { on.push(secs) } else { off.push(secs) }
+        }
+    }
+    metrics::set_enabled(restore);
+    let (med_on, med_off) = (median(&on), median(&off));
+    let overhead_pct = (med_on - med_off) / med_off.max(1e-9) * 100.0;
+    let pass = overhead_pct <= gate_pct;
+    let doc = Json::obj(vec![
+        ("workload", Json::Str("swim".to_owned())),
+        ("machine", Json::Str("SPARC-II".to_owned())),
+        ("invocations_per_slice", Json::U(slice)),
+        ("pairs", Json::U(PAIRS as u64)),
+        ("on_secs", Json::Arr(on.iter().map(|&s| Json::F(s)).collect())),
+        ("off_secs", Json::Arr(off.iter().map(|&s| Json::F(s)).collect())),
+        ("median_on_secs", Json::F(med_on)),
+        ("median_off_secs", Json::F(med_off)),
+        ("overhead_pct", Json::F(overhead_pct)),
+        ("gate_pct", Json::F(gate_pct)),
+        ("pass", Json::Bool(pass)),
+    ]);
+    std::fs::File::create(json_path)
+        .and_then(|mut f| f.write_all((doc.pretty() + "\n").as_bytes()))
+        .expect("write obs json");
+    println!();
+    println!(
+        "obs overhead gate — {slice} invocations/slice × {PAIRS} interleaved pairs: \
+         metrics on {med_on:.4}s vs off {med_off:.4}s → {overhead_pct:+.2}% (gate {gate_pct}%)"
+    );
+    println!("wrote {json_path}");
+    if !pass {
+        eprintln!("error: metrics overhead {overhead_pct:.2}% exceeds the {gate_pct}% gate");
+    }
+    pass
 }
 
 /// Render the full Table-1 sweep (all workloads, SPARC-II) on `pool` and

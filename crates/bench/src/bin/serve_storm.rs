@@ -9,7 +9,10 @@
 //!   healthy for the jobs after them;
 //! * valid jobs' results are **bit-identical** to offline
 //!   [`peak_core::tune_traced_pooled`] — serving adds failure handling,
-//!   never answer drift.
+//!   never answer drift;
+//! * `stats` and `health` answer on a second connection while the job
+//!   queue is saturated, and panicking jobs leave post-mortem artifacts
+//!   behind.
 //!
 //! ```text
 //! cargo run --release -p peak-bench --bin serve_storm [-- --jobs N] [--seed S]
@@ -154,7 +157,10 @@ fn main() {
     println!("serve_storm: adversarial barrage ok ({} responses, all structured)", responses.len());
 
     // Overload burst on a dedicated connection: more slow jobs than
-    // queue_cap + workers can hold must shed at least one.
+    // queue_cap + workers can hold must shed at least one. While the
+    // burst is still queued, a *second* connection probes `stats` and
+    // `health` — both are answered inline on the connection thread, so
+    // they must keep working while the workers are drowning.
     let burst: Vec<String> = (0..config_burst(jobs))
         .map(|k| {
             format!(
@@ -162,7 +168,38 @@ fn main() {
             )
         })
         .collect();
-    let burst_responses = client.roundtrip(&burst);
+    for line in &burst {
+        client.send(line);
+    }
+    let mut probe = Client::connect(&socket);
+    let under_load = probe.roundtrip(&[
+        r#"{"id":"p-stats","kind":"stats"}"#.to_owned(),
+        r#"{"id":"p-health","type":"health"}"#.to_owned(),
+    ]);
+    for r in &under_load {
+        assert_eq!(
+            str_field(r, "status"),
+            "ok",
+            "stats/health must answer under overload: {}",
+            r.compact()
+        );
+    }
+    let health = under_load
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("p-health"))
+        .expect("health response");
+    assert_eq!(health.get("healthy").and_then(Json::as_bool), Some(true));
+    assert!(health.get("queue_depth").and_then(Json::as_u64).is_some());
+    let probed_stats = under_load
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("p-stats"))
+        .expect("stats response");
+    assert!(
+        probed_stats.get("metrics").is_some(),
+        "stats under load must still carry the metrics snapshot"
+    );
+    println!("serve_storm: stats+health answered while the queue was saturated");
+    let burst_responses: Vec<Json> = (0..burst.len()).map(|_| client.recv()).collect();
     assert_structured(&burst_responses);
     let shed = burst_responses
         .iter()
@@ -239,6 +276,14 @@ fn main() {
     let stats = client.roundtrip(&[r#"{"id":"st","kind":"stats"}"#.to_owned()]);
     let ok_jobs = stats[0].get("jobs_ok").and_then(Json::as_u64).unwrap_or(0);
     assert!(ok_jobs >= compared as u64, "stats must count completed jobs: {}", stats[0].compact());
+    // Every panicking job dies with a post-mortem on disk.
+    let postmortems = stats[0].get("postmortems").and_then(Json::as_u64).unwrap_or(0);
+    assert!(postmortems >= 3, "3 panicked jobs must leave post-mortems: {}", stats[0].compact());
+    let dumped = std::fs::read_dir(dir.join("store").join("postmortem"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert!(dumped as u64 >= postmortems, "post-mortem files must exist ({dumped} on disk)");
+    println!("serve_storm: {postmortems} post-mortems recorded, {dumped} artifacts on disk");
     let bye = client.roundtrip(&[r#"{"id":"bye","kind":"shutdown"}"#.to_owned()]);
     assert_eq!(str_field(&bye[0], "status"), "ok");
     handle.wait();

@@ -21,6 +21,26 @@ use rand::SeedableRng;
 /// the cache traffic (loop + addressing overhead of the copy code).
 const COPY_OVERHEAD_PER_ELEM: u64 = 1;
 
+/// Live count of TS invocations executed, across all harnesses. This is
+/// THE hot path (the overhead-gate bench measures exactly this site), so
+/// the handle is cached in a static and the increment is one relaxed
+/// `fetch_add` behind one relaxed flag load.
+#[inline]
+fn count_invocation() {
+    use peak_obs::metrics::{self, Counter, MetricsRegistry};
+    use std::sync::OnceLock;
+    if !metrics::enabled() {
+        return;
+    }
+    static INVOCATIONS: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    INVOCATIONS
+        .get_or_init(|| {
+            MetricsRegistry::global()
+                .counter("core.harness.invocations", "TS invocations executed")
+        })
+        .inc();
+}
+
 /// One application run.
 pub struct RunHarness<'w> {
     workload: &'w dyn Workload,
@@ -132,6 +152,7 @@ impl<'w> RunHarness<'w> {
         args: &[Value],
         opts: &ExecOptions,
     ) -> Result<ExecResult, ExecError> {
+        count_invocation();
         peak_sim::execute_with_scratch(
             version,
             args,

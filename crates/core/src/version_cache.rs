@@ -113,6 +113,20 @@ impl CacheStats {
             coalesced: self.coalesced.saturating_sub(earlier.coalesced),
         }
     }
+
+    /// The one human-readable summary line every consumer prints
+    /// (figure7's stderr report, `peak_serve stats`), so the format
+    /// lives in exactly one place. `entries` is
+    /// [`VersionCache::len`] at render time.
+    pub fn render(&self, entries: usize) -> String {
+        format!(
+            "version cache: {} hits / {} lookups ({:.0}% hit rate, {} entries)",
+            self.hits,
+            self.hits + self.misses,
+            self.hit_rate() * 100.0,
+            entries,
+        )
+    }
 }
 
 /// In-flight gate: the slot a missing key holds while its first
@@ -320,6 +334,33 @@ impl VersionCache {
     /// builds complete against their gates and re-insert themselves.
     pub fn clear(&self) {
         self.map.lock().expect("version cache lock").clear();
+    }
+
+    /// Mirror this cache's counters into the global
+    /// [`MetricsRegistry`](peak_obs::MetricsRegistry) as
+    /// `core.version_cache.*`. The cache keeps its own atomics hot-path
+    /// side; this sync-on-read (called by whoever is about to snapshot —
+    /// the serve daemon's stats handler) advances the registry counters
+    /// by the accumulated delta, so the exported series stays monotonic
+    /// without double-counting.
+    pub fn publish_metrics(&self) {
+        use peak_obs::metrics::MetricsRegistry;
+        let r = MetricsRegistry::global();
+        let s = self.stats();
+        let sync = |name: &str, help: &str, now: u64| {
+            let c = r.counter(name, help);
+            c.add(now.saturating_sub(c.get()));
+        };
+        sync("core.version_cache.hits", "Version-cache lookups served from cache", s.hits);
+        sync("core.version_cache.misses", "Version-cache lookups that compiled or waited", s.misses);
+        sync("core.version_cache.compiles", "Unique compile+prepare executions", s.compiles);
+        sync(
+            "core.version_cache.coalesced",
+            "Missing lookups coalesced onto an in-flight compile",
+            s.coalesced,
+        );
+        r.gauge("core.version_cache.entries", "Prepared versions currently cached")
+            .set(self.len() as i64);
     }
 }
 

@@ -27,16 +27,26 @@
 //! * [`event`] — the [`TraceEvent`] model and its JSONL round-trip;
 //! * [`sink`] — the [`TraceSink`] trait with a no-op sink, an in-memory
 //!   [`BufferSink`] (used for deterministic per-job buffering in the
-//!   parallel bench bins), and a buffered file [`JsonlSink`];
+//!   parallel bench bins), a buffered file [`JsonlSink`], a bounded
+//!   [`RingSink`] (the flight recorder's window), and a teeing
+//!   [`FanoutSink`];
 //! * [`tracer`] — the [`Tracer`] handle plus the [`span!`], [`event!`]
-//!   and [`counter!`] macros.
+//!   and [`counter!`] macros;
+//! * [`metrics`] — the live-aggregate counterpart to tracing: a
+//!   process-wide [`MetricsRegistry`] of atomic counters, gauges and
+//!   log-bucketed histograms with deterministic [`Snapshot`]s,
+//!   Prometheus-style text exposition and a JSON form.
 
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod metrics;
 pub mod sink;
 pub mod tracer;
 
 pub use event::{FieldValue, TraceEvent};
-pub use sink::{BufferSink, JsonlSink, NoopSink, TraceSink};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, SnapValue, Snapshot,
+};
+pub use sink::{BufferSink, FanoutSink, JsonlSink, NoopSink, RingSink, TraceSink};
 pub use tracer::{SpanGuard, Tracer};

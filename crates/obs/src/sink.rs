@@ -134,6 +134,98 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Bounded ring of the most recent JSONL lines.
+///
+/// The flight recorder's backing store: it keeps the trailing window of
+/// a job's events at O(capacity) memory no matter how long the job
+/// runs, counting (not storing) everything older. On success the ring
+/// is simply dropped; on failure its contents become the post-mortem.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    lines: std::collections::VecDeque<String>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Ring keeping at most `capacity` lines (`capacity == 0` keeps
+    /// one — an empty post-mortem would be useless).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Lines currently retained, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.lines.iter().cloned().collect()
+    }
+
+    /// Events evicted to make room (total emitted = retained + dropped).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Maximum retained lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, _event: &TraceEvent, line: &str) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.lines.len() == self.capacity {
+            g.lines.pop_front();
+            g.dropped += 1;
+        }
+        g.lines.push_back(line.to_owned());
+    }
+}
+
+/// Tees each event to every inner sink, in order.
+///
+/// Lets a job's tracer feed the daemon's main trace file *and* its
+/// flight-recorder ring from a single emit — the instrumented code
+/// neither knows nor cares that it is being flight-recorded.
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Fan out to `sinks` (evaluated in the given order).
+    pub fn new(sinks: Vec<std::sync::Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&self, event: &TraceEvent, line: &str) {
+        for s in &self.sinks {
+            s.emit(event, line);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +252,34 @@ mod tests {
         assert!(lines[3].starts_with(r#"{"seq":3,"#));
         assert_eq!(sink.drain().len(), 4);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail_and_counts_drops() {
+        let sink = RingSink::new(3);
+        for seq in 0..7 {
+            let e = ev(seq);
+            sink.emit(&e, &e.to_line());
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with(r#"{"seq":4,"#), "{}", lines[0]);
+        assert!(lines[2].starts_with(r#"{"seq":6,"#), "{}", lines[2]);
+        assert_eq!(sink.dropped(), 4);
+    }
+
+    #[test]
+    fn fanout_sink_tees_to_all_inner_sinks() {
+        let a = std::sync::Arc::new(BufferSink::new());
+        let ring = std::sync::Arc::new(RingSink::new(8));
+        let fan = FanoutSink::new(vec![a.clone(), ring.clone()]);
+        for seq in 0..2 {
+            let e = ev(seq);
+            fan.emit(&e, &e.to_line());
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(ring.lines().len(), 2);
+        assert_eq!(a.lines(), ring.lines());
     }
 
     #[test]

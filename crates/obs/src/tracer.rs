@@ -157,6 +157,13 @@ impl Tracer {
         }
     }
 
+    /// The underlying sink, when enabled. The serve daemon uses this to
+    /// tee a job's events into a flight-recorder ring without rebuilding
+    /// the daemon tracer's configuration.
+    pub fn sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.inner.as_ref().map(|i| Arc::clone(&i.sink))
+    }
+
     /// Flush the underlying sink.
     pub fn flush(&self) {
         if let Some(inner) = self.inner.as_ref() {

@@ -29,11 +29,13 @@
 //! search — the default path is.
 
 use crate::features::FeatureVec;
+use crate::flight::FlightRecorder;
 use crate::protocol::{error_response, ok_response, parse_request, salvage_id, Request, TuneRequest};
 use crate::store::{KnowledgeStore, StoreRecord};
 use crate::supervisor::{run_supervised, DeadlineWatchdog, RetryPolicy};
 use peak_core::sched::Pool;
-use peak_core::{method_by_name, CancelToken, JobError, TuningJobSpec};
+use peak_core::{method_by_name, CancelToken, JobError, TuningJobSpec, VersionCache};
+use peak_obs::metrics::{self, Counter, Gauge, MetricsRegistry};
 use peak_obs::{event, span, Tracer};
 use peak_util::{Json, ToJson};
 use std::collections::VecDeque;
@@ -41,7 +43,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +52,8 @@ pub struct ServeConfig {
     pub socket: PathBuf,
     /// Knowledge-store directory.
     pub store_dir: PathBuf,
+    /// Post-mortem directory; `None` = `<store_dir>/postmortem`.
+    pub postmortem_dir: Option<PathBuf>,
     /// Worker threads executing tuning jobs.
     pub workers: usize,
     /// Max queued (not yet running) jobs before load-shedding.
@@ -64,10 +68,16 @@ impl ServeConfig {
         ServeConfig {
             socket: socket.into(),
             store_dir: store_dir.into(),
+            postmortem_dir: None,
             workers: 2,
             queue_cap: 8,
             retry: RetryPolicy::default(),
         }
+    }
+
+    /// Where post-mortems land.
+    pub fn postmortem_dir(&self) -> PathBuf {
+        self.postmortem_dir.clone().unwrap_or_else(|| self.store_dir.join("postmortem"))
     }
 }
 
@@ -78,14 +88,52 @@ type Out = Arc<Mutex<UnixStream>>;
 struct QueuedJob {
     id: String,
     job: TuneRequest,
+    /// Verbatim request line, embedded in post-mortems for replay.
+    line: String,
     out: Out,
 }
 
+/// Per-daemon counters, reported by the `stats` response. These stay
+/// per-instance (a test process may run several daemons); the global
+/// [`MetricsRegistry`] mirror below aggregates process-wide.
 #[derive(Default)]
 struct Stats {
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
     shed: AtomicU64,
+    postmortems: AtomicU64,
+}
+
+/// Process-wide metric handles the daemon feeds (registered once; every
+/// increment is one relaxed `fetch_add` behind the global enable flag).
+struct ServeMetrics {
+    connections: Arc<Counter>,
+    requests: Arc<Counter>,
+    malformed: Arc<Counter>,
+    jobs_ok: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    shed: Arc<Counter>,
+    postmortems: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    workers_busy: Arc<Gauge>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = MetricsRegistry::global();
+        ServeMetrics {
+            connections: r.counter("serve.connections", "Client connections accepted"),
+            requests: r.counter("serve.requests", "Request lines parsed successfully"),
+            malformed: r.counter("serve.malformed", "Request lines that failed to parse"),
+            jobs_ok: r.counter("serve.jobs_ok", "Tuning jobs completed successfully"),
+            jobs_failed: r.counter("serve.jobs_failed", "Tuning jobs that failed"),
+            shed: r.counter("serve.shed", "Tune requests load-shed at admission"),
+            postmortems: r.counter("serve.postmortems", "Post-mortem dumps written"),
+            queue_depth: r.gauge("serve.queue_depth", "Jobs queued, not yet running"),
+            workers_busy: r.gauge("serve.workers_busy", "Workers currently running a job"),
+        }
+    })
 }
 
 struct Inner {
@@ -162,7 +210,24 @@ pub fn start(config: ServeConfig, tracer: Tracer) -> std::io::Result<DaemonHandl
         }
     }
     let listener = UnixListener::bind(&config.socket)?;
-    let store = KnowledgeStore::open(&config.store_dir, tracer.clone())?;
+    // Open the store under a flight recorder: if any segment gets
+    // quarantined, the quarantine/salvage events become a startup
+    // post-mortem artifact.
+    let open_recorder = FlightRecorder::new("store-open", "");
+    let store = KnowledgeStore::open(&config.store_dir, open_recorder.tracer(&tracer))?;
+    if store.quarantined() > 0 {
+        match open_recorder.dump(&config.postmortem_dir(), "store_quarantine") {
+            Ok(path) => {
+                event!(tracer, "serve.postmortem", reason = "store_quarantine", path = path.display().to_string());
+            }
+            Err(e) => {
+                event!(tracer, "serve.postmortem_error", reason = "store_quarantine", error = e.to_string());
+            }
+        }
+        if metrics::enabled() {
+            serve_metrics().postmortems.inc();
+        }
+    }
     event!(
         tracer,
         "serve.start",
@@ -178,11 +243,14 @@ pub fn start(config: ServeConfig, tracer: Tracer) -> std::io::Result<DaemonHandl
         watchdog: DeadlineWatchdog::new(),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
-        store: Mutex::new(store),
         shutdown: AtomicBool::new(false),
         stats: Stats::default(),
         config,
+        store: Mutex::new(store),
     });
+    if lock_ok(&inner.store).quarantined() > 0 {
+        inner.stats.postmortems.fetch_add(1, Ordering::Relaxed);
+    }
     let workers = (0..inner.config.workers.max(1))
         .map(|k| {
             let inner = inner.clone();
@@ -243,6 +311,9 @@ fn respond(out: &Out, line: &str) {
 }
 
 fn connection_loop(inner: &Arc<Inner>, stream: UnixStream) {
+    if metrics::enabled() {
+        serve_metrics().connections.inc();
+    }
     let Ok(read_half) = stream.try_clone() else { return };
     let out: Out = Arc::new(Mutex::new(stream));
     let reader = BufReader::new(read_half);
@@ -255,39 +326,81 @@ fn connection_loop(inner: &Arc<Inner>, stream: UnixStream) {
     }
 }
 
+/// The `stats` response: per-daemon job counters (stable since PR 6),
+/// store health, and the full process-wide metrics snapshot. Answered
+/// inline on the connection thread — never queued behind tuning work.
+fn stats_response(inner: &Arc<Inner>, id: &str) -> String {
+    let (records, quarantined, store_health) = {
+        let store = lock_ok(&inner.store);
+        (store.len() as u64, store.quarantined() as u64, store.health())
+    };
+    // Pull the lazily-synced sources into the registry before
+    // snapshotting so the exposition is current.
+    VersionCache::global().publish_metrics();
+    let m = serve_metrics();
+    m.queue_depth.set(lock_ok(&inner.queue).len() as i64);
+    let snapshot = MetricsRegistry::global().snapshot();
+    ok_response(
+        id,
+        vec![
+            ("jobs_ok", inner.stats.jobs_ok.load(Ordering::Relaxed).to_json()),
+            ("jobs_failed", inner.stats.jobs_failed.load(Ordering::Relaxed).to_json()),
+            ("shed", inner.stats.shed.load(Ordering::Relaxed).to_json()),
+            ("queue_depth", (lock_ok(&inner.queue).len() as u64).to_json()),
+            ("store_records", records.to_json()),
+            ("store_quarantined", quarantined.to_json()),
+            ("workers", (inner.config.workers as u64).to_json()),
+            ("postmortems", inner.stats.postmortems.load(Ordering::Relaxed).to_json()),
+            ("store_health", store_health.to_json()),
+            ("metrics", snapshot.to_json()),
+        ],
+    )
+}
+
+/// The `health` response: cheap readiness summary. No registry
+/// snapshot, no store iteration — safe to poll at high frequency while
+/// the daemon is drowning in work.
+fn health_response(inner: &Arc<Inner>, id: &str) -> String {
+    let queue_depth = lock_ok(&inner.queue).len() as u64;
+    let shutting_down = inner.shutdown.load(Ordering::SeqCst);
+    let accepting = !shutting_down && queue_depth < inner.config.queue_cap as u64;
+    ok_response(
+        id,
+        vec![
+            ("healthy", Json::Bool(true)),
+            ("accepting", Json::Bool(accepting)),
+            ("shutting_down", Json::Bool(shutting_down)),
+            ("queue_depth", queue_depth.to_json()),
+            ("queue_cap", (inner.config.queue_cap as u64).to_json()),
+            ("workers", (inner.config.workers as u64).to_json()),
+        ],
+    )
+}
+
 fn handle_line(inner: &Arc<Inner>, line: &str, out: &Out) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(reason) => {
+            if metrics::enabled() {
+                serve_metrics().malformed.inc();
+            }
             let id = salvage_id(line);
             respond(out, &error_response(id.as_deref(), "malformed", &reason, 0));
             return;
         }
     };
+    if metrics::enabled() {
+        serve_metrics().requests.inc();
+    }
     match request {
         Request::Ping { id } => {
             respond(out, &ok_response(&id, vec![("pong", Json::Bool(true))]));
         }
         Request::Stats { id } => {
-            let (records, quarantined) = {
-                let store = lock_ok(&inner.store);
-                (store.len() as u64, store.quarantined() as u64)
-            };
-            respond(
-                out,
-                &ok_response(
-                    &id,
-                    vec![
-                        ("jobs_ok", inner.stats.jobs_ok.load(Ordering::Relaxed).to_json()),
-                        ("jobs_failed", inner.stats.jobs_failed.load(Ordering::Relaxed).to_json()),
-                        ("shed", inner.stats.shed.load(Ordering::Relaxed).to_json()),
-                        ("queue_depth", (lock_ok(&inner.queue).len() as u64).to_json()),
-                        ("store_records", records.to_json()),
-                        ("store_quarantined", quarantined.to_json()),
-                        ("workers", (inner.config.workers as u64).to_json()),
-                    ],
-                ),
-            );
+            respond(out, &stats_response(inner, &id));
+        }
+        Request::Health { id } => {
+            respond(out, &health_response(inner, &id));
         }
         Request::Shutdown { id } => {
             respond(out, &ok_response(&id, vec![("stopping", Json::Bool(true))]));
@@ -302,6 +415,9 @@ fn handle_line(inner: &Arc<Inner>, line: &str, out: &Out) {
             if queue.len() >= inner.config.queue_cap {
                 drop(queue);
                 inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if metrics::enabled() {
+                    serve_metrics().shed.inc();
+                }
                 event!(inner.tracer, "serve.shed", id = id.as_str(), benchmark = job.benchmark.as_str());
                 respond(
                     out,
@@ -314,7 +430,10 @@ fn handle_line(inner: &Arc<Inner>, line: &str, out: &Out) {
                 );
                 return;
             }
-            queue.push_back(QueuedJob { id, job, out: out.clone() });
+            queue.push_back(QueuedJob { id, job, line: line.to_owned(), out: out.clone() });
+            if metrics::enabled() {
+                serve_metrics().queue_depth.set(queue.len() as i64);
+            }
             drop(queue);
             inner.queue_cv.notify_one();
         }
@@ -327,6 +446,9 @@ fn worker_loop(inner: &Arc<Inner>) {
             let mut queue = lock_ok(&inner.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
+                    if metrics::enabled() {
+                        serve_metrics().queue_depth.set(queue.len() as i64);
+                    }
                     break job;
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
@@ -343,14 +465,24 @@ fn worker_loop(inner: &Arc<Inner>) {
             );
             continue;
         }
+        if metrics::enabled() {
+            serve_metrics().workers_busy.add(1);
+        }
         process_tune(inner, &queued);
+        if metrics::enabled() {
+            serve_metrics().workers_busy.sub(1);
+        }
     }
 }
 
 fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
     let id = &queued.id;
     let req = &queued.job;
-    let t = &inner.tracer;
+    // Flight-record the job: its tracer tees into a bounded ring (plus
+    // the daemon's own sink when tracing is on). On success the ring is
+    // dropped; on panic or deadline it becomes a post-mortem.
+    let recorder = FlightRecorder::new(id, &queued.line);
+    let t = &recorder.tracer(&inner.tracer);
     let _span = span!(t, "serve.job", id = id.as_str(), benchmark = req.benchmark.as_str());
 
     // Resolve the method name here so bad names answer before any work.
@@ -360,6 +492,9 @@ fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
             Some(m) => Some(m),
             None => {
                 inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                if metrics::enabled() {
+                    serve_metrics().jobs_failed.inc();
+                }
                 let e = JobError::UnknownMethod(name.clone());
                 respond(&queued.out, &error_response(Some(id), e.kind(), &e.to_string(), 0));
                 return;
@@ -411,6 +546,9 @@ fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
     match outcome.result {
         Ok(report) => {
             inner.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            if metrics::enabled() {
+                serve_metrics().jobs_ok.inc();
+            }
             if let Some(f) = features {
                 let rec = StoreRecord {
                     benchmark: report.benchmark.clone(),
@@ -435,6 +573,9 @@ fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
         }
         Err(e) => {
             inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            if metrics::enabled() {
+                serve_metrics().jobs_failed.inc();
+            }
             let (kind, message) = if e == JobError::Cancelled && outcome.deadline_hit {
                 (
                     "deadline_exceeded",
@@ -443,6 +584,40 @@ fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
             } else {
                 (e.kind(), e.to_string())
             };
+            // Panics and blown deadlines leave a post-mortem; other
+            // failures (unknown names, external cancels) are
+            // deterministic spec errors with nothing to debug.
+            let postmortem_reason = match &e {
+                JobError::Panicked(_) => Some("panic"),
+                JobError::Cancelled if outcome.deadline_hit => Some("deadline"),
+                _ => None,
+            };
+            if let Some(reason) = postmortem_reason {
+                match recorder.dump(&inner.config.postmortem_dir(), reason) {
+                    Ok(path) => {
+                        inner.stats.postmortems.fetch_add(1, Ordering::Relaxed);
+                        if metrics::enabled() {
+                            serve_metrics().postmortems.inc();
+                        }
+                        event!(
+                            inner.tracer,
+                            "serve.postmortem",
+                            id = id.as_str(),
+                            reason = reason,
+                            path = path.display().to_string(),
+                        );
+                    }
+                    Err(err) => {
+                        event!(
+                            inner.tracer,
+                            "serve.postmortem_error",
+                            id = id.as_str(),
+                            reason = reason,
+                            error = err.to_string(),
+                        );
+                    }
+                }
+            }
             respond(&queued.out, &error_response(Some(id), kind, &message, outcome.retries));
         }
     }

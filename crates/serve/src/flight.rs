@@ -1,0 +1,177 @@
+//! Flight recorder: bounded per-job event rings that become post-mortem
+//! artifacts when a job dies.
+//!
+//! Every tuning job the daemon runs gets a [`FlightRecorder`]: a
+//! [`RingSink`] holding the job's most recent [`TraceEvent`]s (the
+//! daemon's tracer is teed into it via a [`FanoutSink`], so the
+//! instrumented code is unaware it is being recorded). On success the
+//! recorder is simply dropped — zero I/O. On panic, deadline-fire, or a
+//! store quarantine at startup, [`FlightRecorder::dump`] writes the ring
+//! to `postmortem/<job>-<reason>-<n>.jsonl`: a header line carrying the
+//! verbatim request (so the failure is replayable with `peak_serve
+//! send`) followed by the recorded event lines. `catch_unwind` stops
+//! being a silence machine — the last thing a dead job saw is on disk.
+
+use peak_obs::{FanoutSink, RingSink, TraceSink, Tracer};
+use peak_util::{Json, ToJson};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Events retained per job. Big enough for several IE rounds of spans;
+/// small enough that hundreds of concurrent jobs stay cheap.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// One job's bounded event recorder.
+pub struct FlightRecorder {
+    ring: Arc<RingSink>,
+    job_id: String,
+    /// Verbatim request line, embedded in the dump header for replay.
+    request_line: String,
+}
+
+impl FlightRecorder {
+    /// Recorder for job `job_id`, remembering `request_line` verbatim.
+    pub fn new(job_id: &str, request_line: &str) -> FlightRecorder {
+        FlightRecorder {
+            ring: Arc::new(RingSink::new(DEFAULT_RING_CAPACITY)),
+            job_id: job_id.to_owned(),
+            request_line: request_line.to_owned(),
+        }
+    }
+
+    /// The job tracer: everything the job emits lands in this recorder's
+    /// ring, *and* in `base`'s sink when `base` is enabled. The returned
+    /// tracer is always enabled — flight recording needs events even
+    /// when the daemon runs untraced (the ring bounds the cost).
+    pub fn tracer(&self, base: &Tracer) -> Tracer {
+        let sink: Arc<dyn TraceSink> = match base.sink() {
+            Some(main) => Arc::new(FanoutSink::new(vec![main, self.ring.clone()])),
+            None => self.ring.clone(),
+        };
+        let t = Tracer::to_sink(sink);
+        if base.wall_clock() {
+            t.with_wall_clock()
+        } else {
+            t
+        }
+    }
+
+    /// Events currently retained (oldest first).
+    pub fn lines(&self) -> Vec<String> {
+        self.ring.lines()
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Write the post-mortem: `dir/<job>-<reason>-<n>.jsonl` (first free
+    /// `n`, so repeated failures never clobber each other). Line 1 is
+    /// the header object; the rest are the recorded event lines. Returns
+    /// the path written.
+    pub fn dump(&self, dir: &Path, reason: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let safe_job: String = self
+            .job_id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let mut n = 0;
+        let path = loop {
+            let cand = dir.join(format!("{safe_job}-{reason}-{n}.jsonl"));
+            if !cand.exists() {
+                break cand;
+            }
+            n += 1;
+        };
+        let lines = self.ring.lines();
+        let header = Json::obj(vec![
+            ("postmortem", Json::Str(reason.to_owned())),
+            ("job_id", Json::Str(self.job_id.clone())),
+            ("request", Json::Str(self.request_line.clone())),
+            ("events", lines.len().to_json()),
+            ("events_dropped", self.ring.dropped().to_json()),
+        ]);
+        let mut out = header.compact();
+        out.push('\n');
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        // Durable like the store segments: a post-mortem that a crash
+        // can half-write defeats its purpose.
+        peak_util::write_durable(&path, out.as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peak_obs::{event, BufferSink};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("peak-flight-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn job_tracer_tees_into_ring_and_base() {
+        let base_sink = Arc::new(BufferSink::new());
+        let base = Tracer::to_sink(base_sink.clone());
+        let fr = FlightRecorder::new("job-1", r#"{"id":"job-1","kind":"tune"}"#);
+        let t = fr.tracer(&base);
+        event!(t, "serve.step", n = 1u64);
+        event!(t, "serve.step", n = 2u64);
+        assert_eq!(base_sink.len(), 2, "base sink sees the events");
+        assert_eq!(fr.lines().len(), 2, "ring sees the events");
+    }
+
+    #[test]
+    fn disabled_base_still_records() {
+        let fr = FlightRecorder::new("job-2", "{}");
+        let t = fr.tracer(&Tracer::disabled());
+        assert!(t.enabled());
+        event!(t, "serve.step", n = 1u64);
+        assert_eq!(fr.lines().len(), 1);
+    }
+
+    #[test]
+    fn dump_writes_replayable_header_plus_events() {
+        let dir = tmpdir("dump");
+        let request = r#"{"id":"j9","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","inject":"panic"}"#;
+        let fr = FlightRecorder::new("j9", request);
+        let t = fr.tracer(&Tracer::disabled());
+        for k in 0..3 {
+            event!(t, "serve.step", n = k as u64);
+        }
+        let p1 = fr.dump(&dir, "panic").unwrap();
+        let p2 = fr.dump(&dir, "panic").unwrap();
+        assert_ne!(p1, p2, "repeated dumps never clobber");
+        let text = std::fs::read_to_string(&p1).unwrap();
+        let mut lines = text.lines();
+        let header = peak_util::from_str(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("postmortem").unwrap().as_str(), Some("panic"));
+        assert_eq!(header.get("job_id").unwrap().as_str(), Some("j9"));
+        assert_eq!(header.get("request").unwrap().as_str(), Some(request));
+        assert_eq!(header.get("events").unwrap().as_u64(), Some(3));
+        let events: Vec<_> = lines.collect();
+        assert_eq!(events.len(), 3);
+        for line in events {
+            peak_obs::TraceEvent::parse_line(line).expect("event lines parse");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weird_job_ids_produce_safe_filenames() {
+        let dir = tmpdir("safename");
+        let fr = FlightRecorder::new("../../etc/passwd", "{}");
+        let path = fr.dump(&dir, "panic").unwrap();
+        assert!(path.starts_with(&dir), "dump stays inside the postmortem dir");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,29 +18,39 @@
 //!   load-shedding, worker threads multiplexing jobs onto the
 //!   work-stealing [`peak_core::Pool`], graceful shutdown;
 //! * [`features`] / [`store`] — program feature vectors and the
-//!   CRC-framed, quarantine-on-corruption knowledge store that persists
-//!   completed ratings and warm-starts similar jobs.
+//!   CRC-framed, salvage-and-quarantine knowledge store that persists
+//!   completed ratings and warm-starts similar jobs;
+//! * [`flight`] — per-job flight recorders: bounded event rings dumped
+//!   to `postmortem/` JSONL on panic, deadline-fire, or store
+//!   quarantine.
+//!
+//! The daemon also answers `stats` (full live-metrics snapshot) and
+//! `health` (cheap readiness) inline on the connection threads, so both
+//! keep working while the job queue is saturated.
 //!
 //! The robustness contract (pinned by `serve_storm` and the e2e tests):
 //! the daemon survives panicking jobs, malformed lines, blown deadlines,
 //! overload, and a corrupted store — every failure answers a structured
 //! error, and valid jobs' results stay bit-identical to offline tuning.
 //!
-//! See DESIGN.md §13 for the protocol field tables and store format.
+//! See DESIGN.md §13 for the protocol field tables and store format,
+//! and §14 for the metrics architecture.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;
 pub mod features;
+pub mod flight;
 pub mod protocol;
 pub mod store;
 pub mod supervisor;
 
 pub use daemon::{start, DaemonHandle, ServeConfig};
 pub use features::FeatureVec;
+pub use flight::FlightRecorder;
 pub use protocol::{
     error_response, ok_response, parse_request, salvage_id, Inject, Request, TuneRequest,
 };
-pub use store::{KnowledgeStore, StoreRecord};
+pub use store::{KnowledgeStore, ShardHealth, StoreHealth, StoreRecord};
 pub use supervisor::{run_supervised, DeadlineWatchdog, JobOutcome, RetryPolicy};

@@ -7,8 +7,13 @@
 //! structured `{"status":"error","error":"malformed"}` response with the
 //! line's `id` when one could be salvaged.
 //!
-//! Request kinds: `tune` (the real work), `ping`, `stats`, `shutdown`.
-//! See DESIGN.md §13 for the full field tables.
+//! Request kinds: `tune` (the real work), `ping`, `stats`, `health`,
+//! `shutdown`. The kind key is `"kind"`, with `"type"` accepted as an
+//! alias for monitoring tools that speak `{"type":"stats"}`. `stats`,
+//! `health`, `ping` and `shutdown` are answered inline on the
+//! connection thread — they never touch the worker queue, so they keep
+//! answering while the queue is saturated. See DESIGN.md §13/§14 for
+//! the full field tables.
 
 use peak_util::Json;
 use peak_workloads::Dataset;
@@ -53,8 +58,14 @@ pub enum Request {
         /// Request id, echoed in the response.
         id: String,
     },
-    /// Daemon/store/pool counters.
+    /// Daemon/store/pool counters plus the live metrics snapshot.
     Stats {
+        /// Request id, echoed in the response.
+        id: String,
+    },
+    /// Cheap liveness/readiness summary (no metrics snapshot, no store
+    /// lock contention beyond a length read).
+    Health {
         /// Request id, echoed in the response.
         id: String,
     },
@@ -79,6 +90,7 @@ impl Request {
         match self {
             Request::Ping { id }
             | Request::Stats { id }
+            | Request::Health { id }
             | Request::Shutdown { id }
             | Request::Tune { id, .. } => id,
         }
@@ -101,10 +113,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(Json::as_str)
         .ok_or("missing string field \"id\"")?
         .to_owned();
-    let kind = j.get("kind").and_then(Json::as_str).ok_or("missing string field \"kind\"")?;
+    let kind = j
+        .get("kind")
+        .or_else(|| j.get("type"))
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"kind\" (or its alias \"type\")")?;
     match kind {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "health" => Ok(Request::Health { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "tune" => {
             let benchmark = j
@@ -233,6 +250,23 @@ mod tests {
         .unwrap();
         let Request::Tune { job, .. } = req else { panic!() };
         assert_eq!(job.inject, Some(Inject::Slow(250)));
+    }
+
+    #[test]
+    fn health_parses_and_type_aliases_kind() {
+        assert_eq!(
+            parse_request(r#"{"id":"h1","kind":"health"}"#).unwrap(),
+            Request::Health { id: "h1".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"s1","type":"stats"}"#).unwrap(),
+            Request::Stats { id: "s1".into() }
+        );
+        // "kind" wins when both are present.
+        assert_eq!(
+            parse_request(r#"{"id":"x","kind":"ping","type":"stats"}"#).unwrap(),
+            Request::Ping { id: "x".into() }
+        );
     }
 
     #[test]

@@ -20,19 +20,28 @@
 //!
 //! ## Corruption doctrine
 //!
-//! Startup *never* aborts on bad state. A segment that fails any check —
-//! zero-length file (torn create), bad magic, CRC mismatch (bit flip or
+//! Startup *never* aborts on bad state, and damage is accounted **per
+//! line**, not per segment. A segment that cannot be read at all —
+//! zero-length file (torn create), not UTF-8 — is **quarantined**
+//! whole: renamed to `shard-K.quarantined-N` next to the live segment
+//! (preserved for forensics, never re-read) and skipped. A readable
+//! segment with *some* bad lines — bad magic, CRC mismatch (bit flip or
 //! truncated tail), unparseable or schema-invalid JSON (concurrent-
-//! writer tear) — is **quarantined**: renamed to `shard-K.quarantined-N`
-//! next to the live segment (preserved for forensics, never re-read) and
-//! skipped. The daemon starts clean with whatever healthy segments
-//! remain; warm-start queries against missing knowledge simply fall back
-//! to the full O3 sweep.
+//! writer tear) — is **salvaged**: the raw file is quarantined for
+//! forensics, every line that passes its CRC is kept, and the salvaged
+//! records are durably rewritten as a fresh segment so the next open is
+//! clean. The per-shard salvaged/rejected line counts are exposed via
+//! [`KnowledgeStore::health`] (previously quarantine was all-or-nothing
+//! in the numbers and `store.quarantine` events under-reported partial
+//! damage). Warm-start queries against missing knowledge simply fall
+//! back to the full O3 sweep.
 
 use crate::features::FeatureVec;
+use peak_obs::metrics::{self, Counter, MetricsRegistry};
 use peak_obs::{event, Tracer};
 use peak_util::{crc32, Json, ToJson};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 /// Number of segment files.
 pub const N_SHARDS: usize = 8;
@@ -119,43 +128,149 @@ fn shard_path(dir: &Path, k: usize) -> PathBuf {
     dir.join(format!("shard-{k}.seg"))
 }
 
-/// Load one segment file; `Err` is the corruption reason.
-fn load_segment(path: &Path) -> Result<Vec<StoreRecord>, String> {
+/// Global store counters (registered once, shared by every store in the
+/// process — the daemon owns one store, tests may open several).
+struct StoreMetrics {
+    quarantined: Arc<Counter>,
+    salvaged: Arc<Counter>,
+    rejected: Arc<Counter>,
+    written: Arc<Counter>,
+    nearest_hits: Arc<Counter>,
+    nearest_misses: Arc<Counter>,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static M: OnceLock<StoreMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = MetricsRegistry::global();
+        StoreMetrics {
+            quarantined: r
+                .counter("serve.store.quarantined_segments", "Segments quarantined at open"),
+            salvaged: r
+                .counter("serve.store.salvaged_lines", "Healthy lines salvaged from damaged segments"),
+            rejected: r
+                .counter("serve.store.rejected_lines", "Corrupt lines dropped from damaged segments"),
+            written: r.counter("serve.store.records_written", "Records persisted"),
+            nearest_hits: r
+                .counter("serve.store.nearest_hits", "Warm-start lookups that found a neighbour"),
+            nearest_misses: r
+                .counter("serve.store.nearest_misses", "Warm-start lookups with no neighbour"),
+        }
+    })
+}
+
+/// Per-line load outcome of one readable segment.
+struct SegmentLoad {
+    records: Vec<StoreRecord>,
+    /// Lines that failed magic/CRC/JSON/schema checks and were dropped.
+    rejected: usize,
+    /// Reason of the first rejected line (for the trace event).
+    first_error: Option<String>,
+}
+
+/// Load one segment file; `Err` means the segment could not be examined
+/// line by line at all (unreadable, zero-length, not UTF-8) — the
+/// whole-file quarantine path. `Ok` carries every line that passed its
+/// CRC plus the count of lines that did not.
+fn load_segment(path: &Path) -> Result<SegmentLoad, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
     if bytes.is_empty() {
         return Err("zero-length segment (torn create)".to_owned());
     }
     let text = String::from_utf8(bytes).map_err(|_| "not UTF-8".to_owned())?;
-    let mut records = Vec::new();
+    let mut load = SegmentLoad { records: Vec::new(), rejected: 0, first_error: None };
     for (n, line) in text.lines().enumerate() {
-        let rec =
-            StoreRecord::parse_line(line).map_err(|e| format!("line {}: {e}", n + 1))?;
-        records.push(rec);
+        match StoreRecord::parse_line(line) {
+            Ok(rec) => load.records.push(rec),
+            Err(e) => {
+                load.rejected += 1;
+                if load.first_error.is_none() {
+                    load.first_error = Some(format!("line {}: {e}", n + 1));
+                }
+            }
+        }
     }
-    if records.is_empty() {
-        return Err("no records".to_owned());
+    Ok(load)
+}
+
+/// Per-shard line-accounting from the last open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Records currently loaded in this shard.
+    pub records: usize,
+    /// Healthy lines recovered from a damaged segment at open.
+    pub salvaged: usize,
+    /// Corrupt lines dropped from a damaged segment at open.
+    pub rejected: usize,
+}
+
+/// Store-wide health snapshot ([`KnowledgeStore::health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Records loaded across all shards.
+    pub records: usize,
+    /// Segments quarantined at open (whole-file or salvage forensics).
+    pub quarantined_segments: usize,
+    /// Total lines salvaged from damaged segments.
+    pub salvaged_lines: usize,
+    /// Total corrupt lines dropped.
+    pub rejected_lines: usize,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl ToJson for StoreHealth {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("records", self.records.to_json()),
+            ("quarantined_segments", self.quarantined_segments.to_json()),
+            ("salvaged_lines", self.salvaged_lines.to_json()),
+            ("rejected_lines", self.rejected_lines.to_json()),
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.records + s.salvaged + s.rejected > 0)
+                        .map(|(k, s)| {
+                            Json::obj(vec![
+                                ("shard", k.to_json()),
+                                ("records", s.records.to_json()),
+                                ("salvaged", s.salvaged.to_json()),
+                                ("rejected", s.rejected.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
-    Ok(records)
 }
 
 /// The sharded, CRC-framed, quarantine-on-corruption knowledge store.
 pub struct KnowledgeStore {
     dir: PathBuf,
     shards: Vec<Vec<StoreRecord>>,
+    shard_health: Vec<ShardHealth>,
     quarantined: usize,
     tracer: Tracer,
 }
 
 impl KnowledgeStore {
     /// Open (creating the directory if needed) and load every healthy
-    /// segment; corrupt segments are quarantined and skipped, each
-    /// logged with a `store.quarantine` event. Never fails on bad
-    /// *contents* — only on I/O errors creating the directory itself.
+    /// segment. An unreadable segment is quarantined whole; a readable
+    /// segment with corrupt lines is quarantined for forensics, its
+    /// healthy lines salvaged and durably rewritten as a fresh segment
+    /// (so the *next* open is clean), each logged with a
+    /// `store.quarantine` event. Never fails on bad *contents* — only
+    /// on I/O errors creating the directory itself.
     pub fn open(dir: &Path, tracer: Tracer) -> std::io::Result<KnowledgeStore> {
         std::fs::create_dir_all(dir)?;
         let mut store = KnowledgeStore {
             dir: dir.to_path_buf(),
             shards: vec![Vec::new(); N_SHARDS],
+            shard_health: vec![ShardHealth::default(); N_SHARDS],
             quarantined: 0,
             tracer,
         };
@@ -165,11 +280,53 @@ impl KnowledgeStore {
                 continue;
             }
             match load_segment(&path) {
-                Ok(records) => store.shards[k] = records,
+                Ok(load) if load.rejected == 0 && !load.records.is_empty() => {
+                    store.shards[k] = load.records;
+                }
+                Ok(load) => {
+                    // Damaged (or record-free) segment: preserve the raw
+                    // bytes, keep what passed its CRC.
+                    let reason = load
+                        .first_error
+                        .clone()
+                        .unwrap_or_else(|| "no records".to_owned());
+                    store.quarantine(&path, k, &reason);
+                    store.salvage(k, load);
+                }
                 Err(reason) => store.quarantine(&path, k, &reason),
             }
+            store.shard_health[k].records = store.shards[k].len();
         }
         Ok(store)
+    }
+
+    /// Adopt the healthy lines of a damaged segment: account them,
+    /// rewrite them durably as a fresh segment (the raw file has already
+    /// been quarantined), and emit a `store.salvage` event.
+    fn salvage(&mut self, shard: usize, load: SegmentLoad) {
+        let salvaged = load.records.len();
+        self.shard_health[shard].salvaged = salvaged;
+        self.shard_health[shard].rejected = load.rejected;
+        if metrics::enabled() {
+            let m = store_metrics();
+            m.salvaged.add(salvaged as u64);
+            m.rejected.add(load.rejected as u64);
+        }
+        self.shards[shard] = load.records;
+        let rewritten = if salvaged > 0 {
+            self.rewrite_shard(shard).is_ok()
+        } else {
+            false
+        };
+        let t = &self.tracer;
+        event!(
+            t,
+            "store.salvage",
+            shard = shard as u64,
+            salvaged = salvaged as u64,
+            rejected = load.rejected as u64,
+            rewritten = rewritten,
+        );
     }
 
     /// Move a corrupt segment aside (`shard-K.quarantined-N`, first free
@@ -189,6 +346,9 @@ impl KnowledgeStore {
             let _ = std::fs::remove_file(path);
         }
         self.quarantined += 1;
+        if metrics::enabled() {
+            store_metrics().quarantined.inc();
+        }
         let t = &self.tracer;
         event!(
             t,
@@ -211,8 +371,17 @@ impl KnowledgeStore {
             Some(slot) => *slot = rec,
             None => shard.push(rec),
         }
+        self.shard_health[k].records = self.shards[k].len();
+        if metrics::enabled() {
+            store_metrics().written.inc();
+        }
+        self.rewrite_shard(k)
+    }
+
+    /// Durably rewrite shard `k` from its in-memory records.
+    fn rewrite_shard(&self, k: usize) -> std::io::Result<()> {
         let mut bytes = String::new();
-        for r in shard.iter() {
+        for r in self.shards[k].iter() {
             bytes.push_str(&r.to_line());
             bytes.push('\n');
         }
@@ -225,7 +394,8 @@ impl KnowledgeStore {
     /// the store holds nothing for this machine — the caller falls back
     /// to the full O3 sweep.
     pub fn nearest(&self, features: &FeatureVec, machine: &str) -> Option<&StoreRecord> {
-        self.shards
+        let hit = self
+            .shards
             .iter()
             .flatten()
             .filter(|r| r.machine.eq_ignore_ascii_case(machine))
@@ -235,7 +405,12 @@ impl KnowledgeStore {
                     .total_cmp(&features.distance(&b.features))
                     .then_with(|| a.benchmark.cmp(&b.benchmark))
                     .then_with(|| a.method.cmp(&b.method))
-            })
+            });
+        if metrics::enabled() {
+            let m = store_metrics();
+            if hit.is_some() { m.nearest_hits.inc() } else { m.nearest_misses.inc() }
+        }
+        hit
     }
 
     /// Records currently loaded.
@@ -251,6 +426,17 @@ impl KnowledgeStore {
     /// Segments quarantined at startup.
     pub fn quarantined(&self) -> usize {
         self.quarantined
+    }
+
+    /// Line-level health from the last open plus current record counts.
+    pub fn health(&self) -> StoreHealth {
+        StoreHealth {
+            records: self.len(),
+            quarantined_segments: self.quarantined,
+            salvaged_lines: self.shard_health.iter().map(|s| s.salvaged).sum(),
+            rejected_lines: self.shard_health.iter().map(|s| s.rejected).sum(),
+            shards: self.shard_health.clone(),
+        }
     }
 
     /// The store directory.
@@ -329,6 +515,34 @@ mod tests {
         let f = rec("ART", "x", "y", 0).features;
         assert!(s.nearest(&f, "SPARC-II").is_none(), "wrong machine must not match");
         assert!(s.nearest(&f, "pentium-iv").is_some(), "machine match is case-insensitive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_segment_salvages_good_lines_and_accounts_per_shard() {
+        let dir = tmpdir("salvage");
+        // Two healthy records in one shard plus one corrupt line between
+        // them.
+        let a = rec("SWIM", "SPARC-II", "CBR", 1);
+        let b = rec("SWIM", "SPARC-II", "MBR", 2);
+        let k = shard_of("SWIM", "SPARC-II");
+        let seg = format!("{}\nPEAKKS1 deadbeef {{\"torn\":\n{}\n", a.to_line(), b.to_line());
+        std::fs::write(shard_path(&dir, k), seg).unwrap();
+        let s = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+        assert_eq!(s.quarantined(), 1, "raw file quarantined for forensics");
+        assert_eq!(s.len(), 2, "healthy lines salvaged");
+        let h = s.health();
+        assert_eq!((h.salvaged_lines, h.rejected_lines), (2, 1));
+        assert_eq!(h.shards[k], ShardHealth { records: 2, salvaged: 2, rejected: 1 });
+        assert!(
+            h.to_json().compact().contains("\"rejected\":1"),
+            "health JSON carries the per-shard breakdown"
+        );
+        // The salvage rewrite makes the next open clean.
+        let again = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+        assert_eq!(again.quarantined(), 0);
+        assert_eq!(again.len(), 2);
+        assert_eq!(again.health().salvaged_lines, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,11 +20,38 @@ use crate::protocol::Inject;
 use peak_core::{classify_panic, run_tuning_job, CancelToken, JobError, TuningJobSpec};
 use peak_core::sched::Pool;
 use peak_core::tuner::TuneReport;
+use peak_obs::metrics::{self, Counter, Histogram, MetricsRegistry};
 use peak_obs::{event, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Supervision metrics, registered once. The job-latency histogram is
+/// wall-clock — explicitly outside the determinism doctrine (DESIGN.md
+/// §14); the counters are deterministic for deterministic schedules.
+struct SupMetrics {
+    job_wall_ms: Arc<Histogram>,
+    retries: Arc<Counter>,
+    deadline_fired: Arc<Counter>,
+    panics: Arc<Counter>,
+}
+
+fn sup_metrics() -> &'static SupMetrics {
+    static M: OnceLock<SupMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = MetricsRegistry::global();
+        SupMetrics {
+            job_wall_ms: r.histogram(
+                "serve.job_wall_ms",
+                "Wall-clock of one supervised job, all attempts, milliseconds",
+            ),
+            retries: r.counter("serve.job_retries", "Panicked attempts retried"),
+            deadline_fired: r.counter("serve.deadline_fired", "Jobs cancelled by their deadline"),
+            panics: r.counter("serve.job_panics", "Job attempts that panicked"),
+        }
+    })
+}
 
 /// Bounded-retry policy for panicked jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,18 +285,26 @@ pub fn run_supervised(
 ) -> JobOutcome {
     let armed =
         deadline_ms.map(|ms| watchdog.arm(Duration::from_millis(ms), cancel.clone()));
+    let started = Instant::now();
     let mut retries = 0;
     loop {
         let result = run_attempt(spec, inject, tracer, pool, &cancel);
+        if metrics::enabled() && matches!(result, Err(JobError::Panicked(_))) {
+            sup_metrics().panics.inc();
+        }
         let retryable = matches!(result, Err(JobError::Panicked(_)))
             && retries < retry.max_retries
             && !cancel.is_cancelled();
         if !retryable {
-            return JobOutcome {
-                result,
-                retries,
-                deadline_hit: armed.as_ref().is_some_and(ArmedDeadline::fired),
-            };
+            let deadline_hit = armed.as_ref().is_some_and(ArmedDeadline::fired);
+            if metrics::enabled() {
+                let m = sup_metrics();
+                m.job_wall_ms.observe(started.elapsed().as_millis() as u64);
+                if deadline_hit {
+                    m.deadline_fired.inc();
+                }
+            }
+            return JobOutcome { result, retries, deadline_hit };
         }
         let backoff = retry.backoff(retries);
         event!(
@@ -279,6 +314,9 @@ pub fn run_supervised(
             retry = (retries + 1) as u64,
             backoff_ms = backoff.as_millis() as u64,
         );
+        if metrics::enabled() {
+            sup_metrics().retries.inc();
+        }
         sleep_cancellable(backoff, &cancel);
         retries += 1;
     }

@@ -1,0 +1,80 @@
+//! Determinism doctrine for the metrics registry: two same-seed
+//! sequential serve sessions advance every counter and gauge by exactly
+//! the same amount. Wall-clock histograms are explicitly exempt
+//! ([`Snapshot::without_histograms`] drops them) — everything else that
+//! differs is a reproducibility bug in the instrumentation.
+//!
+//! This test lives in its own integration-test binary on purpose: the
+//! registry is process-global, and counters advanced by unrelated tests
+//! running in the same process would pollute the deltas.
+
+use peak_core::VersionCache;
+use peak_obs::{MetricsRegistry, Snapshot};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+/// One serve session: fresh store, one worker, the same three jobs
+/// submitted strictly sequentially (each response read before the next
+/// request is sent), then shutdown. Returns the registry delta the
+/// session produced, histograms dropped.
+fn run_session(name: &str) -> Snapshot {
+    // Identical starting state for both sessions: an empty global
+    // version cache (its hit/miss counters are mirrored into the
+    // registry, so cache warmth from a prior session would show up as a
+    // delta difference).
+    VersionCache::global().clear();
+    VersionCache::global().publish_metrics();
+    let before = MetricsRegistry::global().snapshot();
+
+    let dir = std::env::temp_dir().join(format!("peak-obs-det-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("peak.sock");
+    let mut config = peak_serve::ServeConfig::new(&socket, dir.join("store"));
+    config.workers = 1;
+    let handle = peak_serve::start(config, peak_obs::Tracer::disabled()).unwrap();
+
+    let mut stream = UnixStream::connect(&socket).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for line in [
+        r#"{"id":"j1","kind":"tune","benchmark":"SWIM","machine":"SPARC-II","method":"CBR"}"#,
+        r#"{"id":"j2","kind":"tune","benchmark":"ART","machine":"SPARC-II","method":"RBR"}"#,
+        r#"{"id":"ping","kind":"ping"}"#,
+        r#"{"id":"bye","kind":"shutdown"}"#,
+    ] {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        assert!(reader.read_line(&mut response).unwrap() > 0, "daemon died");
+        let j = peak_util::from_str(response.trim_end()).unwrap();
+        assert_eq!(
+            j.get("status").and_then(peak_util::Json::as_str),
+            Some("ok"),
+            "session job failed: {response}"
+        );
+    }
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    VersionCache::global().publish_metrics();
+    MetricsRegistry::global().snapshot().delta(&before).without_histograms()
+}
+
+#[test]
+fn same_seed_sessions_advance_counters_identically() {
+    let first = run_session("a");
+    let second = run_session("b");
+    // Render both deltas and diff the text — a mismatch names the
+    // offending metric right in the assertion output.
+    assert_eq!(
+        first.render_prometheus(),
+        second.render_prometheus(),
+        "same-seed serve sessions must advance every counter identically"
+    );
+    // And the deltas are non-trivial: the sessions actually did work.
+    assert_eq!(first.counter("serve.jobs_ok"), Some(2));
+    assert_eq!(first.counter("serve.requests"), Some(4));
+    assert!(first.counter("core.harness.invocations").unwrap() > 0);
+    assert!(first.counter("core.rating.calls").unwrap() > 0);
+    assert!(first.counter("serve.store.records_written") >= Some(2));
+}

@@ -1,6 +1,7 @@
 //! Knowledge-store corruption drills: every way a segment file can rot
-//! on disk must be detected at open, quarantined (preserved, never
-//! re-read), and skipped — the store always comes up clean.
+//! on disk must be detected at open, quarantined (raw bytes preserved,
+//! never re-read), and salvaged — CRC-passing lines survive, the rest
+//! are rejected, and the store always comes up clean.
 
 use peak_obs::{BufferSink, Tracer};
 use peak_serve::{FeatureVec, KnowledgeStore, StoreRecord};
@@ -114,14 +115,21 @@ fn empty_segment_file_is_quarantined() {
 }
 
 #[test]
-fn concurrent_writer_tear_is_quarantined() {
+fn concurrent_writer_tear_salvages_the_intact_record() {
     let dir = tmpdir("tear");
     let seg = seeded_store(&dir);
-    // A second writer's partial line interleaved at the end.
+    // A second writer's partial line interleaved at the end. The first
+    // record's line is intact (CRC passes), so salvage keeps it; only
+    // the torn tail is rejected.
     let mut bytes = std::fs::read(&seg).unwrap();
     bytes.extend_from_slice(b"PEAKKS1 00aa11bb {\"benchmark\":\"MG");
     std::fs::write(&seg, &bytes).unwrap();
-    assert_quarantined(&dir, 0);
+    assert_quarantined(&dir, 1);
+    // Salvage accounting is visible through the health report.
+    let s = KnowledgeStore::open(&dir, Tracer::disabled()).unwrap();
+    let health = s.health();
+    assert_eq!(health.records, 1);
+    assert!(s.nearest(&rec("SWIM", 0).features, "SPARC-II").is_some());
     std::fs::remove_dir_all(&dir).ok();
 }
 
