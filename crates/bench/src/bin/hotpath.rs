@@ -26,10 +26,18 @@
 //! overhead percentage. Exits non-zero when the overhead exceeds the
 //! gate (default 2%) — instrumentation that taxes the hot path gets
 //! caught in CI, not in production.
+//!
+//! `--tier {interp,predecoded,jit}` forces the execution tier for the
+//! invocation benchmark (overriding `PEAK_TIER`), and `--jit` runs the
+//! tier A/B comparison: interleaved fixed-work slices of all three
+//! tiers per workload×machine pair, medians, and the jit-vs-predecoded
+//! speedup, written to `BENCH_jit.json`. Exits non-zero when the jit
+//! tier is *slower* than predecoded on more than 25% of pairs (the CI
+//! bench-smoke gate; tune with `--jit-gate-pct`).
 
 use peak_core::{RunHarness, VersionCache};
 use peak_opt::{Flag, OptConfig, ALL_FLAGS};
-use peak_sim::{ExecOptions, MachineKind, MachineSpec, PreparedVersion};
+use peak_sim::{ExecOptions, ExecTier, MachineKind, MachineSpec, PreparedVersion};
 use peak_util::Json;
 use peak_workloads::{Dataset, Workload};
 use std::io::Write;
@@ -76,16 +84,22 @@ fn neighbour_configs() -> Vec<OptConfig> {
 /// Time `min_ms` worth of TS invocations of the -O3 version (fresh
 /// harness per exhausted invocation budget — cache/predictor state warms
 /// exactly like a tuning run's).
-fn time_invocations(w: &dyn Workload, spec: &MachineSpec, min_ms: u64) -> (u64, f64) {
+fn time_invocations(
+    w: &dyn Workload,
+    spec: &MachineSpec,
+    min_ms: u64,
+    tier: ExecTier,
+) -> (u64, f64) {
     let pv = PreparedVersion::prepare(
         peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3()),
         spec,
     );
     let opts = ExecOptions::default();
-    // Warm-up run so JIT-ish one-time costs (lazy allocs, page faults)
-    // don't pollute the first timed slice.
+    // Warm-up run so one-time costs (lazy allocs, page faults, the jit
+    // tier's lowering) don't pollute the first timed slice.
     {
         let mut h = RunHarness::new(w, Dataset::Train, spec, 1);
+        h.set_tier(tier);
         for _ in 0..8 {
             let Some(args) = h.next_args() else { break };
             let _ = h.execute(&pv, &args, &opts);
@@ -97,6 +111,7 @@ fn time_invocations(w: &dyn Workload, spec: &MachineSpec, min_ms: u64) -> (u64, 
     let mut seed = 2u64;
     'outer: loop {
         let mut h = RunHarness::new(w, Dataset::Train, spec, seed);
+        h.set_tier(tier);
         seed += 1;
         while let Some(args) = h.next_args() {
             let _ = h.execute(&pv, &args, &opts);
@@ -149,6 +164,12 @@ fn main() {
     let only = arg_value(&args, "--bench");
     let json_path = arg_value(&args, "--json").unwrap_or_else(|| "BENCH_hotpath.json".into());
     let min_ms: u64 = arg_value(&args, "--min-ms").map_or(300, |v| v.parse().expect("--min-ms"));
+    let tier = arg_value(&args, "--tier").map_or_else(ExecTier::from_env, |t| {
+        ExecTier::parse(&t).unwrap_or_else(|| {
+            eprintln!("error: unknown tier `{t}` (expected interp, predecoded, or jit)");
+            std::process::exit(1);
+        })
+    });
     let kinds: Vec<MachineKind> = match machine.as_deref() {
         None => vec![MachineKind::SparcII, MachineKind::PentiumIV],
         Some("sparc") => vec![MachineKind::SparcII],
@@ -168,7 +189,9 @@ fn main() {
         .into_iter()
         .filter(|w| only.as_deref().is_none_or(|o| w.name().eq_ignore_ascii_case(o)))
         .collect();
-    println!("hotpath — invocations/sec and compiles/sec per workload×machine");
+    println!(
+        "hotpath — invocations/sec ({tier} tier) and compiles/sec per workload×machine"
+    );
     println!(
         "{:<10} {:>9} | {:>16} {:>14} {:>14}",
         "workload", "machine", "invocations/s", "compiles/s", "cache hit rate"
@@ -177,7 +200,7 @@ fn main() {
     for w in &workloads {
         for &kind in &kinds {
             let spec = MachineSpec::of(kind);
-            let (invocations, invoke_secs) = time_invocations(w.as_ref(), &spec, min_ms);
+            let (invocations, invoke_secs) = time_invocations(w.as_ref(), &spec, min_ms, tier);
             let (compiles, compile_secs) = time_compiles(w.as_ref(), &spec, min_ms.min(150));
             let (cache_hits, cache_lookups) = cache_profile(w.as_ref(), &spec);
             let r = Record {
@@ -208,6 +231,7 @@ fn main() {
                 Json::obj(vec![
                     ("workload", Json::Str(r.workload.to_owned())),
                     ("machine", Json::Str(r.machine.to_owned())),
+                    ("tier", Json::Str(tier.name().to_owned())),
                     ("invocations_per_sec", Json::F(r.invocations_per_sec())),
                     ("compiles_per_sec", Json::F(r.compiles_per_sec())),
                     ("cache_hit_rate", Json::F(r.cache_hit_rate())),
@@ -237,6 +261,128 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if args.iter().any(|a| a == "--jit") {
+        let jit_json = arg_value(&args, "--jit-json").unwrap_or_else(|| "BENCH_jit.json".into());
+        let gate_pct: f64 = arg_value(&args, "--jit-gate-pct")
+            .map_or(25.0, |v| v.parse().expect("--jit-gate-pct"));
+        if !jit_bench(&jit_json, gate_pct, min_ms, &workloads, &kinds) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The tier A/B comparison behind `--jit`. For every workload×machine
+/// pair: interleaved fixed-work slices of the three execution tiers
+/// (rotating tier order per round cancels thermal/frequency drift),
+/// medians per tier, and the jit-vs-predecoded speedup. Writes
+/// `json_path` and returns whether the fraction of pairs where jit is
+/// *slower* than predecoded stayed at or under `gate_pct`.
+fn jit_bench(
+    json_path: &str,
+    gate_pct: f64,
+    min_ms: u64,
+    workloads: &[Box<dyn Workload>],
+    kinds: &[MachineKind],
+) -> bool {
+    const ROUNDS: usize = 5;
+    const TIERS: [ExecTier; 3] = [ExecTier::Interp, ExecTier::Predecoded, ExecTier::Jit];
+    println!();
+    println!("jit tier A/B — {ROUNDS} interleaved rounds per workload×machine");
+    println!(
+        "{:<10} {:>9} | {:>13} {:>13} {:>13} {:>9}",
+        "workload", "machine", "interp/s", "predecoded/s", "jit/s", "jit/pre"
+    );
+    let mut rows = Vec::new();
+    let mut slower = 0usize;
+    let mut fast5 = 0usize;
+    for w in workloads {
+        for &kind in kinds {
+            let spec = MachineSpec::of(kind);
+            let pv = PreparedVersion::prepare(
+                peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3()),
+                &spec,
+            );
+            // Calibrate the slice on the predecoded tier so each
+            // tier-slice runs roughly min_ms/ROUNDS (also warms the
+            // jit lowering before any timed slice).
+            let _ = timed_fixed_invocations(w.as_ref(), &spec, &pv, 64, ExecTier::Jit);
+            let warm = timed_fixed_invocations(w.as_ref(), &spec, &pv, 512, ExecTier::Predecoded);
+            let rate = 512.0 / warm.max(1e-9);
+            let slice =
+                ((rate * (min_ms as f64 / 1000.0) / ROUNDS as f64) as u64).clamp(256, 1 << 20);
+            let mut secs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for round in 0..ROUNDS {
+                for k in 0..TIERS.len() {
+                    // Rotate which tier goes first each round.
+                    let ti = (round + k) % TIERS.len();
+                    secs[ti].push(timed_fixed_invocations(
+                        w.as_ref(),
+                        &spec,
+                        &pv,
+                        slice,
+                        TIERS[ti],
+                    ));
+                }
+            }
+            let rate_of = |i: usize| slice as f64 / median(&secs[i]).max(1e-9);
+            let (interp, pre, jit) = (rate_of(0), rate_of(1), rate_of(2));
+            let speedup = jit / pre.max(1e-9);
+            if speedup < 1.0 {
+                slower += 1;
+            }
+            if speedup >= 5.0 {
+                fast5 += 1;
+            }
+            println!(
+                "{:<10} {:>9} | {:>13.0} {:>13.0} {:>13.0} {:>8.2}x",
+                w.name(),
+                kind.name(),
+                interp,
+                pre,
+                jit,
+                speedup
+            );
+            rows.push(Json::obj(vec![
+                ("workload", Json::Str(w.name().to_owned())),
+                ("machine", Json::Str(kind.name().to_owned())),
+                ("invocations_per_slice", Json::U(slice)),
+                ("rounds", Json::U(ROUNDS as u64)),
+                ("interp_per_sec", Json::F(interp)),
+                ("predecoded_per_sec", Json::F(pre)),
+                ("jit_per_sec", Json::F(jit)),
+                ("jit_speedup_vs_predecoded", Json::F(speedup)),
+                ("interp_slowdown_vs_predecoded", Json::F(pre / interp.max(1e-9))),
+            ]));
+        }
+    }
+    let pairs = rows.len().max(1);
+    let slower_pct = slower as f64 / pairs as f64 * 100.0;
+    let pass = slower_pct <= gate_pct;
+    let doc = Json::obj(vec![
+        ("pairs", Json::U(pairs as u64)),
+        ("jit_slower_pairs", Json::U(slower as u64)),
+        ("jit_slower_pct", Json::F(slower_pct)),
+        ("jit_5x_or_better_pairs", Json::U(fast5 as u64)),
+        ("gate_pct", Json::F(gate_pct)),
+        ("pass", Json::Bool(pass)),
+        ("records", Json::Arr(rows)),
+    ]);
+    std::fs::File::create(json_path)
+        .and_then(|mut f| f.write_all((doc.pretty() + "\n").as_bytes()))
+        .expect("write jit json");
+    println!();
+    println!(
+        "jit gate — {slower}/{pairs} pairs slower than predecoded ({slower_pct:.0}%, \
+         gate {gate_pct}%); {fast5}/{pairs} pairs at ≥5x"
+    );
+    println!("wrote {json_path}");
+    if !pass {
+        eprintln!(
+            "error: jit tier slower than predecoded on {slower_pct:.0}% of pairs \
+             (gate {gate_pct}%)"
+        );
+    }
+    pass
 }
 
 /// Run exactly `count` TS invocations of `pv` and return wall seconds —
@@ -246,6 +392,7 @@ fn timed_fixed_invocations(
     spec: &MachineSpec,
     pv: &PreparedVersion,
     count: u64,
+    tier: ExecTier,
 ) -> f64 {
     let opts = ExecOptions::default();
     let mut n = 0u64;
@@ -253,6 +400,7 @@ fn timed_fixed_invocations(
     let start = Instant::now();
     'outer: loop {
         let mut h = RunHarness::new(w, Dataset::Train, spec, seed);
+        h.set_tier(tier);
         seed += 1;
         while let Some(args) = h.next_args() {
             let _ = h.execute(pv, &args, &opts);
@@ -288,7 +436,7 @@ fn obs_bench(json_path: &str, gate_pct: f64, min_ms: u64) -> bool {
     );
     // Calibrate the slice size so each of the 2×PAIRS slices runs for
     // roughly min_ms/PAIRS — enough work that timer granularity is noise.
-    let warm_secs = timed_fixed_invocations(w.as_ref(), &spec, &pv, 4096);
+    let warm_secs = timed_fixed_invocations(w.as_ref(), &spec, &pv, 4096, ExecTier::Predecoded);
     let rate = 4096.0 / warm_secs.max(1e-9);
     let slice = ((rate * (min_ms as f64 / 1000.0) / PAIRS as f64) as u64).max(4096);
     let restore = metrics::enabled();
@@ -300,7 +448,7 @@ fn obs_bench(json_path: &str, gate_pct: f64, min_ms: u64) -> bool {
         let order = if pair % 2 == 0 { [false, true] } else { [true, false] };
         for enabled in order {
             metrics::set_enabled(enabled);
-            let secs = timed_fixed_invocations(w.as_ref(), &spec, &pv, slice);
+            let secs = timed_fixed_invocations(w.as_ref(), &spec, &pv, slice, ExecTier::Predecoded);
             if enabled { on.push(secs) } else { off.push(secs) }
         }
     }

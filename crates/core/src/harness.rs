@@ -9,8 +9,9 @@
 
 use crate::context::ContextKey;
 use peak_ir::{MemoryImage, Value};
+use peak_obs::Tracer;
 use peak_sim::{
-    AddressMap, ExecError, ExecOptions, ExecResult, ExecScratch, FaultPlan, MachineSpec,
+    AddressMap, ExecError, ExecOptions, ExecResult, ExecScratch, ExecTier, FaultPlan, MachineSpec,
     MachineState, PreparedVersion,
 };
 use peak_workloads::{Dataset, Workload};
@@ -57,6 +58,13 @@ pub struct RunHarness<'w> {
     /// Reusable executor buffers: the steady-state invocation path of a
     /// run allocates nothing.
     scratch: ExecScratch,
+    /// Execution tier for TS invocations (default: `PEAK_TIER`, else
+    /// predecoded). Any tier produces bit-identical results and cycles;
+    /// they differ only in wall-clock simulation speed.
+    tier: ExecTier,
+    /// Telemetry handle for tier events (`jit.deopt`); disabled by
+    /// default, installed by [`TuningSetup`](crate::TuningSetup).
+    tracer: Tracer,
 }
 
 impl<'w> RunHarness<'w> {
@@ -106,7 +114,24 @@ impl<'w> RunHarness<'w> {
             next_inv: 0,
             limit,
             scratch: ExecScratch::new(),
+            tier: ExecTier::from_env(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Force the execution tier for this run (overrides `PEAK_TIER`).
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        self.tier = tier;
+    }
+
+    /// The execution tier this run uses.
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Install a tracer for tier telemetry (`jit.deopt` events).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Invocations remaining in this run.
@@ -146,6 +171,13 @@ impl<'w> RunHarness<'w> {
 
     /// Execute one TS invocation, surfacing failures (including injected
     /// version crashes) as data instead of panicking.
+    ///
+    /// Dispatches on the execution tier: `interp` recomputes costs per
+    /// statement, `predecoded` (the default) runs the pre-decoded
+    /// stream, `jit` runs the version's threaded-code backend — lowered
+    /// lazily on first use and falling back to the predecoded tier
+    /// permanently (per version) when lowering declines. All tiers are
+    /// bit-identical in results, cycles, and machine state.
     pub fn try_execute(
         &mut self,
         version: &PreparedVersion,
@@ -153,15 +185,57 @@ impl<'w> RunHarness<'w> {
         opts: &ExecOptions,
     ) -> Result<ExecResult, ExecError> {
         count_invocation();
-        peak_sim::execute_with_scratch(
-            version,
-            args,
-            &mut self.mem,
-            &self.amap,
-            &mut self.machine,
-            opts,
-            &mut self.scratch,
-        )
+        match self.tier {
+            ExecTier::Interp => {
+                crate::tier::count_tier(ExecTier::Interp);
+                peak_sim::execute_interp_with_scratch(
+                    version,
+                    args,
+                    &mut self.mem,
+                    &self.amap,
+                    &mut self.machine,
+                    opts,
+                    &mut self.scratch,
+                )
+            }
+            ExecTier::Jit => {
+                if let Some(be) = crate::tier::jit_backend(version, &self.tracer) {
+                    crate::tier::count_tier(ExecTier::Jit);
+                    return be.execute(
+                        args,
+                        &mut self.mem,
+                        &self.amap,
+                        &mut self.machine,
+                        opts,
+                        &mut self.scratch,
+                    );
+                }
+                // Version declined lowering: permanent per-version
+                // fallback to the predecoded tier.
+                crate::tier::count_tier(ExecTier::Predecoded);
+                peak_sim::execute_with_scratch(
+                    version,
+                    args,
+                    &mut self.mem,
+                    &self.amap,
+                    &mut self.machine,
+                    opts,
+                    &mut self.scratch,
+                )
+            }
+            ExecTier::Predecoded => {
+                crate::tier::count_tier(ExecTier::Predecoded);
+                peak_sim::execute_with_scratch(
+                    version,
+                    args,
+                    &mut self.mem,
+                    &self.amap,
+                    &mut self.machine,
+                    opts,
+                    &mut self.scratch,
+                )
+            }
+        }
     }
 
     /// Measure an execution: run it and return the *noisy* measured time

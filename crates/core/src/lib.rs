@@ -45,6 +45,7 @@ pub mod rating;
 pub mod sched;
 pub mod search;
 pub mod stats;
+pub mod tier;
 pub mod ts_select;
 pub mod tuner;
 pub mod version_cache;
@@ -74,4 +75,5 @@ pub use tuner::{
     production_time, tune, tune_traced, tune_traced_pooled, tune_with_options, TuneOptions,
     TuneReport, Tuner,
 };
+pub use tier::{jit_backend, register_jit_metrics};
 pub use version_cache::{CacheStats, VersionCache, VersionKey};

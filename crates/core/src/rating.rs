@@ -277,7 +277,10 @@ impl<'w> TuningSetup<'w> {
         self.next_seed += 1;
         let faults =
             self.fault_config.as_ref().map(|c| FaultPlan::new(c.clone(), self.next_seed));
-        RunHarness::with_faults(self.workload, self.ds, &self.spec, self.next_seed, faults)
+        let mut h =
+            RunHarness::with_faults(self.workload, self.ds, &self.spec, self.next_seed, faults);
+        h.set_tracer(self.tracer.clone());
+        h
     }
 
     /// Account a finished (or abandoned) run's cycles; when a tracer is

@@ -33,7 +33,7 @@
 
 use crate::sched::Pool;
 use peak_opt::{CompiledVersion, OptConfig};
-use peak_sim::{MachineKind, MachineSpec, PreparedVersion};
+use peak_sim::{ExecTier, MachineKind, MachineSpec, PreparedVersion};
 use peak_workloads::Workload;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,10 +55,19 @@ pub struct VersionKey {
     pub config_bits: u64,
     /// Target machine (register allocation and pre-decoding depend on it).
     pub machine: MachineKind,
+    /// Execution tier the version is requested for. The prepared
+    /// artifact itself is tier-independent, but the lazily-attached
+    /// native backend (and its remembered refusal) is per-artifact
+    /// state: sharing one artifact across tiers would let a jit-tier
+    /// consumer's deopt memo leak into predecoded-tier accounting, and
+    /// tier-forced A/B drivers (`hotpath --jit`) need genuinely
+    /// independent entries.
+    pub tier: ExecTier,
 }
 
 impl VersionKey {
-    /// Key for the plain (uninstrumented) TS of `workload`.
+    /// Key for the plain (uninstrumented) TS of `workload`, under the
+    /// process default execution tier (`PEAK_TIER`).
     pub fn plain(workload: &dyn Workload, cfg: OptConfig, machine: MachineKind) -> Self {
         VersionKey {
             workload: workload.name(),
@@ -66,12 +75,19 @@ impl VersionKey {
             instrumented: false,
             config_bits: cfg.bits(),
             machine,
+            tier: ExecTier::from_env(),
         }
     }
 
     /// Key for the MBR-instrumented TS of `workload`.
     pub fn instrumented(workload: &dyn Workload, cfg: OptConfig, machine: MachineKind) -> Self {
         VersionKey { instrumented: true, ..Self::plain(workload, cfg, machine) }
+    }
+
+    /// The same key pinned to an explicit execution tier (tier-forced
+    /// drivers and A/B benchmarks).
+    pub fn with_tier(self, tier: ExecTier) -> Self {
+        VersionKey { tier, ..self }
     }
 }
 
@@ -399,6 +415,34 @@ mod tests {
             VersionKey::plain(&w, OptConfig::o3(), MachineKind::SparcII),
             VersionKey::instrumented(&w, OptConfig::o3(), MachineKind::SparcII),
         );
+    }
+
+    /// Regression: keys must separate execution tiers — the native
+    /// backend (and its remembered refusal) is per-artifact state, so a
+    /// jit-tier consumer must not share an artifact with a
+    /// predecoded-tier one.
+    #[test]
+    fn keys_separate_execution_tier() {
+        use peak_sim::ExecTier;
+        let base = VersionKey::plain(&SwimCalc3::new(), OptConfig::o3(), MachineKind::SparcII);
+        let jit = base.clone().with_tier(ExecTier::Jit);
+        let interp = base.clone().with_tier(ExecTier::Interp);
+        let pre = base.clone().with_tier(ExecTier::Predecoded);
+        assert_ne!(jit, pre);
+        assert_ne!(jit, interp);
+        assert_ne!(interp, pre);
+
+        let cache = VersionCache::new();
+        let w = SwimCalc3::new();
+        let spec = MachineSpec::sparc_ii();
+        for tier in ExecTier::ALL {
+            let key = VersionKey::plain(&w, OptConfig::o3(), spec.kind).with_tier(tier);
+            let _ = cache.get_or_prepare(key, &spec, || {
+                peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3())
+            });
+        }
+        assert_eq!(cache.len(), 3, "one entry per tier");
+        assert_eq!(cache.stats().compiles, 3);
     }
 
     #[test]

@@ -348,6 +348,7 @@ impl Interp {
 }
 
 /// Evaluate a unary operation.
+#[inline]
 pub fn eval_unop(op: UnOp, a: Value) -> Value {
     match op {
         UnOp::Neg => Value::I64(a.as_i64().wrapping_neg()),
@@ -362,6 +363,7 @@ pub fn eval_unop(op: UnOp, a: Value) -> Value {
 
 /// Evaluate a binary operation. Integer arithmetic wraps (like the
 /// two's-complement machines the paper targets); division by zero errors.
+#[inline]
 pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
     let bi = |x: bool| Value::I64(x as i64);
     Ok(match op {

@@ -335,8 +335,10 @@ fn stats_response(inner: &Arc<Inner>, id: &str) -> String {
         (store.len() as u64, store.quarantined() as u64, store.health())
     };
     // Pull the lazily-synced sources into the registry before
-    // snapshotting so the exposition is current.
+    // snapshotting so the exposition is current, and make sure the jit
+    // tier counters exist even before the first jit-tier invocation.
     VersionCache::global().publish_metrics();
+    peak_core::register_jit_metrics();
     let m = serve_metrics();
     m.queue_depth.set(lock_ok(&inner.queue).len() as i64);
     let snapshot = MetricsRegistry::global().snapshot();

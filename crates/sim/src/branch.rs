@@ -9,19 +9,29 @@ pub struct BranchPredictor {
     table: Vec<u8>, // 0..=3; >=2 predicts taken
     correct: u64,
     wrong: u64,
+    /// `len - 1` when the table size is a power of two (every shipped
+    /// machine spec): `hash & mask == hash % len` there, avoiding a
+    /// 64-bit modulo per branch. Same index either way.
+    mask: Option<usize>,
 }
 
 impl BranchPredictor {
     /// Fresh predictor with `entries` two-bit counters, weakly not-taken.
     pub fn new(entries: usize) -> Self {
-        BranchPredictor { table: vec![1; entries.max(1)], correct: 0, wrong: 0 }
+        let n = entries.max(1);
+        let mask = n.is_power_of_two().then(|| n - 1);
+        BranchPredictor { table: vec![1; n], correct: 0, wrong: 0, mask }
     }
 
     /// Predict + update for the branch identified by `site`; returns true
     /// if the prediction was wrong (charge the penalty).
-    #[inline]
+    #[inline(always)]
     pub fn mispredicted(&mut self, site: u64, taken: bool) -> bool {
-        let idx = (site.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.table.len();
+        let h = (site.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize;
+        let idx = match self.mask {
+            Some(m) => h & m,
+            None => h % self.table.len(),
+        };
         let ctr = &mut self.table[idx];
         let predicted_taken = *ctr >= 2;
         if taken {

@@ -89,9 +89,10 @@ impl MachineState {
 /// Flag- and machine-dependent constants the interpreter loop needs at
 /// run time, resolved once in [`PreparedVersion::prepare`] instead of on
 /// every `call`. Everything else flag-dependent is folded into the
-/// per-block constants of the decoded stream.
+/// per-block constants of the decoded stream. Public read-only: native
+/// tier backends replicate the same spill/branch charges.
 #[derive(Debug, Clone, Copy)]
-struct ExecParams {
+pub struct ExecParams {
     /// Extra cycles per spill-slot access beyond the cache latency.
     spill_extra: u64,
     /// Cycles post-RA scheduling hides per spill access (`schedule-insns2`).
@@ -100,15 +101,41 @@ struct ExecParams {
     mispredict_penalty: u64,
 }
 
+impl ExecParams {
+    /// Extra cycles per spill-slot access beyond the cache latency.
+    pub fn spill_extra(&self) -> u64 {
+        self.spill_extra
+    }
+    /// Cycles post-RA scheduling hides per spill access.
+    pub fn spill_sub(&self) -> u64 {
+        self.spill_sub
+    }
+    /// Branch misprediction penalty.
+    pub fn mispredict_penalty(&self) -> u64 {
+        self.mispredict_penalty
+    }
+}
+
 /// One spill access of a block, in execution order. `key` is
 /// `(stmt_index << 1) | is_def`: use-spills (loads) fire before the
 /// statement body, the def-spill (store) after it — a single sorted
 /// stream the executor walks with one cursor.
 #[derive(Debug, Clone, Copy)]
-struct SpillEv {
+pub struct SpillEv {
     key: u32,
     /// Absolute spill slot (function base pre-added).
     slot: u32,
+}
+
+impl SpillEv {
+    /// `(stmt_index << 1) | is_def` ordering key.
+    pub fn key(&self) -> u32 {
+        self.key
+    }
+    /// Absolute spill slot (function base pre-added).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
 }
 
 /// Pre-decoded per-block data. Everything the cost model charges that
@@ -120,7 +147,7 @@ struct SpillEv {
 /// per block is exact; only stateful accesses (data cache, branch
 /// predictor, spill slots) remain in the loop, in their original order.
 #[derive(Debug, Clone)]
-struct DecodedBlock {
+pub struct DecodedBlock {
     /// Constant cycles per execution of this block: fetch penalty +
     /// every statement's data-independent cost + base terminator cost
     /// (`1 + taken_cost(target)` for jumps, `1` for branches/returns).
@@ -132,6 +159,25 @@ struct DecodedBlock {
     site: u64,
     /// Spill accesses in execution order (empty for most blocks).
     spills: Box<[SpillEv]>,
+}
+
+impl DecodedBlock {
+    /// Folded constant cycles per execution of this block.
+    pub fn const_cost(&self) -> u64 {
+        self.const_cost
+    }
+    /// Extra cycles when the block's conditional branch is taken.
+    pub fn taken_extra(&self) -> u64 {
+        self.taken_extra
+    }
+    /// Branch-predictor site key of this block's terminator.
+    pub fn site(&self) -> u64 {
+        self.site
+    }
+    /// Spill accesses in execution order.
+    pub fn spills(&self) -> &[SpillEv] {
+        &self.spills
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -156,6 +202,36 @@ pub struct PreparedVersion {
     pub slot_base: Vec<u32>,
     decoded: Vec<DecodedFunc>,
     params: ExecParams,
+    native: NativeSlot,
+}
+
+/// Lazily-attached native-tier artifact of a prepared version. Lowering
+/// runs at most once per version (first jit-tier invocation); `None`
+/// records a lowering refusal so the harness falls back to the
+/// predecoded tier without retrying every invocation. Clones share the
+/// already-lowered artifact (it is immutable), matching the
+/// `Arc<PreparedVersion>` sharing in the version cache.
+#[derive(Default)]
+struct NativeSlot(std::sync::OnceLock<Option<std::sync::Arc<dyn crate::tier::TierBackend>>>);
+
+impl std::fmt::Debug for NativeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            None => f.write_str("NativeSlot(unlowered)"),
+            Some(None) => f.write_str("NativeSlot(declined)"),
+            Some(Some(b)) => write!(f, "NativeSlot({} blocks)", b.blocks_compiled()),
+        }
+    }
+}
+
+impl Clone for NativeSlot {
+    fn clone(&self) -> Self {
+        let slot = NativeSlot::default();
+        if let Some(v) = self.0.get() {
+            let _ = slot.0.set(v.clone());
+        }
+        slot
+    }
 }
 
 impl PreparedVersion {
@@ -311,6 +387,7 @@ impl PreparedVersion {
             slot_base,
             decoded,
             params,
+            native: NativeSlot::default(),
         }
     }
 
@@ -321,10 +398,34 @@ impl PreparedVersion {
             .filter(|s| s.is_some())
             .count()
     }
+
+    /// Pre-decoded blocks of function `func` (index into
+    /// `version.program.funcs`). Native-tier lowerings read the folded
+    /// costs, sites and spill streams from here so both tiers charge
+    /// from one artifact by construction.
+    pub fn decoded_blocks(&self, func: usize) -> &[DecodedBlock] {
+        &self.decoded[func].blocks
+    }
+
+    /// The resolved flag-/machine-dependent runtime constants.
+    pub fn exec_params(&self) -> ExecParams {
+        self.params
+    }
+
+    /// The native-tier backend of this version, lowering it with `lower`
+    /// on first use. `lower` returning `None` is remembered: the version
+    /// permanently executes on the fallback tier (the caller observes
+    /// the refusal — e.g. to count a deopt — because its closure ran).
+    pub fn native_backend(
+        &self,
+        lower: impl FnOnce(&PreparedVersion) -> Option<std::sync::Arc<dyn crate::tier::TierBackend>>,
+    ) -> Option<&std::sync::Arc<dyn crate::tier::TierBackend>> {
+        self.native.0.get_or_init(|| lower(self)).as_ref()
+    }
 }
 
 /// Front-end cost of redirecting fetch to `target`.
-fn taken_cost(
+pub(crate) fn taken_cost(
     spec: &MachineSpec,
     f: &peak_ir::Function,
     target: peak_ir::BlockId,
@@ -418,19 +519,55 @@ impl ExecScratch {
     }
 
     /// A zeroed register file of `n` slots, reusing pooled capacity.
-    fn take_regs(&mut self, n: usize) -> Vec<Value> {
+    pub fn take_regs(&mut self, n: usize) -> Vec<Value> {
         let mut v = self.regs_pool.pop().unwrap_or_default();
         v.clear();
         v.resize(n, Value::I64(0));
         v
     }
 
+    /// Return a register file to the pool.
+    pub fn put_regs(&mut self, v: Vec<Value>) {
+        self.regs_pool.push(v);
+    }
+
     /// An empty call-argument buffer, reusing pooled capacity.
-    fn take_vals(&mut self) -> Vec<Value> {
+    pub fn take_vals(&mut self) -> Vec<Value> {
         let mut v = self.vals_pool.pop().unwrap_or_default();
         v.clear();
         v
     }
+
+    /// Return a call-argument buffer to the pool.
+    pub fn put_vals(&mut self, v: Vec<Value>) {
+        self.vals_pool.push(v);
+    }
+
+    /// Reset the write-dedup set for a new recording invocation.
+    pub fn begin_write_log(&mut self) {
+        self.written.clear();
+    }
+
+    /// Record a write to `(mem, idx)`; true when it is this
+    /// invocation's first write to that cell (undo-log dedup).
+    pub fn first_write(&mut self, mem: u32, idx: i64) -> bool {
+        self.written.insert((mem, idx))
+    }
+}
+
+/// The fault hooks every execution tier runs before touching program
+/// state: a crash aborts before any work; a perturbation episode
+/// pollutes caches/predictor like a co-tenant time slice (no cycles
+/// charged to the program).
+pub fn fault_preamble(state: &mut MachineState) -> Result<(), ExecError> {
+    let MachineState { faults, caches, predictor, .. } = state;
+    if let Some(plan) = faults.as_mut() {
+        if let Some(invocation) = plan.pre_execute_crash() {
+            return Err(ExecError::InjectedCrash { invocation });
+        }
+        plan.maybe_perturb(caches, predictor);
+    }
+    Ok(())
 }
 
 /// Execute one invocation of the prepared version's entry function.
@@ -460,18 +597,7 @@ pub fn execute_with_scratch(
     opts: &ExecOptions,
     scratch: &mut ExecScratch,
 ) -> Result<ExecResult, ExecError> {
-    // Fault hooks: a crash aborts before any work; a perturbation episode
-    // pollutes caches/predictor like a co-tenant time slice (no cycles
-    // charged to the program).
-    {
-        let MachineState { faults, caches, predictor, .. } = &mut *state;
-        if let Some(plan) = faults.as_mut() {
-            if let Some(invocation) = plan.pre_execute_crash() {
-                return Err(ExecError::InjectedCrash { invocation });
-            }
-            plan.maybe_perturb(caches, predictor);
-        }
-    }
+    fault_preamble(state)?;
     if opts.record_writes {
         scratch.written.clear();
     }
@@ -493,8 +619,12 @@ pub fn execute_with_scratch(
     Ok(ExecResult { ret, true_cycles: cycles, counters: ctx.counters, writes: ctx.writes })
 }
 
-const STEP_LIMIT: u64 = 2_000_000_000;
-const RECURSION_LIMIT: usize = 64;
+/// Statement budget per invocation before [`InterpError::StepLimit`]
+/// (shared by every execution tier).
+pub const STEP_LIMIT: u64 = 2_000_000_000;
+/// Call-depth budget before [`InterpError::RecursionLimit`] (shared by
+/// every execution tier).
+pub const RECURSION_LIMIT: usize = 64;
 
 struct Ctx<'a> {
     pv: &'a PreparedVersion,
@@ -707,7 +837,7 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn call_save_cost(caller_saves: bool, live_across: u32) -> u64 {
+pub(crate) fn call_save_cost(caller_saves: bool, live_across: u32) -> u64 {
     let per_value = if caller_saves { 2 } else { 4 };
     (live_across.min(12) as u64) * per_value
 }

@@ -10,6 +10,10 @@
 //! * [`branch`] — a 2-bit branch predictor (if-conversion trade-offs);
 //! * [`exec`] — the executor charging op costs, cache latencies, spills,
 //!   dependence stalls, branch penalties, and I-cache pressure;
+//! * [`tier`] / [`exec_interp`] — the execution-tier ladder
+//!   (`interp → predecoded → jit`): tier selection, the pluggable
+//!   native-tier backend interface, and the recompute-everything slow
+//!   tier — all charging bit-identical cycles;
 //! * [`timer`] — measured-time generation with Gaussian jitter and
 //!   interrupt-like outliers (what the rating methods must survive);
 //! * [`faults`] — seeded, replayable fault injection (jitter bursts,
@@ -24,17 +28,22 @@
 pub mod branch;
 pub mod cache;
 pub mod exec;
+pub mod exec_interp;
 pub mod faults;
 pub mod machine;
 pub mod metrics;
+pub mod tier;
 pub mod timer;
 
 pub use branch::BranchPredictor;
 pub use cache::{AddressMap, Cache, Hierarchy};
 pub use exec::{
-    execute, execute_with_scratch, ExecError, ExecOptions, ExecResult, ExecScratch, MachineState,
-    PreparedVersion,
+    execute, execute_with_scratch, fault_preamble, DecodedBlock, ExecError, ExecOptions,
+    ExecParams, ExecResult, ExecScratch, MachineState, PreparedVersion, SpillEv, RECURSION_LIMIT,
+    STEP_LIMIT,
 };
+pub use exec_interp::execute_interp_with_scratch;
+pub use tier::{ExecTier, TierBackend};
 pub use faults::{FaultConfig, FaultPlan, FaultStats};
 pub use machine::{CacheParams, MachineKind, MachineSpec};
 pub use metrics::SimMetrics;

@@ -1,0 +1,120 @@
+//! Execution tiers and the pluggable native-tier backend interface.
+//!
+//! The executor ladder has three rungs that all charge **bit-identical
+//! cycles** for the same invocation stream (the differential goldens in
+//! `peak-core` pin this down):
+//!
+//! * [`ExecTier::Interp`] — the slow tier: walks the IR and recomputes
+//!   every flag-/machine-dependent cost per statement (the shape of the
+//!   executor before pre-decoding existed). Baseline for A/B benches.
+//! * [`ExecTier::Predecoded`] — the default: per-block folded constants
+//!   and a resolved spill-event stream
+//!   ([`PreparedVersion::prepare`](crate::PreparedVersion::prepare)).
+//! * [`ExecTier::Jit`] — threaded code: blocks lowered once into arrays
+//!   of monomorphized op thunks (the `peak-jit` crate), with per-version
+//!   fallback to the predecoded tier when lowering declines.
+//!
+//! The tier is an execution-engine choice, never a semantics or cost
+//! choice: `PEAK_TIER` can be flipped on any experiment and every golden
+//! byte stays identical.
+
+use crate::cache::AddressMap;
+use crate::exec::{ExecError, ExecOptions, ExecResult, ExecScratch, MachineState};
+use peak_ir::{MemoryImage, Value};
+
+/// Which execution engine runs TS invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecTier {
+    /// Recompute-everything IR walker (slowest, zero preparation reuse).
+    Interp,
+    /// Pre-decoded cost-stream interpreter (the default).
+    #[default]
+    Predecoded,
+    /// Threaded-code backend with per-version fallback to `Predecoded`.
+    Jit,
+}
+
+impl ExecTier {
+    /// All tiers, in ladder order (slowest first).
+    pub const ALL: [ExecTier; 3] = [ExecTier::Interp, ExecTier::Predecoded, ExecTier::Jit];
+
+    /// Stable lower-case name (CLI values, metric labels, JSON fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTier::Interp => "interp",
+            ExecTier::Predecoded => "predecoded",
+            ExecTier::Jit => "jit",
+        }
+    }
+
+    /// Parse a tier name as accepted by `PEAK_TIER` and `--tier`.
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "interp" | "interpreter" => Some(ExecTier::Interp),
+            "predecoded" | "predecode" | "default" => Some(ExecTier::Predecoded),
+            "jit" | "native" => Some(ExecTier::Jit),
+            _ => None,
+        }
+    }
+
+    /// The tier selected by the `PEAK_TIER` environment variable
+    /// (default [`ExecTier::Predecoded`]). Re-read on every call so
+    /// tests can flip the variable between harnesses; panics on an
+    /// unrecognized value — a typo silently falling back to the default
+    /// would invalidate whatever A/B experiment set it.
+    pub fn from_env() -> ExecTier {
+        match std::env::var("PEAK_TIER") {
+            Ok(v) if !v.is_empty() => ExecTier::parse(&v)
+                .unwrap_or_else(|| panic!("PEAK_TIER={v:?} is not interp|predecoded|jit")),
+            _ => ExecTier::Predecoded,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compiled execution engine for one
+/// [`PreparedVersion`](crate::PreparedVersion): given the same inputs it
+/// must produce the same [`ExecResult`] (return value, `true_cycles`,
+/// counters, write log) and the same machine-state evolution as
+/// [`execute_with_scratch`](crate::execute_with_scratch), bit for bit.
+///
+/// Backends are attached lazily to the prepared version via
+/// [`PreparedVersion::native_backend`](crate::PreparedVersion::native_backend)
+/// and shared through the version cache, so lowering happens at most
+/// once per (version, machine).
+pub trait TierBackend: Send + Sync {
+    /// Execute one invocation of the version's entry function.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &self,
+        args: &[Value],
+        mem: &mut MemoryImage,
+        amap: &AddressMap,
+        state: &mut MachineState,
+        opts: &ExecOptions,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecResult, ExecError>;
+
+    /// Number of basic blocks this backend compiled (metrics).
+    fn blocks_compiled(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in ExecTier::ALL {
+            assert_eq!(ExecTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(ExecTier::parse("native"), Some(ExecTier::Jit));
+        assert_eq!(ExecTier::parse("bogus"), None);
+        assert_eq!(ExecTier::default(), ExecTier::Predecoded);
+    }
+}
