@@ -269,6 +269,158 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if args.iter().any(|a| a == "--costmodel") {
+        let cm_json =
+            arg_value(&args, "--costmodel-json").unwrap_or_else(|| "BENCH_costmodel.json".into());
+        let tol_pct: f64 = arg_value(&args, "--costmodel-tolerance-pct")
+            .map_or(25.0, |v| v.parse().expect("--costmodel-tolerance-pct"));
+        let bench_tier = if tier == ExecTier::Predecoded { ExecTier::Jit } else { tier };
+        if !costmodel_bench(&cm_json, tol_pct, min_ms, &workloads, &kinds, bench_tier) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The cost-model no-regression gate behind `--costmodel`. Per
+/// workload×machine pair: interleaved fixed-work slices of the
+/// predecoded tier and the target tier (`--tier`, default jit), medians,
+/// and the tier-vs-predecoded speedup *ratio*. The gate compares the
+/// median ratio against the committed `BENCH_costmodel.json` baseline
+/// (read before overwriting): ratios divide out host speed, so the
+/// baseline is portable across CI machines where absolute wall-clock is
+/// not. A run regresses when its median ratio falls more than
+/// `tolerance_pct` percent below the baseline's. First run (no
+/// baseline) records and passes.
+fn costmodel_bench(
+    json_path: &str,
+    tolerance_pct: f64,
+    min_ms: u64,
+    workloads: &[Box<dyn Workload>],
+    kinds: &[MachineKind],
+    tier: ExecTier,
+) -> bool {
+    const ROUNDS: usize = 5;
+    let baseline_ratio: Option<f64> = std::fs::read_to_string(json_path)
+        .ok()
+        .and_then(|t| peak_util::from_str(&t).ok())
+        .and_then(|j| j.get("median_speedup_vs_predecoded").and_then(Json::as_f64));
+    println!();
+    println!(
+        "cost-model gate — {} tier vs predecoded, {ROUNDS} interleaved rounds per pair",
+        tier.name()
+    );
+    println!(
+        "{:<10} {:>9} | {:>13} {:>13} {:>9}",
+        "workload", "machine", "predecoded/s", "tier/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for w in workloads {
+        for &kind in kinds {
+            let spec = MachineSpec::of(kind);
+            let pv = PreparedVersion::prepare(
+                peak_opt::optimize(w.program(), w.ts(), &OptConfig::o3()),
+                &spec,
+            );
+            // Warm both paths (jit lowering, arg-stream materialization)
+            // and calibrate the slice on the predecoded tier.
+            let _ = timed_fixed_invocations(w.as_ref(), &spec, &pv, 64, tier);
+            let warm = timed_fixed_invocations(w.as_ref(), &spec, &pv, 512, ExecTier::Predecoded);
+            let rate = 512.0 / warm.max(1e-9);
+            let slice =
+                ((rate * (min_ms as f64 / 1000.0) / ROUNDS as f64) as u64).clamp(256, 1 << 20);
+            let mut pre_secs = Vec::with_capacity(ROUNDS);
+            let mut tier_secs = Vec::with_capacity(ROUNDS);
+            for round in 0..ROUNDS {
+                // Alternate order so drift cannot favour one side.
+                let tier_first = round % 2 == 1;
+                for leg in 0..2 {
+                    if (leg == 0) == tier_first {
+                        tier_secs.push(timed_fixed_invocations(
+                            w.as_ref(),
+                            &spec,
+                            &pv,
+                            slice,
+                            tier,
+                        ));
+                    } else {
+                        pre_secs.push(timed_fixed_invocations(
+                            w.as_ref(),
+                            &spec,
+                            &pv,
+                            slice,
+                            ExecTier::Predecoded,
+                        ));
+                    }
+                }
+            }
+            let pre = slice as f64 / median(&pre_secs).max(1e-9);
+            let fast = slice as f64 / median(&tier_secs).max(1e-9);
+            let ratio = fast / pre.max(1e-9);
+            ratios.push(ratio);
+            println!(
+                "{:<10} {:>9} | {:>13.0} {:>13.0} {:>8.2}x",
+                w.name(),
+                kind.name(),
+                pre,
+                fast,
+                ratio
+            );
+            rows.push(Json::obj(vec![
+                ("workload", Json::Str(w.name().to_owned())),
+                ("machine", Json::Str(kind.name().to_owned())),
+                ("invocations_per_slice", Json::U(slice)),
+                ("rounds", Json::U(ROUNDS as u64)),
+                ("predecoded_per_sec", Json::F(pre)),
+                ("tier_per_sec", Json::F(fast)),
+                ("speedup_vs_predecoded", Json::F(ratio)),
+            ]));
+        }
+    }
+    let med_ratio = median(&ratios);
+    let (pass, regression_pct) = match baseline_ratio {
+        Some(base) if base > 0.0 => {
+            let reg = (base - med_ratio) / base * 100.0;
+            (reg <= tolerance_pct, reg)
+        }
+        _ => (true, 0.0),
+    };
+    let doc = Json::obj(vec![
+        ("tier", Json::Str(tier.name().to_owned())),
+        ("pairs", Json::U(rows.len() as u64)),
+        ("median_speedup_vs_predecoded", Json::F(med_ratio)),
+        (
+            "baseline_median_speedup",
+            baseline_ratio.map_or(Json::Null, Json::F),
+        ),
+        ("regression_pct", Json::F(regression_pct)),
+        ("tolerance_pct", Json::F(tolerance_pct)),
+        ("pass", Json::Bool(pass)),
+        ("records", Json::Arr(rows)),
+    ]);
+    std::fs::File::create(json_path)
+        .and_then(|mut f| f.write_all((doc.pretty() + "\n").as_bytes()))
+        .expect("write costmodel json");
+    println!();
+    match baseline_ratio {
+        Some(base) => println!(
+            "cost-model gate — median {} speedup {med_ratio:.2}x vs baseline {base:.2}x \
+             ({regression_pct:+.1}% regression, tolerance {tolerance_pct}%)",
+            tier.name()
+        ),
+        None => println!(
+            "cost-model gate — median {} speedup {med_ratio:.2}x (no baseline; recorded)",
+            tier.name()
+        ),
+    }
+    println!("wrote {json_path}");
+    if !pass {
+        eprintln!(
+            "error: cost-model speedup regressed {regression_pct:.1}% vs baseline \
+             (tolerance {tolerance_pct}%)"
+        );
+    }
+    pass
 }
 
 /// The tier A/B comparison behind `--jit`. For every workload×machine

@@ -22,15 +22,17 @@ use rand::SeedableRng;
 /// the cache traffic (loop + addressing overhead of the copy code).
 const COPY_OVERHEAD_PER_ELEM: u64 = 1;
 
-/// Live count of TS invocations executed, across all harnesses. This is
-/// THE hot path (the overhead-gate bench measures exactly this site), so
-/// the handle is cached in a static and the increment is one relaxed
-/// `fetch_add` behind one relaxed flag load.
+/// Flush a run's pending invocation count into the shared
+/// `core.harness.invocations` counter. The per-invocation path just
+/// bumps a plain field on the harness (no atomic at all); this commits
+/// the batch — one `fetch_add` per run instead of one per invocation —
+/// at run end and on harness drop, so metrics consumers that read after
+/// jobs complete see identical totals to the unbatched scheme.
 #[inline]
-fn count_invocation() {
+fn flush_invocation_count(pending: &mut u64) {
     use peak_obs::metrics::{self, Counter, MetricsRegistry};
     use std::sync::OnceLock;
-    if !metrics::enabled() {
+    if *pending == 0 || !metrics::enabled() {
         return;
     }
     static INVOCATIONS: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
@@ -39,7 +41,8 @@ fn count_invocation() {
             MetricsRegistry::global()
                 .counter("core.harness.invocations", "TS invocations executed")
         })
-        .inc();
+        .add(*pending);
+    *pending = 0;
 }
 
 /// One application run.
@@ -53,8 +56,15 @@ pub struct RunHarness<'w> {
     /// Program memory.
     pub mem: MemoryImage,
     stream_rng: StdRng,
+    /// Memoized invocation stream (`Some` = replay recorded args and
+    /// writes; `None` = run the live generator). See
+    /// [`crate::stream_cache`]; both paths are observably identical.
+    stream: Option<std::sync::Arc<peak_workloads::stream::ArgStream>>,
     next_inv: usize,
     limit: usize,
+    /// Invocations executed but not yet committed to the shared metrics
+    /// counter (batched per run; flushed at stream end and on drop).
+    pending_invs: u64,
     /// Reusable executor buffers: the steady-state invocation path of a
     /// run allocates nothing.
     scratch: ExecScratch,
@@ -89,16 +99,44 @@ impl<'w> RunHarness<'w> {
         noise_seed: u64,
         faults: Option<FaultPlan>,
     ) -> Self {
+        Self::with_stream_mode(
+            workload,
+            ds,
+            spec,
+            noise_seed,
+            faults,
+            crate::stream_cache::enabled(),
+        )
+    }
+
+    /// [`RunHarness::with_faults`] with the argument-stream mode forced:
+    /// `memoized = true` replays the pooled recorded stream, `false`
+    /// runs the live generator per invocation. The public constructors
+    /// follow `PEAK_ARG_STREAM`; this exists for the differential suite
+    /// that proves the two modes observably identical.
+    pub fn with_stream_mode(
+        workload: &'w dyn Workload,
+        ds: Dataset,
+        spec: &MachineSpec,
+        noise_seed: u64,
+        faults: Option<FaultPlan>,
+        memoized: bool,
+    ) -> Self {
         let mem_lens: Vec<usize> =
             workload.program().mems.iter().map(|m| m.len).collect();
         let amap = AddressMap::new(&mem_lens);
-        let mut mem = MemoryImage::new(workload.program());
-        let stream_seed = match ds {
-            Dataset::Train => STREAM_SEED_TRAIN,
-            Dataset::Ref => STREAM_SEED_REF,
+        let mut stream_rng =
+            StdRng::seed_from_u64(peak_workloads::stream::stream_seed(ds));
+        let (mem, stream) = if memoized {
+            let s = crate::stream_cache::arg_stream(workload, ds);
+            // The recorder consumed the same RNG sequence `setup` would
+            // have; this run's RNG is never drawn from again.
+            (s.init_mem.clone(), Some(s))
+        } else {
+            let mut mem = MemoryImage::new(workload.program());
+            workload.setup(ds, &mut mem, &mut stream_rng);
+            (mem, None)
         };
-        let mut stream_rng = StdRng::seed_from_u64(stream_seed);
-        workload.setup(ds, &mut mem, &mut stream_rng);
         let limit = workload.invocations(ds);
         let mut machine = MachineState::new(spec.clone(), noise_seed);
         if let Some(plan) = faults {
@@ -111,8 +149,10 @@ impl<'w> RunHarness<'w> {
             amap,
             mem,
             stream_rng,
+            stream,
             next_inv: 0,
             limit,
+            pending_invs: 0,
             scratch: ExecScratch::new(),
             tier: ExecTier::from_env(),
             tracer: Tracer::disabled(),
@@ -144,11 +184,26 @@ impl<'w> RunHarness<'w> {
     /// Returns `None` when the run is over.
     pub fn next_args(&mut self) -> Option<Vec<Value>> {
         if self.next_inv >= self.limit {
+            flush_invocation_count(&mut self.pending_invs);
             return None;
         }
-        let args =
-            self.workload
-                .args(self.ds, self.next_inv, &mut self.mem, &mut self.stream_rng);
+        let args = match &self.stream {
+            Some(s) => {
+                // Replay path: apply the recorded between-invocation
+                // writes, hand out the recorded args. Exact because
+                // generators never read memory content (see
+                // `peak_workloads::stream`).
+                let rec = &s.invocations[self.next_inv];
+                self.mem.replay(&rec.writes);
+                rec.args.clone()
+            }
+            None => self.workload.args(
+                self.ds,
+                self.next_inv,
+                &mut self.mem,
+                &mut self.stream_rng,
+            ),
+        };
         self.next_inv += 1;
         self.machine.cycles += self.workload.other_cycles(self.ds);
         Some(args)
@@ -184,7 +239,7 @@ impl<'w> RunHarness<'w> {
         args: &[Value],
         opts: &ExecOptions,
     ) -> Result<ExecResult, ExecError> {
-        count_invocation();
+        self.pending_invs += 1;
         match self.tier {
             ExecTier::Interp => {
                 crate::tier::count_tier(ExecTier::Interp);
@@ -342,11 +397,13 @@ impl<'w> RunHarness<'w> {
     }
 }
 
-/// Workload-stream seed for the train dataset (fixed: every train run
-/// sees identical input, like re-running a benchmark binary).
-const STREAM_SEED_TRAIN: u64 = 0x7472_6169_6e00;
-/// Workload-stream seed for the ref dataset.
-const STREAM_SEED_REF: u64 = 0x7265_6600;
+impl Drop for RunHarness<'_> {
+    fn drop(&mut self) {
+        // Commit any invocations not yet flushed (runs abandoned before
+        // stream exhaustion — fault aborts, partial ratings).
+        flush_invocation_count(&mut self.pending_invs);
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -45,6 +45,7 @@ pub mod rating;
 pub mod sched;
 pub mod search;
 pub mod stats;
+pub mod stream_cache;
 pub mod tier;
 pub mod ts_select;
 pub mod tuner;

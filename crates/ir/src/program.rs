@@ -145,16 +145,42 @@ impl Buffer {
 /// Both the reference interpreter and the machine simulator execute against
 /// a `MemoryImage`; re-execution-based rating snapshots and restores parts
 /// of it (the `Modified_Input(TS)` set, paper §2.4.2).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MemoryImage {
     /// One buffer per declared region.
     pub bufs: Vec<Buffer>,
+    /// When armed ([`MemoryImage::begin_journal`]), every [`store`]
+    /// is also appended here in order. Used to *record* deterministic
+    /// write streams (workload argument generation) once so they can be
+    /// replayed verbatim later without re-running the generator. `None`
+    /// (the default, and the state after [`end_journal`]) costs the hot
+    /// store path one predictable branch.
+    ///
+    /// [`store`]: MemoryImage::store
+    /// [`end_journal`]: MemoryImage::end_journal
+    journal: Option<Vec<(MemId, i64, Value)>>,
+}
+
+/// Journals are recording plumbing, not memory content: two images are
+/// equal iff their buffers are.
+impl PartialEq for MemoryImage {
+    fn eq(&self, other: &Self) -> bool {
+        self.bufs == other.bufs
+    }
 }
 
 impl MemoryImage {
     /// Zero-initialized image matching the program's declarations.
     pub fn new(prog: &Program) -> Self {
-        MemoryImage { bufs: prog.mems.iter().map(Buffer::zeroed).collect() }
+        MemoryImage {
+            bufs: prog.mems.iter().map(Buffer::zeroed).collect(),
+            journal: None,
+        }
+    }
+
+    /// Image with no regions at all (placeholder uses).
+    pub fn empty() -> Self {
+        MemoryImage { bufs: Vec::new(), journal: None }
     }
 
     /// Read `mem[idx]`.
@@ -163,10 +189,43 @@ impl MemoryImage {
         self.bufs[mem.index()].get(idx as usize)
     }
 
-    /// Write `mem[idx]`.
-    #[inline]
+    /// Write `mem[idx]`. `inline(always)` with the journal append kept
+    /// out-of-line: simulated stores run this once per executed store
+    /// op, and journalling is only ever armed during argument-stream
+    /// recording — the hot path must stay one predictable branch.
+    #[inline(always)]
     pub fn store(&mut self, mem: MemId, idx: i64, val: Value) {
+        if self.journal.is_some() {
+            self.journal_push(mem, idx, val);
+        }
         self.bufs[mem.index()].set(idx as usize, val);
+    }
+
+    #[cold]
+    fn journal_push(&mut self, mem: MemId, idx: i64, val: Value) {
+        self.journal
+            .as_mut()
+            .expect("journal armed")
+            .push((mem, idx, val));
+    }
+
+    /// Start journalling: subsequent [`MemoryImage::store`] calls are
+    /// recorded in order until [`MemoryImage::end_journal`].
+    pub fn begin_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Stop journalling and take the recorded write stream (empty if
+    /// journalling was never started).
+    pub fn end_journal(&mut self) -> Vec<(MemId, i64, Value)> {
+        self.journal.take().unwrap_or_default()
+    }
+
+    /// Replay a write stream recorded via the journal.
+    pub fn replay(&mut self, writes: &[(MemId, i64, Value)]) {
+        for &(m, idx, v) in writes {
+            self.bufs[m.index()].set(idx as usize, v);
+        }
     }
 
     /// Buffer for a region.

@@ -540,7 +540,7 @@ mod tests {
             stores: vec![],
             calls: vec![],
             truncated: false,
-            final_mem: MemoryImage { bufs: vec![] },
+            final_mem: MemoryImage::empty(),
         };
         let b = a.clone();
         compare_observations(&a, &b, ObsLevel::Exact).unwrap();

@@ -89,7 +89,7 @@ pub(crate) struct JitBlock {
 /// Block terminator in threaded form.
 pub(crate) enum Term {
     Jump(u32),
-    Branch { cond: u32, on_true: u32, on_false: u32, site: u64, taken_extra: u64 },
+    Branch { cond: u32, on_true: u32, on_false: u32, site_idx: u32, taken_extra: u64 },
     /// Fused comparison + conditional branch; still writes the 0/1
     /// result to `dst`. The comparison is a [`ops::CmpTag`] evaluated
     /// inline — no call on the loop back-edge.
@@ -100,7 +100,7 @@ pub(crate) enum Term {
         dst: u32,
         on_true: u32,
         on_false: u32,
-        site: u64,
+        site_idx: u32,
         taken_extra: u64,
     },
     /// Return; `u32::MAX` = no value.

@@ -185,7 +185,7 @@ pub fn lower(pv: &PreparedVersion, opts: &JitOptions) -> Result<JitVersion, Deop
                                 dst,
                                 on_true: on_true.0,
                                 on_false: on_false.0,
-                                site: d.site(),
+                                site_idx: d.site_idx(),
                                 taken_extra: d.taken_extra(),
                             }
                         }
@@ -193,7 +193,7 @@ pub fn lower(pv: &PreparedVersion, opts: &JitOptions) -> Result<JitVersion, Deop
                             cond: fr.slot(cond),
                             on_true: on_true.0,
                             on_false: on_false.0,
-                            site: d.site(),
+                            site_idx: d.site_idx(),
                             taken_extra: d.taken_extra(),
                         },
                     }

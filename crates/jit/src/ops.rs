@@ -195,6 +195,16 @@ pub(crate) fn cmp_eval(t: CmpTag, a: Value, b: Value) -> bool {
 }
 
 /// Mutable execution state threaded through every thunk.
+///
+/// Predictor updates happen directly at each branch terminator against
+/// the *prepare-time* table index ([`Term::Branch::site_idx`]) — the
+/// per-branch site hash is gone from the hot loop. A staged variant
+/// committing through [`peak_sim::BranchPredictor::commit`] was built
+/// and gated (`batched_commit_matches_sequential`), but profiling
+/// showed the staging stores cost more per branch than the hash they
+/// amortise once indices are precomputed, so the direct path ships;
+/// the batched API remains the proven-equivalent bulk-replay
+/// primitive.
 pub(crate) struct JitCtx<'a> {
     pub(crate) jv: &'a JitVersion,
     pub(crate) mem: &'a mut MemoryImage,
@@ -340,23 +350,23 @@ pub(crate) fn run_func(
         }
         match blk.term {
             Term::Jump(t) => bb = t,
-            Term::Branch { cond, on_true, on_false, site, taken_extra } => {
+            Term::Branch { cond, on_true, on_false, site_idx, taken_extra } => {
                 let taken = slots[cond as usize].is_true();
-                if ctx.state.predictor.mispredicted(site, taken) {
-                    ctx.cycles += jv.mispredict_penalty;
+                if ctx.state.predictor.mispredicted_at(site_idx as usize, taken) {
+                    ctx.cycles += ctx.jv.mispredict_penalty;
                 }
                 if taken {
                     ctx.cycles += taken_extra;
                 }
                 bb = if taken { on_true } else { on_false };
             }
-            Term::CmpBranch { cmp, a, b, dst, on_true, on_false, site, taken_extra } => {
+            Term::CmpBranch { cmp, a, b, dst, on_true, on_false, site_idx, taken_extra } => {
                 let taken = cmp_eval(cmp, slots[a as usize], slots[b as usize]);
                 // The comparison still defines its variable (0/1), so
                 // any later read of it sees the same value as unfused.
                 slots[dst as usize] = Value::I64(taken as i64);
-                if ctx.state.predictor.mispredicted(site, taken) {
-                    ctx.cycles += jv.mispredict_penalty;
+                if ctx.state.predictor.mispredicted_at(site_idx as usize, taken) {
+                    ctx.cycles += ctx.jv.mispredict_penalty;
                 }
                 if taken {
                     ctx.cycles += taken_extra;

@@ -23,6 +23,23 @@ impl BranchPredictor {
         BranchPredictor { table: vec![1; n], correct: 0, wrong: 0, mask }
     }
 
+    /// Table index `site` maps to in a table of `entries` counters — the
+    /// same hash+fold [`BranchPredictor::mispredicted`] applies, exposed
+    /// so callers that know their branch sites ahead of time (the
+    /// pre-decode step, the jit lowering) can hash each site once instead
+    /// of once per executed branch. `entries` must match the value the
+    /// predictor was built with.
+    #[inline(always)]
+    pub fn index_for(entries: usize, site: u64) -> usize {
+        let n = entries.max(1);
+        let h = (site.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize;
+        if n.is_power_of_two() {
+            h & (n - 1)
+        } else {
+            h % n
+        }
+    }
+
     /// Predict + update for the branch identified by `site`; returns true
     /// if the prediction was wrong (charge the penalty).
     #[inline(always)]
@@ -32,6 +49,14 @@ impl BranchPredictor {
             Some(m) => h & m,
             None => h % self.table.len(),
         };
+        self.mispredicted_at(idx, taken)
+    }
+
+    /// [`BranchPredictor::mispredicted`] with a precomputed table index
+    /// (from [`BranchPredictor::index_for`]): identical state evolution,
+    /// no hash in the loop.
+    #[inline(always)]
+    pub fn mispredicted_at(&mut self, idx: usize, taken: bool) -> bool {
         let ctr = &mut self.table[idx];
         let predicted_taken = *ctr >= 2;
         if taken {
@@ -46,6 +71,27 @@ impl BranchPredictor {
             self.correct += 1;
         }
         wrong
+    }
+
+    /// Commit a staged sequence of `(table index, taken)` observations,
+    /// in order, and return how many were mispredicted. Because a
+    /// branch's *direction* never depends on predictor state (the
+    /// predictor only prices it) and penalty charges are commutative
+    /// constant adds, deferring updates into one commit leaves the
+    /// table, the counters, and the total penalty bit-identical to
+    /// calling [`BranchPredictor::mispredicted_at`] at each branch —
+    /// the batched-commit path of the jit tier.
+    pub fn commit(&mut self, staged: &[(u32, bool)]) -> u64 {
+        let mut wrong = 0u64;
+        for &(idx, taken) in staged {
+            wrong += self.mispredicted_at(idx as usize, taken) as u64;
+        }
+        wrong
+    }
+
+    /// Table size (two-bit counters).
+    pub fn entries(&self) -> usize {
+        self.table.len()
     }
 
     /// (correct, wrong) counts.
@@ -111,6 +157,36 @@ mod tests {
             }
         }
         assert!(wrong > 300, "alternating-ish pattern should hurt: {wrong}");
+    }
+
+    #[test]
+    fn batched_commit_matches_sequential() {
+        // Non-power-of-two table exercises the modulo fold too.
+        for entries in [64usize, 100] {
+            let mut seq = BranchPredictor::new(entries);
+            let mut bat = BranchPredictor::new(entries);
+            let mut x = 0x9e3779b9u64;
+            let mut staged: Vec<(u32, bool)> = Vec::new();
+            let mut seq_wrong = 0u64;
+            let mut bat_wrong = 0u64;
+            for i in 0..5000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let site = x % 37;
+                let taken = (x >> 33) & 3 != 0;
+                let idx = BranchPredictor::index_for(entries, site);
+                seq_wrong += seq.mispredicted(site, taken) as u64;
+                staged.push((idx as u32, taken));
+                // Flush at irregular boundaries.
+                if staged.len() as u64 > 1 + (i % 7) {
+                    bat_wrong += bat.commit(&staged);
+                    staged.clear();
+                }
+            }
+            bat_wrong += bat.commit(&staged);
+            assert_eq!(seq_wrong, bat_wrong);
+            assert_eq!(seq.stats(), bat.stats());
+            assert_eq!(seq.table, bat.table);
+        }
     }
 
     #[test]

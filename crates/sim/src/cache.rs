@@ -12,18 +12,55 @@ use crate::machine::CacheParams;
 /// Tag sentinel for an invalid cache line.
 const EMPTY: u64 = u64::MAX;
 
-/// One cache level with LRU replacement.
+/// Nibble-packed identity permutation: way `i` in nibble `i` (masked to
+/// the live nibbles of a set's associativity).
+const IDENT_PERM: u32 = 0x7654_3210;
+
+/// One cache level with LRU replacement — the compressed representation.
+///
+/// Per set, the recency order lives in a *permutation word* instead of
+/// per-line LRU stamps: nibble `k` of the low 32 bits of `meta[set]`
+/// holds the way id at recency rank `k` (rank 0 = LRU, highest live
+/// nibble = MRU), which covers every shipped geometry (ways ≤ 8; wider
+/// caches fall back to an explicit byte order). The high 32 bits hold
+/// the flush generation the set last observed, so [`Cache::flush`] is
+/// one counter bump and a set lazily resets on its next access — no
+/// per-line clears, and the hot path reads *one* metadata word per
+/// access where the stamp scheme read and wrote a second cache line of
+/// stamps.
+///
+/// ## Equivalence to the stamp oracle ([`RefCache`])
+///
+/// The stamp scheme evicts `min_by_key(stamp)`, breaking ties (which
+/// only exist at stamp 0, i.e. never-touched ways) by lowest way index.
+/// The permutation starts as the identity (way 0 first), a hit moves
+/// its way to MRU preserving the relative order of the rest, and a miss
+/// evicts the front nibble and rotates the victim to MRU — exactly the
+/// order `min_by_key` + stamp-update induces, including the cold-start
+/// tie-break. `costmodel_differential` pins hits, misses, evictions and
+/// post-flush state against the oracle over thousands of seeded random
+/// streams.
 #[derive(Debug, Clone)]
 pub struct Cache {
     params: CacheParams,
     /// tags[set * ways + way]; [`EMPTY`] marks an invalid line. A
     /// sentinel instead of `Option<u64>` halves the scanned bytes per
     /// lookup; real tags can never reach it (addresses are far below
-    /// `2^63`).
+    /// `2^63`). Contiguous per set — the hit scan is one
+    /// SIMD-friendly stride of ≤ 8 × 8 bytes. Direct-mapped caches
+    /// (ways == 1) store `(generation << 32) | tag` instead, so their
+    /// access path never touches `meta` at all.
     tags: Vec<u64>,
-    /// LRU stamps, larger = more recent.
-    stamps: Vec<u64>,
-    clock: u64,
+    /// Per-set metadata: `(generation << 32) | lru_permutation`.
+    meta: Vec<u64>,
+    /// Explicit recency order (`order[base + k]` = way at rank `k`,
+    /// rank 0 = LRU) for geometries wider than 8 ways; empty otherwise.
+    order: Vec<u8>,
+    /// Current flush generation; a set whose `meta` generation differs
+    /// is logically empty and resets on first touch.
+    gen: u32,
+    /// Identity permutation masked to this associativity.
+    ident: u32,
     hits: u64,
     misses: u64,
     /// Shift/mask form of the set/line arithmetic when the geometry is
@@ -37,16 +74,271 @@ impl Cache {
     /// Empty (cold) cache.
     pub fn new(params: CacheParams) -> Self {
         let n = params.sets * params.ways;
-        let pow2 = (params.line_elems.is_power_of_two() && params.sets.is_power_of_two()).then(
-            || {
-                (
-                    params.line_elems.trailing_zeros(),
-                    params.sets as u64 - 1,
-                    params.sets.trailing_zeros(),
-                )
-            },
-        );
+        let pow2 = pow2_geometry(&params);
+        let ident = if params.ways >= 8 {
+            IDENT_PERM
+        } else {
+            IDENT_PERM & ((1u32 << (4 * params.ways as u32)) - 1)
+        };
+        let order: Vec<u8> = if params.ways > 8 {
+            (0..n).map(|i| (i % params.ways) as u8).collect()
+        } else {
+            Vec::new()
+        };
         Cache {
+            tags: vec![EMPTY; n],
+            meta: vec![ident as u64; params.sets],
+            order,
+            gen: 0,
+            ident,
+            hits: 0,
+            misses: 0,
+            pow2,
+            params,
+        }
+    }
+
+    /// Access the line containing element address `addr`. Returns true on
+    /// hit; on miss the line is filled.
+    ///
+    /// Only the *per-access common case* is inlined into callers: a
+    /// single tag compare for direct-mapped sets, the MRU tag compare
+    /// for multiway sets. Everything rarer — post-flush set resets,
+    /// non-MRU hits, misses — lives in out-of-line helpers so the
+    /// execution loops this inlines into (`run_func` and the
+    /// interpreting tiers) keep their code footprint and register
+    /// pressure flat.
+    #[inline(always)]
+    pub fn access(&mut self, addr: u64) -> bool {
+        let (set, tag) = match self.pow2 {
+            Some((line_shift, set_mask, set_shift)) => {
+                let line = addr >> line_shift;
+                ((line & set_mask) as usize, line >> set_shift)
+            }
+            None => {
+                let line = addr / self.params.line_elems as u64;
+                ((line % self.params.sets as u64) as usize, line / self.params.sets as u64)
+            }
+        };
+        debug_assert_ne!(tag, EMPTY);
+        let ways = self.params.ways;
+        let gen_bits = (self.gen as u64) << 32;
+        if ways == 1 {
+            // Direct-mapped: the flush generation is folded into the
+            // *stored tag word* (`(gen << 32) | tag`), so a flushed
+            // line mismatches on the same single compare that detects
+            // a conflict miss. One memory word per access, no
+            // metadata at all — this is the only path a direct-mapped
+            // L1 (SPARC-II) ever takes.
+            debug_assert_eq!(tag >> 32, 0, "direct-mapped tag must leave the generation bits free");
+            let want = gen_bits | tag;
+            let t = &mut self.tags[set];
+            return if *t == want {
+                self.hits += 1;
+                true
+            } else {
+                *t = want;
+                self.misses += 1;
+                false
+            };
+        }
+        let base = set * ways;
+        let meta = self.meta[set];
+        if meta & (0xFFFF_FFFF << 32) != gen_bits {
+            // First touch since a flush: the set is logically empty.
+            return self.miss_cold_set(set, base, tag, gen_bits);
+        }
+        match ways {
+            2 => {
+                // Two-way: the permutation is a single LRU choice.
+                let t = &mut self.tags[base..base + 2];
+                if t[0] == tag || t[1] == tag {
+                    let w = (t[1] == tag) as u64;
+                    self.hits += 1;
+                    self.meta[set] = gen_bits | (w << 4) | (1 - w);
+                    true
+                } else {
+                    let v = meta & 0xF;
+                    t[v as usize] = tag;
+                    self.misses += 1;
+                    self.meta[set] = gen_bits | (v << 4) | (1 - v);
+                    false
+                }
+            }
+            w @ 3..=8 => {
+                let perm = meta & 0xFFFF_FFFF;
+                let mru_shift = 4 * (w as u32 - 1);
+                // Streaming accesses mostly re-hit the MRU way: one
+                // tag compare, no recency update, no scan.
+                let mru = ((perm >> mru_shift) & 0xF) as usize;
+                if self.tags[base + mru] == tag {
+                    self.hits += 1;
+                    return true;
+                }
+                self.access_multi_slow(set, base, w, tag, gen_bits, perm)
+            }
+            _ => self.access_wide(base, tag),
+        }
+    }
+
+    /// First touch of a set after a flush: lazily reset it, then fill
+    /// the miss (a logically-empty set can only miss). Out of line —
+    /// runs once per set per flush.
+    #[cold]
+    #[inline(never)]
+    fn miss_cold_set(&mut self, set: usize, base: usize, tag: u64, gen_bits: u64) -> bool {
+        let ways = self.params.ways;
+        self.tags[base..base + ways].fill(EMPTY);
+        if ways > 8 {
+            for (i, o) in self.order[base..base + ways].iter_mut().enumerate() {
+                *o = i as u8;
+            }
+            self.meta[set] = gen_bits | self.ident as u64;
+            return self.access_wide(base, tag);
+        }
+        self.misses += 1;
+        let ident = self.ident as u64;
+        let mru_shift = 4 * (ways as u32 - 1);
+        // Fresh identity order: the miss evicts rank-0 (way 0) and
+        // rotates it to MRU, same as the generic miss path below.
+        self.meta[set] = gen_bits | (ident >> 4) | ((ident & 0xF) << mru_shift);
+        self.tags[base] = tag;
+        false
+    }
+
+    /// Non-MRU access for the permutation-word geometries (3–8 ways):
+    /// scan, O(1) rank splice on a hit, front-nibble eviction on a
+    /// miss. Out of line: only the MRU compare belongs in the callers'
+    /// hot loops (A/B'd against letting the inliner decide — the
+    /// forced call kept `run_func`'s footprint flat and measured
+    /// better on the full grid).
+    #[inline(never)]
+    fn access_multi_slow(
+        &mut self,
+        set: usize,
+        base: usize,
+        w: usize,
+        tag: u64,
+        gen_bits: u64,
+        perm: u64,
+    ) -> bool {
+        let mru_shift = 4 * (w as u32 - 1);
+        let lanes = &self.tags[base..base + w];
+        if let Some(hw) = lanes.iter().position(|t| *t == tag) {
+            self.hits += 1;
+            let hw = hw as u64;
+            // O(1) rank lookup: XOR the permutation against a
+            // nibble-broadcast of the hit way — exactly one
+            // live nibble zeroes out, and the borrow trick
+            // flags the lowest zero nibble (false positives
+            // can only appear above it, so `trailing_zeros`
+            // lands on the true rank).
+            let x = perm ^ hw.wrapping_mul(0x1111_1111);
+            let zero = x.wrapping_sub(0x1111_1111) & !x & 0x8888_8888;
+            let pos = zero.trailing_zeros() / 4;
+            // Close the gap at `pos` (ranks above shift down
+            // one nibble; relative order preserved) and insert
+            // the hit way at MRU. `hw != mru` here (the MRU way was
+            // already compared and set tags are distinct), so
+            // `pos < w - 1`.
+            let below = perm & ((1u64 << (4 * pos)) - 1);
+            let above = (perm >> (4 * (pos + 1))) << (4 * pos);
+            self.meta[set] = gen_bits | below | above | (hw << mru_shift);
+            true
+        } else {
+            self.misses += 1;
+            let victim = (perm & 0xF) as usize;
+            // Evict the LRU (front nibble) and rotate the
+            // victim way to MRU.
+            self.meta[set] = gen_bits | (perm >> 4) | ((victim as u64) << mru_shift);
+            self.tags[base + victim] = tag;
+            false
+        }
+    }
+
+    /// Wide-associativity fallback (> 8 ways): move-to-front LRU over
+    /// explicit order bytes. No shipped machine spec takes this path.
+    #[inline(never)]
+    fn access_wide(&mut self, base: usize, tag: u64) -> bool {
+        let ways = self.params.ways;
+        let lanes = &self.tags[base..base + ways];
+        if let Some(hw) = lanes.iter().position(|t| *t == tag) {
+            self.hits += 1;
+            let ord = &mut self.order[base..base + ways];
+            let pos = ord
+                .iter()
+                .position(|&o| o as usize == hw)
+                .expect("hit way present in recency order");
+            ord[pos..].rotate_left(1);
+            true
+        } else {
+            self.misses += 1;
+            let ord = &mut self.order[base..base + ways];
+            let victim = ord[0] as usize;
+            ord.rotate_left(1);
+            self.tags[base + victim] = tag;
+            false
+        }
+    }
+
+    /// Drop all lines (used between independent simulated runs).
+    /// Generation-stamped: O(1) — sets reset lazily on next touch.
+    pub fn flush(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrap (2^32 flushes): stale set metadata could
+            // alias the fresh generation, so pay one hard reset.
+            self.tags.fill(EMPTY);
+            self.meta.fill(self.ident as u64);
+            let ways = self.params.ways;
+            for (i, o) in self.order.iter_mut().enumerate() {
+                *o = (i % ways) as u8;
+            }
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Shift/mask strength reduction of the set/line arithmetic for
+/// power-of-two geometries.
+fn pow2_geometry(params: &CacheParams) -> Option<(u32, u64, u32)> {
+    (params.line_elems.is_power_of_two() && params.sets.is_power_of_two()).then(|| {
+        (
+            params.line_elems.trailing_zeros(),
+            params.sets as u64 - 1,
+            params.sets.trailing_zeros(),
+        )
+    })
+}
+
+/// The reference cache: per-line LRU stamps and a monotonic clock. This
+/// is the original implementation, kept verbatim as the *oracle* for
+/// the compressed [`Cache`] — `costmodel_differential` drives both with
+/// identical address streams and requires identical hit/miss/eviction
+/// behaviour and post-flush state. Not used on any hot path.
+#[derive(Debug, Clone)]
+pub struct RefCache {
+    params: CacheParams,
+    /// tags[set * ways + way]; [`EMPTY`] marks an invalid line.
+    tags: Vec<u64>,
+    /// LRU stamps, larger = more recent.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    pow2: Option<(u32, u64, u32)>,
+}
+
+impl RefCache {
+    /// Empty (cold) cache.
+    pub fn new(params: CacheParams) -> Self {
+        let n = params.sets * params.ways;
+        let pow2 = pow2_geometry(&params);
+        RefCache {
             params,
             tags: vec![EMPTY; n],
             stamps: vec![0; n],
@@ -59,7 +351,6 @@ impl Cache {
 
     /// Access the line containing element address `addr`. Returns true on
     /// hit; on miss the line is filled.
-    #[inline(always)]
     pub fn access(&mut self, addr: u64) -> bool {
         let (set, tag) = match self.pow2 {
             Some((line_shift, set_mask, set_shift)) => {
@@ -102,7 +393,7 @@ impl Cache {
         false
     }
 
-    /// Drop all lines (used between independent simulated runs).
+    /// Drop all lines.
     pub fn flush(&mut self) {
         self.tags.fill(EMPTY);
         self.stamps.fill(0);
@@ -139,7 +430,12 @@ impl Hierarchy {
     }
 
     /// Cycles for a data access at `addr` (read or write — writeback
-    /// traffic is folded into the miss costs).
+    /// traffic is folded into the miss costs). Same-line streaming is
+    /// absorbed inside [`Cache::access`]: the set's MRU tag is checked
+    /// first and a re-hit skips the recency update. (A 1-entry
+    /// line filter in front of the hierarchy was tried and reverted:
+    /// stencil loops interleave several streams plus software
+    /// prefetches, so it almost never fired and was pure overhead.)
     #[inline(always)]
     pub fn access(&mut self, addr: u64) -> u64 {
         if self.l1.access(addr) {
@@ -152,8 +448,9 @@ impl Hierarchy {
     }
 
     /// Prefetch: touch the line, charge nothing (the issue cost is charged
-    /// by the executor as a statement).
-    #[inline]
+    /// by the executor as a statement). `inline(always)`: prefetch-heavy
+    /// loops (`prefetch-loop-arrays`) execute this once per element.
+    #[inline(always)]
     pub fn prefetch(&mut self, addr: u64) {
         let _ = self.l1.access(addr);
         let _ = self.l2.access(addr);

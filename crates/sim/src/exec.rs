@@ -157,6 +157,10 @@ pub struct DecodedBlock {
     taken_extra: u64,
     /// Branch-predictor site key of this block's terminator.
     site: u64,
+    /// Predictor-table index of `site` for this machine's table size,
+    /// hashed once at prepare time ([`BranchPredictor::index_for`]) so
+    /// the execution loops never hash per branch.
+    site_idx: u32,
     /// Spill accesses in execution order (empty for most blocks).
     spills: Box<[SpillEv]>,
 }
@@ -173,6 +177,11 @@ impl DecodedBlock {
     /// Branch-predictor site key of this block's terminator.
     pub fn site(&self) -> u64 {
         self.site
+    }
+    /// Precomputed predictor-table index of [`DecodedBlock::site`] for
+    /// the machine this version was prepared on.
+    pub fn site_idx(&self) -> u32 {
+        self.site_idx
     }
     /// Spill accesses in execution order.
     pub fn spills(&self) -> &[SpillEv] {
@@ -369,10 +378,13 @@ impl PreparedVersion {
                             0
                         }
                     };
+                    let site = ((fi as u64) << 32) ^ (bi as u64);
                     DecodedBlock {
                         const_cost,
                         taken_extra,
-                        site: ((fi as u64) << 32) ^ (bi as u64),
+                        site,
+                        site_idx: BranchPredictor::index_for(spec.predictor_entries, site)
+                            as u32,
                         spills: evs.as_slice().into(),
                     }
                 })
@@ -776,7 +788,7 @@ impl<'a> Ctx<'a> {
                 }
                 Terminator::Branch { cond, on_true, on_false } => {
                     let taken = self.operand(cond, &regs).is_true();
-                    if self.state.predictor.mispredicted(dblock.site, taken) {
+                    if self.state.predictor.mispredicted_at(dblock.site_idx as usize, taken) {
                         *cycles += p.mispredict_penalty;
                     }
                     if taken {

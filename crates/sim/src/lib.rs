@@ -36,7 +36,7 @@ pub mod tier;
 pub mod timer;
 
 pub use branch::BranchPredictor;
-pub use cache::{AddressMap, Cache, Hierarchy};
+pub use cache::{AddressMap, Cache, Hierarchy, RefCache};
 pub use exec::{
     execute, execute_with_scratch, fault_preamble, DecodedBlock, ExecError, ExecOptions,
     ExecParams, ExecResult, ExecScratch, MachineState, PreparedVersion, SpillEv, RECURSION_LIMIT,

@@ -29,6 +29,7 @@
 
 pub mod common;
 pub mod fuzzgen;
+pub mod stream;
 
 pub mod applu;
 pub mod apsi;
@@ -86,6 +87,12 @@ pub trait Workload: Send + Sync {
     fn setup(&self, ds: Dataset, mem: &mut MemoryImage, rng: &mut StdRng);
     /// Arguments for invocation `inv` (0-based); may mutate memory to
     /// model the rest of the program running between invocations.
+    ///
+    /// Contract (relied on by [`stream::ArgStream`]): implementations
+    /// write memory only through [`MemoryImage::store`] and never read
+    /// memory *content* (static shapes like buffer lengths are fine) —
+    /// the produced values depend only on `(ds, inv)` and the RNG
+    /// stream, which makes argument streams recordable and replayable.
     fn args(&self, ds: Dataset, inv: usize, mem: &mut MemoryImage, rng: &mut StdRng)
         -> Vec<Value>;
     /// Simulated cycles the rest of the program spends per TS invocation
