@@ -91,6 +91,13 @@ pub struct TuningJobSpec {
     /// IE start configuration (flag bits); `None` starts from O3. Set by
     /// the serve daemon's knowledge-store warm start.
     pub start_bits: Option<u64>,
+    /// Search strategy name (resolved via
+    /// [`strategy_kind_by_name`](crate::strategy::strategy_kind_by_name)).
+    /// `None` runs the legacy serial IE — the goldens-compatible path;
+    /// note that even explicit `"ie"` selects the restructured
+    /// per-candidate parallel protocol, whose numbers differ from the
+    /// serial one's.
+    pub strategy: Option<String>,
 }
 
 impl TuningJobSpec {
@@ -103,6 +110,7 @@ impl TuningJobSpec {
             method: None,
             dataset: Dataset::Train,
             start_bits: None,
+            strategy: None,
         }
     }
 }
@@ -122,6 +130,7 @@ impl ToJson for TuningJobSpec {
                 .to_json(),
             ),
             ("start_bits", self.start_bits.to_json()),
+            ("strategy", self.strategy.clone().to_json()),
         ])
     }
 }
@@ -136,6 +145,8 @@ pub enum JobError {
     UnknownMachine(String),
     /// `method` string did not resolve to a rating method.
     UnknownMethod(String),
+    /// `strategy` string did not resolve to a search strategy.
+    UnknownStrategy(String),
     /// The cancel token fired mid-job (deadline or shutdown).
     Cancelled,
     /// The job panicked; the payload's message, best-effort.
@@ -149,6 +160,7 @@ impl JobError {
             JobError::UnknownBenchmark(_) => "unknown_benchmark",
             JobError::UnknownMachine(_) => "unknown_machine",
             JobError::UnknownMethod(_) => "unknown_method",
+            JobError::UnknownStrategy(_) => "unknown_strategy",
             JobError::Cancelled => "cancelled",
             JobError::Panicked(_) => "panicked",
         }
@@ -161,6 +173,7 @@ impl std::fmt::Display for JobError {
             JobError::UnknownBenchmark(b) => write!(f, "unknown benchmark {b:?}"),
             JobError::UnknownMachine(m) => write!(f, "unknown machine {m:?}"),
             JobError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            JobError::UnknownStrategy(s) => write!(f, "unknown strategy {s:?}"),
             JobError::Cancelled => write!(f, "cancelled (deadline or shutdown)"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
@@ -216,9 +229,17 @@ pub fn run_tuning_job(
         // applicable method (RBR is universally applicable).
         None => crate::consultant::consult(workload.as_ref(), &machine).order[0],
     };
+    let strategy = match &spec.strategy {
+        None => None,
+        Some(name) => Some(
+            crate::strategy::strategy_kind_by_name(name)
+                .ok_or_else(|| JobError::UnknownStrategy(name.clone()))?,
+        ),
+    };
     let opts = TuneOptions {
         start: spec.start_bits.map(peak_opt::OptConfig::from_bits),
         cancel,
+        strategy,
     };
     let result = catch_unwind(AssertUnwindSafe(|| {
         tune_with_options(workload.as_ref(), &machine, method, spec.dataset, tracer, pool, &opts)

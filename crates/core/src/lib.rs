@@ -12,6 +12,10 @@
 //! * [`context`] — context keys and run-time-constant elimination;
 //! * [`search`] — Iterative Elimination over the 38-flag space (plus
 //!   exhaustive and random search for ablations);
+//! * [`strategy`] — pluggable search strategies (`SearchStrategy` trait):
+//!   the shared `FrontierRater` + `CompilationBudget`, seeded genetic
+//!   search, and phase-clustered IE — all bit-identical at any thread
+//!   count;
 //! * [`sched`] — deterministic work-stealing job pool behind the
 //!   experiment drivers and the parallel candidate frontier;
 //! * [`tuner`] — offline tuning end-to-end + production measurement
@@ -45,6 +49,7 @@ pub mod rating;
 pub mod sched;
 pub mod search;
 pub mod stats;
+pub mod strategy;
 pub mod stream_cache;
 pub mod tier;
 pub mod ts_select;
@@ -71,6 +76,13 @@ pub use sched::{default_threads, Pool, PoolStats};
 pub use search::{
     exhaustive, iterative_elimination, iterative_elimination_from, iterative_elimination_parallel,
     iterative_elimination_parallel_capped, random_search, SearchResult,
+};
+pub use strategy::{
+    build_strategy, cluster_flags, ga_mutate, ga_next_generation, ga_uniform_crossover, pearson,
+    search_with_strategy, search_with_strategy_spent, strategy_kind_by_name, strategy_seed,
+    ClusterConfig, CompilationBudget, FrontierOutcome, FrontierRater, GaConfig, GeneticSearch,
+    IterativeElimination, PhaseClusteredIe, RandomSearchStrategy, RatingProtocol, SearchStrategy,
+    SplitMix64, StrategyKind,
 };
 pub use tuner::{
     production_time, tune, tune_traced, tune_traced_pooled, tune_with_options, TuneOptions,

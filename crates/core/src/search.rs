@@ -10,7 +10,7 @@
 use crate::consultant::Method;
 use crate::rating::{rate, RateOutcome, TuningSetup};
 use crate::sched::Pool;
-use peak_obs::event;
+use crate::strategy::{FrontierRater, IterativeElimination, RandomSearchStrategy, SearchStrategy};
 use peak_opt::{Flag, OptConfig};
 use peak_util::{Json, ToJson};
 
@@ -54,7 +54,7 @@ impl ToJson for SearchResult {
 /// to the global metrics registry; handle cached so steady state is one
 /// flag load + one `fetch_add`.
 #[inline]
-fn count_ie_round() {
+pub(crate) fn count_ie_round() {
     use std::sync::OnceLock;
     if !peak_obs::metrics::enabled() {
         return;
@@ -137,80 +137,21 @@ pub fn iterative_elimination(setup: &mut TuningSetup<'_>, method: Method) -> Sea
 /// Each round boundary is a cooperative cancellation point
 /// ([`TuningSetup::check_cancel`]); with the default token this is
 /// a no-op.
+///
+/// Since the strategy extraction this is a thin wrapper: the IE loop
+/// lives in [`IterativeElimination`] and runs on a
+/// [`FrontierRater::serial`] rater — the serial interleaved rating
+/// protocol the Table 1 / Figure 7 goldens pin down, with an unlimited
+/// compilation budget. The differential suite asserts this wrapper is
+/// byte-identical to the pre-trait implementation.
 pub fn iterative_elimination_from(
     setup: &mut TuningSetup<'_>,
     method: Method,
     start: OptConfig,
 ) -> SearchResult {
-    let mut base = start;
-    let mut ratings = 0usize;
-    let mut switches = 0u32;
-    let mut last_method = method;
-    for round in 0..MAX_IE_ROUNDS {
-        setup.check_cancel();
-        count_ie_round();
-        let flags: Vec<Flag> = base.enabled_flags();
-        if flags.is_empty() {
-            break;
-        }
-        let candidates: Vec<OptConfig> = flags.iter().map(|&f| base.without(f)).collect();
-        // Pre-compile the round's frontier through the shared version
-        // cache on the setup's pool. Compilation is pure and cached, so
-        // this cannot change a single rated cycle — it only moves the
-        // compile work off the rating path (and parallelizes it when a
-        // multi-thread pool is installed).
-        let mut warm = candidates.clone();
-        warm.push(base);
-        setup.warm_frontier(&warm, matches!(method, Method::Mbr));
-        let (out, used) = if matches!(method, Method::Whl | Method::Avg) {
-            // Baselines rate directly without the consultant fallback.
-            (
-                rate(setup, method, base, &candidates).expect("baseline method rates"),
-                method,
-            )
-        } else {
-            rate_with_fallback(setup, method, base, &candidates, &mut switches)
-        };
-        last_method = used;
-        ratings += candidates.len();
-        // Remove the flag whose removal helps most.
-        let bestidx = (0..candidates.len())
-            .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
-        let removed = match bestidx {
-            Some(i) if out.improvements[i] >= MIN_GAIN => Some(flags[i].name()),
-            _ => None,
-        };
-        {
-            let tracer = setup.tracer();
-            if tracer.enabled() {
-                event!(
-                    tracer,
-                    "search.round",
-                    round = round as u64,
-                    method = used.name(),
-                    best_improvement = bestidx.map(|i| out.improvements[i]).unwrap_or(1.0),
-                    removed_flag = removed,
-                    switches = switches as u64,
-                );
-            }
-        }
-        match bestidx {
-            Some(i) if removed.is_some() => {
-                base = candidates[i];
-            }
-            _ => break,
-        }
-    }
-    SearchResult {
-        best: base,
-        disabled_flags: base.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
-        method: last_method,
-        switches,
-        ratings,
-        tuning_cycles: setup.tuning_cycles,
-        runs: setup.runs_used,
-        invocations: setup.invocations_used,
-    }
+    let strategy = IterativeElimination { start, max_rounds: MAX_IE_ROUNDS };
+    let mut rater = FrontierRater::serial(setup, method);
+    strategy.run(&mut rater)
 }
 
 /// Seed base for one (round, method-attempt) frontier; each candidate
@@ -218,7 +159,7 @@ pub fn iterative_elimination_from(
 /// [`MAX_RUNS_PER_RATING`](crate::rating) ≤ 60 runs (one seed increment
 /// each), so strides of 1024 keep every job's run-seed range disjoint
 /// and — more importantly — *fixed*, independent of scheduling.
-fn frontier_seed_base(round: usize, attempt: usize) -> u64 {
+pub(crate) fn frontier_seed_base(round: usize, attempt: usize) -> u64 {
     1 + ((round as u64 * 8 + attempt as u64) << 16)
 }
 const JOB_SEED_STRIDE: u64 = 1024;
@@ -236,7 +177,7 @@ const JOB_SEED_STRIDE: u64 = 1024;
 /// base in every job (~2× the measurements on small frontiers) but
 /// makes each job independent — so the merged result is bit-identical
 /// at **any** thread count, which the differential tests pin down.
-fn rate_frontier_parallel(
+pub(crate) fn rate_frontier_parallel(
     setup: &mut TuningSetup<'_>,
     pool: &Pool,
     method: Method,
@@ -312,7 +253,7 @@ fn rate_frontier_parallel(
 /// *jointly* over the merged frontier outcome (same unconverged-fraction
 /// rule as [`rate_with_fallback`]), after all candidate jobs of the
 /// attempt have completed.
-fn rate_frontier_with_fallback(
+pub(crate) fn rate_frontier_with_fallback(
     setup: &mut TuningSetup<'_>,
     pool: &Pool,
     preferred: Method,
@@ -379,76 +320,21 @@ pub fn iterative_elimination_parallel(
 /// [`iterative_elimination_parallel`] with an explicit round cap
 /// (`max_rounds ≤` [`MAX_IE_ROUNDS`] is not enforced — benches use small
 /// caps to bound latency measurements).
+///
+/// Since the strategy extraction this is the same [`IterativeElimination`]
+/// loop on a [`FrontierRater::pooled`] rater (per-candidate protocol).
+/// One behavioral addition over the pre-trait code: round boundaries are
+/// now cooperative cancellation points here too, matching the serial
+/// entry point — output-invisible unless the job is cancelled.
 pub fn iterative_elimination_parallel_capped(
     setup: &mut TuningSetup<'_>,
     method: Method,
     pool: &Pool,
     max_rounds: usize,
 ) -> SearchResult {
-    setup.set_pool(pool.clone());
-    let mut base = OptConfig::o3();
-    let mut ratings = 0usize;
-    let mut switches = 0u32;
-    let mut last_method = method;
-    for round in 0..max_rounds {
-        count_ie_round();
-        let flags: Vec<Flag> = base.enabled_flags();
-        if flags.is_empty() {
-            break;
-        }
-        let candidates: Vec<OptConfig> = flags.iter().map(|&f| base.without(f)).collect();
-        let mut warm = candidates.clone();
-        warm.push(base);
-        setup.warm_frontier(&warm, matches!(method, Method::Mbr));
-        let (out, used) = if matches!(method, Method::Whl | Method::Avg) {
-            let seed = frontier_seed_base(round, 0);
-            (
-                rate_frontier_parallel(setup, pool, method, base, &candidates, seed)
-                    .expect("baseline method rates"),
-                method,
-            )
-        } else {
-            rate_frontier_with_fallback(setup, pool, method, base, &candidates, &mut switches, round)
-        };
-        last_method = used;
-        ratings += candidates.len();
-        let bestidx = (0..candidates.len())
-            .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
-        let removed = match bestidx {
-            Some(i) if out.improvements[i] >= MIN_GAIN => Some(flags[i].name()),
-            _ => None,
-        };
-        {
-            let tracer = setup.tracer();
-            if tracer.enabled() {
-                event!(
-                    tracer,
-                    "search.round",
-                    round = round as u64,
-                    method = used.name(),
-                    best_improvement = bestidx.map(|i| out.improvements[i]).unwrap_or(1.0),
-                    removed_flag = removed,
-                    switches = switches as u64,
-                );
-            }
-        }
-        match bestidx {
-            Some(i) if removed.is_some() => {
-                base = candidates[i];
-            }
-            _ => break,
-        }
-    }
-    SearchResult {
-        best: base,
-        disabled_flags: base.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
-        method: last_method,
-        switches,
-        ratings,
-        tuning_cycles: setup.tuning_cycles,
-        runs: setup.runs_used,
-        invocations: setup.invocations_used,
-    }
+    let strategy = IterativeElimination { start: OptConfig::o3(), max_rounds };
+    let mut rater = FrontierRater::pooled(setup, pool.clone(), method);
+    strategy.run(&mut rater)
 }
 
 /// Exhaustive search over a small flag subset (all other flags stay on).
@@ -488,6 +374,14 @@ pub fn exhaustive(setup: &mut TuningSetup<'_>, method: Method, flags: &[Flag]) -
 
 /// Biased random search (Cooper-style): sample configurations with each
 /// flag independently off with probability `p_off`, keep the best.
+///
+/// Ported onto the strategy layer: sampling now uses the strategy
+/// doctrine's splitmix64 (`p_off` is rounded to integer per-mille) and
+/// rating uses the pooled per-candidate protocol on the setup's pool —
+/// so, unlike the pre-trait version, results are bit-identical at any
+/// thread count and stable across dependency bumps. Numbers differ from
+/// the old `StdRng`-sampled, serially-rated implementation; no golden
+/// consumed those.
 pub fn random_search(
     setup: &mut TuningSetup<'_>,
     method: Method,
@@ -495,38 +389,11 @@ pub fn random_search(
     p_off: f64,
     seed: u64,
 ) -> SearchResult {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let base = OptConfig::o3();
-    let candidates: Vec<OptConfig> = (0..samples)
-        .map(|_| {
-            let mut cfg = base;
-            for f in peak_opt::ALL_FLAGS {
-                if rng.gen_bool(p_off) {
-                    cfg = cfg.without(f);
-                }
-            }
-            cfg
-        })
-        .collect();
-    let mut switches = 0;
-    let (out, used) = rate_with_fallback(setup, method, base, &candidates, &mut switches);
-    let besti = (0..candidates.len())
-        .max_by(|&a, &b| out.improvements[a].total_cmp(&out.improvements[b]));
-    let best = match besti {
-        Some(i) if out.improvements[i] >= MIN_GAIN => candidates[i],
-        _ => base,
-    };
-    SearchResult {
-        best,
-        disabled_flags: best.disabled_flags().iter().map(|f| f.name().to_string()).collect(),
-        method: used,
-        switches,
-        ratings: candidates.len(),
-        tuning_cycles: setup.tuning_cycles,
-        runs: setup.runs_used,
-        invocations: setup.invocations_used,
-    }
+    let per_mille = ((p_off * 1000.0).round() as i64).clamp(0, 1000) as u64;
+    let strategy = RandomSearchStrategy { samples, p_off_per_mille: per_mille, seed };
+    let pool = setup.pool().clone();
+    let mut rater = FrontierRater::pooled(setup, pool, method);
+    strategy.run(&mut rater)
 }
 
 #[cfg(test)]

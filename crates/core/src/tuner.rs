@@ -13,6 +13,10 @@ use crate::job::CancelToken;
 use crate::rating::{rate, TuningSetup};
 use crate::sched::Pool;
 use crate::search::{iterative_elimination_from, SearchResult};
+use crate::strategy::{
+    build_strategy, strategy_seed, FrontierRater, IterativeElimination, SearchStrategy,
+    StrategyKind,
+};
 use crate::version_cache::VersionCache;
 use peak_obs::{event, Tracer};
 use peak_opt::OptConfig;
@@ -130,6 +134,14 @@ pub struct TuneOptions {
     /// Cooperative cancellation token, checked at run starts, IE round
     /// boundaries, and between the tuning and production phases.
     pub cancel: CancelToken,
+    /// Search strategy. `None` runs the legacy serial IE — the
+    /// goldens-compatible protocol. `Some(kind)` runs `kind` on the
+    /// pooled per-candidate rater ([`FrontierRater::pooled`]), seeded
+    /// deterministically from the (workload, machine) pair — so even
+    /// `Some(StrategyKind::Ie)` differs numerically from `None` (the
+    /// rating protocol is restructured), but is bit-identical at any
+    /// pool size.
+    pub strategy: Option<StrategyKind>,
 }
 
 /// [`tune_traced_pooled`] with job-layer options (warm start +
@@ -149,7 +161,23 @@ pub fn tune_with_options(
     setup.set_pool(pool.clone());
     setup.set_cancel(options.cancel.clone());
     let start = options.start.unwrap_or_else(OptConfig::o3);
-    let search = iterative_elimination_from(&mut setup, method, start);
+    let search = match options.strategy {
+        None => iterative_elimination_from(&mut setup, method, start),
+        Some(kind) => {
+            let seed = strategy_seed(workload.name(), spec.kind.name());
+            // IE honors the warm start; the seeded strategies define
+            // their own initialization off O3.
+            let strategy: Box<dyn SearchStrategy> = match kind {
+                StrategyKind::Ie => Box::new(IterativeElimination {
+                    start,
+                    max_rounds: crate::search::MAX_IE_ROUNDS,
+                }),
+                _ => build_strategy(kind, seed),
+            };
+            let mut rater = FrontierRater::pooled(&mut setup, pool.clone(), method);
+            strategy.run(&mut rater)
+        }
+    };
     options.cancel.check();
     let baseline_cycles = production_time(workload, spec, OptConfig::o3(), Dataset::Ref);
     options.cancel.check();

@@ -1,0 +1,114 @@
+//! Budget-accounting and failure-shape tests for the strategy layer.
+//!
+//! * A configuration the search already paid for must not burn budget
+//!   again — mirroring the `VersionCache`'s hit/in-flight-coalesce
+//!   dedup, re-rating a seen config is free.
+//! * Budget exhaustion mid-round degrades gracefully to the best
+//!   configuration found so far — never a panic, never a truncated
+//!   nonsense result.
+//! * Cancellation inside a GA generation unwinds with the `Cancelled`
+//!   sentinel and classifies exactly like PR 6's IE path.
+
+use peak_core::consultant::Method;
+use peak_core::{
+    classify_panic, run_tuning_job, search_with_strategy_spent, CancelToken, JobError, Pool,
+    StrategyKind, TuningJobSpec, TuningSetup,
+};
+use peak_obs::Tracer;
+use peak_sim::MachineSpec;
+use peak_workloads::Dataset;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const SEED: u64 = 0x5eed_cafe;
+
+fn run(
+    kind: StrategyKind,
+    budget: Option<usize>,
+    threads: usize,
+) -> (peak_core::SearchResult, usize) {
+    let w = peak_workloads::workload_by_name("swim").unwrap();
+    let mut setup = TuningSetup::new(w.as_ref(), MachineSpec::sparc_ii(), Dataset::Train);
+    let pool = Pool::with_threads(threads);
+    search_with_strategy_spent(&mut setup, &pool, Method::Cbr, kind, budget, SEED)
+}
+
+/// Re-rated configurations are budget-free. Clustered IE re-rates the
+/// probe-0 frontier inside its first cluster rounds, so its unique-config
+/// charge must come out strictly below 1 (base) + total candidate
+/// ratings; and a rerun against the now-warm process cache must charge
+/// the identical amount — the budget counts configurations, not
+/// compiles, so cache hits can't burn it.
+#[test]
+fn cache_hits_do_not_burn_budget() {
+    let (result, spent) = run(StrategyKind::ClusteredIe, Some(400), 2);
+    assert!(result.ratings > 0);
+    assert!(
+        spent < result.ratings + 1,
+        "no rated candidate was budget-free: spent {spent}, ratings {}",
+        result.ratings
+    );
+    // Second run: every compile is now a VersionCache hit, but the
+    // budget charge is a function of the search alone.
+    let (result2, spent2) = run(StrategyKind::ClusteredIe, Some(400), 2);
+    assert_eq!(spent2, spent, "cache warmth leaked into budget accounting");
+    assert_eq!(result2.best, result.best);
+}
+
+/// Exhaustion mid-round (budgets far below one frontier) degrades to
+/// best-so-far for every strategy: a valid config, consistent report,
+/// budget respected, no panic.
+#[test]
+fn exhaustion_mid_round_degrades_to_best_so_far() {
+    for kind in StrategyKind::all() {
+        for budget in [0usize, 1, 2, 7] {
+            let (result, spent) = run(kind, Some(budget), 1);
+            assert!(spent <= budget, "{}: spent {spent} > budget {budget}", kind.name());
+            let from_best: Vec<String> =
+                result.best.disabled_flags().iter().map(|f| f.name().to_string()).collect();
+            assert_eq!(
+                result.disabled_flags,
+                from_best,
+                "{}: report inconsistent at budget {budget}",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// A fired token inside a GA generation unwinds with the `Cancelled`
+/// sentinel — panic-shaped exactly like the IE path PR 6 pinned down.
+#[test]
+fn ga_cancellation_is_panic_shaped_like_ie() {
+    let w = peak_workloads::workload_by_name("swim").unwrap();
+    let mut setup = TuningSetup::new(w.as_ref(), MachineSpec::sparc_ii(), Dataset::Train);
+    let cancel = CancelToken::new();
+    setup.set_cancel(cancel.clone());
+    cancel.cancel();
+    let pool = Pool::with_threads(1);
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        search_with_strategy_spent(&mut setup, &pool, Method::Cbr, StrategyKind::Ga, None, SEED)
+    }))
+    .expect_err("fired token must unwind");
+    assert_eq!(classify_panic(payload), JobError::Cancelled);
+}
+
+/// The job layer resolves strategies before any tuning work and maps a
+/// mid-GA cancellation to the structured `Cancelled` error.
+#[test]
+fn job_layer_strategy_resolution_and_cancellation() {
+    let pool = Pool::with_threads(1);
+    let mut spec = TuningJobSpec::new("SWIM", "SPARC-II");
+    spec.strategy = Some("simulated-annealing".into());
+    assert_eq!(
+        run_tuning_job(&spec, Tracer::disabled(), &pool, CancelToken::new()).unwrap_err(),
+        JobError::UnknownStrategy("simulated-annealing".into())
+    );
+    let mut spec = TuningJobSpec::new("SWIM", "SPARC-II");
+    spec.strategy = Some("ga".into());
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    assert_eq!(
+        run_tuning_job(&spec, Tracer::disabled(), &pool, cancel).unwrap_err(),
+        JobError::Cancelled
+    );
+}

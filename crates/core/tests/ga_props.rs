@@ -1,0 +1,151 @@
+//! Property tests for the genetic-search operators and the compilation
+//! budget (vendored proptest — no network, no flaky randomness: every
+//! case is a pure function of the proptest seed).
+//!
+//! Pinned properties:
+//! * crossover/mutation never leave the 38-bit flag word;
+//! * elitism never loses the best individual of a generation;
+//! * the same seed yields the same population trajectory;
+//! * a budget's `spent` never exceeds its limit, under any charge
+//!   sequence (the "overshoot by at most the check itself" rule).
+
+use peak_core::{
+    ga_mutate, ga_next_generation, ga_uniform_crossover, CompilationBudget, GaConfig, SplitMix64,
+};
+use peak_opt::{OptConfig, NUM_FLAGS};
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+const FLAG_MASK: u64 = (1u64 << NUM_FLAGS) - 1;
+
+fn population(seed: u64, n: usize) -> Vec<OptConfig> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| OptConfig::from_bits(rng.next() & FLAG_MASK)).collect()
+}
+
+fn fitness_from(seed: u64, n: usize) -> Vec<f64> {
+    // Deterministic pseudo-fitness in [0.9, 1.1) — the operators must
+    // work for any fitness landscape, not just rated improvements.
+    let mut rng = SplitMix64::new(seed ^ 0xf17e55);
+    (0..n).map(|_| 0.9 + (rng.below(2000) as f64) / 10_000.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Crossover and mutation stay inside the flag word for arbitrary
+    /// parents, seeds, and mutation rates.
+    #[test]
+    fn operators_preserve_flag_word_validity(
+        a_bits in any::<u64>(),
+        b_bits in any::<u64>(),
+        seed in any::<u64>(),
+        per_mille in 0u64..=1000,
+    ) {
+        let a = OptConfig::from_bits(a_bits);
+        let b = OptConfig::from_bits(b_bits);
+        let mut rng = SplitMix64::new(seed);
+        let child = ga_uniform_crossover(&mut rng, a, b);
+        prop_assert_eq!(child.bits() & !FLAG_MASK, 0, "crossover escaped the flag word");
+        // Crossover is a per-bit choice: every child bit comes from a
+        // parent, so bits set in neither parent stay clear.
+        prop_assert_eq!(child.bits() & !(a.bits() | b.bits()), 0);
+        let mutated = ga_mutate(&mut rng, child, per_mille);
+        prop_assert_eq!(mutated.bits() & !FLAG_MASK, 0, "mutation escaped the flag word");
+    }
+
+    /// Extremes: mutation at 0‰ is the identity, at 1000‰ it flips
+    /// every flag.
+    #[test]
+    fn mutation_rate_extremes(bits in any::<u64>(), seed in any::<u64>()) {
+        let cfg = OptConfig::from_bits(bits);
+        let mut rng = SplitMix64::new(seed);
+        prop_assert_eq!(ga_mutate(&mut rng, cfg, 0).bits(), cfg.bits());
+        prop_assert_eq!(ga_mutate(&mut rng, cfg, 1000).bits(), cfg.bits() ^ FLAG_MASK);
+    }
+
+    /// The next generation always carries the fittest individual
+    /// forward unchanged (elitism ≥ 1 never loses the best).
+    #[test]
+    fn elitism_never_loses_the_best(
+        pop_seed in any::<u64>(),
+        fit_seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+        n in 2usize..16,
+        elitism in 1usize..4,
+    ) {
+        let pop = population(pop_seed, n);
+        let fitness = fitness_from(fit_seed, n);
+        let cfg = GaConfig { population: n, elitism, ..GaConfig::default() };
+        let mut rng = SplitMix64::new(rng_seed);
+        let next = ga_next_generation(&mut rng, &pop, &fitness, &cfg);
+        prop_assert_eq!(next.len(), pop.len());
+        let besti = (0..n)
+            .max_by(|&a, &b| fitness[a].total_cmp(&fitness[b]).then(b.cmp(&a)))
+            .unwrap();
+        prop_assert!(
+            next.iter().any(|c| c.bits() == pop[besti].bits()),
+            "best individual (index {}) lost", besti
+        );
+        // And every survivor is still a valid flag word.
+        prop_assert!(next.iter().all(|c| c.bits() & !FLAG_MASK == 0));
+    }
+
+    /// Same seed → same population trajectory, generation after
+    /// generation (the replayability doctrine at the operator level).
+    #[test]
+    fn same_seed_same_trajectory(
+        pop_seed in any::<u64>(),
+        fit_seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+        generations in 1usize..6,
+    ) {
+        let n = 8;
+        let cfg = GaConfig { population: n, ..GaConfig::default() };
+        let mut rng_a = SplitMix64::new(rng_seed);
+        let mut rng_b = SplitMix64::new(rng_seed);
+        let mut pop_a = population(pop_seed, n);
+        let mut pop_b = pop_a.clone();
+        for g in 0..generations {
+            let fitness = fitness_from(fit_seed.wrapping_add(g as u64), n);
+            pop_a = ga_next_generation(&mut rng_a, &pop_a, &fitness, &cfg);
+            pop_b = ga_next_generation(&mut rng_b, &pop_b, &fitness, &cfg);
+            let bits_a: Vec<u64> = pop_a.iter().map(|c| c.bits()).collect();
+            let bits_b: Vec<u64> = pop_b.iter().map(|c| c.bits()).collect();
+            prop_assert_eq!(bits_a, bits_b, "trajectories diverged at generation {}", g);
+        }
+    }
+
+    /// `spent ≤ limit` under arbitrary charge sequences, duplicates are
+    /// free, and `charge` reports a consistent affordable prefix.
+    #[test]
+    fn budget_never_overspends(
+        limit in 0usize..40,
+        seed in any::<u64>(),
+        rounds in 1usize..8,
+        frontier in 1usize..20,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut budget = CompilationBudget::limited(limit);
+        let mut unique = std::collections::HashSet::new();
+        for _ in 0..rounds {
+            // Draw from a small pool of configs so duplicates are common.
+            let cfgs: Vec<OptConfig> = (0..frontier)
+                .map(|_| OptConfig::from_bits(rng.below(24) << 1))
+                .collect();
+            let afford = budget.charge(&cfgs);
+            prop_assert!(afford <= cfgs.len());
+            for c in &cfgs[..afford] {
+                unique.insert(c.bits());
+            }
+            prop_assert!(budget.spent() <= limit, "overspent: {} > {}", budget.spent(), limit);
+            prop_assert_eq!(budget.spent(), unique.len().min(limit));
+            // Everything in the affordable prefix is now free to re-charge.
+            if afford > 0 {
+                prop_assert!(budget.charge_one(cfgs[afford - 1]));
+                prop_assert!(budget.spent() <= limit);
+            }
+        }
+        prop_assert_eq!(budget.remaining(), Some(limit - budget.spent()));
+    }
+}

@@ -1,0 +1,149 @@
+//! Differential determinism tests for the pluggable search strategies.
+//!
+//! Two families of invariants:
+//!
+//! 1. **Thread invariance.** Every strategy — IE, GA, phase-clustered
+//!    IE, random — produces a byte-identical `SearchResult` (and spends
+//!    an identical compilation budget) at 1, 2, and 5 pool threads. The
+//!    1-thread pool runs every candidate job inline in index order, so
+//!    it *is* the serial reference.
+//! 2. **Refactor equivalence.** The trait extraction must not move the
+//!    serial IE goldens: `iterative_elimination` (now a thin wrapper
+//!    over `IterativeElimination` on a serial rater) still matches the
+//!    supervised `Tuner` — an independent implementation of the same
+//!    loop — and the parallel wrapper still matches the strategy-layer
+//!    entry point. (The `results_table1_*` byte-compare in CI pins the
+//!    golden files themselves.)
+
+use peak_core::consultant::Method;
+use peak_core::{
+    iterative_elimination, iterative_elimination_parallel_capped, search_with_strategy_spent,
+    Pool, SearchResult, StrategyKind, Tuner, TuningSetup,
+};
+use peak_sim::MachineSpec;
+use peak_workloads::Dataset;
+
+/// Serial reference, smallest parallel pool, oversubscribed pool.
+const THREADS: [usize; 3] = [1, 2, 5];
+/// Budget for the strategy legs: enough for several GA generations and
+/// two clustered-IE rounds (below the probe threshold, clustered takes
+/// its degenerate plain-IE path), small enough to keep the suite fast.
+const BUDGET: usize = 80;
+/// Fixed strategy seed for the suite (any value works; it must simply
+/// be the same across legs).
+const SEED: u64 = 0x5eed_cafe;
+
+fn run_strategy_leg(
+    bench: &str,
+    spec: &MachineSpec,
+    method: Method,
+    kind: StrategyKind,
+    threads: usize,
+) -> (SearchResult, usize) {
+    let w = peak_workloads::workload_by_name(bench).expect("known workload");
+    let mut setup = TuningSetup::new(w.as_ref(), spec.clone(), Dataset::Train);
+    let pool = Pool::with_threads(threads);
+    search_with_strategy_spent(&mut setup, &pool, method, kind, Some(BUDGET), SEED)
+}
+
+fn assert_fields_equal(label: &str, got: &SearchResult, reference: &SearchResult) {
+    assert_eq!(got.best, reference.best, "{label}: best config");
+    assert_eq!(got.disabled_flags, reference.disabled_flags, "{label}: disabled flags");
+    assert_eq!(got.method, reference.method, "{label}: final method");
+    assert_eq!(got.switches, reference.switches, "{label}: switches");
+    assert_eq!(got.ratings, reference.ratings, "{label}: ratings count");
+    assert_eq!(got.tuning_cycles, reference.tuning_cycles, "{label}: tuning cycles");
+    assert_eq!(got.runs, reference.runs, "{label}: runs");
+    assert_eq!(got.invocations, reference.invocations, "{label}: invocations");
+}
+
+fn assert_strategy_identical(bench: &str, spec: &MachineSpec, method: Method, kind: StrategyKind) {
+    let (reference, ref_spent) = run_strategy_leg(bench, spec, method, kind, THREADS[0]);
+    assert!(reference.ratings > 0, "{}: search must rate something", kind.name());
+    assert!(ref_spent <= BUDGET, "{}: budget respected", kind.name());
+    for &threads in &THREADS[1..] {
+        let (got, spent) = run_strategy_leg(bench, spec, method, kind, threads);
+        let label = format!(
+            "{bench}/{}/{}/{} at {threads} threads",
+            spec.kind.name(),
+            method.name(),
+            kind.name()
+        );
+        assert_fields_equal(&label, &got, &reference);
+        assert_eq!(spent, ref_spent, "{label}: budget spent");
+    }
+}
+
+#[test]
+fn ie_identical_across_thread_counts() {
+    assert_strategy_identical("swim", &MachineSpec::sparc_ii(), Method::Cbr, StrategyKind::Ie);
+}
+
+#[test]
+fn ga_identical_across_thread_counts() {
+    assert_strategy_identical("swim", &MachineSpec::sparc_ii(), Method::Cbr, StrategyKind::Ga);
+}
+
+#[test]
+fn clustered_identical_across_thread_counts() {
+    assert_strategy_identical(
+        "swim",
+        &MachineSpec::sparc_ii(),
+        Method::Cbr,
+        StrategyKind::ClusteredIe,
+    );
+}
+
+#[test]
+fn random_identical_across_thread_counts() {
+    assert_strategy_identical("art", &MachineSpec::pentium_iv(), Method::Rbr, StrategyKind::Random);
+}
+
+/// Same seed, same machine, run twice: the GA trajectory must replay
+/// exactly (catches hidden global state leaking into the search).
+#[test]
+fn ga_same_seed_replays_exactly() {
+    let (a, sa) = run_strategy_leg("art", &MachineSpec::pentium_iv(), Method::Rbr, StrategyKind::Ga, 2);
+    let (b, sb) = run_strategy_leg("art", &MachineSpec::pentium_iv(), Method::Rbr, StrategyKind::Ga, 2);
+    assert_fields_equal("ga replay", &b, &a);
+    assert_eq!(sa, sb);
+}
+
+/// The parallel IE wrapper and the strategy-layer entry point are the
+/// same search (wrapper delegation must not drift).
+#[test]
+fn parallel_wrapper_matches_strategy_layer() {
+    let spec = MachineSpec::sparc_ii();
+    let w = peak_workloads::workload_by_name("swim").unwrap();
+    let pool = Pool::with_threads(2);
+    let mut setup_a = TuningSetup::new(w.as_ref(), spec.clone(), Dataset::Train);
+    let via_wrapper = iterative_elimination_parallel_capped(&mut setup_a, Method::Cbr, &pool, 10);
+    let mut setup_b = TuningSetup::new(w.as_ref(), spec.clone(), Dataset::Train);
+    let (via_strategy, _) =
+        search_with_strategy_spent(&mut setup_b, &pool, Method::Cbr, StrategyKind::Ie, None, SEED);
+    assert_fields_equal("wrapper vs strategy layer", &via_strategy, &via_wrapper);
+}
+
+/// Serial IE behind the trait still matches the supervised `Tuner` — an
+/// independent implementation of the same loop that the refactor did
+/// not touch. This is the in-repo half of the goldens guarantee (CI
+/// byte-compares the `results_table1_*` files themselves).
+#[test]
+fn serial_ie_unchanged_by_refactor() {
+    let w = peak_workloads::workload_by_name("art").unwrap();
+    let spec = MachineSpec::pentium_iv();
+    let mut setup = TuningSetup::new(w.as_ref(), spec.clone(), Dataset::Train);
+    let refactored = iterative_elimination(&mut setup, Method::Rbr);
+    let mut tuner = Tuner::new(w.as_ref(), spec, Method::Rbr, Dataset::Train);
+    let independent = tuner.run();
+    assert_eq!(refactored.best, independent.best, "best config");
+    assert_eq!(refactored.ratings, independent.ratings, "ratings");
+    assert_eq!(refactored.runs, independent.runs, "runs");
+    assert_eq!(refactored.invocations, independent.invocations, "invocations");
+    assert_eq!(refactored.tuning_cycles, independent.tuning_cycles, "tuning cycles");
+    assert!(
+        refactored.disabled_flags.iter().any(|f| f == "strict-aliasing"),
+        "the marquee ART×P4 result survives the refactor: {:?}",
+        refactored.disabled_flags
+    );
+}

@@ -504,6 +504,20 @@ fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
         },
     };
 
+    // Same early resolution for the strategy name: reject typos before
+    // queueing any tuning work (the job layer re-validates).
+    if let Some(name) = &req.strategy {
+        if peak_core::strategy_kind_by_name(name).is_none() {
+            inner.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            if metrics::enabled() {
+                serve_metrics().jobs_failed.inc();
+            }
+            let e = JobError::UnknownStrategy(name.clone());
+            respond(&queued.out, &error_response(Some(id), e.kind(), &e.to_string(), 0));
+            return;
+        }
+    }
+
     // Feature vector of the requested section: the knowledge-store key,
     // both for warm-start lookup and for persisting the result.
     let features = peak_workloads::workload_by_name(&req.benchmark)
@@ -514,6 +528,7 @@ fn process_tune(inner: &Arc<Inner>, queued: &QueuedJob) {
     let mut spec = TuningJobSpec::new(&req.benchmark, &req.machine);
     spec.method = method;
     spec.dataset = req.dataset;
+    spec.strategy = req.strategy.clone();
     let mut warm_started = false;
     if req.warm_start {
         if let (Some(f), Some(machine)) = (&features, &canonical_machine) {

@@ -39,6 +39,10 @@ pub struct TuneRequest {
     pub machine: String,
     /// Rating method name; `None` lets the consultant pick.
     pub method: Option<String>,
+    /// Search strategy name (`"ie"`, `"ga"`, `"clustered"`, `"random"`);
+    /// `None` runs the default serial IE, which stays bit-identical to
+    /// offline tuning.
+    pub strategy: Option<String>,
     /// Tuning dataset (default train).
     pub dataset: Dataset,
     /// Per-job deadline in milliseconds; `None` = no deadline.
@@ -140,6 +144,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     Some(m.as_str().ok_or("field \"method\" must be a string")?.to_owned())
                 }
             };
+            let strategy = match j.get("strategy") {
+                None | Some(Json::Null) => None,
+                Some(s) => {
+                    Some(s.as_str().ok_or("field \"strategy\" must be a string")?.to_owned())
+                }
+            };
             let dataset = match j.get("dataset") {
                 None | Some(Json::Null) => Dataset::Train,
                 Some(d) => match d.as_str() {
@@ -180,6 +190,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     benchmark,
                     machine,
                     method,
+                    strategy,
                     dataset,
                     deadline_ms,
                     warm_start,
@@ -230,6 +241,7 @@ mod tests {
         assert_eq!(job.benchmark, "SWIM");
         assert_eq!(job.machine, "SPARC-II");
         assert_eq!(job.method.as_deref(), Some("CBR"));
+        assert_eq!(job.strategy, None);
         assert_eq!(job.dataset, Dataset::Train);
         assert_eq!(job.deadline_ms, Some(5000));
         assert!(job.warm_start);
@@ -250,6 +262,20 @@ mod tests {
         .unwrap();
         let Request::Tune { job, .. } = req else { panic!() };
         assert_eq!(job.inject, Some(Inject::Slow(250)));
+    }
+
+    #[test]
+    fn strategy_field_parses_and_rejects_non_strings() {
+        let req = parse_request(
+            r#"{"id":"x","kind":"tune","benchmark":"ART","machine":"p4","strategy":"ga"}"#,
+        )
+        .unwrap();
+        let Request::Tune { job, .. } = req else { panic!() };
+        assert_eq!(job.strategy.as_deref(), Some("ga"));
+        assert!(parse_request(
+            r#"{"id":"x","kind":"tune","benchmark":"ART","machine":"p4","strategy":7}"#,
+        )
+        .is_err());
     }
 
     #[test]
